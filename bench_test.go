@@ -1,0 +1,136 @@
+package bitpacker
+
+// The benchmark harness: one testing.B benchmark per paper table/figure.
+// Each BenchmarkFigXX regenerates the corresponding artifact (in quick
+// mode) and logs the resulting table; custom metrics expose the headline
+// numbers so `go test -bench` output doubles as a results summary.
+// BenchmarkOp* are microbenchmarks of the functional library, comparing
+// the two representations directly.
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+
+	"bitpacker/internal/experiments"
+)
+
+// runExperimentBench regenerates one experiment per benchmark invocation.
+func runExperimentBench(b *testing.B, id string) {
+	b.Helper()
+	r, ok := experiments.ByID(id)
+	if !ok {
+		b.Fatalf("unknown experiment %s", id)
+	}
+	var out *experiments.Result
+	for i := 0; i < b.N; i++ {
+		res, err := r.Run(true)
+		if err != nil {
+			b.Fatal(err)
+		}
+		out = res
+	}
+	var buf bytes.Buffer
+	out.Render(&buf)
+	b.Log("\n" + buf.String())
+}
+
+func BenchmarkFig01Packing(b *testing.B)         { runExperimentBench(b, "fig01") }
+func BenchmarkFig10EnergyBreakdown(b *testing.B) { runExperimentBench(b, "fig10") }
+func BenchmarkFig11ExecTime28(b *testing.B)      { runExperimentBench(b, "fig11") }
+func BenchmarkFig12Energy28(b *testing.B)        { runExperimentBench(b, "fig12") }
+func BenchmarkFig13CPU(b *testing.B)             { runExperimentBench(b, "fig13") }
+func BenchmarkFig14WordSweep(b *testing.B)       { runExperimentBench(b, "fig14") }
+func BenchmarkFig15Slowdown(b *testing.B)        { runExperimentBench(b, "fig15") }
+func BenchmarkFig16PerfPerArea(b *testing.B)     { runExperimentBench(b, "fig16") }
+func BenchmarkFig17RegisterFile(b *testing.B)    { runExperimentBench(b, "fig17") }
+func BenchmarkTable1Precision(b *testing.B)      { runExperimentBench(b, "tab1") }
+func BenchmarkFig18RescaleError(b *testing.B)    { runExperimentBench(b, "fig18") }
+func BenchmarkFig19AdjustError(b *testing.B)     { runExperimentBench(b, "fig19") }
+func BenchmarkSec61EDP(b *testing.B)             { runExperimentBench(b, "sec61") }
+func BenchmarkSec62SHARPComparison(b *testing.B) { runExperimentBench(b, "sec62") }
+func BenchmarkSec63AreaReduction(b *testing.B)   { runExperimentBench(b, "sec63") }
+
+// benchCtx builds a context for microbenchmarks.
+func benchCtx(b *testing.B, scheme Scheme, levels int, scaleBits float64, w int) *Context {
+	b.Helper()
+	ctx, err := New(Config{
+		Scheme:    scheme,
+		LogN:      12,
+		Levels:    levels,
+		ScaleBits: scaleBits,
+		WordBits:  w,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return ctx
+}
+
+func schemeName(s Scheme) string { return strings.ReplaceAll(s.String(), "-", "") }
+
+// BenchmarkOpMulRescale measures a ciphertext multiply + rescale at the
+// top level for both schemes at 61-bit words (the CPU-favored size, as in
+// Fig. 13) and at the accelerator-favored 28-bit words.
+func BenchmarkOpMulRescale(b *testing.B) {
+	for _, w := range []int{28, 61} {
+		for _, scheme := range []Scheme{RNSCKKS, BitPacker} {
+			b.Run(fmt.Sprintf("%s/w%d", schemeName(scheme), w), func(b *testing.B) {
+				ctx := benchCtx(b, scheme, 6, 45, w)
+				ct, err := ctx.EncryptReal([]float64{0.5, 0.25})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(float64(ct.Residues()), "residues")
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					_ = ctx.Rescale(ctx.Mul(ct, ct))
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkOpAdjust measures the adjust operation both schemes use to align
+// levels.
+func BenchmarkOpAdjust(b *testing.B) {
+	for _, scheme := range []Scheme{RNSCKKS, BitPacker} {
+		b.Run(schemeName(scheme), func(b *testing.B) {
+			ctx := benchCtx(b, scheme, 6, 45, 61)
+			ct, err := ctx.EncryptReal([]float64{0.5})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				_ = ctx.Adjust(ct, ct.Level()-1)
+			}
+		})
+	}
+}
+
+// BenchmarkOpEncryptDecrypt measures the encode/encrypt and decrypt/decode
+// paths.
+func BenchmarkOpEncryptDecrypt(b *testing.B) {
+	ctx := benchCtx(b, BitPacker, 4, 40, 61)
+	vals := make([]float64, ctx.Slots())
+	for i := range vals {
+		vals[i] = 1 / float64(i+2)
+	}
+	b.Run("encrypt", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := ctx.EncryptReal(vals); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	ct, _ := ctx.EncryptReal(vals)
+	b.Run("decrypt", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := ctx.DecryptReal(ct); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -1,0 +1,335 @@
+package bitpacker
+
+import (
+	"fmt"
+
+	"bitpacker/internal/ckks"
+	"bitpacker/internal/core"
+	"bitpacker/internal/security"
+)
+
+// Scheme selects the RNS representation.
+type Scheme = core.Scheme
+
+// The two representations the paper compares.
+const (
+	// RNSCKKS is the classic baseline: residue moduli sized to scales.
+	RNSCKKS = core.RNSCKKS
+	// BitPacker packs residues at the hardware word size (the paper's
+	// contribution).
+	BitPacker = core.BitPacker
+)
+
+// Config describes an FHE context.
+type Config struct {
+	// Scheme selects RNSCKKS or BitPacker level management.
+	Scheme Scheme
+	// LogN is log2 of the ring degree (ciphertexts hold 2^(LogN-1) slots).
+	LogN int
+	// Levels is the multiplicative depth.
+	Levels int
+	// ScaleBits is the CKKS scale at every level. For a per-level
+	// schedule, set ScaleSchedule instead (length Levels+1, level 0
+	// first).
+	ScaleBits float64
+	// ScaleSchedule optionally gives each level its own target scale.
+	ScaleSchedule []float64
+	// WordBits is the hardware word size the representation packs to
+	// (28..64; functional arithmetic caps moduli at 61 bits).
+	WordBits int
+	// QMinBits is the level-0 modulus width. Defaults to ScaleBits+20.
+	QMinBits float64
+	// SecurityBits, when nonzero, validates the parameters against the
+	// HE-standard tables (e.g. 128).
+	SecurityBits float64
+	// KeySwitchDigits is the hybrid keyswitching digit count (default 3).
+	KeySwitchDigits int
+	// Rotations lists the slot rotations to generate Galois keys for.
+	Rotations []int
+	// Conjugation adds the conjugation key.
+	Conjugation bool
+	// Seed makes all randomness reproducible (default 1).
+	Seed uint64
+	// Sigma is the encryption noise stddev (default 3.2).
+	Sigma float64
+	// SparseSecretWeight, when nonzero, samples the secret with this
+	// Hamming weight instead of dense ternary (bootstrapping needs a
+	// sparse secret to keep the ModRaise overflow small).
+	SparseSecretWeight int
+	// Bootstrap, when set, precomputes a functional bootstrapper at
+	// context creation; the DFT rotation keys (and conjugation) are
+	// generated automatically. Use Refresh to bootstrap.
+	Bootstrap *BootstrapOptions
+}
+
+// BootstrapOptions configures functional bootstrapping (see
+// Context.Refresh). Demonstration-grade: the chain must provide
+// SineDegree+3 levels and the secret must satisfy
+// (SparseSecretWeight+1)/2 <= KRange.
+type BootstrapOptions struct {
+	// KRange bounds the ModRaise overflow (default 2).
+	KRange int
+	// SineDegree is the Chebyshev degree of the sine approximation
+	// (default 19).
+	SineDegree int
+}
+
+// Context owns the keys and engines for one parameter set.
+type Context struct {
+	cfg     Config
+	params  *ckks.Parameters
+	encoder *ckks.Encoder
+	sk      *ckks.SecretKey
+	pk      *ckks.PublicKey
+	enc     *ckks.Encryptor
+	dec     *ckks.Decryptor
+	eval    *ckks.Evaluator
+	boot    *ckks.Bootstrapper
+}
+
+// Ciphertext is an encrypted vector at some level of the modulus chain.
+type Ciphertext struct {
+	ct *ckks.Ciphertext
+}
+
+// Level returns the ciphertext's current level.
+func (c *Ciphertext) Level() int { return c.ct.Level }
+
+// Residues returns the number of RNS residues (the paper's R) — the
+// quantity BitPacker minimizes.
+func (c *Ciphertext) Residues() int { return c.ct.R() }
+
+// ScaleLog2 returns log2 of the ciphertext's scale.
+func (c *Ciphertext) ScaleLog2() float64 {
+	return core.RatLog2(c.ct.Scale)
+}
+
+// New builds a context: modulus chain, keys, and engines.
+func New(cfg Config) (*Context, error) {
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	if cfg.Sigma == 0 {
+		cfg.Sigma = 3.2
+	}
+	if cfg.KeySwitchDigits == 0 {
+		cfg.KeySwitchDigits = 3
+	}
+	if cfg.WordBits == 0 {
+		cfg.WordBits = 61
+	}
+	schedule := cfg.ScaleSchedule
+	if schedule == nil {
+		if cfg.ScaleBits <= 0 {
+			return nil, fmt.Errorf("bitpacker: ScaleBits or ScaleSchedule required")
+		}
+		schedule = make([]float64, cfg.Levels+1)
+		for i := range schedule {
+			schedule[i] = cfg.ScaleBits
+		}
+	}
+	if len(schedule) != cfg.Levels+1 {
+		return nil, fmt.Errorf("bitpacker: ScaleSchedule needs Levels+1=%d entries", cfg.Levels+1)
+	}
+	qMin := cfg.QMinBits
+	if qMin == 0 {
+		qMin = schedule[0] + 20
+	}
+	prog := core.ProgramSpec{
+		MaxLevel:        cfg.Levels,
+		TargetScaleBits: schedule,
+		QMinBits:        qMin,
+	}
+	sec := core.SecuritySpec{LogN: cfg.LogN}
+	if cfg.SecurityBits > 0 {
+		maxQP, err := security.MaxLogQP(cfg.LogN, cfg.SecurityBits)
+		if err != nil {
+			return nil, err
+		}
+		sec.QMaxBits = maxQP
+	}
+	params, err := ckks.BuildParameters(cfg.Scheme, prog, sec, core.HWSpec{WordBits: cfg.WordBits}, cfg.KeySwitchDigits, cfg.Sigma)
+	if err != nil {
+		return nil, err
+	}
+	encoder := ckks.NewEncoder(params)
+
+	var boot *ckks.Bootstrapper
+	rotations := append([]int(nil), cfg.Rotations...)
+	conj := cfg.Conjugation
+	if cfg.Bootstrap != nil {
+		boot, err = ckks.NewBootstrapper(params, encoder, ckks.BootstrapConfig{
+			KRange:     cfg.Bootstrap.KRange,
+			SineDegree: cfg.Bootstrap.SineDegree,
+		})
+		if err != nil {
+			return nil, err
+		}
+		rotations = append(rotations, boot.Rotations()...)
+		conj = true
+	}
+
+	kg := ckks.NewKeyGenerator(params, cfg.Seed, cfg.Seed+1)
+	var sk *ckks.SecretKey
+	if cfg.SparseSecretWeight > 0 {
+		sk = kg.GenSecretKeySparse(cfg.SparseSecretWeight)
+	} else {
+		sk = kg.GenSecretKey()
+	}
+	pk := kg.GenPublicKey(sk)
+	keys := &ckks.EvaluationKeySet{
+		Relin:  kg.GenRelinKey(sk),
+		Galois: kg.GenRotationKeys(sk, rotations, conj),
+	}
+	return &Context{
+		cfg:     cfg,
+		params:  params,
+		encoder: encoder,
+		sk:      sk,
+		pk:      pk,
+		enc:     ckks.NewEncryptor(params, pk, cfg.Seed+2, cfg.Seed+3),
+		dec:     ckks.NewDecryptor(params, sk),
+		eval:    ckks.NewEvaluator(params, keys),
+		boot:    boot,
+	}, nil
+}
+
+// Refresh bootstraps a level-0 ciphertext back up the chain (requires
+// Config.Bootstrap). The output lands SineDegree+3 levels below the top,
+// carrying the original values at demonstration-grade precision.
+func (c *Context) Refresh(ct *Ciphertext) (*Ciphertext, error) {
+	if c.boot == nil {
+		return nil, fmt.Errorf("bitpacker: context built without Config.Bootstrap")
+	}
+	out, err := c.boot.Refresh(c.eval, ct.ct)
+	if err != nil {
+		return nil, err
+	}
+	return &Ciphertext{ct: out}, nil
+}
+
+// Slots returns the number of complex slots per ciphertext.
+func (c *Context) Slots() int { return c.params.Slots() }
+
+// MaxLevel returns the top level of the chain.
+func (c *Context) MaxLevel() int { return c.params.MaxLevel() }
+
+// Scheme returns the context's representation.
+func (c *Context) Scheme() Scheme { return c.cfg.Scheme }
+
+// ChainDescription summarizes the modulus chain (levels, residue counts,
+// scales, packing overheads).
+func (c *Context) ChainDescription() string {
+	return DescribeChain(c.params.Chain)
+}
+
+// Encrypt encodes and encrypts up to Slots() complex values at the top
+// level.
+func (c *Context) Encrypt(values []complex128) (*Ciphertext, error) {
+	if len(values) > c.Slots() {
+		return nil, fmt.Errorf("bitpacker: %d values exceed %d slots", len(values), c.Slots())
+	}
+	lvl := c.params.MaxLevel()
+	pt := &ckks.Plaintext{
+		Value: c.encoder.Encode(values, c.params.DefaultScale(lvl), c.params.LevelModuli(lvl)),
+		Level: lvl,
+		Scale: c.params.DefaultScale(lvl),
+	}
+	return &Ciphertext{ct: c.enc.EncryptAtLevel(pt, lvl)}, nil
+}
+
+// EncryptReal is Encrypt for real-valued slots.
+func (c *Context) EncryptReal(values []float64) (*Ciphertext, error) {
+	cv := make([]complex128, len(values))
+	for i, v := range values {
+		cv[i] = complex(v, 0)
+	}
+	return c.Encrypt(cv)
+}
+
+// Decrypt returns all slots of a ciphertext.
+func (c *Context) Decrypt(ct *Ciphertext) ([]complex128, error) {
+	return c.dec.DecryptAndDecode(ct.ct, c.encoder), nil
+}
+
+// DecryptReal returns the real parts of all slots.
+func (c *Context) DecryptReal(ct *Ciphertext) ([]float64, error) {
+	vals, err := c.Decrypt(ct)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float64, len(vals))
+	for i, v := range vals {
+		out[i] = real(v)
+	}
+	return out, nil
+}
+
+// Add returns a + b (same level and scale; Adjust first if needed).
+func (c *Context) Add(a, b *Ciphertext) *Ciphertext {
+	return &Ciphertext{ct: c.eval.Add(a.ct, b.ct)}
+}
+
+// Sub returns a - b.
+func (c *Context) Sub(a, b *Ciphertext) *Ciphertext {
+	return &Ciphertext{ct: c.eval.Sub(a.ct, b.ct)}
+}
+
+// Neg returns -a.
+func (c *Context) Neg(a *Ciphertext) *Ciphertext {
+	return &Ciphertext{ct: c.eval.Neg(a.ct)}
+}
+
+// Mul multiplies two ciphertexts (with relinearization). The result's
+// scale is the product of the operand scales; follow with Rescale.
+func (c *Context) Mul(a, b *Ciphertext) *Ciphertext {
+	return &Ciphertext{ct: c.eval.MulRelin(a.ct, b.ct)}
+}
+
+// MulConst multiplies by an unencrypted per-slot constant vector, encoded
+// at the ciphertext's level and scale; follow with Rescale.
+func (c *Context) MulConst(a *Ciphertext, values []complex128) *Ciphertext {
+	lvl := a.ct.Level
+	pt := &ckks.Plaintext{
+		Value: c.encoder.Encode(values, c.params.DefaultScale(lvl), c.params.LevelModuli(lvl)),
+		Level: lvl,
+		Scale: c.params.DefaultScale(lvl),
+	}
+	return &Ciphertext{ct: c.eval.MulPlain(a.ct, pt)}
+}
+
+// AddConst adds an unencrypted per-slot constant vector.
+func (c *Context) AddConst(a *Ciphertext, values []complex128) *Ciphertext {
+	lvl := a.ct.Level
+	pt := &ckks.Plaintext{
+		Value: c.encoder.Encode(values, a.ct.Scale, c.params.LevelModuli(lvl)),
+		Level: lvl,
+		Scale: a.ct.Scale,
+	}
+	return &Ciphertext{ct: c.eval.AddPlain(a.ct, pt)}
+}
+
+// Rescale drops the ciphertext one level, dividing out one scale factor
+// (call after Mul/MulConst). This is where RNSCKKS and BitPacker differ:
+// RNSCKKS sheds the level's own residues; BitPacker scales up by the next
+// level's terminal moduli and scales down by the retired ones.
+func (c *Context) Rescale(a *Ciphertext) *Ciphertext {
+	return &Ciphertext{ct: c.eval.Rescale(a.ct)}
+}
+
+// Adjust lowers a ciphertext to the given level without changing its
+// value, so it can be combined with deeper ciphertexts.
+func (c *Context) Adjust(a *Ciphertext, level int) *Ciphertext {
+	return &Ciphertext{ct: c.eval.AdjustTo(a.ct, level)}
+}
+
+// Rotate rotates the slot vector left by steps (requires a Galois key from
+// Config.Rotations).
+func (c *Context) Rotate(a *Ciphertext, steps int) *Ciphertext {
+	return &Ciphertext{ct: c.eval.Rotate(a.ct, steps)}
+}
+
+// Conjugate conjugates the slots (requires Config.Conjugation).
+func (c *Context) Conjugate(a *Ciphertext) *Ciphertext {
+	return &Ciphertext{ct: c.eval.Conjugate(a.ct)}
+}

@@ -1,0 +1,169 @@
+package bitpacker
+
+import (
+	"bytes"
+	"math"
+	"math/cmplx"
+	"strings"
+	"testing"
+)
+
+func testCtx(t *testing.T, scheme Scheme) *Context {
+	t.Helper()
+	ctx, err := New(Config{
+		Scheme:    scheme,
+		LogN:      10,
+		Levels:    3,
+		ScaleBits: 40,
+		WordBits:  28,
+		Rotations: []int{1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ctx
+}
+
+func TestPublicAPIRoundTrip(t *testing.T) {
+	for _, scheme := range []Scheme{RNSCKKS, BitPacker} {
+		ctx := testCtx(t, scheme)
+		in := []float64{0.5, -0.25, 0.125}
+		ct, err := ctx.EncryptReal(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, err := ctx.DecryptReal(ct)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, v := range in {
+			if math.Abs(out[i]-v) > 1e-6 {
+				t.Fatalf("%v slot %d: got %v want %v", scheme, i, out[i], v)
+			}
+		}
+	}
+}
+
+func TestPublicAPIArithmetic(t *testing.T) {
+	ctx := testCtx(t, BitPacker)
+	a, _ := ctx.EncryptReal([]float64{0.5, 0.25})
+	b, _ := ctx.EncryptReal([]float64{0.25, 0.5})
+
+	sum, _ := ctx.DecryptReal(ctx.Add(a, b))
+	if math.Abs(sum[0]-0.75) > 1e-6 || math.Abs(sum[1]-0.75) > 1e-6 {
+		t.Fatalf("add: %v", sum[:2])
+	}
+
+	prod := ctx.Rescale(ctx.Mul(a, b))
+	if prod.Level() != ctx.MaxLevel()-1 {
+		t.Fatalf("level after rescale: %d", prod.Level())
+	}
+	got, _ := ctx.DecryptReal(prod)
+	if math.Abs(got[0]-0.125) > 1e-5 {
+		t.Fatalf("mul: %v", got[0])
+	}
+
+	// x^2 + x via Adjust.
+	sq := ctx.Rescale(ctx.Mul(a, a))
+	adj := ctx.Adjust(a, sq.Level())
+	res, _ := ctx.DecryptReal(ctx.Add(sq, adj))
+	if math.Abs(res[0]-0.75) > 1e-4 {
+		t.Fatalf("x^2+x: %v", res[0])
+	}
+
+	rot, _ := ctx.Decrypt(ctx.Rotate(a, 1))
+	if cmplx.Abs(rot[0]-complex(0.25, 0)) > 1e-5 {
+		t.Fatalf("rotate: %v", rot[0])
+	}
+}
+
+func TestPublicAPIConstOps(t *testing.T) {
+	ctx := testCtx(t, BitPacker)
+	a, _ := ctx.EncryptReal([]float64{0.5})
+	w := make([]complex128, 1)
+	w[0] = complex(0.5, 0)
+	prod := ctx.Rescale(ctx.MulConst(a, w))
+	got, _ := ctx.DecryptReal(prod)
+	if math.Abs(got[0]-0.25) > 1e-5 {
+		t.Fatalf("mulConst: %v", got[0])
+	}
+	sum, _ := ctx.DecryptReal(ctx.AddConst(a, w))
+	if math.Abs(sum[0]-1.0) > 1e-6 {
+		t.Fatalf("addConst: %v", sum[0])
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := New(Config{LogN: 10, Levels: 2}); err == nil {
+		t.Fatal("missing scale accepted")
+	}
+	if _, err := New(Config{LogN: 10, Levels: 2, ScaleSchedule: []float64{40}}); err == nil {
+		t.Fatal("bad schedule length accepted")
+	}
+	// Insecure parameters must be rejected when SecurityBits is set:
+	// depth 8 at 40-bit scales needs ~400 modulus bits, far beyond the
+	// 128-bit budget at N=2^10.
+	if _, err := New(Config{LogN: 10, Levels: 8, ScaleBits: 40, SecurityBits: 128}); err == nil {
+		t.Fatal("insecure parameters accepted")
+	}
+}
+
+func TestCiphertextIntrospection(t *testing.T) {
+	ctx := testCtx(t, BitPacker)
+	ct, _ := ctx.EncryptReal([]float64{0.5})
+	if ct.Level() != ctx.MaxLevel() {
+		t.Fatalf("fresh ciphertext level %d", ct.Level())
+	}
+	if ct.Residues() <= 0 {
+		t.Fatal("no residues")
+	}
+	if s := ct.ScaleLog2(); math.Abs(s-40) > 1 {
+		t.Fatalf("scale %f, want ~40", s)
+	}
+	desc := ctx.ChainDescription()
+	if !strings.Contains(desc, "BitPacker") || !strings.Contains(desc, "L0") {
+		t.Fatalf("chain description malformed:\n%s", desc)
+	}
+}
+
+func TestSimulateWorkloadAPI(t *testing.T) {
+	bp, err := SimulateWorkload("LogReg", "BS19", BitPacker, 28)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rc, err := SimulateWorkload("LogReg", "BS19", RNSCKKS, 28)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bp.Milliseconds <= 0 || bp.Milliseconds >= rc.Milliseconds {
+		t.Fatalf("BitPacker %.1fms vs RNS-CKKS %.1fms", bp.Milliseconds, rc.Milliseconds)
+	}
+	if bp.MeanResidues >= rc.MeanResidues {
+		t.Fatalf("meanR %f vs %f", bp.MeanResidues, rc.MeanResidues)
+	}
+	if _, err := SimulateWorkload("nope", "BS19", BitPacker, 28); err == nil {
+		t.Fatal("unknown benchmark accepted")
+	}
+	if _, err := SimulateWorkload("LogReg", "nope", BitPacker, 28); err == nil {
+		t.Fatal("unknown bootstrap accepted")
+	}
+}
+
+func TestRunExperimentAPI(t *testing.T) {
+	var buf bytes.Buffer
+	if err := RunExperiment("fig01", true, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "BitPacker") {
+		t.Fatalf("experiment output malformed: %s", buf.String())
+	}
+	if err := RunExperiment("nope", true, &buf); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+	if len(ExperimentIDs()) < 13 {
+		t.Fatalf("expected >=13 experiments, got %d", len(ExperimentIDs()))
+	}
+	if len(Workloads()) != 5 || len(BootstrapAlgorithms()) != 2 {
+		t.Fatal("workload registry wrong")
+	}
+}

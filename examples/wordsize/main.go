@@ -1,0 +1,49 @@
+// Word-size study: the paper's headline argument in one screen. For a
+// range of hardware word sizes, build both representations' modulus chains
+// for the same program and simulate the ResNet-20 (BS19) workload on the
+// CraterLake-class accelerator model, showing that BitPacker stays flat
+// while RNS-CKKS swings with how well scales divide into words (Fig. 14),
+// and that BitPacker needs fewer residues everywhere (Fig. 1).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"bitpacker"
+)
+
+func main() {
+	fmt.Println("ResNet-20 (BS19) on the CraterLake-class model, iso-throughput word sweep")
+	fmt.Printf("%6s  %22s  %22s  %9s\n", "word", "BitPacker  ms / meanR", "RNS-CKKS   ms / meanR", "slowdown")
+	for w := 28; w <= 64; w += 6 {
+		bp, err := bitpacker.SimulateWorkload("ResNet-20", "BS19", bitpacker.BitPacker, w)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rc, err := bitpacker.SimulateWorkload("ResNet-20", "BS19", bitpacker.RNSCKKS, w)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%6d  %12.1f / %-7.1f  %12.1f / %-7.1f  %8.2fx\n",
+			w, bp.Milliseconds, bp.MeanResidues, rc.Milliseconds, rc.MeanResidues,
+			rc.Milliseconds/bp.Milliseconds)
+	}
+
+	// And the functional library view: the same depth-4 program's chain at
+	// 28-bit words under both representations.
+	for _, scheme := range []bitpacker.Scheme{bitpacker.BitPacker, bitpacker.RNSCKKS} {
+		ctx, err := bitpacker.New(bitpacker.Config{
+			Scheme:    scheme,
+			LogN:      12,
+			Levels:    4,
+			ScaleBits: 45,
+			WordBits:  28,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println()
+		fmt.Print(ctx.ChainDescription())
+	}
+}

@@ -1,0 +1,3 @@
+module bitpacker
+
+go 1.22

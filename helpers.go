@@ -1,0 +1,91 @@
+package bitpacker
+
+import "fmt"
+
+// Higher-level helpers built on the primitive homomorphic operations.
+
+// Power raises a ciphertext to an integer power k >= 1 by square-and-
+// multiply, rescaling after every multiplication and adjusting operands to
+// matching levels. It consumes ceil(log2(k)) + popcount-related levels.
+func (c *Context) Power(ct *Ciphertext, k int) (*Ciphertext, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("bitpacker: power %d < 1", k)
+	}
+	var acc *Ciphertext // product of selected squarings
+	cur := ct
+	for {
+		if k&1 == 1 {
+			if acc == nil {
+				acc = cur
+			} else {
+				a, b := acc, cur
+				if a.Level() > b.Level() {
+					a = c.Adjust(a, b.Level())
+				} else if b.Level() > a.Level() {
+					b = c.Adjust(b, a.Level())
+				}
+				acc = c.Rescale(c.Mul(a, b))
+			}
+		}
+		k >>= 1
+		if k == 0 {
+			return acc, nil
+		}
+		if cur.Level() == 0 {
+			return nil, fmt.Errorf("bitpacker: chain too shallow for requested power")
+		}
+		cur = c.Rescale(c.Mul(cur, cur))
+	}
+}
+
+// InnerSum folds the first n slots (n a power of two, n <= Slots()) so
+// that slot 0 holds their sum, using rotate-and-add. The context must have
+// Galois keys for rotations 1, 2, 4, ..., n/2 (Config.Rotations).
+func (c *Context) InnerSum(ct *Ciphertext, n int) (*Ciphertext, error) {
+	if n <= 0 || n&(n-1) != 0 || n > c.Slots() {
+		return nil, fmt.Errorf("bitpacker: InnerSum width %d must be a power of two <= %d", n, c.Slots())
+	}
+	out := ct
+	for s := 1; s < n; s <<= 1 {
+		out = c.Add(out, c.Rotate(out, s))
+	}
+	return out, nil
+}
+
+// EvalPolynomial evaluates sum_i coeffs[i] * x^i homomorphically (Horner's
+// method), rescaling after each step. coeffs[0] is the constant term. The
+// ciphertext must have enough levels (one per multiplication, i.e.
+// len(coeffs)-1).
+func (c *Context) EvalPolynomial(x *Ciphertext, coeffs []float64) (*Ciphertext, error) {
+	if len(coeffs) == 0 {
+		return nil, fmt.Errorf("bitpacker: empty polynomial")
+	}
+	if x.Level() < len(coeffs)-1 {
+		return nil, fmt.Errorf("bitpacker: need %d levels, ciphertext has %d", len(coeffs)-1, x.Level())
+	}
+	n := c.Slots()
+	cvec := func(v float64) []complex128 {
+		out := make([]complex128, n)
+		for i := range out {
+			out[i] = complex(v, 0)
+		}
+		return out
+	}
+	// Horner: acc = c_{d}; acc = acc*x + c_{i}.
+	d := len(coeffs) - 1
+	if d == 0 {
+		enc, err := c.EncryptReal(nil)
+		if err != nil {
+			return nil, err
+		}
+		return c.AddConst(enc, cvec(coeffs[0])), nil
+	}
+	acc := c.Rescale(c.MulConst(x, cvec(coeffs[d])))
+	acc = c.AddConst(acc, cvec(coeffs[d-1]))
+	for i := d - 2; i >= 0; i-- {
+		xa := c.Adjust(x, acc.Level())
+		acc = c.Rescale(c.Mul(acc, xa))
+		acc = c.AddConst(acc, cvec(coeffs[i]))
+	}
+	return acc, nil
+}

@@ -1,0 +1,49 @@
+package ckks
+
+import (
+	"math/big"
+
+	"bitpacker/internal/ring"
+)
+
+// Plaintext is an encoded (unencrypted) polynomial at a given level.
+type Plaintext struct {
+	Value *ring.Poly
+	Level int
+	Scale *big.Rat
+}
+
+// Ciphertext is a CKKS ciphertext (c0, c1) at a level of the chain. Both
+// polynomials are kept in the NTT domain between operations.
+type Ciphertext struct {
+	C0, C1 *ring.Poly
+	Level  int
+	Scale  *big.Rat
+}
+
+// CopyNew returns a deep copy.
+func (ct *Ciphertext) CopyNew() *Ciphertext {
+	return &Ciphertext{
+		C0:    ct.C0.Copy(),
+		C1:    ct.C1.Copy(),
+		Level: ct.Level,
+		Scale: new(big.Rat).Set(ct.Scale),
+	}
+}
+
+// R returns the residue count of the ciphertext (paper's R).
+func (ct *Ciphertext) R() int { return ct.C0.R() }
+
+// scaleAlmostEqual reports whether two scales differ by less than 2^-20
+// relatively; canonical-scale bookkeeping should make them exactly equal,
+// the tolerance only forgives big.Rat vs target rounding at the top level.
+func scaleAlmostEqual(a, b *big.Rat) bool {
+	diff := new(big.Rat).Sub(a, b)
+	if diff.Sign() == 0 {
+		return true
+	}
+	diff.Abs(diff)
+	rel := diff.Quo(diff, a)
+	bound := big.NewRat(1, 1<<20)
+	return rel.Cmp(bound) < 0
+}

@@ -1,0 +1,401 @@
+package ckks
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand/v2"
+	"testing"
+
+	"bitpacker/internal/core"
+)
+
+// testSetup bundles everything a scheme test needs.
+type testSetup struct {
+	params *Parameters
+	enc    *Encoder
+	kg     *KeyGenerator
+	sk     *SecretKey
+	pk     *PublicKey
+	encr   *Encryptor
+	dec    *Decryptor
+	ev     *Evaluator
+}
+
+func newTestSetup(t testing.TB, scheme core.Scheme, levels int, scaleBits float64, w, logN, dnum int, rotations []int) *testSetup {
+	t.Helper()
+	targets := make([]float64, levels+1)
+	for i := range targets {
+		targets[i] = scaleBits
+	}
+	prog := core.ProgramSpec{MaxLevel: levels, TargetScaleBits: targets, QMinBits: scaleBits + 20}
+	params, err := BuildParameters(scheme, prog, core.SecuritySpec{LogN: logN}, core.HWSpec{WordBits: w}, dnum, 3.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kg := NewKeyGenerator(params, 11, 22)
+	sk := kg.GenSecretKey()
+	pk := kg.GenPublicKey(sk)
+	keys := &EvaluationKeySet{
+		Relin:  kg.GenRelinKey(sk),
+		Galois: kg.GenRotationKeys(sk, rotations, true),
+	}
+	return &testSetup{
+		params: params,
+		enc:    NewEncoder(params),
+		kg:     kg,
+		sk:     sk,
+		pk:     pk,
+		encr:   NewEncryptor(params, pk, 33, 44),
+		dec:    NewDecryptor(params, sk),
+		ev:     NewEvaluator(params, keys),
+	}
+}
+
+// encryptValues encodes and encrypts at the top level.
+func (s *testSetup) encryptValues(values []complex128) *Ciphertext {
+	lvl := s.params.MaxLevel()
+	pt := &Plaintext{
+		Value: s.enc.Encode(values, s.params.DefaultScale(lvl), s.params.LevelModuli(lvl)),
+		Level: lvl,
+		Scale: s.params.DefaultScale(lvl),
+	}
+	return s.encr.EncryptAtLevel(pt, lvl)
+}
+
+func randomValues(n int, rng *rand.Rand) []complex128 {
+	v := make([]complex128, n)
+	for i := range v {
+		v[i] = complex(2*rng.Float64()-1, 2*rng.Float64()-1)
+	}
+	return v
+}
+
+// maxErr returns the largest absolute slot error.
+func maxErr(got, want []complex128) float64 {
+	m := 0.0
+	for i := range want {
+		if e := cmplx.Abs(got[i] - want[i]); e > m {
+			m = e
+		}
+	}
+	return m
+}
+
+func TestEncoderRoundTrip(t *testing.T) {
+	s := newTestSetup(t, core.BitPacker, 2, 40, 61, 10, 8, nil)
+	rng := rand.New(rand.NewPCG(1, 2))
+	vals := randomValues(s.params.Slots(), rng)
+	lvl := s.params.MaxLevel()
+	pt := s.enc.Encode(vals, s.params.DefaultScale(lvl), s.params.LevelModuli(lvl))
+	got := s.enc.Decode(pt, s.dec.Basis(pt.Moduli), s.params.DefaultScale(lvl))
+	if e := maxErr(got, vals); e > 1e-8 {
+		t.Fatalf("encode/decode error %g", e)
+	}
+}
+
+func TestEncryptDecrypt(t *testing.T) {
+	for _, scheme := range []core.Scheme{core.RNSCKKS, core.BitPacker} {
+		s := newTestSetup(t, scheme, 2, 40, 61, 10, 8, nil)
+		rng := rand.New(rand.NewPCG(3, 4))
+		vals := randomValues(s.params.Slots(), rng)
+		ct := s.encryptValues(vals)
+		got := s.dec.DecryptAndDecode(ct, s.enc)
+		if e := maxErr(got, vals); e > 1e-6 {
+			t.Fatalf("%v: encrypt/decrypt error %g", scheme, e)
+		}
+	}
+}
+
+func TestHomomorphicAdd(t *testing.T) {
+	for _, scheme := range []core.Scheme{core.RNSCKKS, core.BitPacker} {
+		s := newTestSetup(t, scheme, 2, 40, 61, 10, 8, nil)
+		rng := rand.New(rand.NewPCG(5, 6))
+		a := randomValues(s.params.Slots(), rng)
+		b := randomValues(s.params.Slots(), rng)
+		ca := s.encryptValues(a)
+		cb := s.encryptValues(b)
+		sum := s.ev.Add(ca, cb)
+		got := s.dec.DecryptAndDecode(sum, s.enc)
+		want := make([]complex128, len(a))
+		for i := range a {
+			want[i] = a[i] + b[i]
+		}
+		if e := maxErr(got, want); e > 1e-6 {
+			t.Fatalf("%v: add error %g", scheme, e)
+		}
+		diff := s.ev.Sub(sum, cb)
+		got = s.dec.DecryptAndDecode(diff, s.enc)
+		if e := maxErr(got, a); e > 1e-6 {
+			t.Fatalf("%v: sub error %g", scheme, e)
+		}
+	}
+}
+
+func TestMulRelinRescale(t *testing.T) {
+	for _, scheme := range []core.Scheme{core.RNSCKKS, core.BitPacker} {
+		s := newTestSetup(t, scheme, 3, 40, 61, 11, 8, nil)
+		rng := rand.New(rand.NewPCG(7, 8))
+		a := randomValues(s.params.Slots(), rng)
+		b := randomValues(s.params.Slots(), rng)
+		ca := s.encryptValues(a)
+		cb := s.encryptValues(b)
+		prod := s.ev.MulRelin(ca, cb)
+		prod = s.ev.Rescale(prod)
+		if prod.Level != s.params.MaxLevel()-1 {
+			t.Fatalf("%v: level after rescale = %d", scheme, prod.Level)
+		}
+		got := s.dec.DecryptAndDecode(prod, s.enc)
+		want := make([]complex128, len(a))
+		for i := range a {
+			want[i] = a[i] * b[i]
+		}
+		if e := maxErr(got, want); e > 1e-5 {
+			t.Fatalf("%v: mul error %g", scheme, e)
+		}
+	}
+}
+
+func TestDeepMultiplicationChain(t *testing.T) {
+	// Repeated squaring down the whole chain: x^(2^L).
+	for _, scheme := range []core.Scheme{core.RNSCKKS, core.BitPacker} {
+		levels := 4
+		s := newTestSetup(t, scheme, levels, 40, 61, 11, 8, nil)
+		rng := rand.New(rand.NewPCG(9, 10))
+		n := s.params.Slots()
+		vals := make([]complex128, n)
+		for i := range vals {
+			vals[i] = complex(0.5+0.4*rng.Float64(), 0)
+		}
+		ct := s.encryptValues(vals)
+		want := append([]complex128(nil), vals...)
+		for l := 0; l < levels; l++ {
+			ct = s.ev.Rescale(s.ev.Square(ct))
+			for i := range want {
+				want[i] *= want[i]
+			}
+		}
+		if ct.Level != 0 {
+			t.Fatalf("%v: expected level 0, got %d", scheme, ct.Level)
+		}
+		got := s.dec.DecryptAndDecode(ct, s.enc)
+		if e := maxErr(got, want); e > 1e-4 {
+			t.Fatalf("%v: depth-%d chain error %g", scheme, levels, e)
+		}
+	}
+}
+
+func TestAdjustEnablesAddAcrossLevels(t *testing.T) {
+	// Paper Sec 2.2 example: x^2 + x needs adjust(x) before the add.
+	for _, scheme := range []core.Scheme{core.RNSCKKS, core.BitPacker} {
+		s := newTestSetup(t, scheme, 3, 40, 61, 11, 8, nil)
+		rng := rand.New(rand.NewPCG(11, 12))
+		n := s.params.Slots()
+		vals := make([]complex128, n)
+		for i := range vals {
+			vals[i] = complex(2*rng.Float64()-1, 0)
+		}
+		ct := s.encryptValues(vals)
+		sq := s.ev.Rescale(s.ev.Square(ct))
+		adj := s.ev.Adjust(ct)
+		if adj.Level != sq.Level {
+			t.Fatalf("%v: adjust level %d != %d", scheme, adj.Level, sq.Level)
+		}
+		res := s.ev.Add(sq, adj)
+		got := s.dec.DecryptAndDecode(res, s.enc)
+		want := make([]complex128, n)
+		for i := range vals {
+			want[i] = vals[i]*vals[i] + vals[i]
+		}
+		if e := maxErr(got, want); e > 1e-4 {
+			t.Fatalf("%v: x^2+x error %g", scheme, e)
+		}
+	}
+}
+
+func TestAdjustToMultipleLevels(t *testing.T) {
+	for _, scheme := range []core.Scheme{core.RNSCKKS, core.BitPacker} {
+		s := newTestSetup(t, scheme, 4, 40, 61, 10, 8, nil)
+		rng := rand.New(rand.NewPCG(13, 14))
+		vals := randomValues(s.params.Slots(), rng)
+		ct := s.encryptValues(vals)
+		low := s.ev.AdjustTo(ct, 1)
+		if low.Level != 1 {
+			t.Fatalf("%v: level %d", scheme, low.Level)
+		}
+		got := s.dec.DecryptAndDecode(low, s.enc)
+		if e := maxErr(got, vals); e > 1e-4 {
+			t.Fatalf("%v: adjustTo error %g", scheme, e)
+		}
+	}
+}
+
+func TestRotateAndConjugate(t *testing.T) {
+	for _, scheme := range []core.Scheme{core.RNSCKKS, core.BitPacker} {
+		s := newTestSetup(t, scheme, 2, 40, 61, 10, 8, []int{1, 3})
+		rng := rand.New(rand.NewPCG(15, 16))
+		n := s.params.Slots()
+		vals := randomValues(n, rng)
+		ct := s.encryptValues(vals)
+
+		rot := s.ev.Rotate(ct, 1)
+		got := s.dec.DecryptAndDecode(rot, s.enc)
+		want := make([]complex128, n)
+		for i := range want {
+			want[i] = vals[(i+1)%n]
+		}
+		if e := maxErr(got, want); e > 1e-5 {
+			t.Fatalf("%v: rotate-by-1 error %g", scheme, e)
+		}
+
+		conj := s.ev.Conjugate(ct)
+		got = s.dec.DecryptAndDecode(conj, s.enc)
+		for i := range want {
+			want[i] = cmplx.Conj(vals[i])
+		}
+		if e := maxErr(got, want); e > 1e-5 {
+			t.Fatalf("%v: conjugate error %g", scheme, e)
+		}
+	}
+}
+
+func TestMulPlainAndAddPlain(t *testing.T) {
+	s := newTestSetup(t, core.BitPacker, 2, 40, 61, 10, 8, nil)
+	rng := rand.New(rand.NewPCG(17, 18))
+	n := s.params.Slots()
+	vals := randomValues(n, rng)
+	weights := randomValues(n, rng)
+	ct := s.encryptValues(vals)
+	lvl := ct.Level
+	ptW := &Plaintext{
+		Value: s.enc.Encode(weights, s.params.DefaultScale(lvl), s.params.LevelModuli(lvl)),
+		Level: lvl,
+		Scale: s.params.DefaultScale(lvl),
+	}
+	prod := s.ev.Rescale(s.ev.MulPlain(ct, ptW))
+	got := s.dec.DecryptAndDecode(prod, s.enc)
+	want := make([]complex128, n)
+	for i := range want {
+		want[i] = vals[i] * weights[i]
+	}
+	if e := maxErr(got, want); e > 1e-5 {
+		t.Fatalf("mulPlain error %g", e)
+	}
+
+	ptA := &Plaintext{
+		Value: s.enc.Encode(weights, ct.Scale, s.params.LevelModuli(lvl)),
+		Level: lvl,
+		Scale: ct.Scale,
+	}
+	sum := s.ev.AddPlain(ct, ptA)
+	got = s.dec.DecryptAndDecode(sum, s.enc)
+	for i := range want {
+		want[i] = vals[i] + weights[i]
+	}
+	if e := maxErr(got, want); e > 1e-6 {
+		t.Fatalf("addPlain error %g", e)
+	}
+}
+
+func TestPrecisionTracksScale(t *testing.T) {
+	// Higher scales must give more error-free mantissa bits
+	// (paper: log2(S)-20 .. log2(S)-15 usable bits).
+	var prec30, prec50 float64
+	for _, sb := range []float64{30, 50} {
+		s := newTestSetup(t, core.BitPacker, 2, sb, 61, 11, 8, nil)
+		rng := rand.New(rand.NewPCG(19, 20))
+		vals := randomValues(s.params.Slots(), rng)
+		ct := s.encryptValues(vals)
+		prod := s.ev.Rescale(s.ev.Square(ct))
+		got := s.dec.DecryptAndDecode(prod, s.enc)
+		want := make([]complex128, len(vals))
+		for i := range vals {
+			want[i] = vals[i] * vals[i]
+		}
+		e := maxErr(got, want)
+		bits := -math.Log2(e)
+		if sb == 30 {
+			prec30 = bits
+		} else {
+			prec50 = bits
+		}
+	}
+	if prec50 < prec30+10 {
+		t.Fatalf("precision did not scale: 30-bit %.1f vs 50-bit %.1f", prec30, prec50)
+	}
+	if prec30 < 8 {
+		t.Fatalf("30-bit scale precision too low: %.1f bits", prec30)
+	}
+}
+
+func TestDnumVariants(t *testing.T) {
+	// Keyswitching must be correct for 1..4 digits.
+	for _, dnum := range []int{1, 2, 4} {
+		s := newTestSetup(t, core.BitPacker, 2, 40, 61, 10, dnum, nil)
+		rng := rand.New(rand.NewPCG(21, 22))
+		vals := randomValues(s.params.Slots(), rng)
+		ct := s.encryptValues(vals)
+		prod := s.ev.Rescale(s.ev.Square(ct))
+		got := s.dec.DecryptAndDecode(prod, s.enc)
+		want := make([]complex128, len(vals))
+		for i := range vals {
+			want[i] = vals[i] * vals[i]
+		}
+		if e := maxErr(got, want); e > 1e-4 {
+			t.Fatalf("dnum=%d: error %g", dnum, e)
+		}
+	}
+}
+
+func TestNarrowWordBitPacker(t *testing.T) {
+	// BitPacker at a narrow word: residues must pack into 28-bit moduli
+	// and arithmetic must still be correct.
+	s := newTestSetup(t, core.BitPacker, 3, 40, 28, 11, 8, nil)
+	for _, l := range s.params.Chain.Levels {
+		for _, q := range l.Moduli {
+			if q >= 1<<28 {
+				t.Fatalf("modulus %d exceeds 28-bit word", q)
+			}
+		}
+	}
+	rng := rand.New(rand.NewPCG(23, 24))
+	vals := randomValues(s.params.Slots(), rng)
+	ct := s.encryptValues(vals)
+	prod := s.ev.Rescale(s.ev.Square(ct))
+	got := s.dec.DecryptAndDecode(prod, s.enc)
+	want := make([]complex128, len(vals))
+	for i := range vals {
+		want[i] = vals[i] * vals[i]
+	}
+	if e := maxErr(got, want); e > 1e-4 {
+		t.Fatalf("narrow-word error %g", e)
+	}
+}
+
+func TestSymmetricEncryption(t *testing.T) {
+	s := newTestSetup(t, core.BitPacker, 2, 40, 61, 10, 8, nil)
+	enc := NewSymmetricEncryptor(s.params, s.sk, 81, 82)
+	rng := rand.New(rand.NewPCG(83, 84))
+	vals := randomValues(s.params.Slots(), rng)
+	lvl := s.params.MaxLevel()
+	pt := &Plaintext{
+		Value: s.enc.Encode(vals, s.params.DefaultScale(lvl), s.params.LevelModuli(lvl)),
+		Level: lvl,
+		Scale: s.params.DefaultScale(lvl),
+	}
+	ct := enc.EncryptAtLevel(pt, lvl)
+	got := s.dec.DecryptAndDecode(ct, s.enc)
+	if e := maxErr(got, vals); e > 1e-6 {
+		t.Fatalf("symmetric roundtrip error %g", e)
+	}
+	// Symmetric and public-key ciphertexts interoperate.
+	ct2 := s.encryptValues(vals)
+	sum := s.ev.Add(ct, ct2)
+	got = s.dec.DecryptAndDecode(sum, s.enc)
+	want := make([]complex128, len(vals))
+	for i := range vals {
+		want[i] = 2 * vals[i]
+	}
+	if e := maxErr(got, want); e > 1e-5 {
+		t.Fatalf("mixed add error %g", e)
+	}
+}

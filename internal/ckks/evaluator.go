@@ -1,0 +1,325 @@
+package ckks
+
+import (
+	"fmt"
+	"math/big"
+	"sync"
+
+	"bitpacker/internal/ring"
+	"bitpacker/internal/rns"
+)
+
+// Evaluator performs homomorphic operations. It is bound to one parameter
+// set and one evaluation key set. The level-management backend (classic
+// RNS-CKKS vs BitPacker) is selected by the chain's Scheme.
+type Evaluator struct {
+	params *Parameters
+	keys   *EvaluationKeySet
+
+	mu sync.Mutex
+	// Cached per-level precomputations.
+	convCache map[string]*rns.Conv
+	sdCache   map[string]*ring.ScaleDownParams
+}
+
+// NewEvaluator creates an evaluator.
+func NewEvaluator(params *Parameters, keys *EvaluationKeySet) *Evaluator {
+	return &Evaluator{
+		params:    params,
+		keys:      keys,
+		convCache: map[string]*rns.Conv{},
+		sdCache:   map[string]*ring.ScaleDownParams{},
+	}
+}
+
+// Params returns the evaluator's parameter set.
+func (ev *Evaluator) Params() *Parameters { return ev.params }
+
+func moduliKey(a, b []uint64) string {
+	s := make([]byte, 0, 8*(len(a)+len(b))+1)
+	for _, q := range a {
+		for i := 0; i < 8; i++ {
+			s = append(s, byte(q>>(8*i)))
+		}
+	}
+	s = append(s, '|')
+	for _, q := range b {
+		for i := 0; i < 8; i++ {
+			s = append(s, byte(q>>(8*i)))
+		}
+	}
+	return string(s)
+}
+
+func (ev *Evaluator) conv(src, dst []uint64) *rns.Conv {
+	key := moduliKey(src, dst)
+	ev.mu.Lock()
+	defer ev.mu.Unlock()
+	if c, ok := ev.convCache[key]; ok {
+		return c
+	}
+	c := rns.NewConv(src, dst)
+	ev.convCache[key] = c
+	return c
+}
+
+func (ev *Evaluator) scaleDownParams(moduli []uint64, shedPos []int) *ring.ScaleDownParams {
+	shed := make([]uint64, len(shedPos))
+	for i, pos := range shedPos {
+		shed[i] = moduli[pos]
+	}
+	key := moduliKey(moduli, shed)
+	ev.mu.Lock()
+	defer ev.mu.Unlock()
+	if p, ok := ev.sdCache[key]; ok {
+		return p
+	}
+	p := ring.NewScaleDownParams(moduli, shedPos)
+	ev.sdCache[key] = p
+	return p
+}
+
+// ---------------------------------------------------------------------------
+// Linear operations
+// ---------------------------------------------------------------------------
+
+func (ev *Evaluator) checkCompatible(a, b *Ciphertext) {
+	if a.Level != b.Level {
+		panic(fmt.Sprintf("ckks: level mismatch %d vs %d (adjust first)", a.Level, b.Level))
+	}
+	if !scaleAlmostEqual(a.Scale, b.Scale) {
+		panic("ckks: scale mismatch (adjust first)")
+	}
+}
+
+// Add returns a + b (same level and scale required; use Adjust otherwise).
+func (ev *Evaluator) Add(a, b *Ciphertext) *Ciphertext {
+	ev.checkCompatible(a, b)
+	out := a.CopyNew()
+	out.C0.Add(a.C0, b.C0)
+	out.C1.Add(a.C1, b.C1)
+	return out
+}
+
+// Sub returns a - b.
+func (ev *Evaluator) Sub(a, b *Ciphertext) *Ciphertext {
+	ev.checkCompatible(a, b)
+	out := a.CopyNew()
+	out.C0.Sub(a.C0, b.C0)
+	out.C1.Sub(a.C1, b.C1)
+	return out
+}
+
+// Neg returns -a.
+func (ev *Evaluator) Neg(a *Ciphertext) *Ciphertext {
+	out := a.CopyNew()
+	out.C0.Neg(a.C0)
+	out.C1.Neg(a.C1)
+	return out
+}
+
+// AddPlain returns ct + pt; the plaintext must be encoded at ct's level
+// with ct's scale.
+func (ev *Evaluator) AddPlain(ct *Ciphertext, pt *Plaintext) *Ciphertext {
+	if !scaleAlmostEqual(ct.Scale, pt.Scale) {
+		panic("ckks: AddPlain scale mismatch")
+	}
+	m := pt.Value.Copy()
+	m.NTT()
+	out := ct.CopyNew()
+	out.C0.Add(out.C0, m)
+	return out
+}
+
+// MulPlain returns ct * pt elementwise. The result's scale is the product
+// of the scales; rescale afterwards.
+func (ev *Evaluator) MulPlain(ct *Ciphertext, pt *Plaintext) *Ciphertext {
+	m := pt.Value.Copy()
+	m.NTT()
+	out := ct.CopyNew()
+	out.C0.MulCoeffs(out.C0, m)
+	out.C1.MulCoeffs(out.C1, m)
+	out.Scale.Mul(out.Scale, pt.Scale)
+	return out
+}
+
+// MulScalarInt multiplies by a small integer constant (scale unchanged).
+func (ev *Evaluator) MulScalarInt(ct *Ciphertext, c int64) *Ciphertext {
+	out := ct.CopyNew()
+	big := new(big.Int).SetInt64(c)
+	out.C0.MulScalarBig(out.C0, big)
+	out.C1.MulScalarBig(out.C1, big)
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// Multiplication and keyswitching
+// ---------------------------------------------------------------------------
+
+// MulRelin multiplies two ciphertexts and relinearizes back to degree one.
+// The output scale is Scale(a)*Scale(b); callers follow with Rescale.
+func (ev *Evaluator) MulRelin(a, b *Ciphertext) *Ciphertext {
+	ev.checkCompatible(a, b)
+	if ev.keys == nil || ev.keys.Relin == nil {
+		panic("ckks: no relinearization key")
+	}
+	p := ev.params
+	moduli := a.C0.Moduli
+
+	d0 := ring.NewPoly(p.Ctx, moduli)
+	d0.IsNTT = true
+	d0.MulCoeffs(a.C0, b.C0)
+
+	d1 := ring.NewPoly(p.Ctx, moduli)
+	d1.IsNTT = true
+	d1.MulCoeffs(a.C0, b.C1)
+	tmp := ring.NewPoly(p.Ctx, moduli)
+	tmp.IsNTT = true
+	tmp.MulCoeffs(a.C1, b.C0)
+	d1.Add(d1, tmp)
+
+	d2 := ring.NewPoly(p.Ctx, moduli)
+	d2.IsNTT = true
+	d2.MulCoeffs(a.C1, b.C1)
+
+	ks0, ks1 := ev.keySwitch(d2, ev.keys.Relin)
+	d0.Add(d0, ks0)
+	d1.Add(d1, ks1)
+
+	scale := new(big.Rat).Mul(a.Scale, b.Scale)
+	return &Ciphertext{C0: d0, C1: d1, Level: a.Level, Scale: scale}
+}
+
+// Square is MulRelin(ct, ct) with one fewer pointwise multiply.
+func (ev *Evaluator) Square(ct *Ciphertext) *Ciphertext {
+	return ev.MulRelin(ct, ct)
+}
+
+// keySwitch applies swk to c2 (NTT domain over the current level moduli),
+// returning the two correction polynomials over the same moduli.
+//
+// Hybrid keyswitching: decompose c2 into Dnum digits (grouped by the
+// parameter layout), extend each digit from its live moduli to the full
+// live+special basis (ModUp, approximate), inner-multiply with the key,
+// and divide the accumulated pair by P (ModDown, exact up to the floor
+// error) to land back on the live moduli.
+func (ev *Evaluator) keySwitch(c2 *ring.Poly, swk *SwitchingKey) (*ring.Poly, *ring.Poly) {
+	p := ev.params
+	live := c2.Moduli
+	special := p.Chain.Special
+	ext := append(append([]uint64(nil), live...), special...)
+
+	c2c := c2.Copy()
+	c2c.INTT()
+
+	// Rows of c2c per digit.
+	digitRows := make(map[int][]int)
+	for i, q := range live {
+		d := p.DigitOf(q)
+		digitRows[d] = append(digitRows[d], i)
+	}
+
+	acc0 := ring.NewPoly(p.Ctx, ext)
+	acc0.IsNTT = true
+	acc1 := ring.NewPoly(p.Ctx, ext)
+	acc1.IsNTT = true
+
+	for d := 0; d < p.Dnum; d++ {
+		rows := digitRows[d]
+		if len(rows) == 0 {
+			continue
+		}
+		srcModuli := make([]uint64, len(rows))
+		srcRes := make([][]uint64, len(rows))
+		inDigit := map[uint64]bool{}
+		for i, r := range rows {
+			srcModuli[i] = live[r]
+			srcRes[i] = c2c.Coeffs[r]
+			inDigit[live[r]] = true
+		}
+		// Targets: everything in ext not in this digit's live set.
+		var dstModuli []uint64
+		for _, q := range ext {
+			if !inDigit[q] {
+				dstModuli = append(dstModuli, q)
+			}
+		}
+		cv := ev.conv(srcModuli, dstModuli)
+		dstRes := make([][]uint64, len(dstModuli))
+		for i := range dstRes {
+			dstRes[i] = make([]uint64, p.N())
+		}
+		cv.Convert(dstRes, srcRes)
+
+		// Assemble the extended digit over ext (coefficient domain).
+		digit := ring.NewPoly(p.Ctx, ext)
+		rowOf := map[uint64]int{}
+		for i, q := range ext {
+			rowOf[q] = i
+		}
+		for i, q := range srcModuli {
+			copy(digit.Coeffs[rowOf[q]], srcRes[i])
+		}
+		for i, q := range dstModuli {
+			copy(digit.Coeffs[rowOf[q]], dstRes[i])
+		}
+		digit.NTT()
+
+		kb := swk.B[d].Restrict(ext)
+		ka := swk.A[d].Restrict(ext)
+		acc0.MulCoeffsAdd(digit, kb)
+		acc1.MulCoeffsAdd(digit, ka)
+	}
+
+	// ModDown: divide by P and shed the special moduli.
+	shedPos := make([]int, len(special))
+	for i := range special {
+		shedPos[i] = len(live) + i
+	}
+	sd := ev.scaleDownParams(ext, shedPos)
+	acc0.INTT()
+	acc1.INTT()
+	out0 := acc0.ScaleDown(sd)
+	out1 := acc1.ScaleDown(sd)
+	out0.NTT()
+	out1.NTT()
+	return out0, out1
+}
+
+// ---------------------------------------------------------------------------
+// Rotations
+// ---------------------------------------------------------------------------
+
+// applyGalois maps both ciphertext polys through X -> X^galEl and switches
+// the key back to s.
+func (ev *Evaluator) applyGalois(ct *Ciphertext, galEl uint64) *Ciphertext {
+	if ev.keys == nil {
+		panic("ckks: no evaluation keys")
+	}
+	swk, ok := ev.keys.Galois[galEl]
+	if !ok {
+		panic(fmt.Sprintf("ckks: no Galois key for element %d", galEl))
+	}
+	c0 := ct.C0.Copy()
+	c0.INTT()
+	c0 = c0.Automorphism(galEl)
+	c0.NTT()
+	c1 := ct.C1.Copy()
+	c1.INTT()
+	c1 = c1.Automorphism(galEl)
+	c1.NTT()
+
+	ks0, ks1 := ev.keySwitch(c1, swk)
+	ks0.Add(ks0, c0)
+	return &Ciphertext{C0: ks0, C1: ks1, Level: ct.Level, Scale: new(big.Rat).Set(ct.Scale)}
+}
+
+// Rotate rotates the encrypted slot vector left by steps.
+func (ev *Evaluator) Rotate(ct *Ciphertext, steps int) *Ciphertext {
+	return ev.applyGalois(ct, ring.GaloisElementForRotation(steps, ev.params.N()))
+}
+
+// Conjugate conjugates the encrypted slots.
+func (ev *Evaluator) Conjugate(ct *Ciphertext) *Ciphertext {
+	return ev.applyGalois(ct, ring.GaloisElementForConjugation(ev.params.N()))
+}

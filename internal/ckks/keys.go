@@ -1,0 +1,167 @@
+package ckks
+
+import (
+	"math/big"
+
+	"bitpacker/internal/ring"
+)
+
+// SecretKey holds the ternary secret s over the full key basis
+// (every chain modulus plus the specials), in the NTT domain.
+type SecretKey struct {
+	S *ring.Poly
+}
+
+// PublicKey is an encryption of zero: (b, a) = (-a*s + e, a) over the full
+// key basis, NTT domain.
+type PublicKey struct {
+	B, A *ring.Poly
+}
+
+// SwitchingKey re-encrypts the product with some s' (s^2 for
+// relinearization, phi_k(s) for rotations) under s. One (B, A) pair per
+// keyswitching digit, over the full key basis, NTT domain.
+type SwitchingKey struct {
+	B, A []*ring.Poly
+}
+
+// EvaluationKeySet is everything the evaluator may need.
+type EvaluationKeySet struct {
+	Relin  *SwitchingKey
+	Galois map[uint64]*SwitchingKey // by Galois element
+}
+
+// KeyGenerator derives all key material deterministically from a seed.
+type KeyGenerator struct {
+	params  *Parameters
+	sampler *ring.Sampler
+}
+
+// NewKeyGenerator creates a generator with the given seed.
+func NewKeyGenerator(params *Parameters, seed1, seed2 uint64) *KeyGenerator {
+	return &KeyGenerator{
+		params:  params,
+		sampler: ring.NewSampler(params.Ctx, seed1, seed2),
+	}
+}
+
+// GenSecretKey samples a uniform-ternary secret.
+func (kg *KeyGenerator) GenSecretKey() *SecretKey {
+	s := kg.sampler.TernaryPoly(kg.params.KeyBasis())
+	s.NTT()
+	return &SecretKey{S: s}
+}
+
+// GenPublicKey samples a fresh public key for sk.
+func (kg *KeyGenerator) GenPublicKey(sk *SecretKey) *PublicKey {
+	basis := kg.params.KeyBasis()
+	a := kg.sampler.UniformPoly(basis)
+	e := kg.sampler.GaussianPoly(basis, kg.params.Sigma)
+	e.NTT()
+	b := ring.NewPoly(kg.params.Ctx, basis)
+	b.IsNTT = true
+	b.MulCoeffs(a, sk.S)
+	b.Neg(b)
+	b.Add(b, e)
+	return &PublicKey{B: b, A: a}
+}
+
+// gadget returns g_j for digit j: P * Uhat_j * [Uhat_j^{-1}]_{U_j}, where
+// U_j is the product of the union moduli assigned to digit j and
+// Uhat_j = U/U_j. g_j is congruent to P modulo every digit-j modulus and
+// to 0 modulo every other union modulus — at every level, which is what
+// lets one switching key serve the whole chain even though BitPacker
+// levels use different terminal moduli.
+func (kg *KeyGenerator) gadget(digit int) *big.Int {
+	p := kg.params
+	bigU := big.NewInt(1)
+	uj := big.NewInt(1)
+	for _, q := range p.union {
+		bq := new(big.Int).SetUint64(q)
+		bigU.Mul(bigU, bq)
+		if p.digitOf[q] == digit {
+			uj.Mul(uj, bq)
+		}
+	}
+	uhat := new(big.Int).Div(bigU, uj)
+	uhatInv := new(big.Int).ModInverse(new(big.Int).Mod(uhat, uj), uj)
+	bigP := big.NewInt(1)
+	for _, q := range p.Chain.Special {
+		bigP.Mul(bigP, new(big.Int).SetUint64(q))
+	}
+	g := new(big.Int).Mul(uhat, uhatInv)
+	return g.Mul(g, bigP)
+}
+
+// GenSwitchingKey builds the key switching sPrime -> sk (both NTT domain
+// over the full key basis).
+func (kg *KeyGenerator) GenSwitchingKey(sk *SecretKey, sPrime *ring.Poly) *SwitchingKey {
+	p := kg.params
+	basis := p.KeyBasis()
+	swk := &SwitchingKey{
+		B: make([]*ring.Poly, p.Dnum),
+		A: make([]*ring.Poly, p.Dnum),
+	}
+	for j := 0; j < p.Dnum; j++ {
+		a := kg.sampler.UniformPoly(basis)
+		e := kg.sampler.GaussianPoly(basis, p.Sigma)
+		e.NTT()
+		// b = -a*s + e + g_j * s'
+		b := ring.NewPoly(p.Ctx, basis)
+		b.IsNTT = true
+		b.MulCoeffs(a, sk.S)
+		b.Neg(b)
+		b.Add(b, e)
+		gs := ring.NewPoly(p.Ctx, basis)
+		gs.IsNTT = true
+		gs.MulScalarBig(sPrime, kg.gadget(j))
+		b.Add(b, gs)
+		swk.B[j] = b
+		swk.A[j] = a
+	}
+	return swk
+}
+
+// GenRelinKey builds the s^2 -> s switching key.
+func (kg *KeyGenerator) GenRelinKey(sk *SecretKey) *SwitchingKey {
+	s2 := ring.NewPoly(kg.params.Ctx, kg.params.KeyBasis())
+	s2.IsNTT = true
+	s2.MulCoeffs(sk.S, sk.S)
+	return kg.GenSwitchingKey(sk, s2)
+}
+
+// GenGaloisKey builds the phi_k(s) -> s switching key for Galois element k.
+func (kg *KeyGenerator) GenGaloisKey(sk *SecretKey, galEl uint64) *SwitchingKey {
+	s := sk.S.Copy()
+	s.INTT()
+	sk2 := s.Automorphism(galEl)
+	sk2.NTT()
+	return kg.GenSwitchingKey(sk, sk2)
+}
+
+// GenRotationKeys builds Galois keys for the given slot rotations and,
+// optionally, conjugation.
+func (kg *KeyGenerator) GenRotationKeys(sk *SecretKey, rotations []int, conjugate bool) map[uint64]*SwitchingKey {
+	out := map[uint64]*SwitchingKey{}
+	n := kg.params.N()
+	for _, r := range rotations {
+		el := ring.GaloisElementForRotation(r, n)
+		if _, ok := out[el]; !ok {
+			out[el] = kg.GenGaloisKey(sk, el)
+		}
+	}
+	if conjugate {
+		el := ring.GaloisElementForConjugation(n)
+		out[el] = kg.GenGaloisKey(sk, el)
+	}
+	return out
+}
+
+// GenSecretKeySparse samples a secret with Hamming weight h (sparse
+// ternary), the distribution bootstrapping uses so the ModRaise overflow
+// I(X) stays within the sine approximation's range.
+func (kg *KeyGenerator) GenSecretKeySparse(h int) *SecretKey {
+	s := kg.sampler.SparseTernaryPoly(kg.params.KeyBasis(), h)
+	s.NTT()
+	return &SecretKey{S: s}
+}

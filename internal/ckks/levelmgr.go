@@ -1,0 +1,150 @@
+package ckks
+
+import (
+	"fmt"
+	"math/big"
+
+	"bitpacker/internal/core"
+)
+
+// Level management: rescale and adjust (paper Sec. 2.3 and 3.2).
+//
+// Both schemes share one implementation path built on the scaleUp /
+// scaleDown primitives:
+//
+//   - RNS-CKKS transitions never introduce moduli (Up is empty), so the
+//     path degenerates to Listing 1/2: shed the level's own primes.
+//   - BitPacker transitions first scale up by the destination level's new
+//     terminal moduli, then scale down by the source level's retired
+//     moduli (Listings 4 and 6 via Listings 3 and 5).
+
+// Rescale moves ct from its level L to L-1, dividing the encrypted value
+// (and the scale) by Q_L·/Q_{L-1} — i.e. by P/K where P is the product of
+// the shed moduli and K of the introduced ones. It is normally called
+// right after a multiplication.
+func (ev *Evaluator) Rescale(ct *Ciphertext) *Ciphertext {
+	if ct.Level <= 0 {
+		panic("ckks: cannot rescale below level 0")
+	}
+	chain := ev.params.Chain
+	tr := chain.TransitionDown(ct.Level)
+
+	c0 := ct.C0.Copy()
+	c1 := ct.C1.Copy()
+	c0.INTT()
+	c1.INTT()
+	if len(tr.Up) > 0 { // BitPacker: introduce the destination's new moduli
+		c0 = c0.ScaleUp(tr.Up)
+		c1 = c1.ScaleUp(tr.Up)
+	}
+	shedPos := positionsOf(c0.Moduli, tr.Down)
+	sd := ev.scaleDownParams(c0.Moduli, shedPos)
+	c0 = c0.ScaleDown(sd)
+	c1 = c1.ScaleDown(sd)
+	c0.NTT()
+	c1.NTT()
+
+	// New scale = Scale * K / P, exactly.
+	factor := new(big.Rat).SetInt64(1)
+	for _, q := range tr.Up {
+		factor.Mul(factor, new(big.Rat).SetFrac(new(big.Int).SetUint64(q), big.NewInt(1)))
+	}
+	for _, q := range tr.Down {
+		factor.Mul(factor, new(big.Rat).SetFrac(big.NewInt(1), new(big.Int).SetUint64(q)))
+	}
+	scale := core.LimitRat(new(big.Rat).Mul(ct.Scale, factor))
+
+	out := &Ciphertext{C0: c0, C1: c1, Level: ct.Level - 1, Scale: scale}
+	ev.assertLevelModuli(out)
+	return out
+}
+
+// Adjust moves ct one level down without changing the encrypted value:
+// multiply by the rounded constant K = (Q_L/Q_{L-1}) * (S_{L-1}/S_ct) and
+// rescale (Listings 2 and 6). The resulting scale is the destination
+// level's canonical scale, following Kim et al.'s reduced-error
+// convention adopted by the paper.
+func (ev *Evaluator) Adjust(ct *Ciphertext) *Ciphertext {
+	if ct.Level <= 0 {
+		panic("ckks: cannot adjust below level 0")
+	}
+	chain := ev.params.Chain
+	l := ct.Level
+	qRatio := new(big.Rat).SetFrac(chain.Levels[l].Q(), chain.Levels[l-1].Q())
+	k := new(big.Rat).Quo(chain.Levels[l-1].Scale, ct.Scale)
+	k.Mul(k, qRatio)
+	kInt := roundRat(k)
+	if kInt.Sign() <= 0 {
+		panic(fmt.Sprintf("ckks: adjust constant K=%v not positive; scale too large to adjust", k))
+	}
+
+	tmp := ct.CopyNew()
+	tmp.C0.MulScalarBig(tmp.C0, kInt)
+	tmp.C1.MulScalarBig(tmp.C1, kInt)
+	// Exact bookkeeping would multiply the scale by kInt; the canonical
+	// convention instead targets the destination scale and absorbs the
+	// sub-ULP rounding of K into the noise.
+	tmp.Scale.Mul(ct.Scale, k)
+
+	out := ev.Rescale(tmp)
+	out.Scale = ev.params.DefaultScale(out.Level)
+	return out
+}
+
+// AdjustTo lowers ct to the given level by repeated one-level adjusts.
+func (ev *Evaluator) AdjustTo(ct *Ciphertext, level int) *Ciphertext {
+	if level > ct.Level {
+		panic("ckks: AdjustTo cannot raise levels")
+	}
+	out := ct
+	for out.Level > level {
+		out = ev.Adjust(out)
+	}
+	return out
+}
+
+// roundRat rounds a rational to the nearest integer.
+func roundRat(r *big.Rat) *big.Int {
+	num := new(big.Int).Set(r.Num())
+	den := r.Denom()
+	two := big.NewInt(2)
+	half := new(big.Int).Div(den, two)
+	if num.Sign() >= 0 {
+		num.Add(num, half)
+	} else {
+		num.Sub(num, half)
+	}
+	return num.Quo(num, den)
+}
+
+// positionsOf locates each modulus of want within moduli.
+func positionsOf(moduli, want []uint64) []int {
+	pos := make([]int, 0, len(want))
+	idx := map[uint64]int{}
+	for i, q := range moduli {
+		idx[q] = i
+	}
+	for _, q := range want {
+		i, ok := idx[q]
+		if !ok {
+			panic("ckks: modulus to shed not present")
+		}
+		pos = append(pos, i)
+	}
+	return pos
+}
+
+// assertLevelModuli panics if the ciphertext's moduli do not match its
+// level's canonical list (an internal invariant).
+func (ev *Evaluator) assertLevelModuli(ct *Ciphertext) {
+	want := ev.params.LevelModuli(ct.Level)
+	got := ct.C0.Moduli
+	if len(got) != len(want) {
+		panic(fmt.Sprintf("ckks: level %d expects %d residues, ciphertext has %d", ct.Level, len(want), len(got)))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			panic(fmt.Sprintf("ckks: level %d residue %d mismatch: %d vs %d", ct.Level, i, got[i], want[i]))
+		}
+	}
+}

@@ -1,0 +1,237 @@
+package ckks
+
+import (
+	"fmt"
+	"math/big"
+
+	"bitpacker/internal/ring"
+)
+
+// Homomorphic linear algebra: plaintext-matrix × ciphertext-vector
+// products via the diagonal method, the primitive underlying CKKS
+// bootstrapping's CoeffToSlot/SlotToCoeff and FHE convolutions:
+//
+//	M·v = Σ_d diag_d(M) ⊙ rot(v, d)
+//
+// where diag_d(M)[i] = M[i][(i+d) mod n] and rot rotates slots left.
+
+// LinearTransform is a plaintext matrix encoded diagonal-by-diagonal at a
+// fixed level and scale, ready to be applied to ciphertexts at that level.
+type LinearTransform struct {
+	// Diags maps rotation amount -> encoded diagonal.
+	Diags map[int]*Plaintext
+	Level int
+	Scale *big.Rat
+	Slots int
+}
+
+// Rotations returns the rotation amounts the transform needs Galois keys
+// for (in ascending order of appearance; zero is excluded).
+func (lt *LinearTransform) Rotations() []int {
+	var out []int
+	for d := range lt.Diags {
+		if d != 0 {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// NewLinearTransformFromDiags encodes the given nonzero diagonals
+// (diags[d][i] multiplies slot (i+d) mod slots of the input) at the given
+// level with the level's canonical scale.
+func NewLinearTransformFromDiags(params *Parameters, enc *Encoder, diags map[int][]complex128, level int) (*LinearTransform, error) {
+	if level < 0 || level > params.MaxLevel() {
+		return nil, fmt.Errorf("ckks: level %d out of range", level)
+	}
+	slots := params.Slots()
+	scale := params.DefaultScale(level)
+	lt := &LinearTransform{
+		Diags: map[int]*Plaintext{},
+		Level: level,
+		Scale: scale,
+		Slots: slots,
+	}
+	for d, diag := range diags {
+		if len(diag) > slots {
+			return nil, fmt.Errorf("ckks: diagonal %d has %d entries for %d slots", d, len(diag), slots)
+		}
+		dd := ((d % slots) + slots) % slots
+		padded := make([]complex128, slots)
+		copy(padded, diag)
+		lt.Diags[dd] = &Plaintext{
+			Value: enc.Encode(padded, scale, params.LevelModuli(level)),
+			Level: level,
+			Scale: scale,
+		}
+	}
+	return lt, nil
+}
+
+// NewLinearTransform encodes a dense square matrix (dim x dim,
+// dim <= slots, applied to the first dim slots) by extracting its nonzero
+// diagonals.
+func NewLinearTransform(params *Parameters, enc *Encoder, mat [][]complex128, level int) (*LinearTransform, error) {
+	dim := len(mat)
+	if dim == 0 {
+		return nil, fmt.Errorf("ckks: empty matrix")
+	}
+	slots := params.Slots()
+	if dim > slots {
+		return nil, fmt.Errorf("ckks: matrix dim %d exceeds %d slots", dim, slots)
+	}
+	if slots%dim != 0 {
+		return nil, fmt.Errorf("ckks: matrix dim %d must divide slot count %d", dim, slots)
+	}
+	diags := map[int][]complex128{}
+	for d := 0; d < dim; d++ {
+		diag := make([]complex128, slots)
+		nonzero := false
+		// The vector lives replicated in blocks of dim slots, so the
+		// diagonal is replicated too; rotation by d then works across
+		// block boundaries.
+		for i := 0; i < slots; i++ {
+			row := i % dim
+			v := mat[row][(row+d)%dim]
+			// Only valid when the rotated index stays within the same
+			// block, which replication guarantees.
+			diag[i] = v
+			if v != 0 {
+				nonzero = true
+			}
+		}
+		if nonzero {
+			diags[d] = diag
+		}
+	}
+	return NewLinearTransformFromDiags(params, enc, diags, level)
+}
+
+// ApplyLinearTransform computes M·v for the encrypted vector v. The input
+// must be at lt.Level with the canonical scale; the output carries scale
+// ct.Scale * lt.Scale and should be rescaled by the caller.
+//
+// When the transform was built by NewLinearTransform for dim < slots, the
+// input vector must be replicated across the slot blocks (ReplicateBlocks
+// does this for freshly encoded vectors).
+func (ev *Evaluator) ApplyLinearTransform(ct *Ciphertext, lt *LinearTransform) *Ciphertext {
+	if ct.Level != lt.Level {
+		panic(fmt.Sprintf("ckks: transform at level %d, ciphertext at %d (adjust first)", lt.Level, ct.Level))
+	}
+	var acc *Ciphertext
+	for d, pt := range lt.Diags {
+		term := ct
+		if d != 0 {
+			term = ev.Rotate(ct, d)
+		}
+		term = ev.MulPlain(term, pt)
+		if acc == nil {
+			acc = term
+		} else {
+			acc.C0.Add(acc.C0, term.C0)
+			acc.C1.Add(acc.C1, term.C1)
+		}
+	}
+	if acc == nil {
+		// All-zero transform: return an encryption of zero at the right
+		// scale.
+		out := ct.CopyNew()
+		out.C0 = ring.NewPoly(ev.params.Ctx, ct.C0.Moduli)
+		out.C0.IsNTT = true
+		out.C1 = ring.NewPoly(ev.params.Ctx, ct.C1.Moduli)
+		out.C1.IsNTT = true
+		out.Scale = new(big.Rat).Mul(ct.Scale, lt.Scale)
+		return out
+	}
+	return acc
+}
+
+// ReplicateBlocks repeats the first dim entries of values across the whole
+// slot vector, the layout ApplyLinearTransform expects for dim < slots.
+func ReplicateBlocks(values []complex128, dim, slots int) []complex128 {
+	out := make([]complex128, slots)
+	for i := range out {
+		out[i] = values[i%dim]
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// Chebyshev polynomial evaluation
+// ---------------------------------------------------------------------------
+
+// EvalChebyshev evaluates sum_k coeffs[k]*T_k(x) for x encrypted with
+// slots in [-1, 1], using the three-term recurrence
+// T_k = 2x*T_{k-1} - T_{k-2}. Chebyshev bases keep coefficients small and
+// are how CKKS bootstrapping evaluates its sine approximation. Consumes
+// len(coeffs)-1 levels.
+func (ev *Evaluator) EvalChebyshev(enc *Encoder, x *Ciphertext, coeffs []float64) (*Ciphertext, error) {
+	deg := len(coeffs) - 1
+	if deg < 0 {
+		return nil, fmt.Errorf("ckks: empty Chebyshev series")
+	}
+	if x.Level < deg {
+		return nil, fmt.Errorf("ckks: need %d levels, have %d", deg, x.Level)
+	}
+	p := ev.params
+	constPT := func(v float64, level int, scale *big.Rat) *Plaintext {
+		vals := make([]complex128, p.Slots())
+		for i := range vals {
+			vals[i] = complex(v, 0)
+		}
+		return &Plaintext{
+			Value: enc.Encode(vals, scale, p.LevelModuli(level)),
+			Level: level,
+			Scale: new(big.Rat).Set(scale),
+		}
+	}
+
+	// acc accumulates coeffs[k] * T_k at progressively lower levels.
+	// T_0 = 1 handled as a plaintext constant at the end.
+	if deg == 0 {
+		out := x.CopyNew()
+		zero := ring.NewPoly(p.Ctx, x.C0.Moduli)
+		zero.IsNTT = true
+		out.C0 = zero
+		out.C1 = zero.Copy()
+		return ev.AddPlain(out, constPT(coeffs[0], out.Level, out.Scale)), nil
+	}
+
+	tPrev := x.CopyNew() // T_1 = x at level L
+	var tPrev2 *Ciphertext
+	// acc = coeffs[1] * T_1 (keep at x's level for now; scale canonical).
+	acc := ev.MulPlain(tPrev, constPT(coeffs[1], tPrev.Level, p.DefaultScale(tPrev.Level)))
+	acc = ev.Rescale(acc)
+
+	for k := 2; k <= deg; k++ {
+		var tk *Ciphertext
+		if k == 2 {
+			// T_2 = 2x^2 - 1.
+			sq := ev.Rescale(ev.Square(x))
+			tk = ev.MulScalarInt(sq, 2)
+			one := constPT(-1, tk.Level, tk.Scale)
+			tk = ev.AddPlain(tk, one)
+			tPrev2 = ev.AdjustTo(x.CopyNew(), tk.Level) // T_1 aligned
+		} else {
+			// T_k = 2x*T_{k-1} - T_{k-2}.
+			xa := ev.AdjustTo(x.CopyNew(), tPrev.Level)
+			prod := ev.Rescale(ev.MulRelin(xa, tPrev))
+			prod = ev.MulScalarInt(prod, 2)
+			sub := ev.AdjustTo(tPrev2, prod.Level)
+			tk = ev.Sub(prod, sub)
+			tPrev2 = ev.AdjustTo(tPrev, tk.Level)
+		}
+		tPrev = tk
+		if coeffs[k] != 0 {
+			term := ev.MulPlain(tk, constPT(coeffs[k], tk.Level, p.DefaultScale(tk.Level)))
+			term = ev.Rescale(term)
+			accAligned := ev.AdjustTo(acc, term.Level)
+			acc = ev.Add(accAligned, term)
+		}
+	}
+	// + coeffs[0] * T_0.
+	if coeffs[0] != 0 {
+		acc = ev.AddPlain(acc, constPT(coeffs[0], acc.Level, acc.Scale))
+	}
+	return acc, nil
+}

@@ -1,0 +1,208 @@
+package ckks
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand/v2"
+	"testing"
+
+	"bitpacker/internal/core"
+)
+
+func TestLinearTransformIdentity(t *testing.T) {
+	s := newTestSetup(t, core.BitPacker, 2, 40, 61, 9, 8, nil)
+	slots := s.params.Slots()
+	id := map[int][]complex128{0: ones(slots)}
+	lt, err := NewLinearTransformFromDiags(s.params, s.enc, id, s.params.MaxLevel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewPCG(61, 62))
+	vals := randomValues(slots, rng)
+	ct := s.encryptValues(vals)
+	out := s.ev.Rescale(s.ev.ApplyLinearTransform(ct, lt))
+	got := s.dec.DecryptAndDecode(out, s.enc)
+	if e := maxErr(got, vals); e > 1e-5 {
+		t.Fatalf("identity transform error %g", e)
+	}
+}
+
+func ones(n int) []complex128 {
+	out := make([]complex128, n)
+	for i := range out {
+		out[i] = 1
+	}
+	return out
+}
+
+func TestLinearTransformDenseMatrix(t *testing.T) {
+	for _, scheme := range []core.Scheme{core.BitPacker, core.RNSCKKS} {
+		const dim = 8
+		rots := []int{1, 2, 3, 4, 5, 6, 7}
+		s := newTestSetup(t, scheme, 2, 40, 61, 9, 8, rots)
+		rng := rand.New(rand.NewPCG(63, 64))
+
+		mat := make([][]complex128, dim)
+		for i := range mat {
+			mat[i] = make([]complex128, dim)
+			for j := range mat[i] {
+				mat[i][j] = complex(2*rng.Float64()-1, 0)
+			}
+		}
+		lt, err := NewLinearTransform(s.params, s.enc, mat, s.params.MaxLevel())
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		vec := make([]complex128, dim)
+		for i := range vec {
+			vec[i] = complex(2*rng.Float64()-1, 0)
+		}
+		replicated := ReplicateBlocks(vec, dim, s.params.Slots())
+		ct := s.encryptValues(replicated)
+		out := s.ev.Rescale(s.ev.ApplyLinearTransform(ct, lt))
+		got := s.dec.DecryptAndDecode(out, s.enc)
+
+		for i := 0; i < dim; i++ {
+			want := complex(0, 0)
+			for j := 0; j < dim; j++ {
+				want += mat[i][j] * vec[j]
+			}
+			if e := cmplx.Abs(got[i] - want); e > 1e-4 {
+				t.Fatalf("%v: row %d: got %v want %v (err %g)", scheme, i, got[i], want, e)
+			}
+		}
+	}
+}
+
+func TestLinearTransformBanded(t *testing.T) {
+	// A banded transform (3 diagonals) mimicking a 1-D convolution.
+	rots := []int{1, 511} // +1 and -1 (mod slots)
+	s := newTestSetup(t, core.BitPacker, 2, 40, 61, 10, 8, rots)
+	slots := s.params.Slots()
+	k := []complex128{0.25, 0.5, 0.25}
+	diags := map[int][]complex128{
+		-1: constSlice(k[0], slots),
+		0:  constSlice(k[1], slots),
+		1:  constSlice(k[2], slots),
+	}
+	lt, err := NewLinearTransformFromDiags(s.params, s.enc, diags, s.params.MaxLevel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lt.Rotations()) != 2 {
+		t.Fatalf("expected 2 rotation keys, got %v", lt.Rotations())
+	}
+	rng := rand.New(rand.NewPCG(65, 66))
+	vals := randomValues(slots, rng)
+	ct := s.encryptValues(vals)
+	out := s.ev.Rescale(s.ev.ApplyLinearTransform(ct, lt))
+	got := s.dec.DecryptAndDecode(out, s.enc)
+	for i := range vals {
+		want := k[0]*vals[((i-1)+slots)%slots] + k[1]*vals[i] + k[2]*vals[(i+1)%slots]
+		if e := cmplx.Abs(got[i] - want); e > 1e-4 {
+			t.Fatalf("slot %d: err %g", i, e)
+		}
+	}
+}
+
+func constSlice(v complex128, n int) []complex128 {
+	out := make([]complex128, n)
+	for i := range out {
+		out[i] = v
+	}
+	return out
+}
+
+func TestLinearTransformErrors(t *testing.T) {
+	s := newTestSetup(t, core.BitPacker, 2, 40, 61, 9, 8, nil)
+	if _, err := NewLinearTransform(s.params, s.enc, nil, 1); err == nil {
+		t.Fatal("empty matrix accepted")
+	}
+	big := make([][]complex128, s.params.Slots()*2)
+	for i := range big {
+		big[i] = make([]complex128, s.params.Slots()*2)
+	}
+	if _, err := NewLinearTransform(s.params, s.enc, big, 1); err == nil {
+		t.Fatal("oversized matrix accepted")
+	}
+	mat3 := [][]complex128{{1, 0, 0}, {0, 1, 0}, {0, 0, 1}}
+	if _, err := NewLinearTransform(s.params, s.enc, mat3, 1); err == nil {
+		t.Fatal("non-divisor dim accepted")
+	}
+	if _, err := NewLinearTransformFromDiags(s.params, s.enc, nil, 99); err == nil {
+		t.Fatal("bad level accepted")
+	}
+}
+
+func chebyshevRef(coeffs []float64, x float64) float64 {
+	tPrev2, tPrev := 1.0, x
+	sum := coeffs[0]
+	if len(coeffs) > 1 {
+		sum += coeffs[1] * x
+	}
+	for k := 2; k < len(coeffs); k++ {
+		tk := 2*x*tPrev - tPrev2
+		sum += coeffs[k] * tk
+		tPrev2, tPrev = tPrev, tk
+	}
+	return sum
+}
+
+func TestEvalChebyshev(t *testing.T) {
+	for _, scheme := range []core.Scheme{core.BitPacker, core.RNSCKKS} {
+		s := newTestSetup(t, scheme, 6, 40, 61, 10, 8, nil)
+		rng := rand.New(rand.NewPCG(67, 68))
+		n := s.params.Slots()
+		vals := make([]complex128, n)
+		for i := range vals {
+			vals[i] = complex(2*rng.Float64()-1, 0)
+		}
+		ct := s.encryptValues(vals)
+		// A degree-5 series with a zero coefficient in the middle.
+		coeffs := []float64{0.1, 0.8, -0.3, 0, 0.12, -0.05}
+		out, err := s.ev.EvalChebyshev(s.enc, ct, coeffs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := s.dec.DecryptAndDecode(out, s.enc)
+		for i := range vals {
+			want := chebyshevRef(coeffs, real(vals[i]))
+			if e := math.Abs(real(got[i]) - want); e > 1e-3 {
+				t.Fatalf("%v: slot %d: got %v want %v", scheme, i, real(got[i]), want)
+			}
+		}
+	}
+}
+
+func TestEvalChebyshevEdgeCases(t *testing.T) {
+	s := newTestSetup(t, core.BitPacker, 3, 40, 61, 9, 8, nil)
+	ct := s.encryptValues([]complex128{0.5})
+	// Degree 0: constant.
+	out, err := s.ev.EvalChebyshev(s.enc, ct, []float64{0.75})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := s.dec.DecryptAndDecode(out, s.enc)
+	if math.Abs(real(got[0])-0.75) > 1e-5 {
+		t.Fatalf("constant series: %v", real(got[0]))
+	}
+	// Degree 1.
+	out, err = s.ev.EvalChebyshev(s.enc, ct, []float64{0.1, 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got = s.dec.DecryptAndDecode(out, s.enc)
+	if math.Abs(real(got[0])-0.35) > 1e-4 {
+		t.Fatalf("degree-1 series: %v", real(got[0]))
+	}
+	// Too deep for the chain.
+	deep := make([]float64, 20)
+	deep[19] = 1
+	if _, err := s.ev.EvalChebyshev(s.enc, ct, deep); err == nil {
+		t.Fatal("too-deep series accepted")
+	}
+	if _, err := s.ev.EvalChebyshev(s.enc, ct, nil); err == nil {
+		t.Fatal("empty series accepted")
+	}
+}

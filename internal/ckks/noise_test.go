@@ -1,0 +1,90 @@
+package ckks
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand/v2"
+	"testing"
+
+	"bitpacker/internal/core"
+)
+
+// TestNoiseModelIsAnEnvelope checks that the analytic estimate is a
+// conservative lower bound on the measured precision of a squaring chain,
+// but not absurdly loose (within ~12 bits of measured).
+func TestNoiseModelIsAnEnvelope(t *testing.T) {
+	for _, scheme := range []core.Scheme{core.BitPacker, core.RNSCKKS} {
+		depth := 3
+		s := newTestSetup(t, scheme, depth, 40, 61, 11, 8, nil)
+		nm := NewNoiseModel(s.params)
+		predicted := nm.EstimateSquaringChain(depth)
+
+		rng := rand.New(rand.NewPCG(71, 72))
+		n := s.params.Slots()
+		vals := make([]complex128, n)
+		for i := range vals {
+			vals[i] = complex(0.5+0.5*rng.Float64(), 0)
+		}
+		ct := s.encryptValues(vals)
+		ref := append([]complex128(nil), vals...)
+		for d := 0; d < depth; d++ {
+			ct = s.ev.Rescale(s.ev.Square(ct))
+			for i := range ref {
+				ref[i] *= ref[i]
+			}
+		}
+		got := s.dec.DecryptAndDecode(ct, s.enc)
+		worst := math.Inf(1)
+		for i := range ref {
+			e := cmplx.Abs(got[i] - ref[i])
+			if e == 0 {
+				continue
+			}
+			if b := -math.Log2(e); b < worst {
+				worst = b
+			}
+		}
+		if worst < predicted {
+			t.Fatalf("%v: measured %.1f bits below predicted floor %.1f", scheme, worst, predicted)
+		}
+		if worst > predicted+22 {
+			t.Fatalf("%v: estimate uselessly loose: measured %.1f vs predicted %.1f", scheme, worst, predicted)
+		}
+	}
+}
+
+func TestNoiseModelMonotonicity(t *testing.T) {
+	s := newTestSetup(t, core.BitPacker, 5, 40, 61, 10, 8, nil)
+	nm := NewNoiseModel(s.params)
+	prev := math.Inf(1)
+	for d := 1; d <= 4; d++ {
+		p := nm.EstimateSquaringChain(d)
+		if p > prev {
+			t.Fatalf("precision estimate increased with depth: %f -> %f", prev, p)
+		}
+		prev = p
+	}
+	if !nm.SupportsDepth(2, 10) {
+		t.Fatal("40-bit scale should support depth 2 at 10-bit precision")
+	}
+	if nm.SupportsDepth(4, 35) {
+		t.Fatal("cannot promise 35-bit precision at a 40-bit scale")
+	}
+}
+
+func TestNoiseModelScaleSensitivity(t *testing.T) {
+	// Higher scales must predict more precision.
+	var p30, p50 float64
+	for _, sb := range []float64{30, 50} {
+		s := newTestSetup(t, core.BitPacker, 3, sb, 61, 10, 8, nil)
+		nm := NewNoiseModel(s.params)
+		if sb == 30 {
+			p30 = nm.EstimateSquaringChain(2)
+		} else {
+			p50 = nm.EstimateSquaringChain(2)
+		}
+	}
+	if p50 < p30+12 {
+		t.Fatalf("precision should scale with the CKKS scale: %f vs %f", p30, p50)
+	}
+}

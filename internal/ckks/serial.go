@@ -1,0 +1,161 @@
+package ckks
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math/big"
+
+	"bitpacker/internal/ring"
+)
+
+// Binary serialization for ciphertexts (network/storage interchange).
+// Format (little-endian):
+//
+//	magic "BPCT" | version u8 | level u32 | isNTT u8
+//	scaleNum len u32 | bytes | scaleDen len u32 | bytes
+//	R u32 | N u32 | moduli [R]u64 | c0 residues [R][N]u64 | c1 ...
+
+const ctMagic = "BPCT"
+const ctVersion = 1
+
+// MarshalBinary encodes the ciphertext.
+func (ct *Ciphertext) MarshalBinary() ([]byte, error) {
+	if ct.C0 == nil || ct.C1 == nil {
+		return nil, fmt.Errorf("ckks: marshal of incomplete ciphertext")
+	}
+	if ct.C0.IsNTT != ct.C1.IsNTT || ct.C0.R() != ct.C1.R() {
+		return nil, fmt.Errorf("ckks: inconsistent ciphertext polynomials")
+	}
+	r := ct.C0.R()
+	n := ct.C0.N()
+	numB := ct.Scale.Num().Bytes()
+	denB := ct.Scale.Denom().Bytes()
+	size := 4 + 1 + 4 + 1 + 4 + len(numB) + 4 + len(denB) + 4 + 4 + 8*r + 2*8*r*n
+	out := make([]byte, 0, size)
+	out = append(out, ctMagic...)
+	out = append(out, ctVersion)
+	out = binary.LittleEndian.AppendUint32(out, uint32(ct.Level))
+	ntt := byte(0)
+	if ct.C0.IsNTT {
+		ntt = 1
+	}
+	out = append(out, ntt)
+	out = binary.LittleEndian.AppendUint32(out, uint32(len(numB)))
+	out = append(out, numB...)
+	out = binary.LittleEndian.AppendUint32(out, uint32(len(denB)))
+	out = append(out, denB...)
+	out = binary.LittleEndian.AppendUint32(out, uint32(r))
+	out = binary.LittleEndian.AppendUint32(out, uint32(n))
+	for _, q := range ct.C0.Moduli {
+		out = binary.LittleEndian.AppendUint64(out, q)
+	}
+	for _, p := range []*ring.Poly{ct.C0, ct.C1} {
+		for i := 0; i < r; i++ {
+			for _, c := range p.Coeffs[i] {
+				out = binary.LittleEndian.AppendUint64(out, c)
+			}
+		}
+	}
+	return out, nil
+}
+
+// UnmarshalCiphertext decodes a ciphertext serialized by MarshalBinary.
+// The parameters supply the ring context; the moduli are carried in the
+// encoding and validated against it.
+func UnmarshalCiphertext(params *Parameters, data []byte) (*Ciphertext, error) {
+	rd := reader{buf: data}
+	if string(rd.take(4)) != ctMagic {
+		return nil, fmt.Errorf("ckks: bad magic")
+	}
+	if v := rd.u8(); v != ctVersion {
+		return nil, fmt.Errorf("ckks: unsupported version %d", v)
+	}
+	level := int(rd.u32())
+	isNTT := rd.u8() == 1
+	num := new(big.Int).SetBytes(rd.take(int(rd.u32())))
+	den := new(big.Int).SetBytes(rd.take(int(rd.u32())))
+	if rd.err != nil {
+		return nil, rd.err
+	}
+	if den.Sign() == 0 {
+		return nil, fmt.Errorf("ckks: zero scale denominator")
+	}
+	r := int(rd.u32())
+	n := int(rd.u32())
+	if rd.err != nil {
+		return nil, rd.err
+	}
+	if n != params.N() {
+		return nil, fmt.Errorf("ckks: ring degree %d does not match parameters (%d)", n, params.N())
+	}
+	if level < 0 || level > params.MaxLevel() {
+		return nil, fmt.Errorf("ckks: level %d out of range", level)
+	}
+	if r <= 0 || r > 1024 {
+		return nil, fmt.Errorf("ckks: implausible residue count %d", r)
+	}
+	moduli := make([]uint64, r)
+	for i := range moduli {
+		moduli[i] = rd.u64()
+	}
+	want := params.LevelModuli(level)
+	if len(want) != r {
+		return nil, fmt.Errorf("ckks: level %d expects %d residues, got %d", level, len(want), r)
+	}
+	for i := range want {
+		if moduli[i] != want[i] {
+			return nil, fmt.Errorf("ckks: modulus %d mismatch at level %d", i, level)
+		}
+	}
+	polys := make([]*ring.Poly, 2)
+	for pi := range polys {
+		p := ring.NewPoly(params.Ctx, moduli)
+		p.IsNTT = isNTT
+		for i := 0; i < r; i++ {
+			q := moduli[i]
+			for k := 0; k < n; k++ {
+				c := rd.u64()
+				if c >= q {
+					return nil, fmt.Errorf("ckks: residue out of range")
+				}
+				p.Coeffs[i][k] = c
+			}
+		}
+		polys[pi] = p
+	}
+	if rd.err != nil {
+		return nil, rd.err
+	}
+	if len(rd.buf) != rd.off {
+		return nil, fmt.Errorf("ckks: %d trailing bytes", len(rd.buf)-rd.off)
+	}
+	return &Ciphertext{
+		C0:    polys[0],
+		C1:    polys[1],
+		Level: level,
+		Scale: new(big.Rat).SetFrac(num, den),
+	}, nil
+}
+
+// reader is a bounds-checked cursor.
+type reader struct {
+	buf []byte
+	off int
+	err error
+}
+
+func (r *reader) take(n int) []byte {
+	if r.err != nil || n < 0 || r.off+n > len(r.buf) {
+		if r.err == nil {
+			r.err = fmt.Errorf("ckks: truncated ciphertext")
+		}
+		return make([]byte, n)
+	}
+	out := r.buf[r.off : r.off+n]
+	r.off += n
+	return out
+}
+
+func (r *reader) u8() byte    { return r.take(1)[0] }
+func (r *reader) u32() uint32 { return binary.LittleEndian.Uint32(r.take(4)) }
+func (r *reader) u64() uint64 { return binary.LittleEndian.Uint64(r.take(8)) }

@@ -1,0 +1,97 @@
+package ckks
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"bitpacker/internal/core"
+)
+
+func TestCiphertextSerializationRoundTrip(t *testing.T) {
+	s := newTestSetup(t, core.BitPacker, 2, 40, 61, 10, 8, nil)
+	rng := rand.New(rand.NewPCG(41, 42))
+	vals := randomValues(s.params.Slots(), rng)
+	ct := s.encryptValues(vals)
+
+	blob, err := ct.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := UnmarshalCiphertext(s.params, blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Level != ct.Level || got.Scale.Cmp(ct.Scale) != 0 {
+		t.Fatal("metadata mismatch")
+	}
+	if !got.C0.Equal(ct.C0) || !got.C1.Equal(ct.C1) {
+		t.Fatal("polynomial mismatch")
+	}
+	// The deserialized ciphertext must decrypt identically.
+	want := s.dec.DecryptAndDecode(ct, s.enc)
+	have := s.dec.DecryptAndDecode(got, s.enc)
+	if e := maxErr(have, want); e != 0 {
+		t.Fatalf("decryption differs after roundtrip: %g", e)
+	}
+	// And still supports homomorphic ops.
+	sq := s.ev.Rescale(s.ev.Square(got))
+	res := s.dec.DecryptAndDecode(sq, s.enc)
+	ref := make([]complex128, len(vals))
+	for i := range vals {
+		ref[i] = vals[i] * vals[i]
+	}
+	if e := maxErr(res, ref); e > 1e-4 {
+		t.Fatalf("post-roundtrip square error %g", e)
+	}
+}
+
+func TestCiphertextSerializationAtLowerLevel(t *testing.T) {
+	s := newTestSetup(t, core.RNSCKKS, 3, 40, 61, 10, 8, nil)
+	rng := rand.New(rand.NewPCG(43, 44))
+	ct := s.encryptValues(randomValues(s.params.Slots(), rng))
+	low := s.ev.Rescale(s.ev.Square(ct))
+	blob, err := low.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := UnmarshalCiphertext(s.params, blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Level != low.Level || got.R() != low.R() {
+		t.Fatal("level/residues mismatch")
+	}
+}
+
+func TestCiphertextUnmarshalRejectsCorruption(t *testing.T) {
+	s := newTestSetup(t, core.BitPacker, 2, 40, 61, 10, 8, nil)
+	rng := rand.New(rand.NewPCG(45, 46))
+	ct := s.encryptValues(randomValues(s.params.Slots(), rng))
+	blob, err := ct.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string][]byte{
+		"empty":      {},
+		"bad magic":  append([]byte("XXXX"), blob[4:]...),
+		"truncated":  blob[:len(blob)/2],
+		"trailing":   append(append([]byte{}, blob...), 0),
+		"bad varint": blob[:6],
+	}
+	// Residue out of range: patch a coefficient to its modulus value.
+	bad := append([]byte{}, blob...)
+	for i := len(bad) - 8; i < len(bad); i++ {
+		bad[i] = 0xff
+	}
+	cases["oversized residue"] = bad
+	for name, data := range cases {
+		if _, err := UnmarshalCiphertext(s.params, data); err == nil {
+			t.Fatalf("%s: corruption accepted", name)
+		}
+	}
+	// Wrong parameter set (different N).
+	other := newTestSetup(t, core.BitPacker, 2, 40, 61, 9, 8, nil)
+	if _, err := UnmarshalCiphertext(other.params, blob); err == nil {
+		t.Fatal("foreign parameters accepted")
+	}
+}

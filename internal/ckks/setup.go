@@ -1,0 +1,44 @@
+package ckks
+
+import (
+	"fmt"
+
+	"bitpacker/internal/core"
+)
+
+// BuildParameters constructs a chain for the requested scheme and wraps it
+// in Parameters, sizing the number of keyswitching special primes to
+// alpha = ceil(maxR/dnum) automatically (the chain builders need the count
+// up front, so this iterates to a fixed point).
+func BuildParameters(scheme core.Scheme, prog core.ProgramSpec, sec core.SecuritySpec, hw core.HWSpec, dnum int, sigma float64) (*Parameters, error) {
+	build := func(specials int) (*core.Chain, error) {
+		opts := core.Options{SpecialPrimes: specials}
+		if scheme == core.BitPacker {
+			return core.BuildBitPacker(prog, sec, hw, opts)
+		}
+		return core.BuildRNSCKKS(prog, sec, hw, opts)
+	}
+	specials := 1
+	for iter := 0; iter < 4; iter++ {
+		chain, err := build(specials)
+		if err != nil {
+			return nil, err
+		}
+		maxR := 0
+		for _, l := range chain.Levels {
+			if l.R() > maxR {
+				maxR = l.R()
+			}
+		}
+		d := dnum
+		if d > maxR {
+			d = maxR
+		}
+		alpha := (maxR + d - 1) / d
+		if alpha <= specials {
+			return NewParameters(chain, dnum, sigma)
+		}
+		specials = alpha
+	}
+	return nil, fmt.Errorf("ckks: special-prime sizing did not converge")
+}

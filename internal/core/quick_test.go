@@ -1,0 +1,122 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// Property: for random feasible programs (scales 30-60 bits, depths 1-8)
+// and word sizes, BitPacker builds a valid chain whose realized scale at
+// every level is within the paper's 0.5-bit window of the target (plus the
+// widened-tolerance fallback margin at genuinely scarce supplies), and
+// never uses more residues than RNS-CKKS on average.
+func TestQuickBuildersOnRandomSpecs(t *testing.T) {
+	f := func(depthSeed, scaleSeed uint16, wordSeed uint8) bool {
+		depth := 1 + int(depthSeed)%8
+		targets := make([]float64, depth+1)
+		s := uint64(scaleSeed)
+		for i := range targets {
+			targets[i] = 30 + float64(s%31)
+			s = s*2654435761 + 1
+		}
+		// Keep the schedule CKKS-feasible: the shed between adjacent
+		// levels, 2*T_l - T_{l-1}, must admit at least one NTT-friendly
+		// prime, so clamp each target against the level above.
+		for i := depth - 1; i >= 0; i-- {
+			if max := 2*targets[i+1] - 18; targets[i] > max {
+				targets[i] = max
+			}
+		}
+		words := []int{28, 32, 36, 44, 52, 61}
+		w := words[int(wordSeed)%len(words)]
+		prog := ProgramSpec{MaxLevel: depth, TargetScaleBits: targets, QMinBits: 60}
+		sec := SecuritySpec{LogN: 13}
+
+		bp, err := BuildBitPacker(prog, sec, HWSpec{WordBits: w}, Options{})
+		if err != nil {
+			t.Logf("bitpacker w=%d targets=%v: %v", w, targets, err)
+			return false
+		}
+		if err := bp.Validate(); err != nil {
+			t.Logf("validate: %v", err)
+			return false
+		}
+		for l, want := range targets {
+			got := ratLog2(bp.Levels[l].Scale)
+			if math.Abs(got-want) > 1.0 {
+				t.Logf("w=%d level %d: scale %.2f want %.0f", w, l, got, want)
+				return false
+			}
+		}
+		rc, err := BuildRNSCKKS(prog, sec, HWSpec{WordBits: w}, Options{})
+		if err != nil {
+			t.Logf("rns-ckks w=%d targets=%v: %v", w, targets, err)
+			return false
+		}
+		if err := rc.Validate(); err != nil {
+			return false
+		}
+		return bp.MeanR() <= rc.MeanR()+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: every level transition is internally consistent — the up
+// moduli are disjoint from the source, the down moduli all come from the
+// source, and applying (Q * prodUp / prodDown) reproduces the destination
+// modulus exactly.
+func TestQuickTransitionConsistency(t *testing.T) {
+	f := func(scaleSeed uint16, wordSeed uint8) bool {
+		depth := 5
+		targets := make([]float64, depth+1)
+		s := uint64(scaleSeed)
+		for i := range targets {
+			targets[i] = 32 + float64(s%26)
+			s = s*6364136223846793005 + 1
+		}
+		words := []int{28, 36, 61}
+		w := words[int(wordSeed)%len(words)]
+		prog := ProgramSpec{MaxLevel: depth, TargetScaleBits: targets, QMinBits: 55}
+		ch, err := BuildBitPacker(prog, SecuritySpec{LogN: 12}, HWSpec{WordBits: w}, Options{})
+		if err != nil {
+			return false
+		}
+		for l := 1; l <= depth; l++ {
+			tr := ch.TransitionDown(l)
+			src := map[uint64]bool{}
+			for _, q := range ch.Levels[l].Moduli {
+				src[q] = true
+			}
+			for _, q := range tr.Up {
+				if src[q] {
+					return false
+				}
+			}
+			for _, q := range tr.Down {
+				if !src[q] {
+					return false
+				}
+			}
+			// Q_{l-1} == Q_l * prod(Up) / prod(Down), checked in log2
+			// (the underlying sets are exact, so the identity is tight).
+			want := ch.Levels[l-1].QBits
+			got := ch.Levels[l].QBits
+			for _, q := range tr.Up {
+				got += log2u(q)
+			}
+			for _, q := range tr.Down {
+				got -= log2u(q)
+			}
+			if math.Abs(got-want) > 1e-6 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,150 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"bitpacker/internal/accel"
+	"bitpacker/internal/core"
+	"bitpacker/internal/workloads"
+)
+
+// Ablations: design-choice studies beyond the paper's figures, probing the
+// knobs DESIGN.md calls out.
+
+func init() {
+	register("abl01", "Ablation: terminal-moduli cap (Listing 7 depth)", runAbl01)
+	register("abl02", "Ablation: KSHGen on/off (keyswitch-key traffic)", runAbl02)
+	register("abl03", "Ablation: multi-shed scaleDown vs one-at-a-time (Sec. 4.3)", runAbl03)
+	register("abl04", "Ablation: keyswitching digit count", runAbl04)
+}
+
+// runAbl01 sweeps the maximum number of terminal moduli BitPacker may use
+// per level. The paper says 1-2 typically suffice; at the real N=2^16
+// prime supply small caps fail outright or force large scale deviations.
+func runAbl01(bool) (*Result, error) {
+	b, _ := workloads.BenchmarkByName("ResNet-20")
+	prog := workloads.ProgramSpec(b, workloads.BS19)
+	sec := core.SecuritySpec{LogN: 16}
+	hw := core.HWSpec{WordBits: 28}
+	res := &Result{
+		ID:     "ABL1",
+		Title:  "BitPacker terminal cap sweep, ResNet-20 (BS19) schedule, w=28, N=2^16",
+		Header: []string{"max terminals", "builds?", "mean R", "worst |scale-target| [bits]"},
+	}
+	for cap := 1; cap <= 5; cap++ {
+		ch, err := core.BuildBitPacker(prog, sec, hw, core.Options{MaxTerminals: cap})
+		if err != nil {
+			res.Rows = append(res.Rows, []string{fmt.Sprintf("%d", cap), "no", "-", "-"})
+			continue
+		}
+		worst := 0.0
+		for _, l := range ch.Levels {
+			if d := math.Abs(core.RatLog2(l.Scale) - l.TargetScaleBits); d > worst {
+				worst = d
+			}
+		}
+		res.Rows = append(res.Rows, []string{
+			fmt.Sprintf("%d", cap), "yes", f2(ch.MeanR()), f2(worst),
+		})
+	}
+	res.Notes = append(res.Notes,
+		"the paper's idealized prime supply needs <=2 terminals; the real N=2^16 supply needs up to 5 for tight scales")
+	return res, nil
+}
+
+func runAbl02(bool) (*Result, error) {
+	res := &Result{
+		ID:     "ABL2",
+		Title:  "KSHGen ablation: on-chip keyswitch-hint generation, ResNet-20 (BS19), w=28",
+		Header: []string{"scheme", "KSHGen", "time[ms]", "HBM[GB]"},
+	}
+	c := config{}
+	for _, cc := range allConfigs() {
+		if cc.bench.Name == "ResNet-20" && cc.bs.Name == "BS19" {
+			c = cc
+		}
+	}
+	bpc, rcc, err := chainPair(c, 28)
+	if err != nil {
+		return nil, err
+	}
+	for _, entry := range []struct {
+		name string
+		ch   *core.Chain
+	}{{"BitPacker", bpc}, {"RNS-CKKS", rcc}} {
+		for _, ksh := range []bool{true, false} {
+			hw := accel.CraterLake(28)
+			hw.KSHGen = ksh
+			st, err := simulate(hw, entry.ch, c)
+			if err != nil {
+				return nil, err
+			}
+			res.Rows = append(res.Rows, []string{
+				entry.name, fmt.Sprintf("%v", ksh),
+				f1(st.Seconds * 1e3), f1(st.HBMBytes / 1e9),
+			})
+		}
+	}
+	res.Notes = append(res.Notes, "without KSHGen every keyswitch streams its full key from HBM (ARK-style)")
+	return res, nil
+}
+
+func runAbl03(bool) (*Result, error) {
+	// BitPacker's scaleDown sheds k moduli at once through the CRB
+	// (Sec. 4.3). The naive alternative applies k single-modulus rescales.
+	cfg := accel.CraterLake(28)
+	res := &Result{
+		ID:     "ABL3",
+		Title:  "scaleDown strategies at R=40, w=28: CRB-assisted multi-shed vs k single sheds",
+		Header: []string{"k (moduli shed)", "multi-shed [us]", "one-at-a-time [us]", "ratio"},
+	}
+	for _, k := range []int{1, 2, 3, 4, 5} {
+		multi := accel.RescaleMicros(cfg, 40, 0, k)
+		single := 0.0
+		for i := 0; i < k; i++ {
+			single += accel.RescaleMicros(cfg, 40-i, 0, 1)
+		}
+		res.Rows = append(res.Rows, []string{
+			fmt.Sprintf("%d", k), f2(multi), f2(single), f2(single / multi),
+		})
+	}
+	res.Notes = append(res.Notes,
+		"paper Sec. 4.3: the CRB makes shedding several moduli nearly as fast as shedding one")
+	return res, nil
+}
+
+func runAbl04(bool) (*Result, error) {
+	res := &Result{
+		ID:     "ABL4",
+		Title:  "Keyswitching digit count, ResNet-20 (BS19), w=28",
+		Header: []string{"dnum", "BitPacker[ms]", "RNS-CKKS[ms]", "RC/BP"},
+	}
+	c := config{}
+	for _, cc := range allConfigs() {
+		if cc.bench.Name == "ResNet-20" && cc.bs.Name == "BS19" {
+			c = cc
+		}
+	}
+	bpc, rcc, err := chainPair(c, 28)
+	if err != nil {
+		return nil, err
+	}
+	hw := accel.CraterLake(28)
+	prog := workloads.BuildProgram(c.bench, c.bs)
+	for _, dnum := range []int{1, 2, 3, 6} {
+		bp, err := accel.NewSimulator(hw, bpc, dnum).Run(prog)
+		if err != nil {
+			return nil, err
+		}
+		rc, err := accel.NewSimulator(hw, rcc, dnum).Run(prog)
+		if err != nil {
+			return nil, err
+		}
+		res.Rows = append(res.Rows, []string{
+			fmt.Sprintf("%d", dnum),
+			f1(bp.Seconds * 1e3), f1(rc.Seconds * 1e3), f2(rc.Seconds / bp.Seconds),
+		})
+	}
+	return res, nil
+}

@@ -1,0 +1,109 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (Sec. 6). Each runner returns a Result — a text table plus
+// notes — so the same code backs the bpbench CLI, the benchmark harness,
+// and EXPERIMENTS.md.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Result is one experiment's rendered output.
+type Result struct {
+	ID     string
+	Title  string
+	Header []string
+	Rows   [][]string
+	Notes  []string
+}
+
+// Render pretty-prints the result as an aligned text table.
+func (r *Result) Render(w io.Writer) {
+	fmt.Fprintf(w, "== %s: %s ==\n", r.ID, r.Title)
+	widths := make([]int, len(r.Header))
+	for i, h := range r.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range r.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			if i < len(widths) {
+				parts[i] = fmt.Sprintf("%-*s", widths[i], c)
+			} else {
+				parts[i] = c
+			}
+		}
+		fmt.Fprintln(w, "  "+strings.Join(parts, "  "))
+	}
+	line(r.Header)
+	sep := make([]string, len(r.Header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range r.Rows {
+		line(row)
+	}
+	for _, n := range r.Notes {
+		fmt.Fprintf(w, "  note: %s\n", n)
+	}
+	fmt.Fprintln(w)
+}
+
+// gmean returns the geometric mean of positive values.
+func gmean(vals []float64) float64 {
+	if len(vals) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, v := range vals {
+		s += math.Log(v)
+	}
+	return math.Exp(s / float64(len(vals)))
+}
+
+func f1(v float64) string { return fmt.Sprintf("%.1f", v) }
+func f2(v float64) string { return fmt.Sprintf("%.2f", v) }
+func f3(v float64) string { return fmt.Sprintf("%.3f", v) }
+
+// Runner produces one experiment. Quick mode trims sample counts so the
+// full suite stays test-friendly.
+type Runner struct {
+	ID    string
+	Title string
+	Run   func(quick bool) (*Result, error)
+}
+
+var registry []Runner
+
+func register(id, title string, run func(quick bool) (*Result, error)) {
+	registry = append(registry, Runner{ID: id, Title: title, Run: run})
+}
+
+// Runners lists all experiments in evaluation order.
+func Runners() []Runner {
+	out := append([]Runner(nil), registry...)
+	sort.SliceStable(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// ByID finds a runner.
+func ByID(id string) (Runner, bool) {
+	for _, r := range registry {
+		if strings.EqualFold(r.ID, id) {
+			return r, true
+		}
+	}
+	return Runner{}, false
+}

@@ -1,0 +1,104 @@
+// Package nt provides the number-theoretic substrate used by the whole
+// library: 64-bit modular arithmetic, Shoup multiplication, deterministic
+// primality testing, integer factorization, primitive roots, and searches
+// for NTT-friendly primes.
+//
+// All moduli handled by this package are odd primes strictly below 2^62,
+// which is the widest word size the accelerator model and the CKKS layer
+// ever request (the paper sweeps hardware words from 28 to 64 bits; a
+// 64-bit *hardware* word maps to a <2^62 prime so that lazy reductions in
+// the NTT never overflow).
+package nt
+
+import "math/bits"
+
+// MaxModulusBits is the widest modulus supported by the arithmetic in this
+// package. Keeping two slack bits below 64 lets the NTT use lazy reduction.
+const MaxModulusBits = 62
+
+// AddMod returns (x + y) mod q. Requires x, y < q.
+func AddMod(x, y, q uint64) uint64 {
+	s := x + y
+	if s >= q {
+		s -= q
+	}
+	return s
+}
+
+// SubMod returns (x - y) mod q. Requires x, y < q.
+func SubMod(x, y, q uint64) uint64 {
+	if x >= y {
+		return x - y
+	}
+	return x + q - y
+}
+
+// NegMod returns (-x) mod q. Requires x < q.
+func NegMod(x, q uint64) uint64 {
+	if x == 0 {
+		return 0
+	}
+	return q - x
+}
+
+// MulMod returns (x * y) mod q using a 128-bit intermediate product.
+// Requires x, y < q < 2^63.
+func MulMod(x, y, q uint64) uint64 {
+	hi, lo := bits.Mul64(x, y)
+	_, rem := bits.Div64(hi, lo, q)
+	return rem
+}
+
+// ShoupPrecomp returns floor(w * 2^64 / q), the precomputed factor used by
+// MulModShoup for fast multiplication by the fixed operand w. Requires w < q.
+func ShoupPrecomp(w, q uint64) uint64 {
+	quo, _ := bits.Div64(w, 0, q)
+	return quo
+}
+
+// MulModShoup returns (x * w) mod q where wShoup = ShoupPrecomp(w, q).
+// This is Shoup's trick: one high multiply, one low multiply, one
+// conditional subtraction. Requires x < q and q < 2^63.
+func MulModShoup(x, w, wShoup, q uint64) uint64 {
+	hi, _ := bits.Mul64(x, wShoup)
+	r := x*w - hi*q
+	if r >= q {
+		r -= q
+	}
+	return r
+}
+
+// MulModLazyShoup returns (x * w) mod q in the range [0, 2q). It skips the
+// final conditional subtraction, which the NTT butterflies exploit.
+func MulModLazyShoup(x, w, wShoup, q uint64) uint64 {
+	hi, _ := bits.Mul64(x, wShoup)
+	return x*w - hi*q
+}
+
+// PowMod returns x^e mod q by square-and-multiply. Requires x < q.
+func PowMod(x, e, q uint64) uint64 {
+	result := uint64(1 % q)
+	base := x
+	for e > 0 {
+		if e&1 == 1 {
+			result = MulMod(result, base, q)
+		}
+		base = MulMod(base, base, q)
+		e >>= 1
+	}
+	return result
+}
+
+// InvMod returns x^-1 mod q for prime q. Requires 0 < x < q.
+// It panics if x is zero since zero has no inverse.
+func InvMod(x, q uint64) uint64 {
+	if x == 0 {
+		panic("nt: inverse of zero")
+	}
+	return PowMod(x, q-2, q)
+}
+
+// ReduceMod reduces an arbitrary uint64 into [0, q).
+func ReduceMod(x, q uint64) uint64 {
+	return x % q
+}

@@ -1,0 +1,214 @@
+package nt
+
+// Deterministic Miller-Rabin primality for 64-bit integers, Pollard rho
+// factorization, primitive roots, and NTT-friendly prime searches.
+
+// mrBases is a deterministic witness set for all n < 2^64
+// (Sorenson & Webster).
+var mrBases = [...]uint64{2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37}
+
+// IsPrime reports whether n is prime, deterministically for all uint64.
+func IsPrime(n uint64) bool {
+	if n < 2 {
+		return false
+	}
+	for _, p := range []uint64{2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37} {
+		if n == p {
+			return true
+		}
+		if n%p == 0 {
+			return false
+		}
+	}
+	// Write n-1 = d * 2^r with d odd.
+	d := n - 1
+	r := 0
+	for d&1 == 0 {
+		d >>= 1
+		r++
+	}
+	for _, a := range mrBases {
+		x := PowMod(a%n, d, n)
+		if x == 1 || x == n-1 {
+			continue
+		}
+		composite := true
+		for i := 0; i < r-1; i++ {
+			x = MulMod(x, x, n)
+			if x == n-1 {
+				composite = false
+				break
+			}
+		}
+		if composite {
+			return false
+		}
+	}
+	return true
+}
+
+// pollardRho returns a non-trivial factor of composite n > 1 (n not prime).
+func pollardRho(n uint64) uint64 {
+	if n%2 == 0 {
+		return 2
+	}
+	// Brent's variant with a deterministic sequence of constants.
+	for c := uint64(1); ; c++ {
+		f := func(x uint64) uint64 { return AddMod(MulMod(x, x, n), c, n) }
+		x, y, d := uint64(2), uint64(2), uint64(1)
+		for d == 1 {
+			x = f(x)
+			y = f(f(y))
+			diff := SubMod(x, y, n)
+			if diff == 0 {
+				break // cycle without factor; retry with next c
+			}
+			d = gcd(diff, n)
+		}
+		if d != 1 && d != n {
+			return d
+		}
+	}
+}
+
+func gcd(a, b uint64) uint64 {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+// Factor returns the prime factorization of n as a map prime -> exponent.
+// Factor(0) and Factor(1) return an empty map.
+func Factor(n uint64) map[uint64]int {
+	factors := make(map[uint64]int)
+	var rec func(m uint64)
+	rec = func(m uint64) {
+		if m < 2 {
+			return
+		}
+		if IsPrime(m) {
+			factors[m]++
+			return
+		}
+		d := pollardRho(m)
+		rec(d)
+		rec(m / d)
+	}
+	// Strip small primes first to keep rho fast.
+	for _, p := range []uint64{2, 3, 5, 7, 11, 13} {
+		for n%p == 0 {
+			factors[p]++
+			n /= p
+		}
+	}
+	rec(n)
+	return factors
+}
+
+// PrimitiveRoot returns a generator of the multiplicative group Z_p^* for
+// prime p.
+func PrimitiveRoot(p uint64) uint64 {
+	if p == 2 {
+		return 1
+	}
+	factors := Factor(p - 1)
+	for g := uint64(2); ; g++ {
+		ok := true
+		for f := range factors {
+			if PowMod(g, (p-1)/f, p) == 1 {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return g
+		}
+	}
+}
+
+// PrimitiveNthRoot returns a primitive n-th root of unity modulo prime p.
+// Requires n | p-1.
+func PrimitiveNthRoot(n, p uint64) uint64 {
+	if (p-1)%n != 0 {
+		panic("nt: n does not divide p-1")
+	}
+	g := PrimitiveRoot(p)
+	return PowMod(g, (p-1)/n, p)
+}
+
+// IsNTTFriendly reports whether p is prime and p ≡ 1 (mod m). For
+// negacyclic NTTs over Z[X]/(X^N+1), callers pass m = 2N.
+func IsNTTFriendly(p, m uint64) bool {
+	return p%m == 1 && IsPrime(p)
+}
+
+// PreviousNTTPrime returns the largest NTT-friendly prime (≡ 1 mod m)
+// strictly less than start, or 0 if none exists above m.
+func PreviousNTTPrime(start, m uint64) uint64 {
+	if start <= m {
+		return 0
+	}
+	// Largest candidate ≡ 1 mod m below start.
+	p := start - 1
+	p -= (p - 1) % m
+	for ; p > m; p -= m {
+		if IsPrime(p) {
+			return p
+		}
+	}
+	return 0
+}
+
+// NextNTTPrime returns the smallest NTT-friendly prime (≡ 1 mod m)
+// strictly greater than start, or 0 on uint64 overflow.
+func NextNTTPrime(start, m uint64) uint64 {
+	p := start + 1
+	if rem := (p - 1) % m; rem != 0 {
+		p += m - rem
+	}
+	for ; p > start; p += m {
+		if IsPrime(p) {
+			return p
+		}
+	}
+	return 0
+}
+
+// NTTPrimesBelow returns up to count NTT-friendly primes strictly below
+// limit in descending order.
+func NTTPrimesBelow(limit, m uint64, count int) []uint64 {
+	primes := make([]uint64, 0, count)
+	p := PreviousNTTPrime(limit, m)
+	for p != 0 && len(primes) < count {
+		primes = append(primes, p)
+		p = PreviousNTTPrime(p, m)
+	}
+	return primes
+}
+
+// NTTPrimesNear returns up to count NTT-friendly primes closest to target,
+// ordered by increasing distance from target. It is used to pick residue
+// moduli whose product tightly matches a target scale.
+func NTTPrimesNear(target, m uint64, count int) []uint64 {
+	primes := make([]uint64, 0, count)
+	lo := PreviousNTTPrime(target+1, m) // ≤ target
+	hi := NextNTTPrime(target, m)       // > target
+	for len(primes) < count && (lo != 0 || hi != 0) {
+		switch {
+		case lo == 0:
+			primes = append(primes, hi)
+			hi = NextNTTPrime(hi, m)
+		case hi == 0:
+			primes = append(primes, lo)
+			lo = PreviousNTTPrime(lo, m)
+		case target-lo <= hi-target:
+			primes = append(primes, lo)
+			lo = PreviousNTTPrime(lo, m)
+		default:
+			primes = append(primes, hi)
+			hi = NextNTTPrime(hi, m)
+		}
+	}
+	return primes
+}

@@ -1,0 +1,151 @@
+// Package ntt implements the negacyclic number-theoretic transform over
+// Z_q[X]/(X^N+1) for NTT-friendly primes q ≡ 1 (mod 2N).
+//
+// The implementation follows Longa & Naehrig's merged-twiddle formulation:
+// the forward transform is a decimation-in-time Cooley-Tukey butterfly
+// network over powers of ψ (a primitive 2N-th root of unity) stored in
+// bit-reversed order, and the inverse is the matching Gentleman-Sande
+// network. Twiddle multiplications use Shoup's precomputed-quotient trick.
+package ntt
+
+import (
+	"fmt"
+	"math/bits"
+
+	"bitpacker/internal/nt"
+)
+
+// Table holds the precomputed twiddle factors for one (q, N) pair.
+// Tables are immutable after creation and safe for concurrent use.
+type Table struct {
+	Q uint64 // modulus, prime, q ≡ 1 mod 2N
+	N int    // transform size, power of two
+
+	psi      []uint64 // ψ^bitrev(i), i in [0, N)
+	psiShoup []uint64
+	inv      []uint64 // ψ^{-bitrev(i)}
+	invShoup []uint64
+	nInv     uint64 // N^{-1} mod q
+	nInvSh   uint64
+}
+
+// NewTable precomputes an NTT table for modulus q and size n (a power of
+// two). It returns an error if q is not an NTT-friendly prime for n.
+func NewTable(q uint64, n int) (*Table, error) {
+	if n <= 0 || n&(n-1) != 0 {
+		return nil, fmt.Errorf("ntt: size %d is not a power of two", n)
+	}
+	if bits.Len64(q) > nt.MaxModulusBits {
+		return nil, fmt.Errorf("ntt: modulus %d exceeds %d bits", q, nt.MaxModulusBits)
+	}
+	if !nt.IsNTTFriendly(q, uint64(2*n)) {
+		return nil, fmt.Errorf("ntt: %d is not an NTT-friendly prime for N=%d", q, n)
+	}
+	psi := nt.PrimitiveNthRoot(uint64(2*n), q)
+	psiInv := nt.InvMod(psi, q)
+
+	t := &Table{
+		Q:        q,
+		N:        n,
+		psi:      make([]uint64, n),
+		psiShoup: make([]uint64, n),
+		inv:      make([]uint64, n),
+		invShoup: make([]uint64, n),
+	}
+	logN := bits.Len(uint(n)) - 1
+	fwd, bwd := uint64(1), uint64(1)
+	powF := make([]uint64, n)
+	powB := make([]uint64, n)
+	for i := 0; i < n; i++ {
+		powF[i] = fwd
+		powB[i] = bwd
+		fwd = nt.MulMod(fwd, psi, q)
+		bwd = nt.MulMod(bwd, psiInv, q)
+	}
+	for i := 0; i < n; i++ {
+		j := int(bits.Reverse64(uint64(i)) >> (64 - logN))
+		t.psi[i] = powF[j]
+		t.psiShoup[i] = nt.ShoupPrecomp(powF[j], q)
+		t.inv[i] = powB[j]
+		t.invShoup[i] = nt.ShoupPrecomp(powB[j], q)
+	}
+	t.nInv = nt.InvMod(uint64(n), q)
+	t.nInvSh = nt.ShoupPrecomp(t.nInv, q)
+	return t, nil
+}
+
+// Forward transforms a (coefficient-domain, values < q) in place into the
+// NTT evaluation domain. len(a) must equal t.N.
+func (t *Table) Forward(a []uint64) {
+	if len(a) != t.N {
+		panic("ntt: length mismatch")
+	}
+	q := t.Q
+	n := t.N
+	step := n
+	for m := 1; m < n; m <<= 1 {
+		step >>= 1
+		for i := 0; i < m; i++ {
+			w := t.psi[m+i]
+			ws := t.psiShoup[m+i]
+			j1 := 2 * i * step
+			for j := j1; j < j1+step; j++ {
+				u := a[j]
+				v := nt.MulModShoup(a[j+step], w, ws, q)
+				a[j] = nt.AddMod(u, v, q)
+				a[j+step] = nt.SubMod(u, v, q)
+			}
+		}
+	}
+}
+
+// Inverse transforms a (NTT domain) in place back into coefficients.
+func (t *Table) Inverse(a []uint64) {
+	if len(a) != t.N {
+		panic("ntt: length mismatch")
+	}
+	q := t.Q
+	n := t.N
+	step := 1
+	for m := n >> 1; m >= 1; m >>= 1 {
+		for i := 0; i < m; i++ {
+			w := t.inv[m+i]
+			ws := t.invShoup[m+i]
+			j1 := 2 * i * step
+			for j := j1; j < j1+step; j++ {
+				u := a[j]
+				v := a[j+step]
+				a[j] = nt.AddMod(u, v, q)
+				a[j+step] = nt.MulModShoup(nt.SubMod(u, v, q), w, ws, q)
+			}
+		}
+		step <<= 1
+	}
+	for j := range a {
+		a[j] = nt.MulModShoup(a[j], t.nInv, t.nInvSh, q)
+	}
+}
+
+// MulCoeffs stores the pointwise product of a and b (both NTT domain) in
+// out. All slices must have length t.N; aliasing is allowed.
+func (t *Table) MulCoeffs(out, a, b []uint64) {
+	q := t.Q
+	for i := range out {
+		out[i] = nt.MulMod(a[i], b[i], q)
+	}
+}
+
+// PolyMul multiplies two coefficient-domain polynomials negacyclically
+// (mod X^N+1, mod q), writing coefficients into out. It is a convenience
+// for tests; hot paths keep operands in the NTT domain.
+func (t *Table) PolyMul(out, a, b []uint64) {
+	ta := make([]uint64, t.N)
+	tb := make([]uint64, t.N)
+	copy(ta, a)
+	copy(tb, b)
+	t.Forward(ta)
+	t.Forward(tb)
+	t.MulCoeffs(ta, ta, tb)
+	t.Inverse(ta)
+	copy(out, ta)
+}

@@ -1,0 +1,170 @@
+package ntt
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"bitpacker/internal/nt"
+)
+
+func testTable(t *testing.T, q uint64, n int) *Table {
+	t.Helper()
+	tab, err := NewTable(q, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tab
+}
+
+func TestNewTableErrors(t *testing.T) {
+	if _, err := NewTable(7681, 100); err == nil {
+		t.Fatal("non-power-of-two size accepted")
+	}
+	if _, err := NewTable(7680, 256); err == nil {
+		t.Fatal("composite modulus accepted")
+	}
+	if _, err := NewTable(17, 256); err == nil {
+		t.Fatal("non NTT-friendly prime accepted")
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewPCG(7, 8))
+	for _, n := range []int{8, 64, 1024} {
+		q := nt.PreviousNTTPrime(1<<59, uint64(2*n))
+		tab := testTable(t, q, n)
+		a := make([]uint64, n)
+		for i := range a {
+			a[i] = rng.Uint64() % q
+		}
+		orig := append([]uint64(nil), a...)
+		tab.Forward(a)
+		tab.Inverse(a)
+		for i := range a {
+			if a[i] != orig[i] {
+				t.Fatalf("n=%d: roundtrip mismatch at %d", n, i)
+			}
+		}
+	}
+}
+
+// schoolbookNegacyclic computes a*b mod (X^N+1, q) naively.
+func schoolbookNegacyclic(a, b []uint64, q uint64) []uint64 {
+	n := len(a)
+	out := make([]uint64, n)
+	for i, ai := range a {
+		for j, bj := range b {
+			p := nt.MulMod(ai, bj, q)
+			k := i + j
+			if k < n {
+				out[k] = nt.AddMod(out[k], p, q)
+			} else {
+				out[k-n] = nt.SubMod(out[k-n], p, q)
+			}
+		}
+	}
+	return out
+}
+
+func TestNegacyclicConvolution(t *testing.T) {
+	rng := rand.New(rand.NewPCG(9, 10))
+	for _, n := range []int{8, 32, 256} {
+		q := nt.PreviousNTTPrime(1<<30, uint64(2*n))
+		tab := testTable(t, q, n)
+		a := make([]uint64, n)
+		b := make([]uint64, n)
+		for i := range a {
+			a[i] = rng.Uint64() % q
+			b[i] = rng.Uint64() % q
+		}
+		want := schoolbookNegacyclic(a, b, q)
+		got := make([]uint64, n)
+		tab.PolyMul(got, a, b)
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("n=%d q=%d: coeff %d: got %d want %d", n, q, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestForwardIsEvaluationHomomorphic(t *testing.T) {
+	// NTT(a) + NTT(b) must equal NTT(a+b) pointwise.
+	n := 128
+	q := nt.PreviousNTTPrime(1<<40, uint64(2*n))
+	tab := testTable(t, q, n)
+	rng := rand.New(rand.NewPCG(11, 12))
+	a := make([]uint64, n)
+	b := make([]uint64, n)
+	s := make([]uint64, n)
+	for i := range a {
+		a[i] = rng.Uint64() % q
+		b[i] = rng.Uint64() % q
+		s[i] = nt.AddMod(a[i], b[i], q)
+	}
+	tab.Forward(a)
+	tab.Forward(b)
+	tab.Forward(s)
+	for i := range s {
+		if s[i] != nt.AddMod(a[i], b[i], q) {
+			t.Fatalf("linearity violated at %d", i)
+		}
+	}
+}
+
+func TestMulByXShiftsNegacyclically(t *testing.T) {
+	// (X * a(X)) mod X^N+1 rotates coefficients with sign flip at wrap.
+	n := 64
+	q := nt.PreviousNTTPrime(1<<45, uint64(2*n))
+	tab := testTable(t, q, n)
+	a := make([]uint64, n)
+	for i := range a {
+		a[i] = uint64(i + 1)
+	}
+	x := make([]uint64, n)
+	x[1] = 1
+	got := make([]uint64, n)
+	tab.PolyMul(got, a, x)
+	if got[0] != q-uint64(n) {
+		t.Fatalf("wrap coeff: got %d want %d", got[0], q-uint64(n))
+	}
+	for i := 1; i < n; i++ {
+		if got[i] != uint64(i) {
+			t.Fatalf("shift coeff %d: got %d want %d", i, got[i], i)
+		}
+	}
+}
+
+func BenchmarkForwardN8192(b *testing.B) {
+	n := 8192
+	q := nt.PreviousNTTPrime(1<<59, uint64(2*n))
+	tab, err := NewTable(q, n)
+	if err != nil {
+		b.Fatal(err)
+	}
+	a := make([]uint64, n)
+	for i := range a {
+		a[i] = uint64(i) % q
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tab.Forward(a)
+	}
+}
+
+func BenchmarkInverseN8192(b *testing.B) {
+	n := 8192
+	q := nt.PreviousNTTPrime(1<<59, uint64(2*n))
+	tab, err := NewTable(q, n)
+	if err != nil {
+		b.Fatal(err)
+	}
+	a := make([]uint64, n)
+	for i := range a {
+		a[i] = uint64(i) % q
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tab.Inverse(a)
+	}
+}

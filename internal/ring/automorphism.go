@@ -1,0 +1,85 @@
+package ring
+
+// Automorphisms of Z_q[X]/(X^N+1): the maps φ_k(X) = X^k for odd k,
+// which implement CKKS slot rotations (k = 5^r mod 2N) and conjugation
+// (k = 2N-1).
+
+// GaloisElementForRotation returns the Galois element 5^steps mod 2N that
+// rotates the encrypted slot vector left by steps positions.
+func GaloisElementForRotation(steps, n int) uint64 {
+	m := uint64(2 * n)
+	// Normalize steps into [0, n/2).
+	half := n / 2
+	s := ((steps % half) + half) % half
+	g := uint64(1)
+	for i := 0; i < s; i++ {
+		g = g * 5 % m
+	}
+	return g
+}
+
+// GaloisElementForConjugation returns the Galois element 2N-1 implementing
+// complex conjugation of the slots.
+func GaloisElementForConjugation(n int) uint64 {
+	return uint64(2*n - 1)
+}
+
+// Automorphism returns φ_k(p): out coefficient at index (i·k mod 2N) gets
+// ±p_i, with the sign flipped when i·k mod 2N lands in [N, 2N).
+// p must be in the coefficient domain and k must be odd.
+func (p *Poly) Automorphism(k uint64) *Poly {
+	if p.IsNTT {
+		panic("ring: Automorphism requires coefficient domain")
+	}
+	if k%2 == 0 {
+		panic("ring: Galois element must be odd")
+	}
+	n := uint64(p.ctx.N)
+	m := 2 * n
+	out := NewPoly(p.ctx, p.Moduli)
+	for i, q := range p.Moduli {
+		src, dst := p.Coeffs[i], out.Coeffs[i]
+		for j := uint64(0); j < n; j++ {
+			idx := j * (k % m) % m
+			v := src[j]
+			if idx >= n {
+				idx -= n
+				if v != 0 {
+					v = q - v
+				}
+			}
+			dst[idx] = v
+		}
+	}
+	return out
+}
+
+// MulByMonomial returns p * X^k (mod X^N+1), an exact, noise-free
+// operation. Multiplying by X^{N/2} multiplies every CKKS slot by the
+// imaginary unit i (since 5^k ≡ 1 mod 4, all slot evaluation points see
+// the same quarter rotation). p must be in the coefficient domain.
+func (p *Poly) MulByMonomial(k int) *Poly {
+	if p.IsNTT {
+		panic("ring: MulByMonomial requires coefficient domain")
+	}
+	n := p.ctx.N
+	k = ((k % (2 * n)) + 2*n) % (2 * n)
+	out := NewPoly(p.ctx, p.Moduli)
+	for i, q := range p.Moduli {
+		src, dst := p.Coeffs[i], out.Coeffs[i]
+		for j := 0; j < n; j++ {
+			idx := j + k
+			v := src[j]
+			// Reduce X^{idx} modulo X^N + 1: every wrap over N flips
+			// the sign.
+			for idx >= n {
+				idx -= n
+				if v != 0 {
+					v = q - v
+				}
+			}
+			dst[idx] = v
+		}
+	}
+	return out
+}

@@ -1,0 +1,97 @@
+package ring
+
+import (
+	"math/big"
+
+	"bitpacker/internal/rns"
+)
+
+// This file implements the low-level RNS level-management primitives of
+// the paper: scaleUp (Listing 3) and scaleDown (Listing 5). bpRescale and
+// bpAdjust (Listings 4 and 6) are composed from these in the ckks package.
+
+// ScaleUp returns p scaled up by K = Π newModuli: existing residues are
+// multiplied by K and zero residues are appended for each new modulus
+// (x·K ≡ 0 mod q for every new q | K). Works in either domain, since the
+// appended residues are identically zero.
+func (p *Poly) ScaleUp(newModuli []uint64) *Poly {
+	k := big.NewInt(1)
+	for _, q := range newModuli {
+		k.Mul(k, new(big.Int).SetUint64(q))
+	}
+	out := NewPoly(p.ctx, append(append([]uint64(nil), p.Moduli...), newModuli...))
+	out.IsNTT = p.IsNTT
+	// Multiply the original residues by K.
+	scaled := NewPoly(p.ctx, p.Moduli)
+	scaled.IsNTT = p.IsNTT
+	scaled.MulScalarBig(p, k)
+	for i := range p.Moduli {
+		copy(out.Coeffs[i], scaled.Coeffs[i])
+	}
+	// The rest stays zero.
+	return out
+}
+
+// ScaleDownParams precomputes a scaleDown transition: shedding the moduli
+// at positions shedPos of a polynomial whose moduli are exactly moduli,
+// dividing the underlying integer by their product.
+type ScaleDownParams struct {
+	Moduli  []uint64
+	ShedPos []int
+	keptPos []int
+	div     *rns.ExactDiv
+	P       *big.Int
+}
+
+// NewScaleDownParams builds the precomputed constants for the transition.
+func NewScaleDownParams(moduli []uint64, shedPos []int) *ScaleDownParams {
+	shedSet := make(map[int]bool, len(shedPos))
+	for _, i := range shedPos {
+		shedSet[i] = true
+	}
+	sp := &ScaleDownParams{
+		Moduli:  append([]uint64(nil), moduli...),
+		ShedPos: append([]int(nil), shedPos...),
+	}
+	var shed, kept []uint64
+	for i, q := range moduli {
+		if shedSet[i] {
+			shed = append(shed, q)
+		} else {
+			kept = append(kept, q)
+			sp.keptPos = append(sp.keptPos, i)
+		}
+	}
+	sp.div = rns.NewExactDiv(shed, kept)
+	sp.P = sp.div.Conv.P
+	return sp
+}
+
+// ScaleDown divides p by the product of the shed moduli (flooring, with
+// the < k additive error analyzed in rns.ExactDiv) and sheds them.
+// p must be in the coefficient domain and its moduli must match params.
+// The result keeps the surviving moduli in their original order.
+func (p *Poly) ScaleDown(params *ScaleDownParams) *Poly {
+	if p.IsNTT {
+		panic("ring: ScaleDown requires coefficient domain")
+	}
+	if len(p.Moduli) != len(params.Moduli) {
+		panic("ring: ScaleDown moduli mismatch")
+	}
+	for i := range p.Moduli {
+		if p.Moduli[i] != params.Moduli[i] {
+			panic("ring: ScaleDown moduli mismatch")
+		}
+	}
+	shedRes := make([][]uint64, len(params.ShedPos))
+	for i, pos := range params.ShedPos {
+		shedRes[i] = p.Coeffs[pos]
+	}
+	out := &Poly{ctx: p.ctx}
+	for _, pos := range params.keptPos {
+		out.Moduli = append(out.Moduli, p.Moduli[pos])
+		out.Coeffs = append(out.Coeffs, append([]uint64(nil), p.Coeffs[pos]...))
+	}
+	params.div.Apply(out.Coeffs, shedRes)
+	return out
+}

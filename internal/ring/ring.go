@@ -1,0 +1,315 @@
+// Package ring implements polynomial arithmetic over rings
+// Z_q[X]/(X^N+1) in RNS representation. A Poly carries its own ordered
+// list of residue moduli, because BitPacker's level management changes the
+// modulus set from level to level (unlike classic RNS-CKKS, which only
+// drops a suffix).
+package ring
+
+import (
+	"fmt"
+	"math/big"
+	"sync"
+
+	"bitpacker/internal/nt"
+	"bitpacker/internal/ntt"
+	"bitpacker/internal/rns"
+)
+
+// Context caches NTT tables per modulus for one polynomial degree N.
+// It is safe for concurrent use.
+type Context struct {
+	N int
+
+	mu     sync.Mutex
+	tables map[uint64]*ntt.Table
+}
+
+// NewContext creates a context for degree-N polynomials. N must be a power
+// of two.
+func NewContext(n int) (*Context, error) {
+	if n <= 0 || n&(n-1) != 0 {
+		return nil, fmt.Errorf("ring: N=%d is not a power of two", n)
+	}
+	return &Context{N: n, tables: make(map[uint64]*ntt.Table)}, nil
+}
+
+// Table returns (building lazily) the NTT table for modulus q.
+func (c *Context) Table(q uint64) *ntt.Table {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if t, ok := c.tables[q]; ok {
+		return t
+	}
+	t, err := ntt.NewTable(q, c.N)
+	if err != nil {
+		panic(fmt.Sprintf("ring: %v", err))
+	}
+	c.tables[q] = t
+	return t
+}
+
+// Poly is an RNS polynomial: Coeffs[i] holds the residues of every
+// coefficient modulo Moduli[i]. When IsNTT is true the residue vectors are
+// in the NTT evaluation domain.
+type Poly struct {
+	ctx    *Context
+	Moduli []uint64
+	Coeffs [][]uint64
+	IsNTT  bool
+}
+
+// NewPoly allocates a zero polynomial over the given moduli.
+func NewPoly(ctx *Context, moduli []uint64) *Poly {
+	p := &Poly{
+		ctx:    ctx,
+		Moduli: append([]uint64(nil), moduli...),
+		Coeffs: make([][]uint64, len(moduli)),
+	}
+	for i := range p.Coeffs {
+		p.Coeffs[i] = make([]uint64, ctx.N)
+	}
+	return p
+}
+
+// Ctx returns the polynomial's ring context.
+func (p *Poly) Ctx() *Context { return p.ctx }
+
+// N returns the polynomial degree.
+func (p *Poly) N() int { return p.ctx.N }
+
+// Level returns the number of residues (paper's R).
+func (p *Poly) R() int { return len(p.Moduli) }
+
+// Copy returns a deep copy.
+func (p *Poly) Copy() *Poly {
+	q := &Poly{
+		ctx:    p.ctx,
+		Moduli: append([]uint64(nil), p.Moduli...),
+		Coeffs: make([][]uint64, len(p.Coeffs)),
+		IsNTT:  p.IsNTT,
+	}
+	for i := range p.Coeffs {
+		q.Coeffs[i] = append([]uint64(nil), p.Coeffs[i]...)
+	}
+	return q
+}
+
+// sameShape panics unless a and b have identical moduli and domain.
+func sameShape(a, b *Poly) {
+	if len(a.Moduli) != len(b.Moduli) {
+		panic("ring: residue count mismatch")
+	}
+	for i := range a.Moduli {
+		if a.Moduli[i] != b.Moduli[i] {
+			panic("ring: moduli mismatch")
+		}
+	}
+	if a.IsNTT != b.IsNTT {
+		panic("ring: NTT domain mismatch")
+	}
+}
+
+// Add sets p = a + b. All three may alias.
+func (p *Poly) Add(a, b *Poly) {
+	sameShape(a, b)
+	sameShape(p, a)
+	for i, q := range p.Moduli {
+		pa, pb, pp := a.Coeffs[i], b.Coeffs[i], p.Coeffs[i]
+		for k := range pp {
+			pp[k] = nt.AddMod(pa[k], pb[k], q)
+		}
+	}
+}
+
+// Sub sets p = a - b.
+func (p *Poly) Sub(a, b *Poly) {
+	sameShape(a, b)
+	sameShape(p, a)
+	for i, q := range p.Moduli {
+		pa, pb, pp := a.Coeffs[i], b.Coeffs[i], p.Coeffs[i]
+		for k := range pp {
+			pp[k] = nt.SubMod(pa[k], pb[k], q)
+		}
+	}
+}
+
+// Neg sets p = -a.
+func (p *Poly) Neg(a *Poly) {
+	sameShape(p, a)
+	for i, q := range p.Moduli {
+		pa, pp := a.Coeffs[i], p.Coeffs[i]
+		for k := range pp {
+			pp[k] = nt.NegMod(pa[k], q)
+		}
+	}
+}
+
+// MulCoeffs sets p = a ⊙ b pointwise. All polynomials must be in the NTT
+// domain (where pointwise product is ring multiplication).
+func (p *Poly) MulCoeffs(a, b *Poly) {
+	sameShape(a, b)
+	sameShape(p, a)
+	if !a.IsNTT {
+		panic("ring: MulCoeffs requires NTT domain")
+	}
+	for i, q := range p.Moduli {
+		pa, pb, pp := a.Coeffs[i], b.Coeffs[i], p.Coeffs[i]
+		for k := range pp {
+			pp[k] = nt.MulMod(pa[k], pb[k], q)
+		}
+	}
+}
+
+// MulCoeffsAdd sets p += a ⊙ b pointwise (NTT domain).
+func (p *Poly) MulCoeffsAdd(a, b *Poly) {
+	sameShape(a, b)
+	sameShape(p, a)
+	if !a.IsNTT {
+		panic("ring: MulCoeffsAdd requires NTT domain")
+	}
+	for i, q := range p.Moduli {
+		pa, pb, pp := a.Coeffs[i], b.Coeffs[i], p.Coeffs[i]
+		for k := range pp {
+			pp[k] = nt.AddMod(pp[k], nt.MulMod(pa[k], pb[k], q), q)
+		}
+	}
+}
+
+// MulScalarUint sets p = a * c for a small scalar c (reduced per modulus).
+func (p *Poly) MulScalarUint(a *Poly, c uint64) {
+	sameShape(p, a)
+	for i, q := range p.Moduli {
+		w := c % q
+		ws := nt.ShoupPrecomp(w, q)
+		pa, pp := a.Coeffs[i], p.Coeffs[i]
+		for k := range pp {
+			pp[k] = nt.MulModShoup(pa[k], w, ws, q)
+		}
+	}
+}
+
+// MulScalarBig sets p = a * c where c is an arbitrary (possibly negative)
+// integer, reduced modulo each residue modulus. This implements the
+// mulConst of the paper's Listings 2, 3 and 6.
+func (p *Poly) MulScalarBig(a *Poly, c *big.Int) {
+	sameShape(p, a)
+	tmp := new(big.Int)
+	for i, q := range p.Moduli {
+		w := tmp.Mod(c, new(big.Int).SetUint64(q)).Uint64()
+		ws := nt.ShoupPrecomp(w, q)
+		pa, pp := a.Coeffs[i], p.Coeffs[i]
+		for k := range pp {
+			pp[k] = nt.MulModShoup(pa[k], w, ws, q)
+		}
+	}
+}
+
+// NTT moves p into the evaluation domain (no-op if already there).
+func (p *Poly) NTT() {
+	if p.IsNTT {
+		return
+	}
+	for i, q := range p.Moduli {
+		p.ctx.Table(q).Forward(p.Coeffs[i])
+	}
+	p.IsNTT = true
+}
+
+// INTT moves p into the coefficient domain (no-op if already there).
+func (p *Poly) INTT() {
+	if !p.IsNTT {
+		return
+	}
+	for i, q := range p.Moduli {
+		p.ctx.Table(q).Inverse(p.Coeffs[i])
+	}
+	p.IsNTT = false
+}
+
+// Equal reports whether two polynomials are identical in moduli, domain
+// and coefficients.
+func (p *Poly) Equal(o *Poly) bool {
+	if p.IsNTT != o.IsNTT || len(p.Moduli) != len(o.Moduli) {
+		return false
+	}
+	for i := range p.Moduli {
+		if p.Moduli[i] != o.Moduli[i] {
+			return false
+		}
+		for k := range p.Coeffs[i] {
+			if p.Coeffs[i][k] != o.Coeffs[i][k] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Basis builds an rns.Basis over the polynomial's moduli (for CRT
+// reconstruction in tests and decryption).
+func (p *Poly) Basis() *rns.Basis {
+	b, err := rns.NewBasis(p.ctx.N, p.Moduli)
+	if err != nil {
+		panic(err)
+	}
+	return b
+}
+
+// CoeffBig returns coefficient k as a centered big integer. p must be in
+// the coefficient domain.
+func (p *Poly) CoeffBig(b *rns.Basis, k int) *big.Int {
+	if p.IsNTT {
+		panic("ring: CoeffBig requires coefficient domain")
+	}
+	xs := make([]uint64, len(p.Moduli))
+	for i := range p.Moduli {
+		xs[i] = p.Coeffs[i][k]
+	}
+	return b.ComposeCentered(xs)
+}
+
+// SetCoeffBig sets coefficient k from a (possibly negative) big integer.
+func (p *Poly) SetCoeffBig(k int, v *big.Int) {
+	if p.IsNTT {
+		panic("ring: SetCoeffBig requires coefficient domain")
+	}
+	tmp := new(big.Int)
+	for i, q := range p.Moduli {
+		tmp.SetUint64(q)
+		r := new(big.Int).Mod(v, tmp)
+		p.Coeffs[i][k] = r.Uint64()
+	}
+}
+
+// Restrict returns a copy of p containing only the rows for the given
+// moduli, in the given order. Every requested modulus must be present.
+func (p *Poly) Restrict(moduli []uint64) *Poly {
+	rowOf := make(map[uint64]int, len(p.Moduli))
+	for i, q := range p.Moduli {
+		rowOf[q] = i
+	}
+	out := &Poly{ctx: p.ctx, IsNTT: p.IsNTT}
+	for _, q := range moduli {
+		i, ok := rowOf[q]
+		if !ok {
+			panic("ring: Restrict: modulus not present")
+		}
+		out.Moduli = append(out.Moduli, q)
+		out.Coeffs = append(out.Coeffs, append([]uint64(nil), p.Coeffs[i]...))
+	}
+	return out
+}
+
+// DropResidues returns a view-copy of p with the residues at the given
+// positions removed. Used by RNS-CKKS mod-down between non-adjacent levels.
+func (p *Poly) DropResidues(drop map[int]bool) *Poly {
+	out := &Poly{ctx: p.ctx, IsNTT: p.IsNTT}
+	for i := range p.Moduli {
+		if drop[i] {
+			continue
+		}
+		out.Moduli = append(out.Moduli, p.Moduli[i])
+		out.Coeffs = append(out.Coeffs, append([]uint64(nil), p.Coeffs[i]...))
+	}
+	return out
+}

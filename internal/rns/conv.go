@@ -1,0 +1,174 @@
+package rns
+
+import (
+	"math/big"
+
+	"bitpacker/internal/nt"
+)
+
+// Conv is a precomputed approximate RNS basis conversion from a source
+// basis {p_0..p_{k-1}} (product P) to a target modulus set {t_0..t_{m-1}}.
+//
+// Given residues x_i = x mod p_i of an integer x in [0, P), Convert
+// produces, for each target modulus t_j, the value
+//
+//	( Σ_i [x_i · (P/p_i)^{-1}]_{p_i} · (P/p_i) )  mod t_j
+//
+// which equals (x + e·P) mod t_j for some 0 ≤ e < k. This is the standard
+// fast (approximate) basis extension of Bajard et al. / Halevi-Polyakov-
+// Shoup; the small e·P overshoot is absorbed by the noise analysis.
+// It is the computational core of the paper's scaleDown (Listing 5) and of
+// hybrid keyswitching's ModUp: each application is k·m polynomial
+// multiply-accumulates, exactly the work the CraterLake CRB unit performs.
+type Conv struct {
+	Src []uint64 // source moduli
+	Dst []uint64 // target moduli
+	P   *big.Int // product of source moduli
+
+	pHatInv   []uint64 // [(P/p_i)^{-1}]_{p_i}
+	pHatInvSh []uint64
+	mat       [][]uint64 // mat[i][j] = (P/p_i) mod t_j
+	matSh     [][]uint64
+}
+
+// NewConv precomputes a conversion from the src moduli to the dst moduli.
+// src and dst must each consist of distinct primes; they may overlap only
+// if the caller knows what it is doing (scaleDown never overlaps them).
+func NewConv(src, dst []uint64) *Conv {
+	c := &Conv{
+		Src: append([]uint64(nil), src...),
+		Dst: append([]uint64(nil), dst...),
+		P:   big.NewInt(1),
+	}
+	for _, p := range src {
+		c.P.Mul(c.P, new(big.Int).SetUint64(p))
+	}
+	c.pHatInv = make([]uint64, len(src))
+	c.pHatInvSh = make([]uint64, len(src))
+	c.mat = make([][]uint64, len(src))
+	c.matSh = make([][]uint64, len(src))
+	tmp := new(big.Int)
+	for i, p := range src {
+		pHat := new(big.Int).Div(c.P, tmp.SetUint64(p))
+		r := new(big.Int).Mod(pHat, tmp.SetUint64(p)).Uint64()
+		c.pHatInv[i] = nt.InvMod(r, p)
+		c.pHatInvSh[i] = nt.ShoupPrecomp(c.pHatInv[i], p)
+		c.mat[i] = make([]uint64, len(dst))
+		c.matSh[i] = make([]uint64, len(dst))
+		for j, t := range dst {
+			c.mat[i][j] = new(big.Int).Mod(pHat, tmp.SetUint64(t)).Uint64()
+			c.matSh[i][j] = nt.ShoupPrecomp(c.mat[i][j], t)
+		}
+	}
+	return c
+}
+
+// Convert performs the conversion on coefficient-domain residue vectors.
+// src[i] holds the residues mod Src[i]; out[j] receives the converted
+// residues mod Dst[j]. All vectors have length N. out must not alias src.
+func (c *Conv) Convert(out, src [][]uint64) {
+	if len(src) != len(c.Src) || len(out) != len(c.Dst) {
+		panic("rns: Convert shape mismatch")
+	}
+	n := len(src[0])
+	// y_i = [x_i * pHatInv_i]_{p_i}
+	y := make([][]uint64, len(c.Src))
+	for i := range y {
+		p := c.Src[i]
+		w, ws := c.pHatInv[i], c.pHatInvSh[i]
+		yi := make([]uint64, n)
+		for k, x := range src[i] {
+			yi[k] = nt.MulModShoup(x, w, ws, p)
+		}
+		y[i] = yi
+	}
+	// out_j = Σ_i y_i * mat[i][j] mod t_j
+	for j := range out {
+		t := c.Dst[j]
+		oj := out[j]
+		for k := range oj {
+			oj[k] = 0
+		}
+		for i := range y {
+			w, ws := c.mat[i][j], c.matSh[i][j]
+			yi := y[i]
+			for k := range oj {
+				oj[k] = nt.AddMod(oj[k], nt.MulModShoup(yi[k], w, ws, t), t)
+			}
+		}
+	}
+}
+
+// ConvertScalar converts a single coefficient (residues xs over Src) to the
+// target moduli. Used by tests and scalar precomputations.
+func (c *Conv) ConvertScalar(xs []uint64) []uint64 {
+	out := make([]uint64, len(c.Dst))
+	for j, t := range c.Dst {
+		var acc uint64
+		for i, x := range xs {
+			y := nt.MulModShoup(x, c.pHatInv[i], c.pHatInvSh[i], c.Src[i])
+			acc = nt.AddMod(acc, nt.MulModShoup(y, c.mat[i][j], c.matSh[i][j], t), t)
+		}
+		out[j] = acc
+	}
+	return out
+}
+
+// ExactDiv is the precomputed state for the paper's scaleDown (Listing 5):
+// dividing an RNS integer by P = Π shed moduli — flooring, up to a small
+// additive error < k — and shedding those moduli.
+//
+// kept_j = (x_j − Conv_{shed→kept}(x mod P)_j) · P^{-1} mod q_j
+type ExactDiv struct {
+	Conv   *Conv    // shed -> kept conversion
+	Kept   []uint64 // kept moduli (same as Conv.Dst)
+	invP   []uint64 // P^{-1} mod q_j
+	invPSh []uint64
+}
+
+// NewExactDiv precomputes division by the product of shed within a basis
+// whose remaining moduli are kept.
+func NewExactDiv(shed, kept []uint64) *ExactDiv {
+	d := &ExactDiv{
+		Conv: NewConv(shed, kept),
+		Kept: append([]uint64(nil), kept...),
+	}
+	d.invP = make([]uint64, len(kept))
+	d.invPSh = make([]uint64, len(kept))
+	tmp := new(big.Int)
+	for j, q := range kept {
+		r := new(big.Int).Mod(d.Conv.P, tmp.SetUint64(q)).Uint64()
+		d.invP[j] = nt.InvMod(r, q)
+		d.invPSh[j] = nt.ShoupPrecomp(d.invP[j], q)
+	}
+	return d
+}
+
+// Apply computes the scaled-down residues. shedRes[i] are the
+// coefficient-domain residues mod shed_i; keptRes[j] are the residues mod
+// kept_j, updated in place.
+func (d *ExactDiv) Apply(keptRes, shedRes [][]uint64) {
+	n := len(shedRes[0])
+	sub := make([][]uint64, len(d.Kept))
+	for j := range sub {
+		sub[j] = make([]uint64, n)
+	}
+	d.Conv.Convert(sub, shedRes)
+	for j, q := range d.Kept {
+		w, ws := d.invP[j], d.invPSh[j]
+		kj, sj := keptRes[j], sub[j]
+		for k := range kj {
+			kj[k] = nt.MulModShoup(nt.SubMod(kj[k], sj[k], q), w, ws, q)
+		}
+	}
+}
+
+// ApplyScalar is the single-coefficient variant of Apply, for tests.
+func (d *ExactDiv) ApplyScalar(kept, shed []uint64) []uint64 {
+	sub := d.Conv.ConvertScalar(shed)
+	out := make([]uint64, len(kept))
+	for j, q := range d.Kept {
+		out[j] = nt.MulModShoup(nt.SubMod(kept[j], sub[j], q), d.invP[j], d.invPSh[j], q)
+	}
+	return out
+}

@@ -1,0 +1,176 @@
+package rns
+
+import (
+	"math/big"
+	"math/rand/v2"
+	"testing"
+
+	"bitpacker/internal/nt"
+)
+
+func primes(t testing.TB, bits uint, m uint64, count int) []uint64 {
+	t.Helper()
+	ps := nt.NTTPrimesBelow(uint64(1)<<bits, m, count)
+	if len(ps) != count {
+		t.Fatalf("not enough primes below 2^%d", bits)
+	}
+	return ps
+}
+
+func TestComposeDecomposeRoundTrip(t *testing.T) {
+	b, err := NewBasis(64, primes(t, 45, 128, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewPCG(1, 1))
+	for i := 0; i < 100; i++ {
+		x := randBig(rng, b.Q)
+		xs := b.Decompose(x)
+		got := b.Compose(xs)
+		if got.Cmp(x) != 0 {
+			t.Fatalf("roundtrip failed: %v -> %v", x, got)
+		}
+	}
+}
+
+func TestDecomposeNegative(t *testing.T) {
+	b, err := NewBasis(64, primes(t, 30, 128, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := big.NewInt(-7)
+	xs := b.Decompose(x)
+	for i, q := range b.Moduli {
+		if xs[i] != q-7 {
+			t.Fatalf("residue %d: got %d want %d", i, xs[i], q-7)
+		}
+	}
+	c := b.ComposeCentered(xs)
+	if c.Int64() != -7 {
+		t.Fatalf("centered compose: got %v want -7", c)
+	}
+}
+
+func TestNewBasisErrors(t *testing.T) {
+	if _, err := NewBasis(64, nil); err == nil {
+		t.Fatal("empty basis accepted")
+	}
+	if _, err := NewBasis(64, []uint64{15}); err == nil {
+		t.Fatal("composite modulus accepted")
+	}
+	if _, err := NewBasis(64, []uint64{97, 97}); err == nil {
+		t.Fatal("duplicate modulus accepted")
+	}
+}
+
+func TestConvApproximate(t *testing.T) {
+	src := primes(t, 40, 128, 3)
+	dst := primes(t, 50, 128, 4)
+	c := NewConv(src, dst)
+	srcBasis, _ := NewBasis(64, src)
+	rng := rand.New(rand.NewPCG(2, 2))
+	k := new(big.Int).SetInt64(int64(len(src)))
+	for i := 0; i < 200; i++ {
+		x := randBig(rng, srcBasis.Q)
+		out := c.ConvertScalar(srcBasis.Decompose(x))
+		// The converted value must equal (x + e*P) mod t_j with 0 <= e < k,
+		// and e must be consistent across target moduli.
+		matched := false
+		for e := new(big.Int); e.Cmp(k) < 0; e.Add(e, big.NewInt(1)) {
+			v := new(big.Int).Mul(e, c.P)
+			v.Add(v, x)
+			ok := true
+			for j, tm := range dst {
+				want := new(big.Int).Mod(v, new(big.Int).SetUint64(tm)).Uint64()
+				if out[j] != want {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Fatalf("conversion of %v not within e*P overshoot", x)
+		}
+	}
+}
+
+func TestExactDivFloors(t *testing.T) {
+	shed := primes(t, 35, 128, 2)
+	kept := primes(t, 45, 128, 3)
+	d := NewExactDiv(shed, kept)
+	full := append(append([]uint64(nil), kept...), shed...)
+	fb, _ := NewBasis(64, full)
+	keptBasis, _ := NewBasis(64, kept)
+	rng := rand.New(rand.NewPCG(3, 3))
+	maxErr := int64(len(shed)) // e < k
+	for i := 0; i < 200; i++ {
+		x := randBig(rng, fb.Q)
+		xs := fb.Decompose(x)
+		out := d.ApplyScalar(xs[:len(kept)], xs[len(kept):])
+		got := keptBasis.Compose(out)
+		want := new(big.Int).Div(x, d.Conv.P) // floor, x >= 0
+		// got = want - e mod Qkept with 0 <= e < k.
+		diff := new(big.Int).Sub(want, got)
+		diff.Mod(diff, keptBasis.Q)
+		if diff.Cmp(big.NewInt(maxErr)) >= 0 {
+			t.Fatalf("x=%v: floor error %v >= %d", x, diff, maxErr)
+		}
+	}
+}
+
+func TestExactDivVector(t *testing.T) {
+	shed := primes(t, 30, 128, 2)
+	kept := primes(t, 40, 128, 2)
+	d := NewExactDiv(shed, kept)
+	full := append(append([]uint64(nil), kept...), shed...)
+	fb, _ := NewBasis(64, full)
+	keptBasis, _ := NewBasis(64, kept)
+	rng := rand.New(rand.NewPCG(4, 4))
+	n := 16
+	keptRes := [][]uint64{make([]uint64, n), make([]uint64, n)}
+	shedRes := [][]uint64{make([]uint64, n), make([]uint64, n)}
+	vals := make([]*big.Int, n)
+	for k := 0; k < n; k++ {
+		x := randBig(rng, fb.Q)
+		vals[k] = x
+		xs := fb.Decompose(x)
+		for j := 0; j < 2; j++ {
+			keptRes[j][k] = xs[j]
+			shedRes[j][k] = xs[2+j]
+		}
+	}
+	d.Apply(keptRes, shedRes)
+	for k := 0; k < n; k++ {
+		got := keptBasis.Compose([]uint64{keptRes[0][k], keptRes[1][k]})
+		want := new(big.Int).Div(vals[k], d.Conv.P)
+		diff := new(big.Int).Sub(want, got)
+		diff.Mod(diff, keptBasis.Q)
+		if diff.Cmp(big.NewInt(2)) >= 0 {
+			t.Fatalf("coeff %d: floor error %v", k, diff)
+		}
+	}
+}
+
+func TestSubProduct(t *testing.T) {
+	ps := primes(t, 30, 128, 4)
+	b, _ := NewBasis(64, ps)
+	got := b.SubProduct([]int{0, 2})
+	want := new(big.Int).Mul(new(big.Int).SetUint64(ps[0]), new(big.Int).SetUint64(ps[2]))
+	if got.Cmp(want) != 0 {
+		t.Fatalf("SubProduct wrong")
+	}
+}
+
+// randBig returns a uniform big.Int in [0, max) drawn from rng.
+func randBig(rng *rand.Rand, max *big.Int) *big.Int {
+	buf := make([]byte, len(max.Bytes())+8)
+	for i := range buf {
+		buf[i] = byte(rng.Uint64())
+	}
+	v := new(big.Int).SetBytes(buf)
+	return v.Mod(v, max)
+}

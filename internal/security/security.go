@@ -1,0 +1,89 @@
+// Package security estimates R-LWE security for CKKS parameter sets.
+//
+// It embeds the Homomorphic Encryption Standard tables (Albrecht et al.,
+// homomorphicencryption.org, ternary secret, classical attacks): for each
+// ring degree N, the maximum total modulus width log2(Q*P) tolerated at
+// 128-, 192- and 256-bit security. Security is proportional to
+// N / log2(Qmax) (paper Sec. 3.4), so we interpolate linearly in
+// N / logQP between table rows to estimate the security of intermediate
+// points, and extrapolate on the same ratio beyond them.
+package security
+
+import "fmt"
+
+// heStdRow is one HE-standard table row.
+type heStdRow struct {
+	logN  int
+	logQP [3]float64 // at 128, 192, 256-bit security
+}
+
+var heStd = []heStdRow{
+	{10, [3]float64{27, 19, 14}},
+	{11, [3]float64{54, 37, 29}},
+	{12, [3]float64{109, 75, 58}},
+	{13, [3]float64{218, 152, 118}},
+	{14, [3]float64{438, 305, 237}},
+	{15, [3]float64{881, 611, 476}},
+	{16, [3]float64{1772, 1229, 956}},
+	{17, [3]float64{3576, 2477, 1928}},
+}
+
+var secLevels = [3]float64{128, 192, 256}
+
+// MaxLogQP returns the largest total modulus width (log2 of Q times the
+// keyswitching special modulus P) that meets `bits` of security at ring
+// degree 2^logN. It returns an error for unsupported logN or security
+// targets outside [128, 256].
+func MaxLogQP(logN int, bits float64) (float64, error) {
+	var row *heStdRow
+	for i := range heStd {
+		if heStd[i].logN == logN {
+			row = &heStd[i]
+			break
+		}
+	}
+	if row == nil {
+		return 0, fmt.Errorf("security: no table entry for logN=%d", logN)
+	}
+	if bits <= secLevels[0] {
+		// Below 128 bits, scale logQP ~ 1/security (security ~ N/logQ).
+		return row.logQP[0] * secLevels[0] / bits, nil
+	}
+	if bits >= secLevels[2] {
+		return row.logQP[2] * secLevels[2] / bits, nil
+	}
+	for i := 0; i < 2; i++ {
+		if bits >= secLevels[i] && bits <= secLevels[i+1] {
+			f := (bits - secLevels[i]) / (secLevels[i+1] - secLevels[i])
+			return row.logQP[i] + f*(row.logQP[i+1]-row.logQP[i]), nil
+		}
+	}
+	return 0, fmt.Errorf("security: unreachable")
+}
+
+// Estimate returns the approximate security level in bits for a parameter
+// set (ring degree 2^logN, total modulus width logQP bits).
+func Estimate(logN int, logQP float64) (float64, error) {
+	max128, err := MaxLogQP(logN, 128)
+	if err != nil {
+		return 0, err
+	}
+	if logQP <= 0 {
+		return 0, fmt.Errorf("security: nonpositive logQP")
+	}
+	// security ~ N / logQP: anchor at the 128-bit row.
+	return 128 * max128 / logQP, nil
+}
+
+// Check validates that a parameter set reaches the target security.
+func Check(logN int, logQP, targetBits float64) error {
+	got, err := Estimate(logN, logQP)
+	if err != nil {
+		return err
+	}
+	if got < targetBits {
+		return fmt.Errorf("security: logN=%d logQP=%.0f gives ~%.0f bits, below target %.0f",
+			logN, logQP, got, targetBits)
+	}
+	return nil
+}

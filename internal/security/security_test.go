@@ -1,0 +1,60 @@
+package security
+
+import "testing"
+
+func TestMaxLogQPTable(t *testing.T) {
+	got, err := MaxLogQP(16, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 1772 {
+		t.Fatalf("logN=16 @128b: got %f want 1772", got)
+	}
+	if _, err := MaxLogQP(9, 128); err == nil {
+		t.Fatal("unsupported logN accepted")
+	}
+}
+
+func TestInterpolation(t *testing.T) {
+	mid, err := MaxLogQP(15, 160)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mid >= 881 || mid <= 611 {
+		t.Fatalf("interpolated value %f outside (611, 881)", mid)
+	}
+}
+
+func TestPaperParametersAreSecure(t *testing.T) {
+	// Paper Sec. 5: N=2^16, logQmax=1596 bits at 128-bit security.
+	if err := Check(16, 1596, 128); err != nil {
+		t.Fatal(err)
+	}
+	// And a clearly insecure configuration must be rejected.
+	if err := Check(13, 1596, 128); err == nil {
+		t.Fatal("insecure parameters accepted")
+	}
+}
+
+func TestEstimateMonotone(t *testing.T) {
+	a, _ := Estimate(16, 1000)
+	b, _ := Estimate(16, 1600)
+	if a <= b {
+		t.Fatalf("security should decrease with modulus width: %f vs %f", a, b)
+	}
+	if _, err := Estimate(16, 0); err == nil {
+		t.Fatal("nonpositive logQP accepted")
+	}
+}
+
+func TestEightyBitBudgetLarger(t *testing.T) {
+	// The paper's 80-bit-security variant tolerates a wider modulus.
+	q80, err := MaxLogQP(16, 80)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q128, _ := MaxLogQP(16, 128)
+	if q80 <= q128 {
+		t.Fatalf("80-bit budget %f should exceed 128-bit %f", q80, q128)
+	}
+}

@@ -1,0 +1,99 @@
+// Package trace defines the homomorphic-operation intermediate
+// representation that workload generators emit and the accelerator model
+// executes. A Program is a flat sequence of (operation kind, level, count)
+// groups: the cost of every operation depends only on the residue count at
+// its level (plus the level transition for rescale/adjust), so grouping
+// keeps multi-million-op programs compact.
+package trace
+
+// Kind enumerates homomorphic macro-operations.
+type Kind int
+
+const (
+	// HMul is a ciphertext-ciphertext multiply with relinearization.
+	HMul Kind = iota
+	// HAdd is a ciphertext-ciphertext add.
+	HAdd
+	// HRotate is a slot rotation (automorphism + keyswitch).
+	HRotate
+	// PMul is a ciphertext-plaintext multiply.
+	PMul
+	// PAdd is a ciphertext-plaintext add.
+	PAdd
+	// Rescale moves a ciphertext one level down after a multiply.
+	Rescale
+	// Adjust aligns a ciphertext one level down without changing the value.
+	Adjust
+	// ModRaise raises a level-0 ciphertext to the top level (bootstrap
+	// entry).
+	ModRaise
+	numKinds
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case HMul:
+		return "HMul"
+	case HAdd:
+		return "HAdd"
+	case HRotate:
+		return "HRotate"
+	case PMul:
+		return "PMul"
+	case PAdd:
+		return "PAdd"
+	case Rescale:
+		return "Rescale"
+	case Adjust:
+		return "Adjust"
+	case ModRaise:
+		return "ModRaise"
+	}
+	return "?"
+}
+
+// Kinds lists all kinds.
+func Kinds() []Kind {
+	out := make([]Kind, numKinds)
+	for i := range out {
+		out[i] = Kind(i)
+	}
+	return out
+}
+
+// Group is `Count` repetitions of one operation at one level.
+type Group struct {
+	Kind  Kind
+	Level int
+	Count int
+}
+
+// Program is a complete homomorphic program plus the metadata the memory
+// model needs.
+type Program struct {
+	Name string
+	// Groups in execution order.
+	Groups []Group
+	// LiveCiphertexts approximates the working set: how many ciphertexts
+	// the program keeps alive at once (drives the register-file capacity
+	// model of Fig. 17).
+	LiveCiphertexts int
+}
+
+// Add appends a group (dropping empty ones).
+func (p *Program) Add(kind Kind, level, count int) {
+	if count <= 0 {
+		return
+	}
+	p.Groups = append(p.Groups, Group{Kind: kind, Level: level, Count: count})
+}
+
+// TotalOps returns the total operation count by kind.
+func (p *Program) TotalOps() map[Kind]int {
+	out := map[Kind]int{}
+	for _, g := range p.Groups {
+		out[g.Kind] += g.Count
+	}
+	return out
+}

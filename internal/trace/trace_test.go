@@ -1,0 +1,33 @@
+package trace
+
+import "testing"
+
+func TestKindStrings(t *testing.T) {
+	for _, k := range Kinds() {
+		if k.String() == "?" {
+			t.Fatalf("kind %d has no name", k)
+		}
+	}
+	if Kind(99).String() != "?" {
+		t.Fatal("invalid kind should render ?")
+	}
+	if len(Kinds()) != 8 {
+		t.Fatalf("expected 8 kinds, got %d", len(Kinds()))
+	}
+}
+
+func TestProgramAddAndTotals(t *testing.T) {
+	p := &Program{Name: "test"}
+	p.Add(HMul, 3, 5)
+	p.Add(HMul, 2, 7)
+	p.Add(HAdd, 3, 0)  // dropped
+	p.Add(HAdd, 3, -1) // dropped
+	p.Add(Rescale, 3, 2)
+	if len(p.Groups) != 3 {
+		t.Fatalf("expected 3 groups, got %d", len(p.Groups))
+	}
+	ops := p.TotalOps()
+	if ops[HMul] != 12 || ops[Rescale] != 2 || ops[HAdd] != 0 {
+		t.Fatalf("totals wrong: %v", ops)
+	}
+}

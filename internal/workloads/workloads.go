@@ -1,0 +1,212 @@
+// Package workloads models the paper's five FHE benchmarks (Sec. 5) as
+// level-annotated operation traces plus the scale schedules their chains
+// must realize:
+//
+//	ResNet-20            45-bit app scale, deep ReLU polynomial, frequent bootstrapping
+//	ResNet-20+AESPA      45-bit app scale, degree-2 activations, rare bootstrapping
+//	RNN                  45-bit app scale, 200-step recurrence
+//	SqueezeNet           35-bit app scale, degree-2 activations
+//	LogReg (HELR)        35-bit app scale, 32 NAG iterations
+//
+// and the two Lattigo bootstrapping algorithms (BS19: 52/55/30-bit scales,
+// BS26: 54/60/40-bit scales).
+//
+// The traces are synthetic: we do not run CIFAR-10/IMDB/MNIST models, but
+// the op mixes (rotations/plain multiplies per convolution level,
+// polynomial-evaluation multiplies per activation level, bootstrap phase
+// structure) and the published scale schedules are what determine
+// accelerator behavior, and those are reproduced. See DESIGN.md.
+package workloads
+
+import (
+	"bitpacker/internal/core"
+	"bitpacker/internal/trace"
+)
+
+// Mix is the per-level operation bundle of one computation phase.
+type Mix struct {
+	HMul, HAdd, HRotate, PMul, PAdd int
+	Rescales, Adjusts               int
+}
+
+func (m Mix) emit(p *trace.Program, level int) {
+	p.Add(trace.HRotate, level, m.HRotate)
+	p.Add(trace.PMul, level, m.PMul)
+	p.Add(trace.HMul, level, m.HMul)
+	p.Add(trace.HAdd, level, m.HAdd)
+	p.Add(trace.PAdd, level, m.PAdd)
+	if level > 0 {
+		p.Add(trace.Rescale, level, m.Rescales)
+		p.Add(trace.Adjust, level, m.Adjusts)
+	}
+}
+
+// BootstrapSpec is the phase structure of one bootstrapping algorithm:
+// CoeffToSlot at the top of the chain, then EvalMod, then SlotToCoeff,
+// each with its own scale (this scale diversity is what stresses
+// RNS-CKKS packing).
+type BootstrapSpec struct {
+	Name                                string
+	CtSLevels, EvalModLevels, StCLevels int
+	CtSScale, EvalModScale, StCScale    float64
+	CtSMix, EvalModMix, StCMix          Mix
+}
+
+// Levels is the total level budget bootstrapping consumes.
+func (b BootstrapSpec) Levels() int { return b.CtSLevels + b.EvalModLevels + b.StCLevels }
+
+// BS19 is Lattigo's 19-bit-precision bootstrapping (scales 52, 55, 30).
+var BS19 = BootstrapSpec{
+	Name:      "BS19",
+	CtSLevels: 4, EvalModLevels: 8, StCLevels: 3,
+	CtSScale: 55, EvalModScale: 52, StCScale: 30,
+	CtSMix:     Mix{HRotate: 56, PMul: 60, HAdd: 56, Rescales: 20, Adjusts: 4},
+	EvalModMix: Mix{HMul: 4, HAdd: 6, PMul: 2, PAdd: 2, Rescales: 5, Adjusts: 2},
+	StCMix:     Mix{HRotate: 40, PMul: 44, HAdd: 40, Rescales: 15, Adjusts: 3},
+}
+
+// BS26 is Lattigo's 26-bit-precision bootstrapping (scales 54, 60, 40).
+// It is slightly costlier than BS19 but more precise.
+var BS26 = BootstrapSpec{
+	Name:      "BS26",
+	CtSLevels: 4, EvalModLevels: 9, StCLevels: 3,
+	CtSScale: 60, EvalModScale: 54, StCScale: 40,
+	CtSMix:     Mix{HRotate: 60, PMul: 64, HAdd: 60, Rescales: 22, Adjusts: 4},
+	EvalModMix: Mix{HMul: 4, HAdd: 6, PMul: 2, PAdd: 2, Rescales: 5, Adjusts: 2},
+	StCMix:     Mix{HRotate: 44, PMul: 48, HAdd: 44, Rescales: 16, Adjusts: 3},
+}
+
+// Bootstraps returns both algorithms.
+func Bootstraps() []BootstrapSpec { return []BootstrapSpec{BS19, BS26} }
+
+// Benchmark describes one application.
+type Benchmark struct {
+	Name string
+	// AppScale is the application-phase scale in bits.
+	AppScale float64
+	// AppLevels is the multiplicative budget consumed between bootstraps.
+	AppLevels int
+	// Bootstraps is how many bootstrap+compute segments the program runs.
+	Bootstraps int
+	// AppMix is the per-app-level operation bundle.
+	AppMix Mix
+	// LiveCiphertexts approximates the working set for the RF model.
+	LiveCiphertexts int
+	// QMinBits is the level-0 modulus the program needs.
+	QMinBits float64
+}
+
+// Benchmarks returns the paper's five applications with op mixes derived
+// from their published structure (convolution = rotation+plain-multiply
+// heavy, activations = ciphertext multiplies, recurrences = balanced).
+func Benchmarks() []Benchmark {
+	return []Benchmark{
+		{
+			Name: "ResNet-20", AppScale: 45, AppLevels: 4, Bootstraps: 30,
+			// Multiplexed-parallel convolutions plus the high-degree ReLU
+			// polynomial (Lee et al.): rotation/plain-multiply heavy with
+			// a few ciphertext multiplies per level.
+			AppMix:          Mix{HMul: 10, HAdd: 150, HRotate: 120, PMul: 130, PAdd: 20, Rescales: 40, Adjusts: 10},
+			LiveCiphertexts: 13, QMinBits: 60,
+		},
+		{
+			Name: "ResNet-20+AESPA", AppScale: 45, AppLevels: 9, Bootstraps: 7,
+			// AESPA's degree-2 activations slash depth, so bootstraps are
+			// rare and each segment carries more conv levels.
+			AppMix:          Mix{HMul: 4, HAdd: 150, HRotate: 120, PMul: 130, PAdd: 20, Rescales: 40, Adjusts: 10},
+			LiveCiphertexts: 10, QMinBits: 60,
+		},
+		{
+			Name: "RNN", AppScale: 45, AppLevels: 6, Bootstraps: 50,
+			// 200 recurrence steps: two 128x128 matmuls and a degree-3
+			// activation each, batched into segments.
+			AppMix:          Mix{HMul: 8, HAdd: 60, HRotate: 48, PMul: 24, PAdd: 8, Rescales: 16, Adjusts: 6},
+			LiveCiphertexts: 10, QMinBits: 60,
+		},
+		{
+			Name: "SqueezeNet", AppScale: 35, AppLevels: 8, Bootstraps: 4,
+			AppMix:          Mix{HMul: 3, HAdd: 48, HRotate: 36, PMul: 40, PAdd: 8, Rescales: 14, Adjusts: 5},
+			LiveCiphertexts: 10, QMinBits: 60,
+		},
+		{
+			Name: "LogReg", AppScale: 35, AppLevels: 7, Bootstraps: 14,
+			// HELR: 32 NAG iterations at batch 1024, 197 features.
+			AppMix:          Mix{HMul: 12, HAdd: 60, HRotate: 60, PMul: 20, PAdd: 10, Rescales: 22, Adjusts: 8},
+			LiveCiphertexts: 10, QMinBits: 60,
+		},
+	}
+}
+
+// BenchmarkByName looks a benchmark up.
+func BenchmarkByName(name string) (Benchmark, bool) {
+	for _, b := range Benchmarks() {
+		if b.Name == name {
+			return b, true
+		}
+	}
+	return Benchmark{}, false
+}
+
+// ProgramSpec lays out the level-to-target-scale schedule: application
+// levels at the bottom, then SlotToCoeff, EvalMod, and CoeffToSlot at the
+// top (the order bootstrapping consumes them).
+func ProgramSpec(b Benchmark, bs BootstrapSpec) core.ProgramSpec {
+	total := b.AppLevels + bs.Levels()
+	scales := make([]float64, total+1)
+	l := 0
+	scales[l] = b.AppScale // level-0 carry scale
+	l++
+	for i := 0; i < b.AppLevels; i++ {
+		scales[l] = b.AppScale
+		l++
+	}
+	for i := 0; i < bs.StCLevels; i++ {
+		scales[l] = bs.StCScale
+		l++
+	}
+	for i := 0; i < bs.EvalModLevels; i++ {
+		scales[l] = bs.EvalModScale
+		l++
+	}
+	for i := 0; i < bs.CtSLevels; i++ {
+		scales[l] = bs.CtSScale
+		l++
+	}
+	return core.ProgramSpec{
+		MaxLevel:        total,
+		TargetScaleBits: scales,
+		QMinBits:        b.QMinBits,
+	}
+}
+
+// BuildProgram emits the operation trace of benchmark b bootstrapped with
+// bs. Levels refer to the schedule produced by ProgramSpec.
+func BuildProgram(b Benchmark, bs BootstrapSpec) *trace.Program {
+	p := &trace.Program{
+		Name:            b.Name + " (" + bs.Name + ")",
+		LiveCiphertexts: b.LiveCiphertexts,
+	}
+	top := b.AppLevels + bs.Levels()
+	for iter := 0; iter < b.Bootstraps; iter++ {
+		// ModRaise from the exhausted level-0 ciphertext to the top.
+		p.Add(trace.ModRaise, 0, 1)
+		l := top
+		for i := 0; i < bs.CtSLevels; i++ {
+			bs.CtSMix.emit(p, l)
+			l--
+		}
+		for i := 0; i < bs.EvalModLevels; i++ {
+			bs.EvalModMix.emit(p, l)
+			l--
+		}
+		for i := 0; i < bs.StCLevels; i++ {
+			bs.StCMix.emit(p, l)
+			l--
+		}
+		for i := 0; i < b.AppLevels; i++ {
+			b.AppMix.emit(p, l)
+			l--
+		}
+	}
+	return p
+}

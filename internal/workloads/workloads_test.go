@@ -1,0 +1,132 @@
+package workloads
+
+import (
+	"testing"
+
+	"bitpacker/internal/core"
+	"bitpacker/internal/trace"
+)
+
+func TestBenchmarkRegistry(t *testing.T) {
+	bs := Benchmarks()
+	if len(bs) != 5 {
+		t.Fatalf("expected the paper's 5 benchmarks, got %d", len(bs))
+	}
+	names := map[string]bool{}
+	for _, b := range bs {
+		names[b.Name] = true
+		if b.AppScale != 35 && b.AppScale != 45 {
+			t.Fatalf("%s: app scale %f not one of the paper's 35/45", b.Name, b.AppScale)
+		}
+		if b.Bootstraps <= 0 || b.AppLevels <= 0 || b.LiveCiphertexts <= 0 {
+			t.Fatalf("%s: invalid structure", b.Name)
+		}
+	}
+	for _, want := range []string{"ResNet-20", "ResNet-20+AESPA", "RNN", "SqueezeNet", "LogReg"} {
+		if !names[want] {
+			t.Fatalf("missing benchmark %s", want)
+		}
+		if _, ok := BenchmarkByName(want); !ok {
+			t.Fatalf("BenchmarkByName(%s) failed", want)
+		}
+	}
+	if _, ok := BenchmarkByName("nope"); ok {
+		t.Fatal("unknown benchmark found")
+	}
+}
+
+func TestBootstrapScales(t *testing.T) {
+	// Paper Sec. 5: BS19 uses scales of 52, 55, and 30 bits; BS26 uses
+	// 54, 60, and 40.
+	if BS19.EvalModScale != 52 || BS19.CtSScale != 55 || BS19.StCScale != 30 {
+		t.Fatalf("BS19 scales wrong: %v %v %v", BS19.EvalModScale, BS19.CtSScale, BS19.StCScale)
+	}
+	if BS26.EvalModScale != 54 || BS26.CtSScale != 60 || BS26.StCScale != 40 {
+		t.Fatalf("BS26 scales wrong")
+	}
+	if BS26.Levels() < BS19.Levels() {
+		t.Fatal("BS26 should be at least as deep as BS19 (it is costlier)")
+	}
+}
+
+func TestProgramSpecLayout(t *testing.T) {
+	b, _ := BenchmarkByName("ResNet-20")
+	spec := ProgramSpec(b, BS19)
+	if spec.MaxLevel != b.AppLevels+BS19.Levels() {
+		t.Fatalf("MaxLevel %d", spec.MaxLevel)
+	}
+	if len(spec.TargetScaleBits) != spec.MaxLevel+1 {
+		t.Fatal("schedule length mismatch")
+	}
+	// Bottom: app scale; top: CtS scale.
+	if spec.TargetScaleBits[1] != b.AppScale {
+		t.Fatalf("level 1 scale %f", spec.TargetScaleBits[1])
+	}
+	if spec.TargetScaleBits[spec.MaxLevel] != BS19.CtSScale {
+		t.Fatalf("top scale %f", spec.TargetScaleBits[spec.MaxLevel])
+	}
+	// The four distinct scales of the paper must all appear.
+	seen := map[float64]bool{}
+	for _, s := range spec.TargetScaleBits {
+		seen[s] = true
+	}
+	for _, want := range []float64{45, 30, 52, 55} {
+		if !seen[want] {
+			t.Fatalf("scale %f missing from schedule", want)
+		}
+	}
+}
+
+func TestBuildProgramStructure(t *testing.T) {
+	b, _ := BenchmarkByName("LogReg")
+	prog := BuildProgram(b, BS26)
+	ops := prog.TotalOps()
+	if ops[trace.ModRaise] != b.Bootstraps {
+		t.Fatalf("ModRaise count %d, want %d", ops[trace.ModRaise], b.Bootstraps)
+	}
+	perIter := b.AppMix.HMul*b.AppLevels + BS26.EvalModMix.HMul*BS26.EvalModLevels +
+		BS26.CtSMix.HMul*BS26.CtSLevels + BS26.StCMix.HMul*BS26.StCLevels
+	if ops[trace.HMul] != perIter*b.Bootstraps {
+		t.Fatalf("HMul count %d, want %d", ops[trace.HMul], perIter*b.Bootstraps)
+	}
+	top := b.AppLevels + BS26.Levels()
+	for _, g := range prog.Groups {
+		if g.Level < 0 || g.Level > top {
+			t.Fatalf("group at level %d outside chain", g.Level)
+		}
+		if (g.Kind == trace.Rescale || g.Kind == trace.Adjust) && g.Level == 0 {
+			t.Fatal("level management emitted at level 0")
+		}
+	}
+}
+
+func TestChainsBuildForAllBenchmarks(t *testing.T) {
+	// Every (benchmark, bootstrap, scheme) combination must produce a
+	// valid chain across the paper's word-size range.
+	sec := core.SecuritySpec{LogN: 16}
+	for _, w := range []int{28, 36, 44, 54, 64} {
+		for _, b := range Benchmarks() {
+			for _, bs := range Bootstraps() {
+				prog := ProgramSpec(b, bs)
+				bp, err := core.BuildBitPacker(prog, sec, core.HWSpec{WordBits: w}, core.Options{})
+				if err != nil {
+					t.Fatalf("%s/%s w=%d BitPacker: %v", b.Name, bs.Name, w, err)
+				}
+				if err := bp.Validate(); err != nil {
+					t.Fatalf("%s/%s w=%d BitPacker: %v", b.Name, bs.Name, w, err)
+				}
+				rc, err := core.BuildRNSCKKS(prog, sec, core.HWSpec{WordBits: w}, core.Options{})
+				if err != nil {
+					t.Fatalf("%s/%s w=%d RNS-CKKS: %v", b.Name, bs.Name, w, err)
+				}
+				if err := rc.Validate(); err != nil {
+					t.Fatalf("%s/%s w=%d RNS-CKKS: %v", b.Name, bs.Name, w, err)
+				}
+				if bp.MeanR() > rc.MeanR()+1e-9 {
+					t.Errorf("%s/%s w=%d: BitPacker meanR %.2f > RNS-CKKS %.2f",
+						b.Name, bs.Name, w, bp.MeanR(), rc.MeanR())
+				}
+			}
+		}
+	}
+}

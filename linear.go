@@ -1,0 +1,57 @@
+package bitpacker
+
+import "bitpacker/internal/ckks"
+
+// Transform is an encoded plaintext linear map (matrix) ready to apply to
+// ciphertexts at a fixed level.
+type Transform struct {
+	lt *ckks.LinearTransform
+}
+
+// Rotations returns the rotation amounts the transform needs; pass them
+// in Config.Rotations when creating the context.
+func (t *Transform) Rotations() []int { return t.lt.Rotations() }
+
+// NewMatrixTransform encodes a dense dim×dim matrix (dim must divide
+// Slots()) for application at the given level. Input vectors must be
+// replicated across slot blocks (see Replicate).
+func (c *Context) NewMatrixTransform(mat [][]complex128, level int) (*Transform, error) {
+	lt, err := ckks.NewLinearTransform(c.params, c.encoder, mat, level)
+	if err != nil {
+		return nil, err
+	}
+	return &Transform{lt: lt}, nil
+}
+
+// NewDiagonalTransform encodes a sparse linear map given by its nonzero
+// diagonals: diags[d][i] multiplies input slot (i+d) mod Slots().
+func (c *Context) NewDiagonalTransform(diags map[int][]complex128, level int) (*Transform, error) {
+	lt, err := ckks.NewLinearTransformFromDiags(c.params, c.encoder, diags, level)
+	if err != nil {
+		return nil, err
+	}
+	return &Transform{lt: lt}, nil
+}
+
+// Apply computes the matrix-vector product M·v homomorphically. The
+// ciphertext must sit at the transform's level; follow with Rescale.
+func (c *Context) Apply(ct *Ciphertext, t *Transform) *Ciphertext {
+	return &Ciphertext{ct: c.eval.ApplyLinearTransform(ct.ct, t.lt)}
+}
+
+// Replicate repeats the first dim values across all slots, the layout
+// NewMatrixTransform expects.
+func (c *Context) Replicate(values []complex128, dim int) []complex128 {
+	return ckks.ReplicateBlocks(values, dim, c.Slots())
+}
+
+// Chebyshev evaluates sum_k coeffs[k]*T_k(x) on an encrypted x with slots
+// in [-1, 1], consuming len(coeffs)-1 levels. Chebyshev bases are how
+// CKKS programs evaluate activation functions and bootstrapping's sine.
+func (c *Context) Chebyshev(ct *Ciphertext, coeffs []float64) (*Ciphertext, error) {
+	out, err := c.eval.EvalChebyshev(c.encoder, ct.ct, coeffs)
+	if err != nil {
+		return nil, err
+	}
+	return &Ciphertext{ct: out}, nil
+}
