@@ -1,0 +1,29 @@
+GO ?= go
+
+.PHONY: all build vet test race bench check clean
+
+all: check
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# The execution engine's concurrency is validated with the race detector
+# over the packages that dispatch work across residues.
+race:
+	$(GO) test -race ./internal/ring/... ./internal/ckks/...
+
+bench:
+	$(GO) test -bench BenchmarkOp -benchtime 1x -run '^$$' .
+
+# Tier-1 gate: everything must build, vet clean, pass tests, and the
+# parallel hot paths must be race-free.
+check: build vet test race
+
+clean:
+	$(GO) clean ./...

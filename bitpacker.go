@@ -5,8 +5,19 @@ import (
 
 	"bitpacker/internal/ckks"
 	"bitpacker/internal/core"
+	"bitpacker/internal/engine"
 	"bitpacker/internal/security"
 )
+
+// SetWorkers sets the process-wide worker count of the polynomial
+// execution engine: homomorphic operations fan their independent RNS
+// residues across this many CPU workers. n <= 0 restores the default
+// (the BITPACKER_WORKERS environment variable, then GOMAXPROCS).
+// Workers()==1 reproduces sequential execution bit-for-bit.
+func SetWorkers(n int) { engine.SetWorkers(n) }
+
+// Workers reports the execution engine's effective worker count.
+func Workers() int { return engine.Workers() }
 
 // Scheme selects the RNS representation.
 type Scheme = core.Scheme
@@ -60,6 +71,11 @@ type Config struct {
 	// context creation; the DFT rotation keys (and conjugation) are
 	// generated automatically. Use Refresh to bootstrap.
 	Bootstrap *BootstrapOptions
+	// Workers, when nonzero, sets the process-wide execution-engine
+	// worker count at context creation (equivalent to calling
+	// SetWorkers). The engine is shared by every context in the process;
+	// 1 forces sequential execution.
+	Workers int
 }
 
 // BootstrapOptions configures functional bootstrapping (see
@@ -117,6 +133,9 @@ func New(cfg Config) (*Context, error) {
 	}
 	if cfg.WordBits == 0 {
 		cfg.WordBits = 61
+	}
+	if cfg.Workers != 0 {
+		engine.SetWorkers(cfg.Workers)
 	}
 	schedule := cfg.ScaleSchedule
 	if schedule == nil {

@@ -6,6 +6,7 @@
 //	bpbench -quick          # trimmed sample counts / sweep grids
 //	bpbench -exp fig11      # run one experiment (comma-separated list OK)
 //	bpbench -list           # list experiment IDs
+//	bpbench -json bench.json  # microbenchmark the host kernels, emit JSON
 package main
 
 import (
@@ -22,7 +23,16 @@ func main() {
 	quick := flag.Bool("quick", false, "trim sample counts and sweep grids")
 	exp := flag.String("exp", "", "comma-separated experiment ids (default: all)")
 	list := flag.Bool("list", false, "list experiment ids and exit")
+	jsonPath := flag.String("json", "", "run host-kernel microbenchmarks and write JSON records to this file")
 	flag.Parse()
+
+	if *jsonPath != "" {
+		if err := runMicrobench(*jsonPath); err != nil {
+			fmt.Fprintf(os.Stderr, "bench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *list {
 		for _, r := range experiments.Runners() {

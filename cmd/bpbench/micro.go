@@ -1,0 +1,117 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	"bitpacker"
+)
+
+// BenchRecord is one machine-readable microbenchmark result, written by
+// the -json flag so external tooling (plotting, regression tracking) can
+// consume host-kernel timings without scraping `go test -bench` output.
+type BenchRecord struct {
+	Op       string  `json:"op"`
+	Scheme   string  `json:"scheme"`
+	WordBits int     `json:"word_bits"`
+	LogN     int     `json:"log_n"`
+	Residues int     `json:"residues"`
+	Workers  int     `json:"workers"`
+	NsPerOp  float64 `json:"ns_per_op"`
+	Iters    int     `json:"iters"`
+}
+
+// timeOp runs fn repeatedly until it has accumulated enough wall time for
+// a stable estimate and returns ns/op with the iteration count used.
+func timeOp(fn func()) (float64, int) {
+	const (
+		minDuration = 200 * time.Millisecond
+		maxIters    = 1 << 16
+	)
+	fn() // warm up pools, NTT tables, conversion caches
+	var (
+		iters   int
+		elapsed time.Duration
+	)
+	for elapsed < minDuration && iters < maxIters {
+		n := 1
+		if elapsed > 0 {
+			// Estimate how many more iterations reach minDuration.
+			per := elapsed / time.Duration(iters)
+			n = int((minDuration - elapsed) / per)
+			if n < 1 {
+				n = 1
+			}
+		}
+		start := time.Now()
+		for i := 0; i < n; i++ {
+			fn()
+		}
+		elapsed += time.Since(start)
+		iters += n
+	}
+	return float64(elapsed.Nanoseconds()) / float64(iters), iters
+}
+
+// runMicrobench times the host-library hot ops (ciphertext multiply +
+// rescale, level adjust) for both representations at the accelerator- and
+// CPU-favored word sizes, and writes the records as JSON to path.
+func runMicrobench(path string) error {
+	const (
+		logN      = 12
+		levels    = 6
+		scaleBits = 45
+	)
+	var records []BenchRecord
+	for _, w := range []int{28, 61} {
+		for _, scheme := range []bitpacker.Scheme{bitpacker.RNSCKKS, bitpacker.BitPacker} {
+			ctx, err := bitpacker.New(bitpacker.Config{
+				Scheme:    scheme,
+				LogN:      logN,
+				Levels:    levels,
+				ScaleBits: scaleBits,
+				WordBits:  w,
+			})
+			if err != nil {
+				return fmt.Errorf("bench setup (%v, w=%d): %w", scheme, w, err)
+			}
+			ct, err := ctx.EncryptReal([]float64{0.5, 0.25})
+			if err != nil {
+				return fmt.Errorf("bench encrypt (%v, w=%d): %w", scheme, w, err)
+			}
+			base := BenchRecord{
+				Scheme:   scheme.String(),
+				WordBits: w,
+				LogN:     logN,
+				Residues: ct.Residues(),
+				Workers:  bitpacker.Workers(),
+			}
+
+			rec := base
+			rec.Op = "MulRescale"
+			rec.NsPerOp, rec.Iters = timeOp(func() { _ = ctx.Rescale(ctx.Mul(ct, ct)) })
+			records = append(records, rec)
+			fmt.Printf("  %-12s %-10s w=%-3d %12.0f ns/op (%d iters, %d workers)\n",
+				rec.Op, rec.Scheme, rec.WordBits, rec.NsPerOp, rec.Iters, rec.Workers)
+
+			rec = base
+			rec.Op = "Adjust"
+			rec.NsPerOp, rec.Iters = timeOp(func() { _ = ctx.Adjust(ct, ct.Level()-1) })
+			records = append(records, rec)
+			fmt.Printf("  %-12s %-10s w=%-3d %12.0f ns/op (%d iters, %d workers)\n",
+				rec.Op, rec.Scheme, rec.WordBits, rec.NsPerOp, rec.Iters, rec.Workers)
+		}
+	}
+	data, err := json.MarshalIndent(records, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %d records to %s\n", len(records), path)
+	return nil
+}

@@ -35,13 +35,14 @@ func (ev *Evaluator) ModRaise(ct *Ciphertext, toLevel int) *Ciphertext {
 	p := ev.params
 	dstModuli := p.LevelModuli(toLevel)
 	lift := func(src *ring.Poly) *ring.Poly {
-		c := src.Copy()
+		c := src.ScratchCopy()
 		c.INTT()
 		basis := c.Basis()
 		out := ring.NewPoly(p.Ctx, dstModuli)
 		for k := 0; k < p.N(); k++ {
 			out.SetCoeffBig(k, c.CoeffBig(basis, k))
 		}
+		p.Ctx.PutPoly(c)
 		out.NTT()
 		return out
 	}

@@ -47,11 +47,12 @@ func (ev *Evaluator) MulByI(ct *Ciphertext, power int) *Ciphertext {
 		return ct.CopyNew()
 	}
 	mul := func(p *ring.Poly) *ring.Poly {
-		c := p.Copy()
+		c := p.ScratchCopy()
 		c.INTT()
-		c = c.MulByMonomial(shift)
-		c.NTT()
-		return c
+		m := c.MulByMonomial(shift)
+		ev.params.Ctx.PutPoly(c)
+		m.NTT()
+		return m
 	}
 	return &Ciphertext{
 		C0:    mul(ct.C0),

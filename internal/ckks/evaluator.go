@@ -16,7 +16,10 @@ type Evaluator struct {
 	params *Parameters
 	keys   *EvaluationKeySet
 
-	mu sync.Mutex
+	// mu guards the read-mostly precomputation caches; the read path
+	// takes only the shared lock so concurrent evaluations don't
+	// serialize on cache hits.
+	mu sync.RWMutex
 	// Cached per-level precomputations.
 	convCache map[string]*rns.Conv
 	sdCache   map[string]*ring.ScaleDownParams
@@ -53,12 +56,18 @@ func moduliKey(a, b []uint64) string {
 
 func (ev *Evaluator) conv(src, dst []uint64) *rns.Conv {
 	key := moduliKey(src, dst)
+	ev.mu.RLock()
+	c, ok := ev.convCache[key]
+	ev.mu.RUnlock()
+	if ok {
+		return c
+	}
 	ev.mu.Lock()
 	defer ev.mu.Unlock()
 	if c, ok := ev.convCache[key]; ok {
 		return c
 	}
-	c := rns.NewConv(src, dst)
+	c = rns.NewConv(src, dst)
 	ev.convCache[key] = c
 	return c
 }
@@ -69,12 +78,18 @@ func (ev *Evaluator) scaleDownParams(moduli []uint64, shedPos []int) *ring.Scale
 		shed[i] = moduli[pos]
 	}
 	key := moduliKey(moduli, shed)
+	ev.mu.RLock()
+	p, ok := ev.sdCache[key]
+	ev.mu.RUnlock()
+	if ok {
+		return p
+	}
 	ev.mu.Lock()
 	defer ev.mu.Unlock()
 	if p, ok := ev.sdCache[key]; ok {
 		return p
 	}
-	p := ring.NewScaleDownParams(moduli, shedPos)
+	p = ring.NewScaleDownParams(moduli, shedPos)
 	ev.sdCache[key] = p
 	return p
 }
@@ -124,22 +139,24 @@ func (ev *Evaluator) AddPlain(ct *Ciphertext, pt *Plaintext) *Ciphertext {
 	if !scaleAlmostEqual(ct.Scale, pt.Scale) {
 		panic("ckks: AddPlain scale mismatch")
 	}
-	m := pt.Value.Copy()
+	m := pt.Value.ScratchCopy()
 	m.NTT()
 	out := ct.CopyNew()
 	out.C0.Add(out.C0, m)
+	ev.params.Ctx.PutPoly(m)
 	return out
 }
 
 // MulPlain returns ct * pt elementwise. The result's scale is the product
 // of the scales; rescale afterwards.
 func (ev *Evaluator) MulPlain(ct *Ciphertext, pt *Plaintext) *Ciphertext {
-	m := pt.Value.Copy()
+	m := pt.Value.ScratchCopy()
 	m.NTT()
 	out := ct.CopyNew()
 	out.C0.MulCoeffs(out.C0, m)
 	out.C1.MulCoeffs(out.C1, m)
 	out.Scale.Mul(out.Scale, pt.Scale)
+	ev.params.Ctx.PutPoly(m)
 	return out
 }
 
@@ -166,25 +183,32 @@ func (ev *Evaluator) MulRelin(a, b *Ciphertext) *Ciphertext {
 	p := ev.params
 	moduli := a.C0.Moduli
 
-	d0 := ring.NewPoly(p.Ctx, moduli)
+	// The degree-two products fully overwrite their destinations, so the
+	// non-zeroed pooled polys are safe; d2 and tmp die inside this call
+	// and go back to the pool.
+	d0 := p.Ctx.GetPoly(moduli)
 	d0.IsNTT = true
 	d0.MulCoeffs(a.C0, b.C0)
 
-	d1 := ring.NewPoly(p.Ctx, moduli)
+	d1 := p.Ctx.GetPoly(moduli)
 	d1.IsNTT = true
 	d1.MulCoeffs(a.C0, b.C1)
-	tmp := ring.NewPoly(p.Ctx, moduli)
+	tmp := p.Ctx.GetPoly(moduli)
 	tmp.IsNTT = true
 	tmp.MulCoeffs(a.C1, b.C0)
 	d1.Add(d1, tmp)
+	p.Ctx.PutPoly(tmp)
 
-	d2 := ring.NewPoly(p.Ctx, moduli)
+	d2 := p.Ctx.GetPoly(moduli)
 	d2.IsNTT = true
 	d2.MulCoeffs(a.C1, b.C1)
 
 	ks0, ks1 := ev.keySwitch(d2, ev.keys.Relin)
+	p.Ctx.PutPoly(d2)
 	d0.Add(d0, ks0)
 	d1.Add(d1, ks1)
+	p.Ctx.PutPoly(ks0)
+	p.Ctx.PutPoly(ks1)
 
 	scale := new(big.Rat).Mul(a.Scale, b.Scale)
 	return &Ciphertext{C0: d0, C1: d1, Level: a.Level, Scale: scale}
@@ -209,7 +233,7 @@ func (ev *Evaluator) keySwitch(c2 *ring.Poly, swk *SwitchingKey) (*ring.Poly, *r
 	special := p.Chain.Special
 	ext := append(append([]uint64(nil), live...), special...)
 
-	c2c := c2.Copy()
+	c2c := c2.ScratchCopy()
 	c2c.INTT()
 
 	// Rows of c2c per digit.
@@ -219,10 +243,15 @@ func (ev *Evaluator) keySwitch(c2 *ring.Poly, swk *SwitchingKey) (*ring.Poly, *r
 		digitRows[d] = append(digitRows[d], i)
 	}
 
-	acc0 := ring.NewPoly(p.Ctx, ext)
+	acc0 := p.Ctx.GetPolyZero(ext)
 	acc0.IsNTT = true
-	acc1 := ring.NewPoly(p.Ctx, ext)
+	acc1 := p.Ctx.GetPolyZero(ext)
 	acc1.IsNTT = true
+
+	rowOf := make(map[uint64]int, len(ext))
+	for i, q := range ext {
+		rowOf[q] = i
+	}
 
 	for d := 0; d < p.Dnum; d++ {
 		rows := digitRows[d]
@@ -245,31 +274,32 @@ func (ev *Evaluator) keySwitch(c2 *ring.Poly, swk *SwitchingKey) (*ring.Poly, *r
 			}
 		}
 		cv := ev.conv(srcModuli, dstModuli)
+
+		// Assemble the extended digit over ext (coefficient domain):
+		// the digit's own rows are copied, the rest are basis-converted
+		// straight into the pooled (non-zeroed) poly — together they
+		// cover every row, so nothing needs clearing.
+		digit := p.Ctx.GetPoly(ext)
+		digit.IsNTT = false
 		dstRes := make([][]uint64, len(dstModuli))
-		for i := range dstRes {
-			dstRes[i] = make([]uint64, p.N())
+		for i, q := range dstModuli {
+			dstRes[i] = digit.Coeffs[rowOf[q]]
 		}
 		cv.Convert(dstRes, srcRes)
-
-		// Assemble the extended digit over ext (coefficient domain).
-		digit := ring.NewPoly(p.Ctx, ext)
-		rowOf := map[uint64]int{}
-		for i, q := range ext {
-			rowOf[q] = i
-		}
 		for i, q := range srcModuli {
 			copy(digit.Coeffs[rowOf[q]], srcRes[i])
 		}
-		for i, q := range dstModuli {
-			copy(digit.Coeffs[rowOf[q]], dstRes[i])
-		}
 		digit.NTT()
 
-		kb := swk.B[d].Restrict(ext)
-		ka := swk.A[d].Restrict(ext)
+		// The key rows are only read: alias them instead of copying the
+		// whole switching key per digit.
+		kb := swk.B[d].RestrictView(ext)
+		ka := swk.A[d].RestrictView(ext)
 		acc0.MulCoeffsAdd(digit, kb)
 		acc1.MulCoeffsAdd(digit, ka)
+		p.Ctx.PutPoly(digit)
 	}
+	p.Ctx.PutPoly(c2c)
 
 	// ModDown: divide by P and shed the special moduli.
 	shedPos := make([]int, len(special))
@@ -281,6 +311,8 @@ func (ev *Evaluator) keySwitch(c2 *ring.Poly, swk *SwitchingKey) (*ring.Poly, *r
 	acc1.INTT()
 	out0 := acc0.ScaleDown(sd)
 	out1 := acc1.ScaleDown(sd)
+	p.Ctx.PutPoly(acc0)
+	p.Ctx.PutPoly(acc1)
 	out0.NTT()
 	out1.NTT()
 	return out0, out1
@@ -300,17 +332,22 @@ func (ev *Evaluator) applyGalois(ct *Ciphertext, galEl uint64) *Ciphertext {
 	if !ok {
 		panic(fmt.Sprintf("ckks: no Galois key for element %d", galEl))
 	}
-	c0 := ct.C0.Copy()
-	c0.INTT()
-	c0 = c0.Automorphism(galEl)
+	ctx := ev.params.Ctx
+	t0 := ct.C0.ScratchCopy()
+	t0.INTT()
+	c0 := t0.Automorphism(galEl)
+	ctx.PutPoly(t0)
 	c0.NTT()
-	c1 := ct.C1.Copy()
-	c1.INTT()
-	c1 = c1.Automorphism(galEl)
+	t1 := ct.C1.ScratchCopy()
+	t1.INTT()
+	c1 := t1.Automorphism(galEl)
+	ctx.PutPoly(t1)
 	c1.NTT()
 
 	ks0, ks1 := ev.keySwitch(c1, swk)
+	ctx.PutPoly(c1)
 	ks0.Add(ks0, c0)
+	ctx.PutPoly(c0)
 	return &Ciphertext{C0: ks0, C1: ks1, Level: ct.Level, Scale: new(big.Rat).Set(ct.Scale)}
 }
 

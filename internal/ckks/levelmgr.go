@@ -28,19 +28,24 @@ func (ev *Evaluator) Rescale(ct *Ciphertext) *Ciphertext {
 	}
 	chain := ev.params.Chain
 	tr := chain.TransitionDown(ct.Level)
+	ctx := ev.params.Ctx
 
-	c0 := ct.C0.Copy()
-	c1 := ct.C1.Copy()
+	c0 := ct.C0.ScratchCopy()
+	c1 := ct.C1.ScratchCopy()
 	c0.INTT()
 	c1.INTT()
 	if len(tr.Up) > 0 { // BitPacker: introduce the destination's new moduli
-		c0 = c0.ScaleUp(tr.Up)
-		c1 = c1.ScaleUp(tr.Up)
+		u0, u1 := c0.ScaleUp(tr.Up), c1.ScaleUp(tr.Up)
+		ctx.PutPoly(c0)
+		ctx.PutPoly(c1)
+		c0, c1 = u0, u1
 	}
 	shedPos := positionsOf(c0.Moduli, tr.Down)
 	sd := ev.scaleDownParams(c0.Moduli, shedPos)
-	c0 = c0.ScaleDown(sd)
-	c1 = c1.ScaleDown(sd)
+	s0, s1 := c0.ScaleDown(sd), c1.ScaleDown(sd)
+	ctx.PutPoly(c0)
+	ctx.PutPoly(c1)
+	c0, c1 = s0, s1
 	c0.NTT()
 	c1.NTT()
 

@@ -3,6 +3,7 @@ package ckks
 import (
 	"fmt"
 	"math/big"
+	"sort"
 
 	"bitpacker/internal/ring"
 )
@@ -26,7 +27,8 @@ type LinearTransform struct {
 }
 
 // Rotations returns the rotation amounts the transform needs Galois keys
-// for (in ascending order of appearance; zero is excluded).
+// for, in ascending order (zero is excluded). The order is deterministic
+// so that key generation consumes its PRNG stream reproducibly.
 func (lt *LinearTransform) Rotations() []int {
 	var out []int
 	for d := range lt.Diags {
@@ -34,7 +36,19 @@ func (lt *LinearTransform) Rotations() []int {
 			out = append(out, d)
 		}
 	}
+	sort.Ints(out)
 	return out
+}
+
+// sortedDiags returns the diagonal indices in ascending order, fixing the
+// evaluation order of ApplyLinearTransform independent of map iteration.
+func (lt *LinearTransform) sortedDiags() []int {
+	ds := make([]int, 0, len(lt.Diags))
+	for d := range lt.Diags {
+		ds = append(ds, d)
+	}
+	sort.Ints(ds)
+	return ds
 }
 
 // NewLinearTransformFromDiags encodes the given nonzero diagonals
@@ -119,7 +133,8 @@ func (ev *Evaluator) ApplyLinearTransform(ct *Ciphertext, lt *LinearTransform) *
 		panic(fmt.Sprintf("ckks: transform at level %d, ciphertext at %d (adjust first)", lt.Level, ct.Level))
 	}
 	var acc *Ciphertext
-	for d, pt := range lt.Diags {
+	for _, d := range lt.sortedDiags() {
+		pt := lt.Diags[d]
 		term := ct
 		if d != 0 {
 			term = ev.Rotate(ct, d)

@@ -1,0 +1,171 @@
+// Package engine is the host execution engine for the polynomial layer:
+// a shared, lazily-started worker pool that fans independent RNS residue
+// tasks out across CPU cores.
+//
+// RNS residues are independent by construction — the same property
+// BitPacker's hardware lanes (and GPU libraries like Cheddar, or
+// accelerators like ARK) exploit — so every limb-wise loop in the ring,
+// rns and ckks packages can be dispatched here without synchronization
+// beyond the final join. Each task index writes a disjoint residue
+// vector, so results are bit-identical regardless of the worker count or
+// scheduling order.
+//
+// The pool is configured by, in decreasing priority:
+//
+//	SetWorkers(n)              programmatic override (n <= 0 resets)
+//	BITPACKER_WORKERS          environment variable
+//	runtime.GOMAXPROCS(0)      default
+//
+// Workers()==1 reproduces sequential execution exactly: Dispatch runs the
+// tasks in index order on the calling goroutine and never touches the
+// pool. Small dispatches (fewer than MinParallelOps() scalar operations in
+// total) also run inline, so small-N transforms never pay scheduling
+// overhead.
+package engine
+
+import (
+	"os"
+	"runtime"
+	"strconv"
+	"sync"
+	"sync/atomic"
+)
+
+// DefaultMinParallelOps is the default threshold, in total scalar
+// operations (tasks x opsPerTask), below which Dispatch runs inline. A
+// single residue vector at the smallest production degree (N = 2^12)
+// already exceeds it.
+const DefaultMinParallelOps = 1 << 12
+
+var (
+	workerOverride atomic.Int64 // 0 = unset, use env/GOMAXPROCS
+	minOpsOverride atomic.Int64 // 0 = unset, use DefaultMinParallelOps
+
+	poolOnce sync.Once
+	jobs     chan *job
+)
+
+// Workers returns the effective parallelism used by Dispatch.
+func Workers() int {
+	if w := workerOverride.Load(); w > 0 {
+		return int(w)
+	}
+	if s := os.Getenv("BITPACKER_WORKERS"); s != "" {
+		if v, err := strconv.Atoi(s); err == nil && v > 0 {
+			return v
+		}
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// SetWorkers overrides the worker count; n <= 0 restores the default
+// (BITPACKER_WORKERS, then GOMAXPROCS). Safe to call concurrently; it
+// only affects how future Dispatch calls split work, never the pool size.
+func SetWorkers(n int) {
+	if n < 0 {
+		n = 0
+	}
+	workerOverride.Store(int64(n))
+}
+
+// MinParallelOps returns the inline-execution threshold in total scalar
+// operations.
+func MinParallelOps() int {
+	if m := minOpsOverride.Load(); m > 0 {
+		return int(m)
+	}
+	return DefaultMinParallelOps
+}
+
+// SetMinParallelOps overrides the inline threshold; n <= 0 restores the
+// default. Mostly useful in tests that want to force parallel dispatch at
+// tiny sizes.
+func SetMinParallelOps(n int) {
+	if n < 0 {
+		n = 0
+	}
+	minOpsOverride.Store(int64(n))
+}
+
+// job is one Dispatch call: a work function over [0, n) indices, claimed
+// one at a time through the shared atomic cursor. left counts unfinished
+// indices; the goroutine that completes the last one closes done.
+type job struct {
+	work func(int)
+	n    int64
+	next atomic.Int64
+	left atomic.Int64
+	done chan struct{}
+}
+
+// run claims and executes indices until the job is exhausted.
+func (j *job) run() {
+	for {
+		i := j.next.Add(1) - 1
+		if i >= j.n {
+			return
+		}
+		j.work(int(i))
+		if j.left.Add(-1) == 0 {
+			close(j.done)
+		}
+	}
+}
+
+// startPool lazily spawns the long-lived workers. The pool is sized by
+// GOMAXPROCS at first use; SetWorkers only changes how many helpers a
+// Dispatch recruits, so raising the logical worker count above the
+// physical pool size simply leaves the extras unused.
+func startPool() {
+	jobs = make(chan *job, 256)
+	n := runtime.GOMAXPROCS(0)
+	if n < 2 {
+		n = 2
+	}
+	for i := 0; i < n; i++ {
+		go func() {
+			for j := range jobs {
+				j.run()
+			}
+		}()
+	}
+}
+
+// Dispatch runs work(0) … work(tasks-1), fanning the indices across the
+// pool when it is worth it. opsPerTask is a cost hint (typically the
+// residue vector length N); dispatches totalling fewer than
+// MinParallelOps() scalar operations, single tasks, and workers=1 all run
+// inline in index order.
+//
+// The calling goroutine always participates, and helper recruitment is
+// non-blocking (a full queue just means the caller does more of the work
+// itself), so Dispatch never deadlocks — even if a work function calls
+// Dispatch again.
+func Dispatch(tasks, opsPerTask int, work func(int)) {
+	if tasks <= 0 {
+		return
+	}
+	w := Workers()
+	if w <= 1 || tasks == 1 || tasks*opsPerTask < MinParallelOps() {
+		for i := 0; i < tasks; i++ {
+			work(i)
+		}
+		return
+	}
+	poolOnce.Do(startPool)
+	j := &job{work: work, n: int64(tasks), done: make(chan struct{})}
+	j.left.Store(int64(tasks))
+	helpers := w - 1
+	if helpers > tasks-1 {
+		helpers = tasks - 1
+	}
+	for i := 0; i < helpers; i++ {
+		select {
+		case jobs <- j:
+		default:
+			i = helpers // queue full: caller absorbs the remainder
+		}
+	}
+	j.run()
+	<-j.done
+}

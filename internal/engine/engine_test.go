@@ -1,0 +1,102 @@
+package engine
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+// forceParallel drops the inline threshold and pins the worker count for
+// the duration of a test.
+func forceParallel(t *testing.T, workers int) {
+	t.Helper()
+	SetWorkers(workers)
+	SetMinParallelOps(1)
+	t.Cleanup(func() {
+		SetWorkers(0)
+		SetMinParallelOps(0)
+	})
+}
+
+func TestDispatchRunsEveryIndexOnce(t *testing.T) {
+	forceParallel(t, 4)
+	const n = 1000
+	counts := make([]int64, n)
+	Dispatch(n, 1, func(i int) {
+		atomic.AddInt64(&counts[i], 1)
+	})
+	for i, c := range counts {
+		if c != 1 {
+			t.Fatalf("index %d ran %d times", i, c)
+		}
+	}
+}
+
+func TestDispatchSequentialWhenOneWorker(t *testing.T) {
+	forceParallel(t, 1)
+	var order []int
+	Dispatch(8, 1<<20, func(i int) { order = append(order, i) })
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("workers=1 must run in index order, got %v", order)
+		}
+	}
+	if len(order) != 8 {
+		t.Fatalf("ran %d of 8 tasks", len(order))
+	}
+}
+
+func TestDispatchInlineBelowThreshold(t *testing.T) {
+	SetWorkers(8)
+	SetMinParallelOps(1 << 30) // everything is "too small"
+	defer func() {
+		SetWorkers(0)
+		SetMinParallelOps(0)
+	}()
+	// Appending without synchronization is only safe because the dispatch
+	// must run inline on this goroutine.
+	var order []int
+	Dispatch(16, 1, func(i int) { order = append(order, i) })
+	if len(order) != 16 {
+		t.Fatalf("ran %d of 16 tasks", len(order))
+	}
+}
+
+func TestDispatchZeroTasks(t *testing.T) {
+	Dispatch(0, 1024, func(i int) { t.Fatal("work ran for zero tasks") })
+}
+
+func TestNestedDispatchDoesNotDeadlock(t *testing.T) {
+	forceParallel(t, 4)
+	var total atomic.Int64
+	Dispatch(8, 1, func(i int) {
+		Dispatch(8, 1, func(j int) {
+			total.Add(1)
+		})
+	})
+	if total.Load() != 64 {
+		t.Fatalf("nested dispatch ran %d of 64 leaf tasks", total.Load())
+	}
+}
+
+func TestSetWorkersOverride(t *testing.T) {
+	SetWorkers(3)
+	if Workers() != 3 {
+		t.Fatalf("Workers() = %d after SetWorkers(3)", Workers())
+	}
+	SetWorkers(0)
+	if Workers() < 1 {
+		t.Fatalf("default Workers() = %d, want >= 1", Workers())
+	}
+}
+
+func TestWorkersEnvOverride(t *testing.T) {
+	SetWorkers(0)
+	t.Setenv("BITPACKER_WORKERS", "7")
+	if Workers() != 7 {
+		t.Fatalf("Workers() = %d with BITPACKER_WORKERS=7", Workers())
+	}
+	t.Setenv("BITPACKER_WORKERS", "bogus")
+	if Workers() < 1 {
+		t.Fatalf("bogus env must fall back to default, got %d", Workers())
+	}
+}

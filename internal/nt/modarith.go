@@ -75,6 +75,39 @@ func MulModLazyShoup(x, w, wShoup, q uint64) uint64 {
 	return x*w - hi*q
 }
 
+// BarrettConstant returns floor(2^128 / q) as a (hi, lo) pair of 64-bit
+// words. It is the per-modulus precomputation behind MulModBarrett.
+func BarrettConstant(q uint64) (hi, lo uint64) {
+	// 2^128 = (floor(2^64/q)*q + r) * 2^64, so
+	// floor(2^128/q) = floor(2^64/q)*2^64 + floor(r*2^64/q).
+	hi, r := bits.Div64(1, 0, q)
+	lo, _ = bits.Div64(r, 0, q)
+	return hi, lo
+}
+
+// MulModBarrett returns (x * y) mod q where (bhi, blo) = BarrettConstant(q).
+// Unlike MulMod it never divides: the quotient floor(x*y/q) is estimated
+// from the top 128 bits of the 256-bit product (x*y) * floor(2^128/q),
+// which undershoots by at most one, so a single conditional subtraction
+// finishes the reduction. Requires x, y < q < 2^63.
+func MulModBarrett(x, y, q, bhi, blo uint64) uint64 {
+	ahi, alo := bits.Mul64(x, y)
+	// t = floor(a*b / 2^128), computed exactly: sum the 2^64-column
+	// partial products (carries propagate into the 2^128 column) and the
+	// 2^128-column partials. t <= a/q < q, so it fits in 64 bits.
+	c1hi, _ := bits.Mul64(alo, blo)
+	c2hi, c2lo := bits.Mul64(alo, bhi)
+	c3hi, c3lo := bits.Mul64(ahi, blo)
+	mid, carry1 := bits.Add64(c1hi, c2lo, 0)
+	_, carry2 := bits.Add64(mid, c3lo, 0)
+	t := ahi*bhi + c2hi + c3hi + carry1 + carry2
+	r := alo - t*q
+	if r >= q {
+		r -= q
+	}
+	return r
+}
+
 // PowMod returns x^e mod q by square-and-multiply. Requires x < q.
 func PowMod(x, e, q uint64) uint64 {
 	result := uint64(1 % q)

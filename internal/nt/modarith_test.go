@@ -41,6 +41,41 @@ func TestMulModAgainstBig(t *testing.T) {
 	}
 }
 
+func TestMulModBarrett(t *testing.T) {
+	rng := rand.New(rand.NewPCG(5, 6))
+	qs := []uint64{3, 97, 7681, 1<<30 - 35, 1<<45 - 55, testPrime, 1<<62 - 57}
+	for _, q := range qs {
+		bhi, blo := BarrettConstant(q)
+		// Edge cases: the extremes where the quotient estimate is tightest.
+		edges := [][2]uint64{{0, 0}, {0, q - 1}, {q - 1, q - 1}, {1, q - 1}, {q / 2, q - 1}}
+		for _, e := range edges {
+			if got, want := MulModBarrett(e[0], e[1], q, bhi, blo), MulMod(e[0], e[1], q); got != want {
+				t.Fatalf("q=%d MulModBarrett(%d,%d)=%d want %d", q, e[0], e[1], got, want)
+			}
+		}
+		for i := 0; i < 2000; i++ {
+			x := rng.Uint64() % q
+			y := rng.Uint64() % q
+			if got, want := MulModBarrett(x, y, q, bhi, blo), MulMod(x, y, q); got != want {
+				t.Fatalf("q=%d MulModBarrett(%d,%d)=%d want %d", q, x, y, got, want)
+			}
+		}
+	}
+}
+
+func TestBarrettConstantAgainstBig(t *testing.T) {
+	for _, q := range []uint64{3, 97, 1<<30 - 35, testPrime, 1<<62 - 57} {
+		want := new(big.Int).Lsh(big.NewInt(1), 128)
+		want.Div(want, new(big.Int).SetUint64(q))
+		hi, lo := BarrettConstant(q)
+		got := new(big.Int).Lsh(new(big.Int).SetUint64(hi), 64)
+		got.Add(got, new(big.Int).SetUint64(lo))
+		if got.Cmp(want) != 0 {
+			t.Fatalf("BarrettConstant(%d) = %v want %v", q, got, want)
+		}
+	}
+}
+
 func TestMulModShoup(t *testing.T) {
 	rng := rand.New(rand.NewPCG(3, 4))
 	for _, q := range []uint64{97, 7681, 1<<30 - 35, testPrime} {

@@ -6,11 +6,18 @@
 // network over powers of ψ (a primitive 2N-th root of unity) stored in
 // bit-reversed order, and the inverse is the matching Gentleman-Sande
 // network. Twiddle multiplications use Shoup's precomputed-quotient trick.
+//
+// Both transforms use lazy reduction (Longa–Naehrig / Harvey): butterfly
+// operands travel in [0, 4q) forward and [0, 2q) inverse, with a single
+// correction pass at the end. This is exactly what nt.MaxModulusBits = 62
+// reserves its two slack bits for: 4q < 2^64 keeps every lazy sum inside
+// one machine word.
 package ntt
 
 import (
 	"fmt"
 	"math/bits"
+	"sync"
 
 	"bitpacker/internal/nt"
 )
@@ -27,6 +34,9 @@ type Table struct {
 	invShoup []uint64
 	nInv     uint64 // N^{-1} mod q
 	nInvSh   uint64
+
+	// Barrett constant floor(2^128/q) for division-free pointwise products.
+	brHi, brLo uint64
 }
 
 // NewTable precomputes an NTT table for modulus q and size n (a power of
@@ -71,16 +81,25 @@ func NewTable(q uint64, n int) (*Table, error) {
 	}
 	t.nInv = nt.InvMod(uint64(n), q)
 	t.nInvSh = nt.ShoupPrecomp(t.nInv, q)
+	t.brHi, t.brLo = nt.BarrettConstant(q)
 	return t, nil
 }
 
 // Forward transforms a (coefficient-domain, values < q) in place into the
-// NTT evaluation domain. len(a) must equal t.N.
+// NTT evaluation domain. len(a) must equal t.N. Outputs are fully reduced
+// (< q).
+//
+// The butterfly network is lazy: values stay in [0, 4q) between stages.
+// Each butterfly reduces its sum operand into [0, 2q), takes the twiddle
+// product in [0, 2q) via the subtraction-free Shoup multiply, and emits
+// u+v and u-v+2q, both < 4q. Since q < 2^62 (nt.MaxModulusBits), 4q never
+// overflows uint64. A final pass folds [0, 4q) back into [0, q).
 func (t *Table) Forward(a []uint64) {
 	if len(a) != t.N {
 		panic("ntt: length mismatch")
 	}
 	q := t.Q
+	q2 := q << 1
 	n := t.N
 	step := n
 	for m := 1; m < n; m <<= 1 {
@@ -91,20 +110,40 @@ func (t *Table) Forward(a []uint64) {
 			j1 := 2 * i * step
 			for j := j1; j < j1+step; j++ {
 				u := a[j]
-				v := nt.MulModShoup(a[j+step], w, ws, q)
-				a[j] = nt.AddMod(u, v, q)
-				a[j+step] = nt.SubMod(u, v, q)
+				if u >= q2 {
+					u -= q2
+				}
+				v := nt.MulModLazyShoup(a[j+step], w, ws, q)
+				a[j] = u + v
+				a[j+step] = u + q2 - v
 			}
 		}
 	}
+	for j, x := range a {
+		if x >= q2 {
+			x -= q2
+		}
+		if x >= q {
+			x -= q
+		}
+		a[j] = x
+	}
 }
 
-// Inverse transforms a (NTT domain) in place back into coefficients.
+// Inverse transforms a (NTT domain, values < q) in place back into
+// coefficients, fully reduced (< q).
+//
+// The Gentleman-Sande network keeps values in [0, 2q): the sum branch is
+// reduced with one conditional subtraction, the difference branch feeds
+// u-v+2q (< 4q, safe for q < 2^62) into the lazy Shoup multiply which
+// lands back in [0, 2q). The final N^{-1} scaling uses the exact Shoup
+// multiply, which both corrects the range and finishes the transform.
 func (t *Table) Inverse(a []uint64) {
 	if len(a) != t.N {
 		panic("ntt: length mismatch")
 	}
 	q := t.Q
+	q2 := q << 1
 	n := t.N
 	step := 1
 	for m := n >> 1; m >= 1; m >>= 1 {
@@ -115,8 +154,12 @@ func (t *Table) Inverse(a []uint64) {
 			for j := j1; j < j1+step; j++ {
 				u := a[j]
 				v := a[j+step]
-				a[j] = nt.AddMod(u, v, q)
-				a[j+step] = nt.MulModShoup(nt.SubMod(u, v, q), w, ws, q)
+				s := u + v
+				if s >= q2 {
+					s -= q2
+				}
+				a[j] = s
+				a[j+step] = nt.MulModLazyShoup(u+q2-v, w, ws, q)
 			}
 		}
 		step <<= 1
@@ -127,20 +170,48 @@ func (t *Table) Inverse(a []uint64) {
 }
 
 // MulCoeffs stores the pointwise product of a and b (both NTT domain) in
-// out. All slices must have length t.N; aliasing is allowed.
+// out. All slices must have length t.N; aliasing is allowed. The product
+// uses the precomputed Barrett constant, avoiding the hardware divide
+// nt.MulMod pays per coefficient.
 func (t *Table) MulCoeffs(out, a, b []uint64) {
-	q := t.Q
+	q, bhi, blo := t.Q, t.brHi, t.brLo
 	for i := range out {
-		out[i] = nt.MulMod(a[i], b[i], q)
+		out[i] = nt.MulModBarrett(a[i], b[i], q, bhi, blo)
 	}
+}
+
+// MulCoeffsAdd accumulates the pointwise product of a and b (both NTT
+// domain) into out: out[i] = out[i] + a[i]*b[i] mod q.
+func (t *Table) MulCoeffsAdd(out, a, b []uint64) {
+	q, bhi, blo := t.Q, t.brHi, t.brLo
+	for i := range out {
+		out[i] = nt.AddMod(out[i], nt.MulModBarrett(a[i], b[i], q, bhi, blo), q)
+	}
+}
+
+// scratch pools the transform-sized temporaries PolyMul needs, so
+// repeated schoolbook-replacement multiplies allocate nothing in steady
+// state. Slices are keyed by capacity check, not length, so one pool
+// serves every table size in the process.
+var scratch sync.Pool
+
+func getScratch(n int) []uint64 {
+	if p, _ := scratch.Get().(*[]uint64); p != nil && cap(*p) >= n {
+		return (*p)[:n]
+	}
+	return make([]uint64, n)
+}
+
+func putScratch(v []uint64) {
+	scratch.Put(&v)
 }
 
 // PolyMul multiplies two coefficient-domain polynomials negacyclically
 // (mod X^N+1, mod q), writing coefficients into out. It is a convenience
 // for tests; hot paths keep operands in the NTT domain.
 func (t *Table) PolyMul(out, a, b []uint64) {
-	ta := make([]uint64, t.N)
-	tb := make([]uint64, t.N)
+	ta := getScratch(t.N)
+	tb := getScratch(t.N)
 	copy(ta, a)
 	copy(tb, b)
 	t.Forward(ta)
@@ -148,4 +219,6 @@ func (t *Table) PolyMul(out, a, b []uint64) {
 	t.MulCoeffs(ta, ta, tb)
 	t.Inverse(ta)
 	copy(out, ta)
+	putScratch(ta)
+	putScratch(tb)
 }

@@ -112,6 +112,81 @@ func TestForwardIsEvaluationHomomorphic(t *testing.T) {
 	}
 }
 
+// TestLazyReductionBounds drives the lazy-reduction butterflies with
+// worst-case inputs (including all coefficients at q-1 for the widest
+// supported 62-bit modulus) and asserts every output of the correction
+// pass is fully reduced below q, in both directions and after pointwise
+// products.
+func TestLazyReductionBounds(t *testing.T) {
+	rng := rand.New(rand.NewPCG(21, 22))
+	for _, n := range []int{8, 256, 2048} {
+		// The widest modulus the package supports: lazy values reach
+		// almost 4q ~ 2^64 here, so any missing correction overflows.
+		q := nt.PreviousNTTPrime(uint64(1)<<nt.MaxModulusBits, uint64(2*n))
+		tab := testTable(t, q, n)
+		cases := [][]uint64{
+			make([]uint64, n), // all zero
+			make([]uint64, n), // all q-1
+			make([]uint64, n), // random
+		}
+		for i := range cases[1] {
+			cases[1][i] = q - 1
+		}
+		for i := range cases[2] {
+			cases[2][i] = rng.Uint64() % q
+		}
+		for ci, a := range cases {
+			fwd := append([]uint64(nil), a...)
+			tab.Forward(fwd)
+			for i, x := range fwd {
+				if x >= q {
+					t.Fatalf("n=%d case %d: Forward output[%d]=%d >= q=%d", n, ci, i, x, q)
+				}
+			}
+			prod := make([]uint64, n)
+			tab.MulCoeffs(prod, fwd, fwd)
+			for i, x := range prod {
+				if x >= q {
+					t.Fatalf("n=%d case %d: MulCoeffs output[%d]=%d >= q=%d", n, ci, i, x, q)
+				}
+			}
+			inv := append([]uint64(nil), fwd...)
+			tab.Inverse(inv)
+			for i, x := range inv {
+				if x >= q {
+					t.Fatalf("n=%d case %d: Inverse output[%d]=%d >= q=%d", n, ci, i, x, q)
+				}
+				if x != a[i] {
+					t.Fatalf("n=%d case %d: roundtrip mismatch at %d", n, ci, i)
+				}
+			}
+		}
+	}
+}
+
+func TestMulCoeffsAddAccumulates(t *testing.T) {
+	n := 64
+	q := nt.PreviousNTTPrime(1<<45, uint64(2*n))
+	tab := testTable(t, q, n)
+	rng := rand.New(rand.NewPCG(23, 24))
+	a := make([]uint64, n)
+	b := make([]uint64, n)
+	acc := make([]uint64, n)
+	want := make([]uint64, n)
+	for i := range a {
+		a[i] = rng.Uint64() % q
+		b[i] = rng.Uint64() % q
+		acc[i] = rng.Uint64() % q
+		want[i] = nt.AddMod(acc[i], nt.MulMod(a[i], b[i], q), q)
+	}
+	tab.MulCoeffsAdd(acc, a, b)
+	for i := range acc {
+		if acc[i] != want[i] {
+			t.Fatalf("MulCoeffsAdd coeff %d: got %d want %d", i, acc[i], want[i])
+		}
+	}
+}
+
 func TestMulByXShiftsNegacyclically(t *testing.T) {
 	// (X * a(X)) mod X^N+1 rotates coefficients with sign flip at wrap.
 	n := 64

@@ -1,5 +1,7 @@
 package ring
 
+import "bitpacker/internal/engine"
+
 // Automorphisms of Z_q[X]/(X^N+1): the maps φ_k(X) = X^k for odd k,
 // which implement CKKS slot rotations (k = 5^r mod 2N) and conjugation
 // (k = 2N-1).
@@ -36,8 +38,12 @@ func (p *Poly) Automorphism(k uint64) *Poly {
 	}
 	n := uint64(p.ctx.N)
 	m := 2 * n
-	out := NewPoly(p.ctx, p.Moduli)
-	for i, q := range p.Moduli {
+	// Every output slot is written exactly once (j -> j*k mod 2N is a
+	// bijection on odd k), so the pooled non-zeroed poly is safe here.
+	out := p.ctx.GetPoly(p.Moduli)
+	out.IsNTT = false
+	engine.Dispatch(len(p.Moduli), p.ctx.N, func(i int) {
+		q := p.Moduli[i]
 		src, dst := p.Coeffs[i], out.Coeffs[i]
 		for j := uint64(0); j < n; j++ {
 			idx := j * (k % m) % m
@@ -50,7 +56,7 @@ func (p *Poly) Automorphism(k uint64) *Poly {
 			}
 			dst[idx] = v
 		}
-	}
+	})
 	return out
 }
 
@@ -64,8 +70,12 @@ func (p *Poly) MulByMonomial(k int) *Poly {
 	}
 	n := p.ctx.N
 	k = ((k % (2 * n)) + 2*n) % (2 * n)
-	out := NewPoly(p.ctx, p.Moduli)
-	for i, q := range p.Moduli {
+	// The shift j -> j+k mod 2N is a bijection, so every output slot is
+	// written exactly once and the non-zeroed pooled poly is safe.
+	out := p.ctx.GetPoly(p.Moduli)
+	out.IsNTT = false
+	engine.Dispatch(len(p.Moduli), p.ctx.N, func(i int) {
+		q := p.Moduli[i]
 		src, dst := p.Coeffs[i], out.Coeffs[i]
 		for j := 0; j < n; j++ {
 			idx := j + k
@@ -80,6 +90,6 @@ func (p *Poly) MulByMonomial(k int) *Poly {
 			}
 			dst[idx] = v
 		}
-	}
+	})
 	return out
 }

@@ -3,6 +3,7 @@ package ring
 import (
 	"math/big"
 
+	"bitpacker/internal/engine"
 	"bitpacker/internal/rns"
 )
 
@@ -21,14 +22,16 @@ func (p *Poly) ScaleUp(newModuli []uint64) *Poly {
 	}
 	out := NewPoly(p.ctx, append(append([]uint64(nil), p.Moduli...), newModuli...))
 	out.IsNTT = p.IsNTT
-	// Multiply the original residues by K.
-	scaled := NewPoly(p.ctx, p.Moduli)
-	scaled.IsNTT = p.IsNTT
-	scaled.MulScalarBig(p, k)
-	for i := range p.Moduli {
-		copy(out.Coeffs[i], scaled.Coeffs[i])
+	// Multiply the original residues by K, writing straight into out's
+	// leading rows through a shared view; the appended rows stay zero.
+	scaled := &Poly{
+		ctx:    p.ctx,
+		Moduli: out.Moduli[:len(p.Moduli)],
+		Coeffs: out.Coeffs[:len(p.Moduli)],
+		IsNTT:  p.IsNTT,
+		shared: true,
 	}
-	// The rest stays zero.
+	scaled.MulScalarBig(p, k)
 	return out
 }
 
@@ -87,11 +90,15 @@ func (p *Poly) ScaleDown(params *ScaleDownParams) *Poly {
 	for i, pos := range params.ShedPos {
 		shedRes[i] = p.Coeffs[pos]
 	}
-	out := &Poly{ctx: p.ctx}
-	for _, pos := range params.keptPos {
-		out.Moduli = append(out.Moduli, p.Moduli[pos])
-		out.Coeffs = append(out.Coeffs, append([]uint64(nil), p.Coeffs[pos]...))
+	kept := make([]uint64, len(params.keptPos))
+	for j, pos := range params.keptPos {
+		kept[j] = p.Moduli[pos]
 	}
+	out := p.ctx.GetPoly(kept) // every row fully overwritten below
+	out.IsNTT = false
+	engine.Dispatch(len(params.keptPos), p.ctx.N, func(j int) {
+		copy(out.Coeffs[j], p.Coeffs[params.keptPos[j]])
+	})
 	params.div.Apply(out.Coeffs, shedRes)
 	return out
 }

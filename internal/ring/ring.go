@@ -10,18 +10,27 @@ import (
 	"math/big"
 	"sync"
 
+	"bitpacker/internal/engine"
 	"bitpacker/internal/nt"
 	"bitpacker/internal/ntt"
 	"bitpacker/internal/rns"
 )
 
-// Context caches NTT tables per modulus for one polynomial degree N.
+// Context caches NTT tables per modulus for one polynomial degree N and
+// pools residue-vector scratch memory for the hot paths.
 // It is safe for concurrent use.
 type Context struct {
 	N int
 
-	mu     sync.Mutex
+	// tables is read-mostly: every limb op looks its modulus up, but a
+	// table is built exactly once per modulus. The RWMutex keeps
+	// concurrent engine workers from serializing on the lookup.
+	mu     sync.RWMutex
 	tables map[uint64]*ntt.Table
+
+	// vecs pools N-length []uint64 residue vectors (stored as *[]uint64
+	// so Put does not allocate an interface header).
+	vecs sync.Pool
 }
 
 // NewContext creates a context for degree-N polynomials. N must be a power
@@ -30,14 +39,25 @@ func NewContext(n int) (*Context, error) {
 	if n <= 0 || n&(n-1) != 0 {
 		return nil, fmt.Errorf("ring: N=%d is not a power of two", n)
 	}
-	return &Context{N: n, tables: make(map[uint64]*ntt.Table)}, nil
+	c := &Context{N: n, tables: make(map[uint64]*ntt.Table)}
+	c.vecs.New = func() any {
+		v := make([]uint64, n)
+		return &v
+	}
+	return c, nil
 }
 
 // Table returns (building lazily) the NTT table for modulus q.
 func (c *Context) Table(q uint64) *ntt.Table {
+	c.mu.RLock()
+	t, ok := c.tables[q]
+	c.mu.RUnlock()
+	if ok {
+		return t
+	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if t, ok := c.tables[q]; ok {
+	if t, ok := c.tables[q]; ok { // double-checked: another worker won
 		return t
 	}
 	t, err := ntt.NewTable(q, c.N)
@@ -48,6 +68,66 @@ func (c *Context) Table(q uint64) *ntt.Table {
 	return t
 }
 
+// GetVec returns an N-length scratch vector from the pool. Its contents
+// are unspecified; callers must overwrite every element they read.
+func (c *Context) GetVec() []uint64 {
+	return *(c.vecs.Get().(*[]uint64))
+}
+
+// PutVec returns a vector obtained from GetVec (or any N-length vector
+// the caller owns) to the pool.
+func (c *Context) PutVec(v []uint64) {
+	if cap(v) < c.N {
+		return
+	}
+	v = v[:c.N]
+	c.vecs.Put(&v)
+}
+
+// GetPoly returns a polynomial over the given moduli whose residue
+// vectors come from the scratch pool. Coefficients are UNSPECIFIED: use
+// it only where every residue is fully overwritten (copies, MulCoeffs
+// destinations, basis-conversion targets), or call GetPolyZero.
+func (c *Context) GetPoly(moduli []uint64) *Poly {
+	p := &Poly{
+		ctx:    c,
+		Moduli: append([]uint64(nil), moduli...),
+		Coeffs: make([][]uint64, len(moduli)),
+	}
+	for i := range p.Coeffs {
+		p.Coeffs[i] = c.GetVec()
+	}
+	return p
+}
+
+// GetPolyZero is GetPoly with every coefficient cleared, matching
+// NewPoly's semantics but reusing pooled memory.
+func (c *Context) GetPolyZero(moduli []uint64) *Poly {
+	p := c.GetPoly(moduli)
+	engine.Dispatch(len(p.Coeffs), c.N, func(i int) {
+		row := p.Coeffs[i]
+		for k := range row {
+			row[k] = 0
+		}
+	})
+	return p
+}
+
+// PutPoly releases a polynomial's residue vectors back to the scratch
+// pool. The polynomial must not be used afterwards. It is safe (and
+// useful) to release polynomials that were plainly allocated: their
+// vectors simply seed the pool.
+func (c *Context) PutPoly(p *Poly) {
+	if p == nil || p.ctx != c || p.shared {
+		return
+	}
+	for _, row := range p.Coeffs {
+		c.PutVec(row)
+	}
+	p.Coeffs = nil
+	p.Moduli = nil
+}
+
 // Poly is an RNS polynomial: Coeffs[i] holds the residues of every
 // coefficient modulo Moduli[i]. When IsNTT is true the residue vectors are
 // in the NTT evaluation domain.
@@ -56,6 +136,10 @@ type Poly struct {
 	Moduli []uint64
 	Coeffs [][]uint64
 	IsNTT  bool
+
+	// shared marks view polynomials (RestrictView) whose rows belong to
+	// another Poly; PutPoly refuses to recycle them.
+	shared bool
 }
 
 // NewPoly allocates a zero polynomial over the given moduli.
@@ -94,6 +178,41 @@ func (p *Poly) Copy() *Poly {
 	return q
 }
 
+// ScratchCopy returns a deep copy backed by the context's scratch pool.
+// Release it with Context.PutPoly when it dies; the hot paths use this
+// for the many short-lived copies key-switching and rescaling take.
+func (p *Poly) ScratchCopy() *Poly {
+	q := p.ctx.GetPoly(p.Moduli)
+	q.IsNTT = p.IsNTT
+	engine.Dispatch(len(p.Coeffs), p.ctx.N, func(i int) {
+		copy(q.Coeffs[i], p.Coeffs[i])
+	})
+	return q
+}
+
+// RestrictView returns a polynomial over the requested moduli whose
+// residue vectors ALIAS p's rows (no copy). The view is read-only by
+// contract: writing through it corrupts p. PutPoly on a view is a no-op.
+// Every requested modulus must be present in p.
+func (p *Poly) RestrictView(moduli []uint64) *Poly {
+	rowOf := make(map[uint64]int, len(p.Moduli))
+	for i, q := range p.Moduli {
+		rowOf[q] = i
+	}
+	out := &Poly{ctx: p.ctx, IsNTT: p.IsNTT, shared: true}
+	out.Moduli = make([]uint64, 0, len(moduli))
+	out.Coeffs = make([][]uint64, 0, len(moduli))
+	for _, q := range moduli {
+		i, ok := rowOf[q]
+		if !ok {
+			panic("ring: RestrictView: modulus not present")
+		}
+		out.Moduli = append(out.Moduli, q)
+		out.Coeffs = append(out.Coeffs, p.Coeffs[i])
+	}
+	return out
+}
+
 // sameShape panics unless a and b have identical moduli and domain.
 func sameShape(a, b *Poly) {
 	if len(a.Moduli) != len(b.Moduli) {
@@ -113,51 +232,54 @@ func sameShape(a, b *Poly) {
 func (p *Poly) Add(a, b *Poly) {
 	sameShape(a, b)
 	sameShape(p, a)
-	for i, q := range p.Moduli {
+	engine.Dispatch(len(p.Moduli), p.ctx.N, func(i int) {
+		q := p.Moduli[i]
 		pa, pb, pp := a.Coeffs[i], b.Coeffs[i], p.Coeffs[i]
 		for k := range pp {
 			pp[k] = nt.AddMod(pa[k], pb[k], q)
 		}
-	}
+	})
 }
 
 // Sub sets p = a - b.
 func (p *Poly) Sub(a, b *Poly) {
 	sameShape(a, b)
 	sameShape(p, a)
-	for i, q := range p.Moduli {
+	engine.Dispatch(len(p.Moduli), p.ctx.N, func(i int) {
+		q := p.Moduli[i]
 		pa, pb, pp := a.Coeffs[i], b.Coeffs[i], p.Coeffs[i]
 		for k := range pp {
 			pp[k] = nt.SubMod(pa[k], pb[k], q)
 		}
-	}
+	})
 }
 
 // Neg sets p = -a.
 func (p *Poly) Neg(a *Poly) {
 	sameShape(p, a)
-	for i, q := range p.Moduli {
+	engine.Dispatch(len(p.Moduli), p.ctx.N, func(i int) {
+		q := p.Moduli[i]
 		pa, pp := a.Coeffs[i], p.Coeffs[i]
 		for k := range pp {
 			pp[k] = nt.NegMod(pa[k], q)
 		}
-	}
+	})
 }
 
 // MulCoeffs sets p = a ⊙ b pointwise. All polynomials must be in the NTT
-// domain (where pointwise product is ring multiplication).
+// domain (where pointwise product is ring multiplication). The per-residue
+// product runs through the NTT table's Barrett constant rather than a
+// hardware divide per coefficient.
 func (p *Poly) MulCoeffs(a, b *Poly) {
 	sameShape(a, b)
 	sameShape(p, a)
 	if !a.IsNTT {
 		panic("ring: MulCoeffs requires NTT domain")
 	}
-	for i, q := range p.Moduli {
-		pa, pb, pp := a.Coeffs[i], b.Coeffs[i], p.Coeffs[i]
-		for k := range pp {
-			pp[k] = nt.MulMod(pa[k], pb[k], q)
-		}
-	}
+	tabs := p.tables()
+	engine.Dispatch(len(p.Moduli), p.ctx.N, func(i int) {
+		tabs[i].MulCoeffs(p.Coeffs[i], a.Coeffs[i], b.Coeffs[i])
+	})
 }
 
 // MulCoeffsAdd sets p += a ⊙ b pointwise (NTT domain).
@@ -167,51 +289,71 @@ func (p *Poly) MulCoeffsAdd(a, b *Poly) {
 	if !a.IsNTT {
 		panic("ring: MulCoeffsAdd requires NTT domain")
 	}
-	for i, q := range p.Moduli {
-		pa, pb, pp := a.Coeffs[i], b.Coeffs[i], p.Coeffs[i]
-		for k := range pp {
-			pp[k] = nt.AddMod(pp[k], nt.MulMod(pa[k], pb[k], q), q)
-		}
-	}
+	tabs := p.tables()
+	engine.Dispatch(len(p.Moduli), p.ctx.N, func(i int) {
+		tabs[i].MulCoeffsAdd(p.Coeffs[i], a.Coeffs[i], b.Coeffs[i])
+	})
 }
 
 // MulScalarUint sets p = a * c for a small scalar c (reduced per modulus).
 func (p *Poly) MulScalarUint(a *Poly, c uint64) {
 	sameShape(p, a)
-	for i, q := range p.Moduli {
+	engine.Dispatch(len(p.Moduli), p.ctx.N, func(i int) {
+		q := p.Moduli[i]
 		w := c % q
 		ws := nt.ShoupPrecomp(w, q)
 		pa, pp := a.Coeffs[i], p.Coeffs[i]
 		for k := range pp {
 			pp[k] = nt.MulModShoup(pa[k], w, ws, q)
 		}
-	}
+	})
 }
 
 // MulScalarBig sets p = a * c where c is an arbitrary (possibly negative)
 // integer, reduced modulo each residue modulus. This implements the
-// mulConst of the paper's Listings 2, 3 and 6.
+// mulConst of the paper's Listings 2, 3 and 6. The big.Int reductions run
+// sequentially (big.Int is not goroutine-safe to share); only the residue
+// sweeps are fanned out.
 func (p *Poly) MulScalarBig(a *Poly, c *big.Int) {
 	sameShape(p, a)
+	ws := make([]uint64, len(p.Moduli))
 	tmp := new(big.Int)
 	for i, q := range p.Moduli {
-		w := tmp.Mod(c, new(big.Int).SetUint64(q)).Uint64()
-		ws := nt.ShoupPrecomp(w, q)
+		ws[i] = tmp.Mod(c, new(big.Int).SetUint64(q)).Uint64()
+	}
+	engine.Dispatch(len(p.Moduli), p.ctx.N, func(i int) {
+		q := p.Moduli[i]
+		w := ws[i]
+		wsh := nt.ShoupPrecomp(w, q)
 		pa, pp := a.Coeffs[i], p.Coeffs[i]
 		for k := range pp {
-			pp[k] = nt.MulModShoup(pa[k], w, ws, q)
+			pp[k] = nt.MulModShoup(pa[k], w, wsh, q)
 		}
-	}
+	})
 }
 
-// NTT moves p into the evaluation domain (no-op if already there).
+// tables resolves the NTT table of every residue up front (serially, so
+// lazy table construction happens outside the worker pool) and returns
+// them indexed by row.
+func (p *Poly) tables() []*ntt.Table {
+	tabs := make([]*ntt.Table, len(p.Moduli))
+	for i, q := range p.Moduli {
+		tabs[i] = p.ctx.Table(q)
+	}
+	return tabs
+}
+
+// NTT moves p into the evaluation domain (no-op if already there). The
+// per-residue transforms are independent and run on the engine's worker
+// pool.
 func (p *Poly) NTT() {
 	if p.IsNTT {
 		return
 	}
-	for i, q := range p.Moduli {
-		p.ctx.Table(q).Forward(p.Coeffs[i])
-	}
+	tabs := p.tables()
+	engine.Dispatch(len(p.Moduli), p.ctx.N, func(i int) {
+		tabs[i].Forward(p.Coeffs[i])
+	})
 	p.IsNTT = true
 }
 
@@ -220,9 +362,10 @@ func (p *Poly) INTT() {
 	if !p.IsNTT {
 		return
 	}
-	for i, q := range p.Moduli {
-		p.ctx.Table(q).Inverse(p.Coeffs[i])
-	}
+	tabs := p.tables()
+	engine.Dispatch(len(p.Moduli), p.ctx.N, func(i int) {
+		tabs[i].Inverse(p.Coeffs[i])
+	})
 	p.IsNTT = false
 }
 

@@ -2,9 +2,27 @@ package rns
 
 import (
 	"math/big"
+	"sync"
 
+	"bitpacker/internal/engine"
 	"bitpacker/internal/nt"
 )
+
+// vecPool recycles the length-N scratch vectors Convert and Apply need.
+// Vectors are matched by capacity, so one process-wide pool serves every
+// basis size in play.
+var vecPool sync.Pool
+
+func getVec(n int) []uint64 {
+	if p, _ := vecPool.Get().(*[]uint64); p != nil && cap(*p) >= n {
+		return (*p)[:n]
+	}
+	return make([]uint64, n)
+}
+
+func putVec(v []uint64) {
+	vecPool.Put(&v)
+}
 
 // Conv is a precomputed approximate RNS basis conversion from a source
 // basis {p_0..p_{k-1}} (product P) to a target modulus set {t_0..t_{m-1}}.
@@ -71,19 +89,23 @@ func (c *Conv) Convert(out, src [][]uint64) {
 		panic("rns: Convert shape mismatch")
 	}
 	n := len(src[0])
-	// y_i = [x_i * pHatInv_i]_{p_i}
+	// y_i = [x_i * pHatInv_i]_{p_i} — independent per source residue.
 	y := make([][]uint64, len(c.Src))
 	for i := range y {
+		y[i] = getVec(n)
+	}
+	engine.Dispatch(len(c.Src), n, func(i int) {
 		p := c.Src[i]
 		w, ws := c.pHatInv[i], c.pHatInvSh[i]
-		yi := make([]uint64, n)
+		yi := y[i]
 		for k, x := range src[i] {
 			yi[k] = nt.MulModShoup(x, w, ws, p)
 		}
-		y[i] = yi
-	}
-	// out_j = Σ_i y_i * mat[i][j] mod t_j
-	for j := range out {
+	})
+	// out_j = Σ_i y_i * mat[i][j] mod t_j — independent per target
+	// residue; the inner sum keeps its i-order, so results are identical
+	// at every worker count.
+	engine.Dispatch(len(out), n*len(y), func(j int) {
 		t := c.Dst[j]
 		oj := out[j]
 		for k := range oj {
@@ -96,6 +118,9 @@ func (c *Conv) Convert(out, src [][]uint64) {
 				oj[k] = nt.AddMod(oj[k], nt.MulModShoup(yi[k], w, ws, t), t)
 			}
 		}
+	})
+	for i := range y {
+		putVec(y[i])
 	}
 }
 
@@ -151,15 +176,19 @@ func (d *ExactDiv) Apply(keptRes, shedRes [][]uint64) {
 	n := len(shedRes[0])
 	sub := make([][]uint64, len(d.Kept))
 	for j := range sub {
-		sub[j] = make([]uint64, n)
+		sub[j] = getVec(n)
 	}
 	d.Conv.Convert(sub, shedRes)
-	for j, q := range d.Kept {
+	engine.Dispatch(len(d.Kept), n, func(j int) {
+		q := d.Kept[j]
 		w, ws := d.invP[j], d.invPSh[j]
 		kj, sj := keptRes[j], sub[j]
 		for k := range kj {
 			kj[k] = nt.MulModShoup(nt.SubMod(kj[k], sj[k], q), w, ws, q)
 		}
+	})
+	for j := range sub {
+		putVec(sub[j])
 	}
 }
 
