@@ -80,7 +80,7 @@ type Config struct {
 
 // BootstrapOptions configures functional bootstrapping (see
 // Context.Refresh). Demonstration-grade: the chain must provide
-// SineDegree+3 levels and the secret must satisfy
+// ChebyshevDepth(SineDegree)+3 levels and the secret must satisfy
 // (SparseSecretWeight+1)/2 <= KRange.
 type BootstrapOptions struct {
 	// KRange bounds the ModRaise overflow (default 2).
@@ -214,8 +214,9 @@ func New(cfg Config) (*Context, error) {
 }
 
 // Refresh bootstraps a level-0 ciphertext back up the chain (requires
-// Config.Bootstrap). The output lands SineDegree+3 levels below the top,
-// carrying the original values at demonstration-grade precision.
+// Config.Bootstrap). The output lands ChebyshevDepth(SineDegree)+3 levels
+// below the top, carrying the original values at demonstration-grade
+// precision.
 func (c *Context) Refresh(ct *Ciphertext) (*Ciphertext, error) {
 	if c.boot == nil {
 		return nil, fmt.Errorf("bitpacker: context built without Config.Bootstrap")
@@ -346,6 +347,22 @@ func (c *Context) Adjust(a *Ciphertext, level int) *Ciphertext {
 // Config.Rotations).
 func (c *Context) Rotate(a *Ciphertext, steps int) *Ciphertext {
 	return &Ciphertext{ct: c.eval.Rotate(a.ct, steps)}
+}
+
+// RotateHoisted rotates one ciphertext by several step amounts, sharing a
+// single keyswitch decomposition (ModUp) across all of them — much
+// cheaper than calling Rotate per step when rotating the same input many
+// ways. Results align with steps; duplicate or zero steps are handled
+// without extra keyswitches. The outputs decrypt identically to Rotate's
+// but are not bit-identical to them (the shared ModUp rounds differently;
+// see DESIGN.md).
+func (c *Context) RotateHoisted(a *Ciphertext, steps []int) []*Ciphertext {
+	outs := c.eval.RotateHoisted(a.ct, steps)
+	wrapped := make([]*Ciphertext, len(outs))
+	for i, o := range outs {
+		wrapped[i] = &Ciphertext{ct: o}
+	}
+	return wrapped
 }
 
 // Conjugate conjugates the slots (requires Config.Conjugation).

@@ -3,6 +3,7 @@ package main
 import (
 	"encoding/json"
 	"fmt"
+	"math/rand/v2"
 	"os"
 	"time"
 
@@ -104,6 +105,16 @@ func runMicrobench(path string) error {
 				rec.Op, rec.Scheme, rec.WordBits, rec.NsPerOp, rec.Iters, rec.Workers)
 		}
 	}
+	if err := benchRotateHoisted(&records); err != nil {
+		return err
+	}
+	if err := benchLinearTransform(&records); err != nil {
+		return err
+	}
+	if err := benchBootstrap(&records); err != nil {
+		return err
+	}
+
 	data, err := json.MarshalIndent(records, "", "  ")
 	if err != nil {
 		return err
@@ -113,5 +124,185 @@ func runMicrobench(path string) error {
 		return err
 	}
 	fmt.Printf("wrote %d records to %s\n", len(records), path)
+	return nil
+}
+
+func printRecord(rec BenchRecord) {
+	fmt.Printf("  %-22s %-10s w=%-3d %12.0f ns/op (%d iters, %d workers)\n",
+		rec.Op, rec.Scheme, rec.WordBits, rec.NsPerOp, rec.Iters, rec.Workers)
+}
+
+// benchRotateHoisted times rotating one ciphertext eight ways with
+// per-rotation keyswitching vs a single hoisted decomposition.
+func benchRotateHoisted(records *[]BenchRecord) error {
+	const (
+		logN      = 11
+		levels    = 3
+		scaleBits = 40
+		nRots     = 8
+	)
+	steps := make([]int, nRots)
+	for i := range steps {
+		steps[i] = i + 1
+	}
+	for _, scheme := range []bitpacker.Scheme{bitpacker.RNSCKKS, bitpacker.BitPacker} {
+		ctx, err := bitpacker.New(bitpacker.Config{
+			Scheme:    scheme,
+			LogN:      logN,
+			Levels:    levels,
+			ScaleBits: scaleBits,
+			WordBits:  61,
+			Rotations: steps,
+		})
+		if err != nil {
+			return fmt.Errorf("bench setup (%v): %w", scheme, err)
+		}
+		ct, err := ctx.EncryptReal([]float64{0.5, 0.25})
+		if err != nil {
+			return err
+		}
+		base := BenchRecord{
+			Scheme:   scheme.String(),
+			WordBits: 61,
+			LogN:     logN,
+			Residues: ct.Residues(),
+			Workers:  bitpacker.Workers(),
+		}
+
+		rec := base
+		rec.Op = fmt.Sprintf("Rotate x%d", nRots)
+		rec.NsPerOp, rec.Iters = timeOp(func() {
+			for _, s := range steps {
+				_ = ctx.Rotate(ct, s)
+			}
+		})
+		*records = append(*records, rec)
+		printRecord(rec)
+
+		rec = base
+		rec.Op = fmt.Sprintf("RotateHoisted x%d", nRots)
+		rec.NsPerOp, rec.Iters = timeOp(func() { _ = ctx.RotateHoisted(ct, steps) })
+		*records = append(*records, rec)
+		printRecord(rec)
+	}
+	return nil
+}
+
+// benchLinearTransform times a dense 16-diagonal matrix-vector product on
+// the BSGS path against the naive per-diagonal reference — the
+// CoeffToSlot-style kernel the hoisting work targets.
+func benchLinearTransform(records *[]BenchRecord) error {
+	const (
+		logN      = 11
+		levels    = 2
+		scaleBits = 40
+		dim       = 16
+	)
+	rots := make([]int, 0, dim-1)
+	for r := 1; r < dim; r++ {
+		rots = append(rots, r)
+	}
+	rng := rand.New(rand.NewPCG(11, 12))
+	mat := make([][]complex128, dim)
+	for i := range mat {
+		mat[i] = make([]complex128, dim)
+		for j := range mat[i] {
+			mat[i][j] = complex(2*rng.Float64()-1, 0)
+		}
+	}
+	vec := make([]complex128, dim)
+	for i := range vec {
+		vec[i] = complex(2*rng.Float64()-1, 0)
+	}
+	for _, scheme := range []bitpacker.Scheme{bitpacker.RNSCKKS, bitpacker.BitPacker} {
+		ctx, err := bitpacker.New(bitpacker.Config{
+			Scheme:    scheme,
+			LogN:      logN,
+			Levels:    levels,
+			ScaleBits: scaleBits,
+			WordBits:  61,
+			Rotations: rots,
+		})
+		if err != nil {
+			return fmt.Errorf("bench setup (%v): %w", scheme, err)
+		}
+		tr, err := ctx.NewMatrixTransform(mat, ctx.MaxLevel())
+		if err != nil {
+			return err
+		}
+		ct, err := ctx.Encrypt(ctx.Replicate(vec, dim))
+		if err != nil {
+			return err
+		}
+		naiveKS, activeKS := tr.KeySwitchCounts()
+		base := BenchRecord{
+			Scheme:   scheme.String(),
+			WordBits: 61,
+			LogN:     logN,
+			Residues: ct.Residues(),
+			Workers:  bitpacker.Workers(),
+		}
+
+		rec := base
+		rec.Op = fmt.Sprintf("LinearTransformNaive d=%d ks=%d", dim, naiveKS)
+		naiveNs, naiveIt := timeOp(func() { _ = ctx.ApplyNaive(ct, tr) })
+		rec.NsPerOp, rec.Iters = naiveNs, naiveIt
+		*records = append(*records, rec)
+		printRecord(rec)
+
+		rec = base
+		rec.Op = fmt.Sprintf("LinearTransformBSGS d=%d ks=%d", dim, activeKS)
+		bsgsNs, bsgsIt := timeOp(func() { _ = ctx.Apply(ct, tr) })
+		rec.NsPerOp, rec.Iters = bsgsNs, bsgsIt
+		*records = append(*records, rec)
+		printRecord(rec)
+
+		fmt.Printf("  -> BSGS speedup %.2fx (%v)\n", naiveNs/bsgsNs, scheme)
+	}
+	return nil
+}
+
+// benchBootstrap times a full functional bootstrap (ModRaise + CtS +
+// EvalMod + StC) at toy demonstration parameters.
+func benchBootstrap(records *[]BenchRecord) error {
+	const (
+		logN      = 8
+		deg       = 7
+		scaleBits = 40
+	)
+	levels := bitpacker.ChebyshevDepth(deg) + 3
+	ctx, err := bitpacker.New(bitpacker.Config{
+		Scheme:             bitpacker.BitPacker,
+		LogN:               logN,
+		Levels:             levels,
+		ScaleBits:          scaleBits,
+		WordBits:           61,
+		QMinBits:           48,
+		SparseSecretWeight: 3,
+		Bootstrap:          &bitpacker.BootstrapOptions{KRange: 2, SineDegree: deg},
+	})
+	if err != nil {
+		return fmt.Errorf("bench setup (bootstrap): %w", err)
+	}
+	ct, err := ctx.EncryptReal([]float64{0.5, 0.25})
+	if err != nil {
+		return err
+	}
+	exhausted := ctx.Adjust(ct, 0)
+	rec := BenchRecord{
+		Scheme:   bitpacker.BitPacker.String(),
+		WordBits: 61,
+		LogN:     logN,
+		Residues: ct.Residues(),
+		Workers:  bitpacker.Workers(),
+		Op:       fmt.Sprintf("Bootstrap deg=%d", deg),
+	}
+	rec.NsPerOp, rec.Iters = timeOp(func() {
+		if _, err := ctx.Refresh(exhausted); err != nil {
+			panic(err)
+		}
+	})
+	*records = append(*records, rec)
+	printRecord(rec)
 	return nil
 }

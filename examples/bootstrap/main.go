@@ -15,9 +15,12 @@ import (
 
 func main() {
 	ctx, err := bitpacker.New(bitpacker.Config{
-		Scheme:             bitpacker.BitPacker,
-		LogN:               8,  // toy ring: 128 slots
-		Levels:             22, // sine degree 19 + 3
+		Scheme: bitpacker.BitPacker,
+		LogN:   8, // toy ring: 128 slots
+		// Paterson–Stockmeyer sine evaluation needs only
+		// ChebyshevDepth(19)+3 = 8 levels (one spare keeps the refreshed
+		// output above level 0); the old three-term recurrence needed 22.
+		Levels:             bitpacker.ChebyshevDepth(19) + 4,
 		ScaleBits:          40,
 		QMinBits:           48, // keeps the EvalMod amplitude small
 		WordBits:           61,

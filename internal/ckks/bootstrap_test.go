@@ -160,10 +160,18 @@ func TestFullBootstrapRefresh(t *testing.T) {
 	// ModRaise overflow stays within the K=2 sine range; parameters are
 	// toy-scale and insecure by construction.
 	const (
-		deg  = 19
-		k    = 2
-		lvls = deg + 3
+		deg = 19
+		k   = 2
 	)
+	// The Paterson–Stockmeyer evaluator needs only ChebyshevDepth(deg)+3
+	// levels (= 8 for deg 19) instead of the recurrence's deg+3 = 22; one
+	// spare level on top keeps the refreshed output above level 0. A chain
+	// this short is itself a regression guard: linear-depth evaluation
+	// could not even construct a bootstrapper here.
+	lvls := ChebyshevDepth(deg) + 4
+	if lvls >= deg+3 {
+		t.Fatalf("ChebyshevDepth(%d) = %d did not beat linear depth", deg, ChebyshevDepth(deg))
+	}
 	targets := make([]float64, lvls+1)
 	for i := range targets {
 		targets[i] = 40

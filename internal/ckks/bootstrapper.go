@@ -11,20 +11,19 @@ import (
 // Bootstrapper composes the bootstrapping building blocks into a full
 // Refresh: ModRaise -> CoeffToSlot -> EvalMod (sine) -> SlotToCoeff.
 //
-// This is demonstration-grade bootstrapping: EvalChebyshev evaluates the
-// sine series at linear depth (production systems use baby-step/giant-step
-// to halve the depth), so practical parameters need a very sparse secret
-// (small ModRaise overflow K) and a level budget of SineDegree+3. It
-// exists to demonstrate and test the machinery end to end at laptop
-// scale; the accelerator experiments use the paper's bootstrap trace
-// model and published scales.
+// EvalMod evaluates the sine series by Paterson–Stockmeyer, so the level
+// budget is ChebyshevDepth(SineDegree)+3 = O(log SineDegree)+3 rather
+// than SineDegree+3, and CoeffToSlot/SlotToCoeff run baby-step/giant-step
+// with hoisted rotations. Practical parameters still need a sparse secret
+// (small ModRaise overflow K); the accelerator experiments use the
+// paper's bootstrap trace model and published scales.
 type Bootstrapper struct {
 	params *Parameters
 	enc    *Encoder
 	dft    *HomDFT
 	sine   []float64
 	// topLevel is where ModRaise lands; the refreshed output comes out
-	// SineDegree+3 levels lower.
+	// ChebyshevDepth(SineDegree)+3 levels lower.
 	topLevel int
 }
 
@@ -34,7 +33,7 @@ type BootstrapConfig struct {
 	// dependent; (h+1)/2 is a hard bound). Default 2.
 	KRange int
 	// SineDegree is the Chebyshev degree of the sine approximation.
-	// Default 19. Refresh consumes SineDegree+3 levels.
+	// Default 19. Refresh consumes ChebyshevDepth(SineDegree)+3 levels.
 	SineDegree int
 }
 
@@ -63,9 +62,9 @@ func (ev *Evaluator) MulByI(ct *Ciphertext, power int) *Ciphertext {
 }
 
 // NewBootstrapper precomputes the DFT transforms and sine coefficients.
-// The chain must provide at least cfg.SineDegree+3 levels; the secret key
-// must be sparse enough that |I| < KRange holds with overwhelming
-// probability ((h+1)/2 <= KRange guarantees it).
+// The chain must provide at least ChebyshevDepth(cfg.SineDegree)+3
+// levels; the secret key must be sparse enough that |I| < KRange holds
+// with overwhelming probability ((h+1)/2 <= KRange guarantees it).
 func NewBootstrapper(params *Parameters, enc *Encoder, cfg BootstrapConfig) (*Bootstrapper, error) {
 	if cfg.KRange == 0 {
 		cfg.KRange = 2
@@ -74,7 +73,7 @@ func NewBootstrapper(params *Parameters, enc *Encoder, cfg BootstrapConfig) (*Bo
 		cfg.SineDegree = 19
 	}
 	top := params.MaxLevel()
-	need := cfg.SineDegree + 3
+	need := ChebyshevDepth(cfg.SineDegree) + 3
 	if top < need {
 		return nil, fmt.Errorf("ckks: bootstrapping needs %d levels, chain has %d", need, top)
 	}
@@ -90,7 +89,7 @@ func NewBootstrapper(params *Parameters, enc *Encoder, cfg BootstrapConfig) (*Bo
 	// (small) difference between the canonical scales at the two ends.
 	ctsFactor := complex(sTopF/(2*float64(cfg.KRange)*q0f), 0)
 	stcFactor := complex(sTopF/s0F, 0)
-	stcLevel := top - 1 - cfg.SineDegree - 1
+	stcLevel := top - 1 - ChebyshevDepth(cfg.SineDegree) - 1
 	dft, err := NewHomDFT(params, enc, top, stcLevel+1, ctsFactor, stcFactor)
 	if err != nil {
 		return nil, err
@@ -111,8 +110,8 @@ func NewBootstrapper(params *Parameters, enc *Encoder, cfg BootstrapConfig) (*Bo
 func (bs *Bootstrapper) Rotations() []int { return bs.dft.Rotations() }
 
 // Refresh bootstraps a level-0 ciphertext back up the chain. The output
-// lands SineDegree+3 levels below the top with the original plaintext (to
-// within the sine-approximation precision).
+// lands ChebyshevDepth(SineDegree)+3 levels below the top with the
+// original plaintext (to within the sine-approximation precision).
 func (bs *Bootstrapper) Refresh(ev *Evaluator, ct *Ciphertext) (*Ciphertext, error) {
 	if ct.Level != 0 {
 		return nil, fmt.Errorf("ckks: Refresh expects a level-0 ciphertext, got level %d", ct.Level)

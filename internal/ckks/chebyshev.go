@@ -1,0 +1,394 @@
+package ckks
+
+import (
+	"fmt"
+	"math/big"
+
+	"bitpacker/internal/ring"
+)
+
+// Chebyshev polynomial evaluation: sum_k coeffs[k]*T_k(x) for x encrypted
+// with slots in [-1, 1]. Chebyshev bases keep coefficients small and are
+// how CKKS bootstrapping evaluates its sine approximation.
+//
+// EvalChebyshev uses Paterson–Stockmeyer over the Chebyshev basis: the
+// baby steps T_1..T_bs and the giant steps T_{bs·2^i} are computed by the
+// product rule 2·T_a·T_b = T_{a+b} + T_{|a-b|}, then the series is
+// evaluated by recursive division p = q·T_m + r. Depth drops from deg
+// (three-term recurrence) to O(log deg) and non-scalar multiplications to
+// ~2·sqrt(deg).
+
+// constPT encodes the scalar v into a plaintext at the given level/scale.
+func constPT(p *Parameters, enc *Encoder, v float64, level int, scale *big.Rat) *Plaintext {
+	vals := make([]complex128, p.Slots())
+	for i := range vals {
+		vals[i] = complex(v, 0)
+	}
+	return &Plaintext{
+		Value: enc.Encode(vals, scale, p.LevelModuli(level)),
+		Level: level,
+		Scale: new(big.Rat).Set(scale),
+	}
+}
+
+// trimChebyshev drops trailing zero coefficients, returning the effective
+// degree (-1 for an empty series).
+func trimChebyshev(coeffs []float64) int {
+	deg := len(coeffs) - 1
+	for deg > 0 && coeffs[deg] == 0 {
+		deg--
+	}
+	return deg
+}
+
+// chebPlan describes the Paterson–Stockmeyer split for a given degree.
+type chebPlan struct {
+	deg    int
+	bs     int   // baby-step count: T_1..T_bs are computed directly
+	giants []int // giant degrees bs, 2bs, 4bs, ... <= deg
+}
+
+func newChebPlan(deg int) chebPlan {
+	m := 0
+	for 1<<m < deg+1 {
+		m++
+	}
+	bs := 1 << ((m + 1) / 2)
+	var giants []int
+	for g := bs; g <= deg; g <<= 1 {
+		giants = append(giants, g)
+	}
+	return chebPlan{deg: deg, bs: bs, giants: giants}
+}
+
+// giantFor returns the largest giant degree <= d. The giant ladder always
+// reaches past d/2, so the quotient degree d-m stays below m.
+func (pl chebPlan) giantFor(d int) int {
+	m := pl.giants[0]
+	for _, g := range pl.giants {
+		if g <= d {
+			m = g
+		}
+	}
+	return m
+}
+
+// babyDepths returns the multiplicative depth at which each baby T_k
+// (index k, 0 <= k <= bs) becomes available: T_1 is free, and
+// T_k = 2·T_ceil(k/2)·T_floor(k/2) - T_{k mod 2} costs one level over its
+// deepest factor.
+func babyDepths(bs int) []int {
+	d := make([]int, bs+1)
+	for k := 2; k <= bs; k++ {
+		a, b := (k+1)/2, k/2
+		if d[a] > d[b] {
+			d[k] = d[a] + 1
+		} else {
+			d[k] = d[b] + 1
+		}
+	}
+	return d
+}
+
+// ChebyshevDepth returns the number of multiplicative levels EvalChebyshev
+// consumes for a degree-deg series, assuming all coefficients are nonzero
+// (zero coefficients can only make the actual evaluation shallower). It
+// grows as O(log deg) rather than the naive recurrence's deg.
+func ChebyshevDepth(deg int) int {
+	if deg <= 0 {
+		return 0
+	}
+	if deg <= 2 {
+		return deg // naive path: deg 1 costs 1 level, deg 2 costs 2
+	}
+	pl := newChebPlan(deg)
+	dT := babyDepths(pl.bs)
+	giantDepth := map[int]int{}
+	gd := dT[pl.bs]
+	for _, g := range pl.giants {
+		giantDepth[g] = gd
+		gd++ // each doubling T_{2m} = 2·T_m^2 - 1 costs one level
+	}
+	var rec func(d int) int
+	rec = func(d int) int {
+		if d < pl.bs {
+			if d == 0 {
+				return 0 // pure pending constant
+			}
+			// Linear combination of babies: MulPlain+Rescale costs one
+			// level over the deepest baby used.
+			max := 0
+			for k := 1; k <= d; k++ {
+				if dT[k] > max {
+					max = dT[k]
+				}
+			}
+			return max + 1
+		}
+		m := pl.giantFor(d)
+		qd := rec(d - m)
+		mul := giantDepth[m]
+		if qd > mul {
+			mul = qd
+		}
+		mul++
+		if rd := rec(m - 1); rd > mul {
+			mul = rd
+		}
+		return mul
+	}
+	return rec(deg)
+}
+
+// chebDivRem divides the Chebyshev-basis polynomial c by T_m:
+// c = q·T_m + r with deg r < m, using T_a·T_m = (T_{a+m} + T_{|a-m|})/2.
+// Requires deg c < 2m.
+func chebDivRem(c []float64, m int) (q, r []float64) {
+	d := len(c) - 1
+	rem := make([]float64, d+1)
+	copy(rem, c)
+	q = make([]float64, d-m+1)
+	for k := d; k >= m+1; k-- {
+		qi := 2 * rem[k]
+		q[k-m] = qi
+		rem[k] = 0
+		idx := 2*m - k
+		if idx < 0 {
+			idx = -idx
+		}
+		rem[idx] -= qi / 2
+	}
+	q[0] = rem[m]
+	rem[m] = 0
+	r = rem[:m]
+	return q, r
+}
+
+// chebRes is a partial evaluation result: the encrypted part plus a
+// pending plaintext constant (folded in as late as possible so that pure
+// constants never cost a multiplication or a level).
+type chebRes struct {
+	ct *Ciphertext // nil means the value is just the constant
+	c0 float64
+}
+
+// EvalChebyshev evaluates sum_k coeffs[k]*T_k(x) by Paterson–Stockmeyer,
+// consuming ChebyshevDepth(deg) = O(log deg) levels. Zero coefficients
+// are skipped. Degrees <= 2 delegate to the three-term recurrence, which
+// is optimal there.
+func (ev *Evaluator) EvalChebyshev(enc *Encoder, x *Ciphertext, coeffs []float64) (*Ciphertext, error) {
+	if len(coeffs) == 0 {
+		return nil, fmt.Errorf("ckks: empty Chebyshev series")
+	}
+	deg := trimChebyshev(coeffs)
+	if deg <= 2 {
+		return ev.EvalChebyshevNaive(enc, x, coeffs[:deg+1])
+	}
+	need := ChebyshevDepth(deg)
+	if x.Level < need {
+		return nil, fmt.Errorf("ckks: need %d levels, have %d", need, x.Level)
+	}
+	p := ev.params
+	pl := newChebPlan(deg)
+
+	// Baby steps T_1..T_bs via 2·T_a·T_b = T_{a+b} + T_{|a-b|}.
+	T := make([]*Ciphertext, pl.bs+1)
+	T[1] = x.CopyNew()
+	for k := 2; k <= pl.bs; k++ {
+		a, b := (k+1)/2, k/2
+		var tk *Ciphertext
+		if a == b {
+			// T_{2a} = 2·T_a^2 - 1.
+			sq := ev.Rescale(ev.Square(T[a]))
+			tk = ev.MulScalarInt(sq, 2)
+			tk = ev.AddPlain(tk, constPT(p, enc, -1, tk.Level, tk.Scale))
+		} else {
+			// T_{a+b} = 2·T_a·T_b - T_1 (a-b = 1 here).
+			lvl := T[a].Level
+			if T[b].Level < lvl {
+				lvl = T[b].Level
+			}
+			ta := ev.AdjustTo(T[a].CopyNew(), lvl)
+			tb := ev.AdjustTo(T[b].CopyNew(), lvl)
+			prod := ev.Rescale(ev.MulRelin(ta, tb))
+			prod = ev.MulScalarInt(prod, 2)
+			sub := ev.AdjustTo(T[1].CopyNew(), prod.Level)
+			tk = ev.Sub(prod, sub)
+		}
+		T[k] = tk
+	}
+
+	// Giant steps T_{2m} = 2·T_m^2 - 1 starting from T_bs.
+	G := map[int]*Ciphertext{pl.giants[0]: T[pl.bs]}
+	for i := 1; i < len(pl.giants); i++ {
+		prev := G[pl.giants[i-1]]
+		sq := ev.Rescale(ev.Square(prev))
+		tk := ev.MulScalarInt(sq, 2)
+		tk = ev.AddPlain(tk, constPT(p, enc, -1, tk.Level, tk.Scale))
+		G[pl.giants[i]] = tk
+	}
+
+	// linearComb evaluates a degree < bs series against the babies.
+	linearComb := func(c []float64) chebRes {
+		res := chebRes{c0: 0}
+		if len(c) > 0 {
+			res.c0 = c[0]
+		}
+		for k := 1; k < len(c); k++ {
+			if c[k] == 0 {
+				continue
+			}
+			term := ev.MulPlain(T[k], constPT(p, enc, c[k], T[k].Level, p.DefaultScale(T[k].Level)))
+			term = ev.Rescale(term)
+			if res.ct == nil {
+				res.ct = term
+			} else {
+				lvl := res.ct.Level
+				if term.Level < lvl {
+					lvl = term.Level
+				}
+				res.ct = ev.Add(ev.AdjustTo(res.ct, lvl), ev.AdjustTo(term, lvl))
+			}
+		}
+		return res
+	}
+
+	var eval func(c []float64) chebRes
+	eval = func(c []float64) chebRes {
+		d := len(c) - 1
+		for d > 0 && c[d] == 0 {
+			d--
+		}
+		c = c[:d+1]
+		if d < pl.bs {
+			return linearComb(c)
+		}
+		m := pl.giantFor(d)
+		qc, rc := chebDivRem(c, m)
+		qRes := eval(qc)
+		rRes := eval(rc)
+
+		// prod = q·T_m.
+		var prod *Ciphertext
+		tm := G[m]
+		switch {
+		case qRes.ct != nil:
+			qct := qRes.ct
+			if qRes.c0 != 0 {
+				qct = ev.AddPlain(qct, constPT(p, enc, qRes.c0, qct.Level, qct.Scale))
+			}
+			lvl := qct.Level
+			if tm.Level < lvl {
+				lvl = tm.Level
+			}
+			qa := ev.AdjustTo(qct, lvl)
+			ta := ev.AdjustTo(tm.CopyNew(), lvl)
+			prod = ev.Rescale(ev.MulRelin(qa, ta))
+		case qRes.c0 != 0:
+			prod = ev.Rescale(ev.MulPlain(tm, constPT(p, enc, qRes.c0, tm.Level, p.DefaultScale(tm.Level))))
+		}
+
+		if prod == nil {
+			return rRes
+		}
+		if rRes.ct == nil {
+			return chebRes{ct: prod, c0: rRes.c0}
+		}
+		lvl := prod.Level
+		if rRes.ct.Level < lvl {
+			lvl = rRes.ct.Level
+		}
+		sum := ev.Add(ev.AdjustTo(prod, lvl), ev.AdjustTo(rRes.ct, lvl))
+		return chebRes{ct: sum, c0: rRes.c0}
+	}
+
+	res := eval(coeffs[:deg+1])
+	if res.ct == nil {
+		// Degenerate all-constant series (deg was trimmed above, so this
+		// needs every higher coefficient to cancel): encode as zero
+		// ciphertext plus the constant.
+		out := x.CopyNew()
+		zero := ring.NewPoly(p.Ctx, x.C0.Moduli)
+		zero.IsNTT = true
+		out.C0 = zero
+		out.C1 = zero.Copy()
+		return ev.AddPlain(out, constPT(p, enc, res.c0, out.Level, out.Scale)), nil
+	}
+	out := res.ct
+	if res.c0 != 0 {
+		out = ev.AddPlain(out, constPT(p, enc, res.c0, out.Level, out.Scale))
+	}
+	return out, nil
+}
+
+// EvalChebyshevNaive evaluates the series by the three-term recurrence
+// T_k = 2x·T_{k-1} - T_{k-2}, consuming one level per degree. Zero
+// coefficients skip their MulPlain+Rescale (a degree-trimmed constant
+// series consumes no levels at all). Kept as the reference and
+// differential-test baseline for EvalChebyshev.
+func (ev *Evaluator) EvalChebyshevNaive(enc *Encoder, x *Ciphertext, coeffs []float64) (*Ciphertext, error) {
+	if len(coeffs) == 0 {
+		return nil, fmt.Errorf("ckks: empty Chebyshev series")
+	}
+	deg := trimChebyshev(coeffs)
+	if x.Level < deg {
+		return nil, fmt.Errorf("ckks: need %d levels, have %d", deg, x.Level)
+	}
+	p := ev.params
+
+	if deg == 0 {
+		out := x.CopyNew()
+		zero := ring.NewPoly(p.Ctx, x.C0.Moduli)
+		zero.IsNTT = true
+		out.C0 = zero
+		out.C1 = zero.Copy()
+		return ev.AddPlain(out, constPT(p, enc, coeffs[0], out.Level, out.Scale)), nil
+	}
+
+	// acc accumulates coeffs[k] * T_k at progressively lower levels;
+	// T_0 = 1 is handled as a plaintext constant at the end.
+	var acc *Ciphertext
+	addTerm := func(tk *Ciphertext, c float64) {
+		term := ev.MulPlain(tk, constPT(p, enc, c, tk.Level, p.DefaultScale(tk.Level)))
+		term = ev.Rescale(term)
+		if acc == nil {
+			acc = term
+		} else {
+			acc = ev.Add(ev.AdjustTo(acc, term.Level), term)
+		}
+	}
+
+	tPrev := x.CopyNew() // T_1 = x at level L
+	if coeffs[1] != 0 {
+		addTerm(tPrev, coeffs[1])
+	}
+	var tPrev2 *Ciphertext
+	for k := 2; k <= deg; k++ {
+		var tk *Ciphertext
+		if k == 2 {
+			// T_2 = 2x^2 - 1.
+			sq := ev.Rescale(ev.Square(x))
+			tk = ev.MulScalarInt(sq, 2)
+			tk = ev.AddPlain(tk, constPT(p, enc, -1, tk.Level, tk.Scale))
+			tPrev2 = ev.AdjustTo(x.CopyNew(), tk.Level) // T_1 aligned
+		} else {
+			// T_k = 2x*T_{k-1} - T_{k-2}.
+			xa := ev.AdjustTo(x.CopyNew(), tPrev.Level)
+			prod := ev.Rescale(ev.MulRelin(xa, tPrev))
+			prod = ev.MulScalarInt(prod, 2)
+			sub := ev.AdjustTo(tPrev2, prod.Level)
+			tk = ev.Sub(prod, sub)
+			tPrev2 = ev.AdjustTo(tPrev, tk.Level)
+		}
+		tPrev = tk
+		if coeffs[k] != 0 {
+			addTerm(tk, coeffs[k])
+		}
+	}
+	// + coeffs[0] * T_0 (acc is non-nil: the trimmed leading coefficient
+	// is nonzero, so the k = deg term was added).
+	if coeffs[0] != 0 {
+		acc = ev.AddPlain(acc, constPT(p, enc, coeffs[0], acc.Level, acc.Scale))
+	}
+	return acc, nil
+}

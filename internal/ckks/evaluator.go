@@ -219,15 +219,48 @@ func (ev *Evaluator) Square(ct *Ciphertext) *Ciphertext {
 	return ev.MulRelin(ct, ct)
 }
 
-// keySwitch applies swk to c2 (NTT domain over the current level moduli),
-// returning the two correction polynomials over the same moduli.
+// HoistedDecomp is the reusable first half of a hybrid keyswitch: the
+// digit decomposition of a polynomial, basis-extended (ModUp) from its
+// live moduli to live+special. Producing it costs one INTT plus one
+// approximate basis conversion per digit — the dominant O(R²·N) part of a
+// keyswitch — and it can then be consumed by many switching keys and
+// Galois automorphisms (hoisting, HS18 / ARK-style inter-op reuse).
 //
-// Hybrid keyswitching: decompose c2 into Dnum digits (grouped by the
-// parameter layout), extend each digit from its live moduli to the full
-// live+special basis (ModUp, approximate), inner-multiply with the key,
-// and divide the accumulated pair by P (ModDown, exact up to the floor
-// error) to land back on the live moduli.
-func (ev *Evaluator) keySwitch(c2 *ring.Poly, swk *SwitchingKey) (*ring.Poly, *ring.Poly) {
+// The digits are kept in the coefficient domain so a Galois automorphism
+// (a signed coefficient permutation, which commutes with the per-residue
+// digit selection) can still be applied per rotation before the NTT and
+// inner product.
+type HoistedDecomp struct {
+	live   []uint64
+	ext    []uint64
+	digits []*ring.Poly // indexed by digit; nil when the digit has no rows
+	// c0 is the input ciphertext's C0 in the coefficient domain (only set
+	// by DecomposeModUp), so each hoisted rotation pays one automorphism
+	// plus one NTT for the non-switched half instead of INTT+NTT.
+	c0    *ring.Poly
+	level int
+	scale *big.Rat
+}
+
+// Free returns the decomposition's scratch polynomials to the context
+// pool. The decomposition must not be used afterwards.
+func (hd *HoistedDecomp) Free(ctx *ring.Context) {
+	for _, d := range hd.digits {
+		if d != nil {
+			ctx.PutPoly(d)
+		}
+	}
+	hd.digits = nil
+	if hd.c0 != nil {
+		ctx.PutPoly(hd.c0)
+		hd.c0 = nil
+	}
+}
+
+// decomposePoly computes the digit decomposition + ModUp of c2 (NTT domain
+// over the current level moduli). This is the per-input half of keySwitch;
+// keySwitchHoisted is the per-key half.
+func (ev *Evaluator) decomposePoly(c2 *ring.Poly) *HoistedDecomp {
 	p := ev.params
 	live := c2.Moduli
 	special := p.Chain.Special
@@ -243,16 +276,16 @@ func (ev *Evaluator) keySwitch(c2 *ring.Poly, swk *SwitchingKey) (*ring.Poly, *r
 		digitRows[d] = append(digitRows[d], i)
 	}
 
-	acc0 := p.Ctx.GetPolyZero(ext)
-	acc0.IsNTT = true
-	acc1 := p.Ctx.GetPolyZero(ext)
-	acc1.IsNTT = true
-
 	rowOf := make(map[uint64]int, len(ext))
 	for i, q := range ext {
 		rowOf[q] = i
 	}
 
+	hd := &HoistedDecomp{
+		live:   append([]uint64(nil), live...),
+		ext:    ext,
+		digits: make([]*ring.Poly, p.Dnum),
+	}
 	for d := 0; d < p.Dnum; d++ {
 		rows := digitRows[d]
 		if len(rows) == 0 {
@@ -289,6 +322,50 @@ func (ev *Evaluator) keySwitch(c2 *ring.Poly, swk *SwitchingKey) (*ring.Poly, *r
 		for i, q := range srcModuli {
 			copy(digit.Coeffs[rowOf[q]], srcRes[i])
 		}
+		hd.digits[d] = digit
+	}
+	p.Ctx.PutPoly(c2c)
+	return hd
+}
+
+// DecomposeModUp computes the hoisted decomposition of ct's C1 (plus a
+// coefficient-domain copy of C0), ready to be consumed by RotateHoisted
+// or keySwitchHoisted any number of times. Release it with Free.
+func (ev *Evaluator) DecomposeModUp(ct *Ciphertext) *HoistedDecomp {
+	hd := ev.decomposePoly(ct.C1)
+	c0 := ct.C0.ScratchCopy()
+	c0.INTT()
+	hd.c0 = c0
+	hd.level = ct.Level
+	hd.scale = new(big.Rat).Set(ct.Scale)
+	return hd
+}
+
+// keySwitchHoisted is the per-key half of a hybrid keyswitch: apply the
+// Galois automorphism galEl (1 = identity) to each pre-extended digit,
+// inner-multiply with the key, and ModDown (divide the accumulated pair
+// by P) back to the live moduli. With galEl == 1 this is bit-identical to
+// the unsplit keyswitch.
+func (ev *Evaluator) keySwitchHoisted(hd *HoistedDecomp, swk *SwitchingKey, galEl uint64) (*ring.Poly, *ring.Poly) {
+	p := ev.params
+	live := hd.live
+	ext := hd.ext
+
+	acc0 := p.Ctx.GetPolyZero(ext)
+	acc0.IsNTT = true
+	acc1 := p.Ctx.GetPolyZero(ext)
+	acc1.IsNTT = true
+
+	for d := 0; d < p.Dnum; d++ {
+		if hd.digits[d] == nil {
+			continue
+		}
+		var digit *ring.Poly
+		if galEl == 1 {
+			digit = hd.digits[d].ScratchCopy()
+		} else {
+			digit = hd.digits[d].Automorphism(galEl)
+		}
 		digit.NTT()
 
 		// The key rows are only read: alias them instead of copying the
@@ -299,9 +376,9 @@ func (ev *Evaluator) keySwitch(c2 *ring.Poly, swk *SwitchingKey) (*ring.Poly, *r
 		acc1.MulCoeffsAdd(digit, ka)
 		p.Ctx.PutPoly(digit)
 	}
-	p.Ctx.PutPoly(c2c)
 
 	// ModDown: divide by P and shed the special moduli.
+	special := p.Chain.Special
 	shedPos := make([]int, len(special))
 	for i := range special {
 		shedPos[i] = len(live) + i
@@ -315,6 +392,23 @@ func (ev *Evaluator) keySwitch(c2 *ring.Poly, swk *SwitchingKey) (*ring.Poly, *r
 	p.Ctx.PutPoly(acc1)
 	out0.NTT()
 	out1.NTT()
+	return out0, out1
+}
+
+// keySwitch applies swk to c2 (NTT domain over the current level moduli),
+// returning the two correction polynomials over the same moduli.
+//
+// Hybrid keyswitching: decompose c2 into Dnum digits (grouped by the
+// parameter layout), extend each digit from its live moduli to the full
+// live+special basis (ModUp, approximate), inner-multiply with the key,
+// and divide the accumulated pair by P (ModDown, exact up to the floor
+// error) to land back on the live moduli. The two halves are split so
+// rotation-heavy kernels can hoist the decomposition (DecomposeModUp)
+// across many keys.
+func (ev *Evaluator) keySwitch(c2 *ring.Poly, swk *SwitchingKey) (*ring.Poly, *ring.Poly) {
+	hd := ev.decomposePoly(c2)
+	out0, out1 := ev.keySwitchHoisted(hd, swk, 1)
+	hd.Free(ev.params.Ctx)
 	return out0, out1
 }
 
@@ -351,12 +445,94 @@ func (ev *Evaluator) applyGalois(ct *Ciphertext, galEl uint64) *Ciphertext {
 	return &Ciphertext{C0: ks0, C1: ks1, Level: ct.Level, Scale: new(big.Rat).Set(ct.Scale)}
 }
 
-// Rotate rotates the encrypted slot vector left by steps.
+// normalizeSteps reduces a rotation amount into [0, slots).
+func normalizeSteps(steps, slots int) int {
+	return ((steps % slots) + slots) % slots
+}
+
+// Rotate rotates the encrypted slot vector left by steps. A rotation by a
+// multiple of the slot count is the identity and returns a copy without
+// performing (or requiring a key for) a keyswitch.
 func (ev *Evaluator) Rotate(ct *Ciphertext, steps int) *Ciphertext {
+	if normalizeSteps(steps, ev.params.Slots()) == 0 {
+		return ct.CopyNew()
+	}
 	return ev.applyGalois(ct, ring.GaloisElementForRotation(steps, ev.params.N()))
 }
 
 // Conjugate conjugates the encrypted slots.
 func (ev *Evaluator) Conjugate(ct *Ciphertext) *Ciphertext {
 	return ev.applyGalois(ct, ring.GaloisElementForConjugation(ev.params.N()))
+}
+
+// rotateHoisted applies one rotation (galEl for nonzero normalized steps)
+// to a pre-decomposed ciphertext: automorphism on the extended digits +
+// inner product + ModDown, plus automorphism+NTT on the hoisted C0 copy.
+func (ev *Evaluator) rotateHoisted(hd *HoistedDecomp, steps int) *Ciphertext {
+	if ev.keys == nil {
+		panic("ckks: no evaluation keys")
+	}
+	galEl := ring.GaloisElementForRotation(steps, ev.params.N())
+	swk, ok := ev.keys.Galois[galEl]
+	if !ok {
+		panic(fmt.Sprintf("ckks: no Galois key for element %d", galEl))
+	}
+	c0 := hd.c0.Automorphism(galEl)
+	c0.NTT()
+	ks0, ks1 := ev.keySwitchHoisted(hd, swk, galEl)
+	ks0.Add(ks0, c0)
+	ev.params.Ctx.PutPoly(c0)
+	return &Ciphertext{C0: ks0, C1: ks1, Level: hd.level, Scale: new(big.Rat).Set(hd.scale)}
+}
+
+// RotateHoisted rotates ct by every amount in steps, sharing one digit
+// decomposition (ModUp) across all of them: n rotations of the same
+// ciphertext cost 1 ModUp + n (automorphism + inner product + ModDown)
+// instead of n full keyswitches. Steps are normalized modulo the slot
+// count and deduplicated internally; the returned slice is indexed like
+// steps, with each entry an independent ciphertext. Rotations by zero (or
+// a multiple of the slot count) are plain copies.
+//
+// The hoisted results are value-equivalent to Rotate's (same level, scale
+// and noise bound) but not bit-identical: the approximate ModUp error is
+// computed before the automorphism instead of after, which permutes the
+// sub-noise rounding. See DESIGN.md.
+func (ev *Evaluator) RotateHoisted(ct *Ciphertext, steps []int) []*Ciphertext {
+	slots := ev.params.Slots()
+	out := make([]*Ciphertext, len(steps))
+
+	// Dedupe the normalized nonzero steps, preserving first-seen order.
+	var uniq []int
+	seen := map[int]bool{}
+	for _, s := range steps {
+		n := normalizeSteps(s, slots)
+		if n != 0 && !seen[n] {
+			seen[n] = true
+			uniq = append(uniq, n)
+		}
+	}
+
+	var hd *HoistedDecomp
+	if len(uniq) > 0 {
+		hd = ev.DecomposeModUp(ct)
+		defer hd.Free(ev.params.Ctx)
+	}
+	rotated := make(map[int]*Ciphertext, len(uniq))
+	for _, n := range uniq {
+		rotated[n] = ev.rotateHoisted(hd, n)
+	}
+	used := map[int]bool{}
+	for i, s := range steps {
+		n := normalizeSteps(s, slots)
+		switch {
+		case n == 0:
+			out[i] = ct.CopyNew()
+		case !used[n]:
+			out[i] = rotated[n]
+			used[n] = true
+		default: // duplicate step: hand out an independent copy
+			out[i] = rotated[n].CopyNew()
+		}
+	}
+	return out
 }

@@ -5,6 +5,7 @@ import (
 	"math/big"
 	"sort"
 
+	"bitpacker/internal/engine"
 	"bitpacker/internal/ring"
 )
 
@@ -15,21 +16,65 @@ import (
 //	M·v = Σ_d diag_d(M) ⊙ rot(v, d)
 //
 // where diag_d(M)[i] = M[i][(i+d) mod n] and rot rotates slots left.
+//
+// Dense transforms are evaluated baby-step/giant-step: factoring each
+// diagonal d = g·n1 + b lets the inner sums share the n1 baby rotations
+// of the input (hoisted: one ModUp) while only the n2 giant rotations of
+// the accumulators pay a full keyswitch —
+//
+//	M·v = Σ_g rot(Σ_b rot(diag_{g·n1+b}, -g) ⊙ rot(v, b), g·n1)
+//
+// O(n1+n2) ≈ O(2√D) keyswitches instead of O(D).
 
 // LinearTransform is a plaintext matrix encoded diagonal-by-diagonal at a
 // fixed level and scale, ready to be applied to ciphertexts at that level.
 type LinearTransform struct {
-	// Diags maps rotation amount -> encoded diagonal.
+	// Diags maps rotation amount -> encoded diagonal (NTT domain), used
+	// by the per-diagonal (naive/hoisted) path.
 	Diags map[int]*Plaintext
 	Level int
 	Scale *big.Rat
 	Slots int
+
+	// N1 is the baby-step modulus of the BSGS factorization; 0 means the
+	// factorization would not reduce the keyswitch count (sparse/banded
+	// transforms) and the per-diagonal hoisted path is used instead.
+	N1 int
+	// bsgs maps giant step g (multiple of N1) -> baby step b -> the
+	// diagonal g+b pre-rotated by -g and encoded in the NTT domain.
+	bsgs map[int]map[int]*Plaintext
 }
 
-// Rotations returns the rotation amounts the transform needs Galois keys
-// for, in ascending order (zero is excluded). The order is deterministic
-// so that key generation consumes its PRNG stream reproducibly.
+// Rotations returns the rotation amounts the transform's evaluation path
+// needs Galois keys for, in ascending order (zero is excluded): the baby
+// and giant steps when the BSGS factorization is active, the diagonal
+// indices otherwise. The order is deterministic so that key generation
+// consumes its PRNG stream reproducibly.
 func (lt *LinearTransform) Rotations() []int {
+	if lt.N1 == 0 {
+		return lt.RotationsNaive()
+	}
+	seen := map[int]bool{}
+	var out []int
+	add := func(r int) {
+		if r != 0 && !seen[r] {
+			seen[r] = true
+			out = append(out, r)
+		}
+	}
+	for g, group := range lt.bsgs {
+		add(g)
+		for b := range group {
+			add(b)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// RotationsNaive returns the rotation amounts the per-diagonal reference
+// path (ApplyLinearTransformNaive) needs, in ascending order.
+func (lt *LinearTransform) RotationsNaive() []int {
 	var out []int
 	for d := range lt.Diags {
 		if d != 0 {
@@ -40,8 +85,17 @@ func (lt *LinearTransform) Rotations() []int {
 	return out
 }
 
+// KeySwitchCounts reports the number of keyswitches one application costs
+// on the naive per-diagonal path and on the active (BSGS or hoisted) path
+// — the complexity the factorization optimizes.
+func (lt *LinearTransform) KeySwitchCounts() (naive, active int) {
+	naive = len(lt.RotationsNaive())
+	active = len(lt.Rotations())
+	return naive, active
+}
+
 // sortedDiags returns the diagonal indices in ascending order, fixing the
-// evaluation order of ApplyLinearTransform independent of map iteration.
+// evaluation order of the per-diagonal paths independent of map iteration.
 func (lt *LinearTransform) sortedDiags() []int {
 	ds := make([]int, 0, len(lt.Diags))
 	for d := range lt.Diags {
@@ -51,9 +105,40 @@ func (lt *LinearTransform) sortedDiags() []int {
 	return ds
 }
 
+// bsgsPlan picks the baby-step modulus (a power of two) minimizing the
+// keyswitch count |B\0| + |G\0| over the given normalized diagonal
+// indices. It returns 0 when no factorization beats the per-diagonal
+// count — e.g. banded transforms with a handful of spread-out diagonals.
+func bsgsPlan(diags []int, slots int) int {
+	naive := 0
+	for _, d := range diags {
+		if d != 0 {
+			naive++
+		}
+	}
+	best, bestCost := 0, naive
+	for n1 := 2; n1 < slots; n1 <<= 1 {
+		babies := map[int]bool{}
+		giants := map[int]bool{}
+		for _, d := range diags {
+			if b := d % n1; b != 0 {
+				babies[b] = true
+			}
+			if g := d - d%n1; g != 0 {
+				giants[g] = true
+			}
+		}
+		if cost := len(babies) + len(giants); cost < bestCost {
+			best, bestCost = n1, cost
+		}
+	}
+	return best
+}
+
 // NewLinearTransformFromDiags encodes the given nonzero diagonals
 // (diags[d][i] multiplies slot (i+d) mod slots of the input) at the given
-// level with the level's canonical scale.
+// level with the level's canonical scale, precomputing the BSGS
+// factorization when it reduces the keyswitch count.
 func NewLinearTransformFromDiags(params *Parameters, enc *Encoder, diags map[int][]complex128, level int) (*LinearTransform, error) {
 	if level < 0 || level > params.MaxLevel() {
 		return nil, fmt.Errorf("ckks: level %d out of range", level)
@@ -66,6 +151,20 @@ func NewLinearTransformFromDiags(params *Parameters, enc *Encoder, diags map[int
 		Scale: scale,
 		Slots: slots,
 	}
+	encode := func(v []complex128) *Plaintext {
+		pt := &Plaintext{
+			Value: enc.Encode(v, scale, params.LevelModuli(level)),
+			Level: level,
+			Scale: scale,
+		}
+		// Pre-transform to the NTT domain: the values are identical to
+		// NTT-ing at use (the transform is deterministic), so the naive
+		// path stays bit-compatible while every apply saves one NTT per
+		// diagonal.
+		pt.Value.NTT()
+		return pt
+	}
+	normalized := map[int][]complex128{}
 	for d, diag := range diags {
 		if len(diag) > slots {
 			return nil, fmt.Errorf("ckks: diagonal %d has %d entries for %d slots", d, len(diag), slots)
@@ -73,10 +172,30 @@ func NewLinearTransformFromDiags(params *Parameters, enc *Encoder, diags map[int
 		dd := ((d % slots) + slots) % slots
 		padded := make([]complex128, slots)
 		copy(padded, diag)
-		lt.Diags[dd] = &Plaintext{
-			Value: enc.Encode(padded, scale, params.LevelModuli(level)),
-			Level: level,
-			Scale: scale,
+		normalized[dd] = padded
+		lt.Diags[dd] = encode(padded)
+	}
+
+	// BSGS factorization: pre-rotate diagonal g+b by -g so the giant
+	// rotation can be applied after the baby-step accumulation.
+	var ds []int
+	for d := range normalized {
+		ds = append(ds, d)
+	}
+	sort.Ints(ds)
+	if n1 := bsgsPlan(ds, slots); n1 != 0 {
+		lt.N1 = n1
+		lt.bsgs = map[int]map[int]*Plaintext{}
+		for _, d := range ds {
+			g, b := d-d%n1, d%n1
+			rotated := make([]complex128, slots)
+			for j := range rotated {
+				rotated[j] = normalized[d][((j-g)%slots+slots)%slots]
+			}
+			if lt.bsgs[g] == nil {
+				lt.bsgs[g] = map[int]*Plaintext{}
+			}
+			lt.bsgs[g][b] = encode(rotated)
 		}
 	}
 	return lt, nil
@@ -121,14 +240,50 @@ func NewLinearTransform(params *Parameters, enc *Encoder, mat [][]complex128, le
 	return NewLinearTransformFromDiags(params, enc, diags, level)
 }
 
+// zeroTransformResult is the all-zero-transform fallback: an encryption
+// of zero at the right level and scale.
+func (ev *Evaluator) zeroTransformResult(ct *Ciphertext, lt *LinearTransform) *Ciphertext {
+	out := ct.CopyNew()
+	out.C0 = ring.NewPoly(ev.params.Ctx, ct.C0.Moduli)
+	out.C0.IsNTT = true
+	out.C1 = ring.NewPoly(ev.params.Ctx, ct.C1.Moduli)
+	out.C1.IsNTT = true
+	out.Scale = new(big.Rat).Mul(ct.Scale, lt.Scale)
+	return out
+}
+
 // ApplyLinearTransform computes M·v for the encrypted vector v. The input
 // must be at lt.Level with the canonical scale; the output carries scale
 // ct.Scale * lt.Scale and should be rescaled by the caller.
+//
+// Dense transforms run baby-step/giant-step with the baby rotations
+// hoisted; sparse ones fall back to the per-diagonal path with all
+// rotations hoisted (one ModUp total either way). The result is
+// value-equivalent to ApplyLinearTransformNaive — same level, scale and
+// noise bound — but not bit-identical, because hoisting reorders the
+// approximate-ModUp rounding (see DESIGN.md).
 //
 // When the transform was built by NewLinearTransform for dim < slots, the
 // input vector must be replicated across the slot blocks (ReplicateBlocks
 // does this for freshly encoded vectors).
 func (ev *Evaluator) ApplyLinearTransform(ct *Ciphertext, lt *LinearTransform) *Ciphertext {
+	if ct.Level != lt.Level {
+		panic(fmt.Sprintf("ckks: transform at level %d, ciphertext at %d (adjust first)", lt.Level, ct.Level))
+	}
+	if len(lt.Diags) == 0 {
+		return ev.zeroTransformResult(ct, lt)
+	}
+	if lt.N1 != 0 {
+		return ev.applyLinearTransformBSGS(ct, lt)
+	}
+	return ev.applyLinearTransformHoisted(ct, lt)
+}
+
+// ApplyLinearTransformNaive is the reference per-diagonal evaluation: one
+// full keyswitch (ModUp + inner product + ModDown) per nonzero diagonal.
+// It is kept as the differential-testing and benchmarking baseline for
+// the hoisted/BSGS paths.
+func (ev *Evaluator) ApplyLinearTransformNaive(ct *Ciphertext, lt *LinearTransform) *Ciphertext {
 	if ct.Level != lt.Level {
 		panic(fmt.Sprintf("ckks: transform at level %d, ciphertext at %d (adjust first)", lt.Level, ct.Level))
 	}
@@ -148,17 +303,132 @@ func (ev *Evaluator) ApplyLinearTransform(ct *Ciphertext, lt *LinearTransform) *
 		}
 	}
 	if acc == nil {
-		// All-zero transform: return an encryption of zero at the right
-		// scale.
-		out := ct.CopyNew()
-		out.C0 = ring.NewPoly(ev.params.Ctx, ct.C0.Moduli)
-		out.C0.IsNTT = true
-		out.C1 = ring.NewPoly(ev.params.Ctx, ct.C1.Moduli)
-		out.C1.IsNTT = true
-		out.Scale = new(big.Rat).Mul(ct.Scale, lt.Scale)
-		return out
+		return ev.zeroTransformResult(ct, lt)
 	}
 	return acc
+}
+
+// applyLinearTransformHoisted is the per-diagonal path with the rotations
+// hoisted: the input is decomposed once and every diagonal reuses the
+// extended digits.
+func (ev *Evaluator) applyLinearTransformHoisted(ct *Ciphertext, lt *LinearTransform) *Ciphertext {
+	ds := lt.sortedDiags()
+	var hd *HoistedDecomp
+	for _, d := range ds {
+		if d != 0 {
+			hd = ev.DecomposeModUp(ct)
+			defer hd.Free(ev.params.Ctx)
+			break
+		}
+	}
+	var acc *Ciphertext
+	for _, d := range ds {
+		term := ct
+		if d != 0 {
+			term = ev.rotateHoisted(hd, d)
+		}
+		term = ev.MulPlain(term, lt.Diags[d])
+		if acc == nil {
+			acc = term
+		} else {
+			acc.C0.Add(acc.C0, term.C0)
+			acc.C1.Add(acc.C1, term.C1)
+		}
+	}
+	return acc
+}
+
+// applyLinearTransformBSGS evaluates the factored transform: hoist the
+// baby rotations of the input (one ModUp), multiply-accumulate each giant
+// step's pre-rotated diagonals against them, then rotate only the n2
+// accumulators. The per-giant accumulations are independent and fan out
+// across the execution engine; the final reduction is ordered, so results
+// are bit-identical for any worker count.
+func (ev *Evaluator) applyLinearTransformBSGS(ct *Ciphertext, lt *LinearTransform) *Ciphertext {
+	p := ev.params
+
+	// Collect the baby and giant steps in deterministic order.
+	babySet := map[int]bool{}
+	var giants []int
+	for g, group := range lt.bsgs {
+		giants = append(giants, g)
+		for b := range group {
+			babySet[b] = true
+		}
+	}
+	sort.Ints(giants)
+	var babies []int
+	for b := range babySet {
+		babies = append(babies, b)
+	}
+	sort.Ints(babies)
+
+	// Hoisted baby rotations: one ModUp shared by every nonzero step.
+	rot := map[int]*Ciphertext{}
+	var hd *HoistedDecomp
+	for _, b := range babies {
+		if b != 0 {
+			hd = ev.DecomposeModUp(ct)
+			defer hd.Free(p.Ctx)
+			break
+		}
+	}
+	for _, b := range babies {
+		if b == 0 {
+			rot[0] = ct
+		} else {
+			rot[b] = ev.rotateHoisted(hd, b)
+		}
+	}
+
+	outScale := new(big.Rat).Mul(ct.Scale, lt.Scale)
+
+	// Per-giant-step accumulation, fanned out over the engine. Each task
+	// writes only its own slot and the inner ops are deterministic, so
+	// the fan-out does not change results.
+	accs := make([]*Ciphertext, len(giants))
+	cost := p.N() * ct.C0.R() * 8 // keyswitch-dominated: always worth fanning out
+	engine.Dispatch(len(giants), cost, func(gi int) {
+		g := giants[gi]
+		group := lt.bsgs[g]
+		var bs []int
+		for b := range group {
+			bs = append(bs, b)
+		}
+		sort.Ints(bs)
+
+		acc0 := p.Ctx.GetPoly(ct.C0.Moduli)
+		acc0.IsNTT = true
+		acc1 := p.Ctx.GetPoly(ct.C1.Moduli)
+		acc1.IsNTT = true
+		for i, b := range bs {
+			in := rot[b]
+			pt := group[b].Value
+			if i == 0 {
+				acc0.MulCoeffs(in.C0, pt)
+				acc1.MulCoeffs(in.C1, pt)
+			} else {
+				acc0.MulCoeffsAdd(in.C0, pt)
+				acc1.MulCoeffsAdd(in.C1, pt)
+			}
+		}
+		accCt := &Ciphertext{C0: acc0, C1: acc1, Level: ct.Level, Scale: new(big.Rat).Set(outScale)}
+		if g != 0 {
+			rotated := ev.Rotate(accCt, g)
+			p.Ctx.PutPoly(acc0)
+			p.Ctx.PutPoly(acc1)
+			accCt = rotated
+		}
+		accs[gi] = accCt
+	})
+
+	// Ordered reduction keeps the result independent of scheduling.
+	out := accs[0]
+	for _, acc := range accs[1:] {
+		out.C0.Add(out.C0, acc.C0)
+		out.C1.Add(out.C1, acc.C1)
+	}
+	return out
 }
 
 // ReplicateBlocks repeats the first dim entries of values across the whole
@@ -169,84 +439,4 @@ func ReplicateBlocks(values []complex128, dim, slots int) []complex128 {
 		out[i] = values[i%dim]
 	}
 	return out
-}
-
-// ---------------------------------------------------------------------------
-// Chebyshev polynomial evaluation
-// ---------------------------------------------------------------------------
-
-// EvalChebyshev evaluates sum_k coeffs[k]*T_k(x) for x encrypted with
-// slots in [-1, 1], using the three-term recurrence
-// T_k = 2x*T_{k-1} - T_{k-2}. Chebyshev bases keep coefficients small and
-// are how CKKS bootstrapping evaluates its sine approximation. Consumes
-// len(coeffs)-1 levels.
-func (ev *Evaluator) EvalChebyshev(enc *Encoder, x *Ciphertext, coeffs []float64) (*Ciphertext, error) {
-	deg := len(coeffs) - 1
-	if deg < 0 {
-		return nil, fmt.Errorf("ckks: empty Chebyshev series")
-	}
-	if x.Level < deg {
-		return nil, fmt.Errorf("ckks: need %d levels, have %d", deg, x.Level)
-	}
-	p := ev.params
-	constPT := func(v float64, level int, scale *big.Rat) *Plaintext {
-		vals := make([]complex128, p.Slots())
-		for i := range vals {
-			vals[i] = complex(v, 0)
-		}
-		return &Plaintext{
-			Value: enc.Encode(vals, scale, p.LevelModuli(level)),
-			Level: level,
-			Scale: new(big.Rat).Set(scale),
-		}
-	}
-
-	// acc accumulates coeffs[k] * T_k at progressively lower levels.
-	// T_0 = 1 handled as a plaintext constant at the end.
-	if deg == 0 {
-		out := x.CopyNew()
-		zero := ring.NewPoly(p.Ctx, x.C0.Moduli)
-		zero.IsNTT = true
-		out.C0 = zero
-		out.C1 = zero.Copy()
-		return ev.AddPlain(out, constPT(coeffs[0], out.Level, out.Scale)), nil
-	}
-
-	tPrev := x.CopyNew() // T_1 = x at level L
-	var tPrev2 *Ciphertext
-	// acc = coeffs[1] * T_1 (keep at x's level for now; scale canonical).
-	acc := ev.MulPlain(tPrev, constPT(coeffs[1], tPrev.Level, p.DefaultScale(tPrev.Level)))
-	acc = ev.Rescale(acc)
-
-	for k := 2; k <= deg; k++ {
-		var tk *Ciphertext
-		if k == 2 {
-			// T_2 = 2x^2 - 1.
-			sq := ev.Rescale(ev.Square(x))
-			tk = ev.MulScalarInt(sq, 2)
-			one := constPT(-1, tk.Level, tk.Scale)
-			tk = ev.AddPlain(tk, one)
-			tPrev2 = ev.AdjustTo(x.CopyNew(), tk.Level) // T_1 aligned
-		} else {
-			// T_k = 2x*T_{k-1} - T_{k-2}.
-			xa := ev.AdjustTo(x.CopyNew(), tPrev.Level)
-			prod := ev.Rescale(ev.MulRelin(xa, tPrev))
-			prod = ev.MulScalarInt(prod, 2)
-			sub := ev.AdjustTo(tPrev2, prod.Level)
-			tk = ev.Sub(prod, sub)
-			tPrev2 = ev.AdjustTo(tPrev, tk.Level)
-		}
-		tPrev = tk
-		if coeffs[k] != 0 {
-			term := ev.MulPlain(tk, constPT(coeffs[k], tk.Level, p.DefaultScale(tk.Level)))
-			term = ev.Rescale(term)
-			accAligned := ev.AdjustTo(acc, term.Level)
-			acc = ev.Add(accAligned, term)
-		}
-	}
-	// + coeffs[0] * T_0.
-	if coeffs[0] != 0 {
-		acc = ev.AddPlain(acc, constPT(coeffs[0], acc.Level, acc.Scale))
-	}
-	return acc, nil
 }

@@ -26,35 +26,73 @@ func GaloisElementForConjugation(n int) uint64 {
 	return uint64(2*n - 1)
 }
 
+// autoSignBit marks, in a cached automorphism table entry, that the
+// coefficient picks up a sign flip (its image lands in [N, 2N)).
+const autoSignBit = 1 << 63
+
+// AutomorphismTable returns (building and caching lazily) the permutation
+// table of φ_k: entry j holds the destination index of coefficient j, with
+// autoSignBit set when the coefficient is negated. k must be odd.
+func (c *Context) AutomorphismTable(k uint64) []uint64 {
+	if k%2 == 0 {
+		panic("ring: Galois element must be odd")
+	}
+	n := uint64(c.N)
+	m := 2 * n
+	k %= m
+	c.autoMu.RLock()
+	t, ok := c.autoTabs[k]
+	c.autoMu.RUnlock()
+	if ok {
+		return t
+	}
+	c.autoMu.Lock()
+	defer c.autoMu.Unlock()
+	if t, ok := c.autoTabs[k]; ok { // double-checked: another worker won
+		return t
+	}
+	t = make([]uint64, n)
+	for j := uint64(0); j < n; j++ {
+		idx := j * k % m
+		if idx >= n {
+			t[j] = (idx - n) | autoSignBit
+		} else {
+			t[j] = idx
+		}
+	}
+	c.autoTabs[k] = t
+	return t
+}
+
 // Automorphism returns φ_k(p): out coefficient at index (i·k mod 2N) gets
 // ±p_i, with the sign flipped when i·k mod 2N lands in [N, 2N).
-// p must be in the coefficient domain and k must be odd.
+// p must be in the coefficient domain and k must be odd. The index map is
+// served from a per-context cache, so repeated applications (hoisted
+// rotations apply the same φ_k to every keyswitching digit) only pay the
+// permutation itself.
 func (p *Poly) Automorphism(k uint64) *Poly {
 	if p.IsNTT {
 		panic("ring: Automorphism requires coefficient domain")
 	}
-	if k%2 == 0 {
-		panic("ring: Galois element must be odd")
-	}
-	n := uint64(p.ctx.N)
-	m := 2 * n
+	tab := p.ctx.AutomorphismTable(k)
+	n := p.ctx.N
 	// Every output slot is written exactly once (j -> j*k mod 2N is a
 	// bijection on odd k), so the pooled non-zeroed poly is safe here.
 	out := p.ctx.GetPoly(p.Moduli)
 	out.IsNTT = false
-	engine.Dispatch(len(p.Moduli), p.ctx.N, func(i int) {
+	engine.Dispatch(len(p.Moduli), n, func(i int) {
 		q := p.Moduli[i]
 		src, dst := p.Coeffs[i], out.Coeffs[i]
-		for j := uint64(0); j < n; j++ {
-			idx := j * (k % m) % m
+		for j := 0; j < n; j++ {
+			e := tab[j]
 			v := src[j]
-			if idx >= n {
-				idx -= n
+			if e&autoSignBit != 0 {
 				if v != 0 {
 					v = q - v
 				}
+				e &^= autoSignBit
 			}
-			dst[idx] = v
+			dst[e] = v
 		}
 	})
 	return out

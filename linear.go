@@ -8,9 +8,19 @@ type Transform struct {
 	lt *ckks.LinearTransform
 }
 
-// Rotations returns the rotation amounts the transform needs; pass them
-// in Config.Rotations when creating the context.
+// Rotations returns the rotation amounts the transform's evaluation path
+// needs (the baby/giant steps when the BSGS factorization is active, the
+// diagonal indices otherwise); pass them in Config.Rotations when
+// creating the context.
 func (t *Transform) Rotations() []int { return t.lt.Rotations() }
+
+// RotationsNaive returns the rotation amounts the per-diagonal reference
+// path (ApplyNaive) needs — one per nonzero diagonal.
+func (t *Transform) RotationsNaive() []int { return t.lt.RotationsNaive() }
+
+// KeySwitchCounts reports how many keyswitches one application costs on
+// the naive per-diagonal path versus the active (BSGS/hoisted) path.
+func (t *Transform) KeySwitchCounts() (naive, active int) { return t.lt.KeySwitchCounts() }
 
 // NewMatrixTransform encodes a dense dim×dim matrix (dim must divide
 // Slots()) for application at the given level. Input vectors must be
@@ -35,8 +45,18 @@ func (c *Context) NewDiagonalTransform(diags map[int][]complex128, level int) (*
 
 // Apply computes the matrix-vector product M·v homomorphically. The
 // ciphertext must sit at the transform's level; follow with Rescale.
+// Dense transforms evaluate baby-step/giant-step with hoisted rotations
+// (O(2√D) keyswitches for D diagonals); sparse ones run per-diagonal with
+// the rotations hoisted.
 func (c *Context) Apply(ct *Ciphertext, t *Transform) *Ciphertext {
 	return &Ciphertext{ct: c.eval.ApplyLinearTransform(ct.ct, t.lt)}
+}
+
+// ApplyNaive computes the same product with one full keyswitch per
+// nonzero diagonal — the reference path Apply is benchmarked and
+// differentially tested against. Requires keys for RotationsNaive().
+func (c *Context) ApplyNaive(ct *Ciphertext, t *Transform) *Ciphertext {
+	return &Ciphertext{ct: c.eval.ApplyLinearTransformNaive(ct.ct, t.lt)}
 }
 
 // Replicate repeats the first dim values across all slots, the layout
@@ -46,8 +66,9 @@ func (c *Context) Replicate(values []complex128, dim int) []complex128 {
 }
 
 // Chebyshev evaluates sum_k coeffs[k]*T_k(x) on an encrypted x with slots
-// in [-1, 1], consuming len(coeffs)-1 levels. Chebyshev bases are how
-// CKKS programs evaluate activation functions and bootstrapping's sine.
+// in [-1, 1] by Paterson–Stockmeyer, consuming ChebyshevDepth(deg) =
+// O(log deg) levels for a degree-deg series. Chebyshev bases are how CKKS
+// programs evaluate activation functions and bootstrapping's sine.
 func (c *Context) Chebyshev(ct *Ciphertext, coeffs []float64) (*Ciphertext, error) {
 	out, err := c.eval.EvalChebyshev(c.encoder, ct.ct, coeffs)
 	if err != nil {
@@ -55,3 +76,8 @@ func (c *Context) Chebyshev(ct *Ciphertext, coeffs []float64) (*Ciphertext, erro
 	}
 	return &Ciphertext{ct: out}, nil
 }
+
+// ChebyshevDepth returns the number of levels Chebyshev consumes for a
+// degree-deg series (assuming all coefficients nonzero) — use it to size
+// level budgets.
+func ChebyshevDepth(deg int) int { return ckks.ChebyshevDepth(deg) }
