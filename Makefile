@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench check clean
+.PHONY: all build vet test race bench check clean panicgate fuzz-smoke
 
 all: check
 
@@ -21,9 +21,26 @@ race:
 bench:
 	$(GO) test -bench BenchmarkOp -benchtime 1x -run '^$$' .
 
+# Error-taxonomy gate: the API layers (root package, internal/ckks,
+# internal/engine, internal/fherr, internal/chaos) report failures as
+# typed errors. panic( is allowed only in the documented Must* wrappers
+# (must.go) and on lines marked "(unreachable)" — internal-corruption
+# assertions that no input can trigger. Low-level kernels (ring, rns,
+# nt, ntt, core) keep precondition panics by design; see DESIGN.md.
+panicgate:
+	@bad=$$(grep -rn "panic(" --include="*.go" *.go internal/ckks internal/engine internal/fherr internal/chaos \
+		| grep -v _test.go | grep -vE '(^|/)must\.go:' | grep -v unreachable; true); \
+	if [ -n "$$bad" ]; then echo "untyped panic in API layer:"; echo "$$bad"; exit 1; fi
+
+# Short native-fuzz runs over every target: a smoke pass for CI, not a
+# campaign. Seed corpora live in testdata/fuzz/.
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz FuzzEncodeDecode -fuzztime 20s .
+	$(GO) test -run '^$$' -fuzz FuzzParams -fuzztime 20s .
+
 # Tier-1 gate: everything must build, vet clean, pass tests, and the
 # parallel hot paths must be race-free.
-check: build vet test race
+check: build vet test race panicgate
 
 clean:
 	$(GO) clean ./...

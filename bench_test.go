@@ -85,7 +85,7 @@ func BenchmarkOpMulRescale(b *testing.B) {
 				b.ReportMetric(float64(ct.Residues()), "residues")
 				b.ResetTimer()
 				for i := 0; i < b.N; i++ {
-					_ = ctx.Rescale(ctx.Mul(ct, ct))
+					_ = ctx.MustRescale(ctx.MustMul(ct, ct))
 				}
 			})
 		}
@@ -104,7 +104,7 @@ func BenchmarkOpAdjust(b *testing.B) {
 			}
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				_ = ctx.Adjust(ct, ct.Level()-1)
+				_ = ctx.MustAdjust(ct, ct.Level()-1)
 			}
 		})
 	}

@@ -1,11 +1,13 @@
 package bitpacker
 
 import (
-	"fmt"
+	"context"
+	"math"
 
 	"bitpacker/internal/ckks"
 	"bitpacker/internal/core"
 	"bitpacker/internal/engine"
+	"bitpacker/internal/fherr"
 	"bitpacker/internal/security"
 )
 
@@ -76,6 +78,16 @@ type Config struct {
 	// SetWorkers). The engine is shared by every context in the process;
 	// 1 forces sequential execution.
 	Workers int
+	// CheckInvariants validates ciphertext structural invariants (level,
+	// residues, scale, NTT domain, metadata tag, coefficient ranges) at
+	// every evaluator entry point. O(R*N) per operation; also enabled by
+	// the BITPACKER_CHECK_INVARIANTS environment variable.
+	CheckInvariants bool
+	// NoiseGuardBits, when nonzero, makes operations fail with
+	// ErrNoiseBudget once a result's estimated noise budget (log2 scale
+	// minus estimated noise bits) drops below this threshold. The error
+	// carries a suggested action (rescale, adjust, or bootstrap).
+	NoiseGuardBits float64
 }
 
 // BootstrapOptions configures functional bootstrapping (see
@@ -134,13 +146,16 @@ func New(cfg Config) (*Context, error) {
 	if cfg.WordBits == 0 {
 		cfg.WordBits = 61
 	}
+	if err := validateConfig(&cfg); err != nil {
+		return nil, err
+	}
 	if cfg.Workers != 0 {
 		engine.SetWorkers(cfg.Workers)
 	}
 	schedule := cfg.ScaleSchedule
 	if schedule == nil {
 		if cfg.ScaleBits <= 0 {
-			return nil, fmt.Errorf("bitpacker: ScaleBits or ScaleSchedule required")
+			return nil, fherr.Wrap(fherr.ErrInvalidParams, "bitpacker: ScaleBits or ScaleSchedule required")
 		}
 		schedule = make([]float64, cfg.Levels+1)
 		for i := range schedule {
@@ -148,7 +163,7 @@ func New(cfg Config) (*Context, error) {
 		}
 	}
 	if len(schedule) != cfg.Levels+1 {
-		return nil, fmt.Errorf("bitpacker: ScaleSchedule needs Levels+1=%d entries", cfg.Levels+1)
+		return nil, fherr.Wrap(fherr.ErrInvalidParams, "bitpacker: ScaleSchedule needs Levels+1=%d entries", cfg.Levels+1)
 	}
 	qMin := cfg.QMinBits
 	if qMin == 0 {
@@ -200,6 +215,13 @@ func New(cfg Config) (*Context, error) {
 		Relin:  kg.GenRelinKey(sk),
 		Galois: kg.GenRotationKeys(sk, rotations, conj),
 	}
+	eval := ckks.NewEvaluator(params, keys)
+	if cfg.CheckInvariants {
+		eval.SetInvariantChecks(true)
+	}
+	if cfg.NoiseGuardBits > 0 {
+		eval.SetNoiseGuard(cfg.NoiseGuardBits)
+	}
 	return &Context{
 		cfg:     cfg,
 		params:  params,
@@ -208,9 +230,72 @@ func New(cfg Config) (*Context, error) {
 		pk:      pk,
 		enc:     ckks.NewEncryptor(params, pk, cfg.Seed+2, cfg.Seed+3),
 		dec:     ckks.NewDecryptor(params, sk),
-		eval:    ckks.NewEvaluator(params, keys),
+		eval:    eval,
 		boot:    boot,
 	}, nil
+}
+
+// validateConfig rejects configurations that could not produce a working
+// chain, with errors wrapping ErrInvalidParams. Ranges are generous —
+// they bound resource use and keep deeper layers out of undefined
+// territory, not enforce security (set SecurityBits for that).
+func validateConfig(cfg *Config) error {
+	if cfg.LogN < 3 || cfg.LogN > 17 {
+		return fherr.Wrap(fherr.ErrInvalidParams, "bitpacker: LogN %d outside [3, 17]", cfg.LogN)
+	}
+	if cfg.Levels < 0 {
+		return fherr.Wrap(fherr.ErrInvalidParams, "bitpacker: negative Levels %d", cfg.Levels)
+	}
+	if cfg.WordBits < 8 || cfg.WordBits > 64 {
+		return fherr.Wrap(fherr.ErrInvalidParams, "bitpacker: WordBits %d outside [8, 64]", cfg.WordBits)
+	}
+	if cfg.KeySwitchDigits < 1 {
+		return fherr.Wrap(fherr.ErrInvalidParams, "bitpacker: KeySwitchDigits %d < 1", cfg.KeySwitchDigits)
+	}
+	if cfg.Sigma < 0 || math.IsNaN(cfg.Sigma) || math.IsInf(cfg.Sigma, 0) {
+		return fherr.Wrap(fherr.ErrInvalidParams, "bitpacker: Sigma %v not a non-negative real", cfg.Sigma)
+	}
+	if cfg.SparseSecretWeight < 0 || cfg.SparseSecretWeight > 1<<cfg.LogN {
+		return fherr.Wrap(fherr.ErrInvalidParams, "bitpacker: SparseSecretWeight %d outside [0, N]", cfg.SparseSecretWeight)
+	}
+	// 16 bits is a generous floor: below it the fresh encryption noise
+	// already consumes the whole scale and every decryption is garbage.
+	for _, bits := range append([]float64{cfg.ScaleBits, cfg.QMinBits}, cfg.ScaleSchedule...) {
+		if bits == 0 { // unset: defaulted elsewhere
+			continue
+		}
+		if math.IsNaN(bits) || math.IsInf(bits, 0) || bits < 16 || bits > 61 {
+			return fherr.Wrap(fherr.ErrInvalidParams, "bitpacker: scale/modulus width %v outside [16, 61] bits", bits)
+		}
+	}
+	return nil
+}
+
+// WithContext derives a Context whose long-running operations (BSGS
+// linear transforms, bootstrap fan-outs) observe ctx: once it is
+// canceled, in-flight work winds down within one dispatch quantum and
+// operations fail with ErrCanceled, with all pooled scratch returned.
+// The derived Context shares keys and caches with the receiver.
+func (c *Context) WithContext(ctx context.Context) *Context {
+	d := *c
+	d.eval = c.eval.WithContext(ctx)
+	return &d
+}
+
+// NoiseBudget returns the ciphertext's remaining noise budget in bits:
+// log2(scale) minus the estimated noise magnitude. Values near or below
+// zero mean decryption precision is gone; rescale, adjust, or bootstrap.
+func (c *Context) NoiseBudget(ct *Ciphertext) float64 {
+	return c.eval.NoiseBudget(ct.ct)
+}
+
+// Validate checks the ciphertext's structural invariants (level, residue
+// moduli, NTT domain, scale, metadata tag, coefficient ranges) against
+// the context's chain, returning an error wrapping ErrInvariant on the
+// first violation. The same check runs automatically at every evaluator
+// entry point when Config.CheckInvariants is set.
+func (c *Context) Validate(ct *Ciphertext) error {
+	return ct.ct.Validate(c.params)
 }
 
 // Refresh bootstraps a level-0 ciphertext back up the chain (requires
@@ -219,7 +304,7 @@ func New(cfg Config) (*Context, error) {
 // precision.
 func (c *Context) Refresh(ct *Ciphertext) (*Ciphertext, error) {
 	if c.boot == nil {
-		return nil, fmt.Errorf("bitpacker: context built without Config.Bootstrap")
+		return nil, fherr.Wrap(fherr.ErrInvalidParams, "bitpacker: context built without Config.Bootstrap")
 	}
 	out, err := c.boot.Refresh(c.eval, ct.ct)
 	if err != nil {
@@ -246,16 +331,21 @@ func (c *Context) ChainDescription() string {
 // Encrypt encodes and encrypts up to Slots() complex values at the top
 // level.
 func (c *Context) Encrypt(values []complex128) (*Ciphertext, error) {
-	if len(values) > c.Slots() {
-		return nil, fmt.Errorf("bitpacker: %d values exceed %d slots", len(values), c.Slots())
-	}
 	lvl := c.params.MaxLevel()
+	val, err := c.encoder.Encode(values, c.params.DefaultScale(lvl), c.params.LevelModuli(lvl))
+	if err != nil {
+		return nil, err
+	}
 	pt := &ckks.Plaintext{
-		Value: c.encoder.Encode(values, c.params.DefaultScale(lvl), c.params.LevelModuli(lvl)),
+		Value: val,
 		Level: lvl,
 		Scale: c.params.DefaultScale(lvl),
 	}
-	return &Ciphertext{ct: c.enc.EncryptAtLevel(pt, lvl)}, nil
+	ct, err := c.enc.EncryptAtLevel(pt, lvl)
+	if err != nil {
+		return nil, err
+	}
+	return &Ciphertext{ct: ct}, nil
 }
 
 // EncryptReal is Encrypt for real-valued slots.
@@ -269,7 +359,7 @@ func (c *Context) EncryptReal(values []float64) (*Ciphertext, error) {
 
 // Decrypt returns all slots of a ciphertext.
 func (c *Context) Decrypt(ct *Ciphertext) ([]complex128, error) {
-	return c.dec.DecryptAndDecode(ct.ct, c.encoder), nil
+	return c.dec.DecryptAndDecode(ct.ct, c.encoder)
 }
 
 // DecryptReal returns the real parts of all slots.
@@ -285,68 +375,87 @@ func (c *Context) DecryptReal(ct *Ciphertext) ([]float64, error) {
 	return out, nil
 }
 
+// wrap lifts an internal (ciphertext, error) pair into the public type.
+func wrapCt(ct *ckks.Ciphertext, err error) (*Ciphertext, error) {
+	if err != nil {
+		return nil, err
+	}
+	return &Ciphertext{ct: ct}, nil
+}
+
 // Add returns a + b (same level and scale; Adjust first if needed).
-func (c *Context) Add(a, b *Ciphertext) *Ciphertext {
-	return &Ciphertext{ct: c.eval.Add(a.ct, b.ct)}
+// Mismatched operands fail with ErrLevelMismatch or ErrScaleMismatch.
+func (c *Context) Add(a, b *Ciphertext) (*Ciphertext, error) {
+	return wrapCt(c.eval.Add(a.ct, b.ct))
 }
 
 // Sub returns a - b.
-func (c *Context) Sub(a, b *Ciphertext) *Ciphertext {
-	return &Ciphertext{ct: c.eval.Sub(a.ct, b.ct)}
+func (c *Context) Sub(a, b *Ciphertext) (*Ciphertext, error) {
+	return wrapCt(c.eval.Sub(a.ct, b.ct))
 }
 
 // Neg returns -a.
-func (c *Context) Neg(a *Ciphertext) *Ciphertext {
-	return &Ciphertext{ct: c.eval.Neg(a.ct)}
+func (c *Context) Neg(a *Ciphertext) (*Ciphertext, error) {
+	return wrapCt(c.eval.Neg(a.ct))
 }
 
 // Mul multiplies two ciphertexts (with relinearization). The result's
 // scale is the product of the operand scales; follow with Rescale.
-func (c *Context) Mul(a, b *Ciphertext) *Ciphertext {
-	return &Ciphertext{ct: c.eval.MulRelin(a.ct, b.ct)}
+func (c *Context) Mul(a, b *Ciphertext) (*Ciphertext, error) {
+	return wrapCt(c.eval.MulRelin(a.ct, b.ct))
 }
 
 // MulConst multiplies by an unencrypted per-slot constant vector, encoded
 // at the ciphertext's level and scale; follow with Rescale.
-func (c *Context) MulConst(a *Ciphertext, values []complex128) *Ciphertext {
+func (c *Context) MulConst(a *Ciphertext, values []complex128) (*Ciphertext, error) {
 	lvl := a.ct.Level
+	val, err := c.encoder.Encode(values, c.params.DefaultScale(lvl), c.params.LevelModuli(lvl))
+	if err != nil {
+		return nil, err
+	}
 	pt := &ckks.Plaintext{
-		Value: c.encoder.Encode(values, c.params.DefaultScale(lvl), c.params.LevelModuli(lvl)),
+		Value: val,
 		Level: lvl,
 		Scale: c.params.DefaultScale(lvl),
 	}
-	return &Ciphertext{ct: c.eval.MulPlain(a.ct, pt)}
+	return wrapCt(c.eval.MulPlain(a.ct, pt))
 }
 
 // AddConst adds an unencrypted per-slot constant vector.
-func (c *Context) AddConst(a *Ciphertext, values []complex128) *Ciphertext {
+func (c *Context) AddConst(a *Ciphertext, values []complex128) (*Ciphertext, error) {
 	lvl := a.ct.Level
+	val, err := c.encoder.Encode(values, a.ct.Scale, c.params.LevelModuli(lvl))
+	if err != nil {
+		return nil, err
+	}
 	pt := &ckks.Plaintext{
-		Value: c.encoder.Encode(values, a.ct.Scale, c.params.LevelModuli(lvl)),
+		Value: val,
 		Level: lvl,
 		Scale: a.ct.Scale,
 	}
-	return &Ciphertext{ct: c.eval.AddPlain(a.ct, pt)}
+	return wrapCt(c.eval.AddPlain(a.ct, pt))
 }
 
 // Rescale drops the ciphertext one level, dividing out one scale factor
 // (call after Mul/MulConst). This is where RNSCKKS and BitPacker differ:
 // RNSCKKS sheds the level's own residues; BitPacker scales up by the next
-// level's terminal moduli and scales down by the retired ones.
-func (c *Context) Rescale(a *Ciphertext) *Ciphertext {
-	return &Ciphertext{ct: c.eval.Rescale(a.ct)}
+// level's terminal moduli and scales down by the retired ones. At level 0
+// it fails with ErrChainExhausted.
+func (c *Context) Rescale(a *Ciphertext) (*Ciphertext, error) {
+	return wrapCt(c.eval.Rescale(a.ct))
 }
 
 // Adjust lowers a ciphertext to the given level without changing its
-// value, so it can be combined with deeper ciphertexts.
-func (c *Context) Adjust(a *Ciphertext, level int) *Ciphertext {
-	return &Ciphertext{ct: c.eval.AdjustTo(a.ct, level)}
+// value, so it can be combined with deeper ciphertexts. Raising a level
+// fails with ErrLevelMismatch (bootstrap instead).
+func (c *Context) Adjust(a *Ciphertext, level int) (*Ciphertext, error) {
+	return wrapCt(c.eval.AdjustTo(a.ct, level))
 }
 
-// Rotate rotates the slot vector left by steps (requires a Galois key from
-// Config.Rotations).
-func (c *Context) Rotate(a *Ciphertext, steps int) *Ciphertext {
-	return &Ciphertext{ct: c.eval.Rotate(a.ct, steps)}
+// Rotate rotates the slot vector left by steps. A missing Galois key
+// (see Config.Rotations) fails with ErrMissingKey.
+func (c *Context) Rotate(a *Ciphertext, steps int) (*Ciphertext, error) {
+	return wrapCt(c.eval.Rotate(a.ct, steps))
 }
 
 // RotateHoisted rotates one ciphertext by several step amounts, sharing a
@@ -356,16 +465,19 @@ func (c *Context) Rotate(a *Ciphertext, steps int) *Ciphertext {
 // without extra keyswitches. The outputs decrypt identically to Rotate's
 // but are not bit-identical to them (the shared ModUp rounds differently;
 // see DESIGN.md).
-func (c *Context) RotateHoisted(a *Ciphertext, steps []int) []*Ciphertext {
-	outs := c.eval.RotateHoisted(a.ct, steps)
+func (c *Context) RotateHoisted(a *Ciphertext, steps []int) ([]*Ciphertext, error) {
+	outs, err := c.eval.RotateHoisted(a.ct, steps)
+	if err != nil {
+		return nil, err
+	}
 	wrapped := make([]*Ciphertext, len(outs))
 	for i, o := range outs {
 		wrapped[i] = &Ciphertext{ct: o}
 	}
-	return wrapped
+	return wrapped, nil
 }
 
 // Conjugate conjugates the slots (requires Config.Conjugation).
-func (c *Context) Conjugate(a *Ciphertext) *Ciphertext {
-	return &Ciphertext{ct: c.eval.Conjugate(a.ct)}
+func (c *Context) Conjugate(a *Ciphertext) (*Ciphertext, error) {
+	return wrapCt(c.eval.Conjugate(a.ct))
 }

@@ -49,12 +49,12 @@ func TestPublicAPIArithmetic(t *testing.T) {
 	a, _ := ctx.EncryptReal([]float64{0.5, 0.25})
 	b, _ := ctx.EncryptReal([]float64{0.25, 0.5})
 
-	sum, _ := ctx.DecryptReal(ctx.Add(a, b))
+	sum, _ := ctx.DecryptReal(ctx.MustAdd(a, b))
 	if math.Abs(sum[0]-0.75) > 1e-6 || math.Abs(sum[1]-0.75) > 1e-6 {
 		t.Fatalf("add: %v", sum[:2])
 	}
 
-	prod := ctx.Rescale(ctx.Mul(a, b))
+	prod := ctx.MustRescale(ctx.MustMul(a, b))
 	if prod.Level() != ctx.MaxLevel()-1 {
 		t.Fatalf("level after rescale: %d", prod.Level())
 	}
@@ -64,14 +64,14 @@ func TestPublicAPIArithmetic(t *testing.T) {
 	}
 
 	// x^2 + x via Adjust.
-	sq := ctx.Rescale(ctx.Mul(a, a))
-	adj := ctx.Adjust(a, sq.Level())
-	res, _ := ctx.DecryptReal(ctx.Add(sq, adj))
+	sq := ctx.MustRescale(ctx.MustMul(a, a))
+	adj := ctx.MustAdjust(a, sq.Level())
+	res, _ := ctx.DecryptReal(ctx.MustAdd(sq, adj))
 	if math.Abs(res[0]-0.75) > 1e-4 {
 		t.Fatalf("x^2+x: %v", res[0])
 	}
 
-	rot, _ := ctx.Decrypt(ctx.Rotate(a, 1))
+	rot, _ := ctx.Decrypt(ctx.MustRotate(a, 1))
 	if cmplx.Abs(rot[0]-complex(0.25, 0)) > 1e-5 {
 		t.Fatalf("rotate: %v", rot[0])
 	}
@@ -82,12 +82,12 @@ func TestPublicAPIConstOps(t *testing.T) {
 	a, _ := ctx.EncryptReal([]float64{0.5})
 	w := make([]complex128, 1)
 	w[0] = complex(0.5, 0)
-	prod := ctx.Rescale(ctx.MulConst(a, w))
+	prod := ctx.MustRescale(ctx.MustMulConst(a, w))
 	got, _ := ctx.DecryptReal(prod)
 	if math.Abs(got[0]-0.25) > 1e-5 {
 		t.Fatalf("mulConst: %v", got[0])
 	}
-	sum, _ := ctx.DecryptReal(ctx.AddConst(a, w))
+	sum, _ := ctx.DecryptReal(ctx.MustAddConst(a, w))
 	if math.Abs(sum[0]-1.0) > 1e-6 {
 		t.Fatalf("addConst: %v", sum[0])
 	}

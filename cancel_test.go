@@ -1,0 +1,122 @@
+package bitpacker
+
+import (
+	"context"
+	"errors"
+	"math"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// stepCancelCtx cancels itself after a fixed number of Err() checks.
+// The evaluator polls Err() at every operation prologue and the engine
+// at every task claim, so a budget of k cancels deterministically after
+// the k-th check — "mid-bootstrap" without sleeping on wall clock.
+type stepCancelCtx struct {
+	context.Context
+	budget atomic.Int64
+}
+
+func newStepCancelCtx(checks int64) *stepCancelCtx {
+	c := &stepCancelCtx{Context: context.Background()}
+	c.budget.Store(checks)
+	return c
+}
+
+func (c *stepCancelCtx) Err() error {
+	if c.budget.Add(-1) < 0 {
+		return context.Canceled
+	}
+	return nil
+}
+
+func bootstrapCtx(t *testing.T) *Context {
+	t.Helper()
+	ctx, err := New(Config{
+		Scheme:             BitPacker,
+		LogN:               8,
+		Levels:             22,
+		ScaleBits:          40,
+		QMinBits:           48,
+		WordBits:           61,
+		SparseSecretWeight: 3,
+		Bootstrap:          &BootstrapOptions{KRange: 2, SineDegree: 19},
+		Seed:               7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ctx
+}
+
+// TestCancelMidBootstrap cancels a Refresh at several points along the
+// pipeline and asserts the cut is clean: a typed ErrCanceled, no
+// goroutine growth, and a context that still bootstraps correctly
+// afterwards.
+func TestCancelMidBootstrap(t *testing.T) {
+	ctx := bootstrapCtx(t)
+	in := []float64{0.3, -0.2}
+	ct, err := ctx.EncryptReal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exhausted := ctx.MustAdjust(ct, 0)
+
+	// Warm the engine pool, prove the pipeline works at all, and count
+	// how many context checks one full refresh performs.
+	counter := newStepCancelCtx(1 << 40)
+	if _, err := ctx.WithContext(counter).Refresh(exhausted); err != nil {
+		t.Fatal(err)
+	}
+	total := (1 << 40) - counter.budget.Load()
+	if total < 4 {
+		t.Fatalf("refresh only checked the context %d times", total)
+	}
+	before := runtime.NumGoroutine()
+
+	// Cancel after 1 check (barely started), mid-flight, and deep into
+	// the pipeline. Every cut must surface as ErrCanceled.
+	for _, checks := range []int64{1, total / 2, total - 1} {
+		cancelable := ctx.WithContext(newStepCancelCtx(checks))
+		if _, err := cancelable.Refresh(exhausted); !errors.Is(err, ErrCanceled) {
+			t.Fatalf("checks=%d: got %v, want ErrCanceled", checks, err)
+		}
+	}
+
+	// An already-canceled context must refuse before doing any work.
+	pre, cancel := context.WithCancel(context.Background())
+	cancel()
+	start := time.Now()
+	if _, err := ctx.WithContext(pre).Refresh(exhausted); !errors.Is(err, ErrCanceled) {
+		t.Fatalf("pre-canceled: got %v, want ErrCanceled", err)
+	}
+	if d := time.Since(start); d > time.Second {
+		t.Fatalf("pre-canceled refresh took %v, want immediate return", d)
+	}
+
+	// No goroutines may have leaked past the persistent engine pool.
+	runtime.GC()
+	for i := 0; i < 50 && runtime.NumGoroutine() > before+2; i++ {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if after := runtime.NumGoroutine(); after > before+2 {
+		t.Fatalf("goroutines grew %d -> %d across canceled refreshes", before, after)
+	}
+
+	// The engine and context stay fully usable after the cancellations.
+	refreshed, err := ctx.Refresh(exhausted)
+	if err != nil {
+		t.Fatalf("refresh after cancellations: %v", err)
+	}
+	out, err := ctx.DecryptReal(refreshed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range in {
+		if math.Abs(out[i]-v) > 0.06 {
+			t.Fatalf("slot %d after recovery: %v vs %v", i, out[i], v)
+		}
+	}
+}

@@ -92,14 +92,14 @@ func runMicrobench(path string) error {
 
 			rec := base
 			rec.Op = "MulRescale"
-			rec.NsPerOp, rec.Iters = timeOp(func() { _ = ctx.Rescale(ctx.Mul(ct, ct)) })
+			rec.NsPerOp, rec.Iters = timeOp(func() { _ = ctx.MustRescale(ctx.MustMul(ct, ct)) })
 			records = append(records, rec)
 			fmt.Printf("  %-12s %-10s w=%-3d %12.0f ns/op (%d iters, %d workers)\n",
 				rec.Op, rec.Scheme, rec.WordBits, rec.NsPerOp, rec.Iters, rec.Workers)
 
 			rec = base
 			rec.Op = "Adjust"
-			rec.NsPerOp, rec.Iters = timeOp(func() { _ = ctx.Adjust(ct, ct.Level()-1) })
+			rec.NsPerOp, rec.Iters = timeOp(func() { _ = ctx.MustAdjust(ct, ct.Level()-1) })
 			records = append(records, rec)
 			fmt.Printf("  %-12s %-10s w=%-3d %12.0f ns/op (%d iters, %d workers)\n",
 				rec.Op, rec.Scheme, rec.WordBits, rec.NsPerOp, rec.Iters, rec.Workers)
@@ -173,7 +173,7 @@ func benchRotateHoisted(records *[]BenchRecord) error {
 		rec.Op = fmt.Sprintf("Rotate x%d", nRots)
 		rec.NsPerOp, rec.Iters = timeOp(func() {
 			for _, s := range steps {
-				_ = ctx.Rotate(ct, s)
+				_ = ctx.MustRotate(ct, s)
 			}
 		})
 		*records = append(*records, rec)
@@ -181,7 +181,7 @@ func benchRotateHoisted(records *[]BenchRecord) error {
 
 		rec = base
 		rec.Op = fmt.Sprintf("RotateHoisted x%d", nRots)
-		rec.NsPerOp, rec.Iters = timeOp(func() { _ = ctx.RotateHoisted(ct, steps) })
+		rec.NsPerOp, rec.Iters = timeOp(func() { _ = ctx.MustRotateHoisted(ct, steps) })
 		*records = append(*records, rec)
 		printRecord(rec)
 	}
@@ -245,14 +245,14 @@ func benchLinearTransform(records *[]BenchRecord) error {
 
 		rec := base
 		rec.Op = fmt.Sprintf("LinearTransformNaive d=%d ks=%d", dim, naiveKS)
-		naiveNs, naiveIt := timeOp(func() { _ = ctx.ApplyNaive(ct, tr) })
+		naiveNs, naiveIt := timeOp(func() { _ = ctx.MustApplyNaive(ct, tr) })
 		rec.NsPerOp, rec.Iters = naiveNs, naiveIt
 		*records = append(*records, rec)
 		printRecord(rec)
 
 		rec = base
 		rec.Op = fmt.Sprintf("LinearTransformBSGS d=%d ks=%d", dim, activeKS)
-		bsgsNs, bsgsIt := timeOp(func() { _ = ctx.Apply(ct, tr) })
+		bsgsNs, bsgsIt := timeOp(func() { _ = ctx.MustApply(ct, tr) })
 		rec.NsPerOp, rec.Iters = bsgsNs, bsgsIt
 		*records = append(*records, rec)
 		printRecord(rec)
@@ -288,7 +288,7 @@ func benchBootstrap(records *[]BenchRecord) error {
 	if err != nil {
 		return err
 	}
-	exhausted := ctx.Adjust(ct, 0)
+	exhausted := ctx.MustAdjust(ct, 0)
 	rec := BenchRecord{
 		Scheme:   bitpacker.BitPacker.String(),
 		WordBits: 61,
@@ -299,7 +299,8 @@ func benchBootstrap(records *[]BenchRecord) error {
 	}
 	rec.NsPerOp, rec.Iters = timeOp(func() {
 		if _, err := ctx.Refresh(exhausted); err != nil {
-			panic(err)
+			fmt.Fprintf(os.Stderr, "bpbench: bootstrap refresh failed: %v\n", err)
+			os.Exit(1)
 		}
 	})
 	*records = append(*records, rec)

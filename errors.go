@@ -1,0 +1,40 @@
+package bitpacker
+
+import "bitpacker/internal/fherr"
+
+// Typed errors returned by the public API. Every failure wraps exactly
+// one of these sentinels, so callers can dispatch with errors.Is without
+// parsing messages:
+//
+//	out, err := ctx.Add(a, b)
+//	if errors.Is(err, bitpacker.ErrLevelMismatch) { a = ctx.MustAdjust(a, b.Level()) }
+var (
+	// ErrLevelMismatch: operands at different levels, or a level move in
+	// the wrong direction (raising without bootstrap).
+	ErrLevelMismatch = fherr.ErrLevelMismatch
+	// ErrScaleMismatch: operand scales incompatible for the operation.
+	ErrScaleMismatch = fherr.ErrScaleMismatch
+	// ErrMissingKey: the required relinearization or Galois key was not
+	// generated (see Config.Rotations / Config.Conjugation).
+	ErrMissingKey = fherr.ErrMissingKey
+	// ErrChainExhausted: no levels left (rescale/adjust at level 0).
+	ErrChainExhausted = fherr.ErrChainExhausted
+	// ErrInvariant: a ciphertext failed structural validation.
+	ErrInvariant = fherr.ErrInvariant
+	// ErrCanceled: the operation observed a canceled context.
+	ErrCanceled = fherr.ErrCanceled
+	// ErrNoiseBudget: the estimated noise budget fell below the guard
+	// threshold (see Config.NoiseGuardBits); errors.As to
+	// *NoiseBudgetError for the suggested action.
+	ErrNoiseBudget = fherr.ErrNoiseBudget
+	// ErrEngineFault: the execution engine lost a task (fault injection
+	// or an internal defect).
+	ErrEngineFault = fherr.ErrEngineFault
+	// ErrInvalidParams: a configuration or input value is out of range.
+	ErrInvalidParams = fherr.ErrInvalidParams
+)
+
+// NoiseBudgetError details a noise-guard trip: the operation, the
+// remaining budget, the guard threshold, and the suggested next action
+// ("rescale", "adjust or bootstrap", or "bootstrap").
+type NoiseBudgetError = fherr.NoiseBudgetError

@@ -47,7 +47,7 @@ func main() {
 		scaleDown[i] = complex(0.9, 0)
 	}
 	for ct.Level() > 0 {
-		ct = ctx.Rescale(ctx.MulConst(ct, scaleDown))
+		ct = ctx.MustRescale(ctx.MustMulConst(ct, scaleDown))
 		for i := range work {
 			work[i] *= 0.9
 		}
@@ -61,7 +61,7 @@ func main() {
 	fmt.Printf("refreshed ciphertext:  level %2d, %2d residues\n", refreshed.Level(), refreshed.Residues())
 
 	// Prove the refreshed ciphertext still computes: one more multiply.
-	final := ctx.Rescale(ctx.MulConst(refreshed, scaleDown))
+	final := ctx.MustRescale(ctx.MustMulConst(refreshed, scaleDown))
 	out, err := ctx.DecryptReal(final)
 	if err != nil {
 		log.Fatal(err)

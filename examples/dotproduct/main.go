@@ -49,9 +49,9 @@ func main() {
 		log.Fatal(err)
 	}
 
-	prod := ctx.Rescale(ctx.Mul(ctA, ctB))
+	prod := ctx.MustRescale(ctx.MustMul(ctA, ctB))
 	for s := 1; s < n; s <<= 1 {
-		prod = ctx.Add(prod, ctx.Rotate(prod, s))
+		prod = ctx.MustAdd(prod, ctx.MustRotate(prod, s))
 	}
 
 	out, err := ctx.DecryptReal(prod)

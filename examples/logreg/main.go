@@ -50,21 +50,21 @@ func main() {
 	for i, w := range weights {
 		wv[i] = complex(w, 0)
 	}
-	acc := ctx.Rescale(ctx.MulConst(ct, wv))
+	acc := ctx.MustRescale(ctx.MustMulConst(ct, wv))
 	for s := 1; s < features; s <<= 1 {
-		acc = ctx.Add(acc, ctx.Rotate(acc, s))
+		acc = ctx.MustAdd(acc, ctx.MustRotate(acc, s))
 	}
 	// acc slot 0 now holds t = <w, x>.
 
 	// sigmoid(t) ≈ 0.5 + 0.197 t − 0.004 t^3.
-	tSq := ctx.Rescale(ctx.Mul(acc, acc))
-	tAligned := ctx.Adjust(acc, tSq.Level())
-	tCube := ctx.Rescale(ctx.Mul(tSq, tAligned))
+	tSq := ctx.MustRescale(ctx.MustMul(acc, acc))
+	tAligned := ctx.MustAdjust(acc, tSq.Level())
+	tCube := ctx.MustRescale(ctx.MustMul(tSq, tAligned))
 
-	cub := ctx.Rescale(ctx.MulConst(tCube, constVec(-0.004, ctx.Slots())))
-	lin := ctx.Rescale(ctx.MulConst(acc, constVec(0.197, ctx.Slots())))
-	lin = ctx.Adjust(lin, cub.Level())
-	scoreCt := ctx.AddConst(ctx.Add(lin, cub), constVec(0.5, ctx.Slots()))
+	cub := ctx.MustRescale(ctx.MustMulConst(tCube, constVec(-0.004, ctx.Slots())))
+	lin := ctx.MustRescale(ctx.MustMulConst(acc, constVec(0.197, ctx.Slots())))
+	lin = ctx.MustAdjust(lin, cub.Level())
+	scoreCt := ctx.MustAddConst(ctx.MustAdd(lin, cub), constVec(0.5, ctx.Slots()))
 
 	out, err := ctx.DecryptReal(scoreCt)
 	if err != nil {

@@ -56,8 +56,8 @@ func main() {
 		log.Fatal(err)
 	}
 
-	pre := ctx.Rescale(ctx.Apply(ct, layer)) // W·x
-	act := ctx.Rescale(ctx.Mul(pre, pre))    // AESPA degree-2 activation
+	pre := ctx.MustRescale(ctx.MustApply(ct, layer)) // W·x
+	act := ctx.MustRescale(ctx.MustMul(pre, pre))    // AESPA degree-2 activation
 
 	out, err := ctx.Decrypt(act)
 	if err != nil {

@@ -33,9 +33,9 @@ func main() {
 
 		// x^2 + x: square+rescale drops a level; Adjust brings the
 		// original x down to the same level so the two can be added.
-		squared := ctx.Rescale(ctx.Mul(ct, ct))
-		aligned := ctx.Adjust(ct, squared.Level())
-		result := ctx.Add(squared, aligned)
+		squared := ctx.MustRescale(ctx.MustMul(ct, ct))
+		aligned := ctx.MustAdjust(ct, squared.Level())
+		result := ctx.MustAdd(squared, aligned)
 
 		out, err := ctx.DecryptReal(result)
 		if err != nil {

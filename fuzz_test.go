@@ -1,0 +1,129 @@
+package bitpacker
+
+import (
+	"errors"
+	"math"
+	"sync"
+	"testing"
+)
+
+var (
+	fuzzCtxOnce sync.Once
+	fuzzCtxVal  *Context
+	fuzzCtxErr  error
+)
+
+// fuzzContext is shared across FuzzEncodeDecode executions: building a
+// chain and keys dominates an encode round-trip by orders of magnitude.
+func fuzzContext() (*Context, error) {
+	fuzzCtxOnce.Do(func() {
+		fuzzCtxVal, fuzzCtxErr = New(Config{
+			Scheme: BitPacker, LogN: 8, Levels: 1, ScaleBits: 40, WordBits: 61,
+		})
+	})
+	return fuzzCtxVal, fuzzCtxErr
+}
+
+// FuzzEncodeDecode checks that encode/encrypt/decrypt/decode never
+// panics: non-finite inputs fail with ErrInvalidParams, finite inputs
+// round-trip, and inputs within the precision budget round-trip
+// accurately.
+func FuzzEncodeDecode(f *testing.F) {
+	f.Add(0.5, -0.25, 1.0, 0.0)
+	f.Add(0.0, 0.0, 0.0, 0.0)
+	f.Add(1e-9, -1e-9, 3.999, -3.999)
+	f.Add(1e300, -1e300, 4.5e15, -0.1)
+	f.Add(math.Inf(1), 0.0, 0.0, 0.0)
+	f.Add(math.NaN(), 1.0, -1.0, 0.5)
+	f.Fuzz(func(t *testing.T, a, b, c, d float64) {
+		ctx, err := fuzzContext()
+		if err != nil {
+			t.Fatal(err)
+		}
+		vals := []float64{a, b, c, d}
+		finite, inBudget := true, true
+		for _, v := range vals {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				finite = false
+			}
+			if math.Abs(v) > 4 {
+				inBudget = false
+			}
+		}
+		ct, err := ctx.EncryptReal(vals)
+		if !finite {
+			if !errors.Is(err, ErrInvalidParams) {
+				t.Fatalf("non-finite input: got %v, want ErrInvalidParams", err)
+			}
+			return
+		}
+		if err != nil {
+			t.Fatalf("encrypt(%v): %v", vals, err)
+		}
+		if err := ctx.Validate(ct); err != nil {
+			t.Fatalf("fresh ciphertext invalid for %v: %v", vals, err)
+		}
+		out, err := ctx.DecryptReal(ct)
+		if err != nil {
+			t.Fatalf("decrypt(%v): %v", vals, err)
+		}
+		if !inBudget {
+			return // out-of-budget magnitudes wrap; only no-crash is promised
+		}
+		for i, v := range vals {
+			if math.Abs(out[i]-v) > 1e-4 {
+				t.Fatalf("slot %d: %v -> %v", i, v, out[i])
+			}
+		}
+	})
+}
+
+// FuzzParams checks that New never panics: any configuration either
+// fails with an error or yields a context whose basic round-trip works.
+func FuzzParams(f *testing.F) {
+	f.Add(9, 2, 40.0, 61, 3, false)
+	f.Add(10, 3, 35.0, 28, 2, true)
+	f.Add(8, 1, 30.0, 32, 1, false)
+	f.Add(0, 0, 0.0, 0, 0, false)
+	f.Add(-1, -2, -5.0, 200, -3, true)
+	f.Add(17, 6, 61.0, 64, 8, true)
+	f.Fuzz(func(t *testing.T, logN, levels int, scaleBits float64, wordBits, ksDigits int, rns bool) {
+		if logN > 11 || levels > 6 {
+			t.Skip("resource bound")
+		}
+		scheme := BitPacker
+		if rns {
+			scheme = RNSCKKS
+		}
+		ctx, err := New(Config{
+			Scheme:          scheme,
+			LogN:            logN,
+			Levels:          levels,
+			ScaleBits:       scaleBits,
+			WordBits:        wordBits,
+			KeySwitchDigits: ksDigits,
+		})
+		if err != nil {
+			return // rejected configurations just need a clean error
+		}
+		ct, err := ctx.EncryptReal([]float64{0.5})
+		if err != nil {
+			t.Fatalf("accepted config cannot encrypt: %v", err)
+		}
+		out, err := ctx.DecryptReal(ct)
+		if err != nil {
+			t.Fatalf("accepted config cannot decrypt: %v", err)
+		}
+		// The noise estimator bounds the error: budget bits of precision
+		// remain, so the slot error must stay within 2^-budget (with
+		// generous slack for decode rounding).
+		tol := 16 * math.Pow(2, -ctx.NoiseBudget(ct))
+		if tol < 1e-2 {
+			tol = 1e-2
+		}
+		if math.Abs(out[0]-0.5) > tol {
+			t.Fatalf("accepted config round-trips 0.5 to %v (budget %.1f bits)",
+				out[0], ctx.NoiseBudget(ct))
+		}
+	})
+}

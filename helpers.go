@@ -1,15 +1,16 @@
 package bitpacker
 
-import "fmt"
+import "bitpacker/internal/fherr"
 
 // Higher-level helpers built on the primitive homomorphic operations.
+// All of them propagate the typed errors of the primitives they compose.
 
 // Power raises a ciphertext to an integer power k >= 1 by square-and-
 // multiply, rescaling after every multiplication and adjusting operands to
 // matching levels. It consumes ceil(log2(k)) + popcount-related levels.
 func (c *Context) Power(ct *Ciphertext, k int) (*Ciphertext, error) {
 	if k < 1 {
-		return nil, fmt.Errorf("bitpacker: power %d < 1", k)
+		return nil, fherr.Wrap(fherr.ErrInvalidParams, "bitpacker: power %d < 1", k)
 	}
 	var acc *Ciphertext // product of selected squarings
 	cur := ct
@@ -19,12 +20,23 @@ func (c *Context) Power(ct *Ciphertext, k int) (*Ciphertext, error) {
 				acc = cur
 			} else {
 				a, b := acc, cur
+				var err error
 				if a.Level() > b.Level() {
-					a = c.Adjust(a, b.Level())
+					if a, err = c.Adjust(a, b.Level()); err != nil {
+						return nil, err
+					}
 				} else if b.Level() > a.Level() {
-					b = c.Adjust(b, a.Level())
+					if b, err = c.Adjust(b, a.Level()); err != nil {
+						return nil, err
+					}
 				}
-				acc = c.Rescale(c.Mul(a, b))
+				prod, err := c.Mul(a, b)
+				if err != nil {
+					return nil, err
+				}
+				if acc, err = c.Rescale(prod); err != nil {
+					return nil, err
+				}
 			}
 		}
 		k >>= 1
@@ -32,9 +44,15 @@ func (c *Context) Power(ct *Ciphertext, k int) (*Ciphertext, error) {
 			return acc, nil
 		}
 		if cur.Level() == 0 {
-			return nil, fmt.Errorf("bitpacker: chain too shallow for requested power")
+			return nil, fherr.Wrap(fherr.ErrChainExhausted, "bitpacker: chain too shallow for requested power")
 		}
-		cur = c.Rescale(c.Mul(cur, cur))
+		sq, err := c.Mul(cur, cur)
+		if err != nil {
+			return nil, err
+		}
+		if cur, err = c.Rescale(sq); err != nil {
+			return nil, err
+		}
 	}
 }
 
@@ -43,11 +61,18 @@ func (c *Context) Power(ct *Ciphertext, k int) (*Ciphertext, error) {
 // Galois keys for rotations 1, 2, 4, ..., n/2 (Config.Rotations).
 func (c *Context) InnerSum(ct *Ciphertext, n int) (*Ciphertext, error) {
 	if n <= 0 || n&(n-1) != 0 || n > c.Slots() {
-		return nil, fmt.Errorf("bitpacker: InnerSum width %d must be a power of two <= %d", n, c.Slots())
+		return nil, fherr.Wrap(fherr.ErrInvalidParams,
+			"bitpacker: InnerSum width %d must be a power of two <= %d", n, c.Slots())
 	}
 	out := ct
 	for s := 1; s < n; s <<= 1 {
-		out = c.Add(out, c.Rotate(out, s))
+		rot, err := c.Rotate(out, s)
+		if err != nil {
+			return nil, err
+		}
+		if out, err = c.Add(out, rot); err != nil {
+			return nil, err
+		}
 	}
 	return out, nil
 }
@@ -58,10 +83,11 @@ func (c *Context) InnerSum(ct *Ciphertext, n int) (*Ciphertext, error) {
 // len(coeffs)-1).
 func (c *Context) EvalPolynomial(x *Ciphertext, coeffs []float64) (*Ciphertext, error) {
 	if len(coeffs) == 0 {
-		return nil, fmt.Errorf("bitpacker: empty polynomial")
+		return nil, fherr.Wrap(fherr.ErrInvalidParams, "bitpacker: empty polynomial")
 	}
 	if x.Level() < len(coeffs)-1 {
-		return nil, fmt.Errorf("bitpacker: need %d levels, ciphertext has %d", len(coeffs)-1, x.Level())
+		return nil, fherr.Wrap(fherr.ErrChainExhausted,
+			"bitpacker: need %d levels, ciphertext has %d", len(coeffs)-1, x.Level())
 	}
 	n := c.Slots()
 	cvec := func(v float64) []complex128 {
@@ -78,14 +104,33 @@ func (c *Context) EvalPolynomial(x *Ciphertext, coeffs []float64) (*Ciphertext, 
 		if err != nil {
 			return nil, err
 		}
-		return c.AddConst(enc, cvec(coeffs[0])), nil
+		return c.AddConst(enc, cvec(coeffs[0]))
 	}
-	acc := c.Rescale(c.MulConst(x, cvec(coeffs[d])))
-	acc = c.AddConst(acc, cvec(coeffs[d-1]))
+	prod, err := c.MulConst(x, cvec(coeffs[d]))
+	if err != nil {
+		return nil, err
+	}
+	acc, err := c.Rescale(prod)
+	if err != nil {
+		return nil, err
+	}
+	if acc, err = c.AddConst(acc, cvec(coeffs[d-1])); err != nil {
+		return nil, err
+	}
 	for i := d - 2; i >= 0; i-- {
-		xa := c.Adjust(x, acc.Level())
-		acc = c.Rescale(c.Mul(acc, xa))
-		acc = c.AddConst(acc, cvec(coeffs[i]))
+		xa, err := c.Adjust(x, acc.Level())
+		if err != nil {
+			return nil, err
+		}
+		if prod, err = c.Mul(acc, xa); err != nil {
+			return nil, err
+		}
+		if acc, err = c.Rescale(prod); err != nil {
+			return nil, err
+		}
+		if acc, err = c.AddConst(acc, cvec(coeffs[i])); err != nil {
+			return nil, err
+		}
 	}
 	return acc, nil
 }

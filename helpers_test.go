@@ -102,9 +102,9 @@ func TestCrossSchemeEquivalence(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		sq := ctx.Rescale(ctx.Mul(ct, ct))
-		cu := ctx.Rescale(ctx.Mul(sq, ctx.Adjust(ct, sq.Level())))
-		res := ctx.Add(cu, ctx.Adjust(ct, cu.Level()))
+		sq := ctx.MustRescale(ctx.MustMul(ct, ct))
+		cu := ctx.MustRescale(ctx.MustMul(sq, ctx.MustAdjust(ct, sq.Level())))
+		res := ctx.MustAdd(cu, ctx.MustAdjust(ct, cu.Level()))
 		out, _ := ctx.DecryptReal(res)
 		return out[:4]
 	}
@@ -148,7 +148,7 @@ func TestTransformAPI(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	out, err := ctx.Decrypt(ctx.Rescale(ctx.Apply(ct, tr)))
+	out, err := ctx.Decrypt(ctx.MustRescale(ctx.MustApply(ct, tr)))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -206,7 +206,7 @@ func TestRefreshAPI(t *testing.T) {
 	}
 	in := []float64{0.3, -0.2}
 	ct, _ := ctx.EncryptReal(in)
-	ct = ctx.Adjust(ct, 0)
+	ct = ctx.MustAdjust(ct, 0)
 	refreshed, err := ctx.Refresh(ct)
 	if err != nil {
 		t.Fatal(err)
@@ -223,7 +223,7 @@ func TestRefreshAPI(t *testing.T) {
 	// Context without Bootstrap must refuse.
 	plain := helperCtx(t, 2)
 	pct, _ := plain.EncryptReal(in)
-	if _, err := plain.Refresh(plain.Adjust(pct, 0)); err == nil {
+	if _, err := plain.Refresh(plain.MustAdjust(pct, 0)); err == nil {
 		t.Fatal("Refresh without Config.Bootstrap accepted")
 	}
 }

@@ -5,6 +5,7 @@ import (
 	"math"
 	"math/big"
 
+	"bitpacker/internal/fherr"
 	"bitpacker/internal/ring"
 )
 
@@ -28,9 +29,21 @@ import (
 // re-decomposed modulo the target basis. The result decrypts to
 // m + e + Q0*I(X) where Q0 is the source modulus and I has small
 // coefficients bounded by the secret key's 1-norm.
-func (ev *Evaluator) ModRaise(ct *Ciphertext, toLevel int) *Ciphertext {
+//
+// The noise estimate carries through unchanged: the physical error e is
+// untouched, and the deliberate Q0*I overflow is the signal EvalMod
+// removes, not noise to guard against.
+func (ev *Evaluator) ModRaise(ct *Ciphertext, toLevel int) (*Ciphertext, error) {
+	if err := ev.begin("ModRaise", ct); err != nil {
+		return nil, err
+	}
 	if toLevel <= ct.Level {
-		panic("ckks: ModRaise target must be above the current level")
+		return nil, fherr.Wrap(fherr.ErrLevelMismatch,
+			"ckks: ModRaise target level %d must be above the current level %d", toLevel, ct.Level)
+	}
+	if toLevel > ev.params.MaxLevel() {
+		return nil, fherr.Wrap(fherr.ErrLevelMismatch,
+			"ckks: ModRaise target level %d above chain top %d", toLevel, ev.params.MaxLevel())
 	}
 	p := ev.params
 	dstModuli := p.LevelModuli(toLevel)
@@ -46,12 +59,7 @@ func (ev *Evaluator) ModRaise(ct *Ciphertext, toLevel int) *Ciphertext {
 		out.NTT()
 		return out
 	}
-	return &Ciphertext{
-		C0:    lift(ct.C0),
-		C1:    lift(ct.C1),
-		Level: toLevel,
-		Scale: new(big.Rat).Set(ct.Scale),
-	}
+	return newCiphertext(lift(ct.C0), lift(ct.C1), toLevel, new(big.Rat).Set(ct.Scale), ct.NoiseBits), nil
 }
 
 // encoderMatrix numerically extracts the n x n complex matrix of the

@@ -15,9 +15,9 @@ func TestModRaiseCongruence(t *testing.T) {
 		s := newTestSetup(t, scheme, 3, 40, 61, 9, 8, nil)
 		rng := rand.New(rand.NewPCG(91, 92))
 		vals := randomValues(s.params.Slots(), rng)
-		ct := s.ev.AdjustTo(s.encryptValues(vals), 0)
+		ct := s.ev.MustAdjustTo(s.encryptValues(vals), 0)
 
-		raised := s.ev.ModRaise(ct, s.params.MaxLevel())
+		raised := s.ev.MustModRaise(ct, s.params.MaxLevel())
 		if raised.Level != s.params.MaxLevel() {
 			t.Fatalf("%v: level %d", scheme, raised.Level)
 		}
@@ -25,8 +25,8 @@ func TestModRaiseCongruence(t *testing.T) {
 		// Decryptions must agree coefficient-wise modulo Q0.
 		low := s.dec.DecryptToPoly(ct)
 		high := s.dec.DecryptToPoly(raised)
-		lowBasis := s.dec.Basis(low.Value.Moduli)
-		highBasis := s.dec.Basis(high.Value.Moduli)
+		lowBasis := s.dec.MustBasis(low.Value.Moduli)
+		highBasis := s.dec.MustBasis(high.Value.Moduli)
 		q0 := lowBasis.Q
 		for k := 0; k < s.params.N(); k++ {
 			a := low.Value.CoeffBig(lowBasis, k)
@@ -61,8 +61,8 @@ func TestHomDFTCoeffToSlot(t *testing.T) {
 	vals := randomValues(s.params.Slots(), rng)
 	ct := s.encryptValues(vals)
 
-	out := s.ev.Rescale(s.ev.ApplyLinearTransform(ct, dft.CtS))
-	got := s.dec.DecryptAndDecode(out, s.enc)
+	out := s.ev.MustRescale(s.ev.MustApplyLinearTransform(ct, dft.CtS))
+	got := s.dec.MustDecryptAndDecode(out, s.enc)
 
 	// Reference: u = fftSpecialInv(z).
 	want := append([]complex128(nil), vals...)
@@ -89,9 +89,9 @@ func TestHomDFTRoundTrip(t *testing.T) {
 	vals := randomValues(s.params.Slots(), rng)
 	ct := s.encryptValues(vals)
 
-	mid := s.ev.Rescale(s.ev.ApplyLinearTransform(ct, dft.CtS))
-	back := s.ev.Rescale(s.ev.ApplyLinearTransform(mid, dft.StC))
-	got := s.dec.DecryptAndDecode(back, s.enc)
+	mid := s.ev.MustRescale(s.ev.MustApplyLinearTransform(ct, dft.CtS))
+	back := s.ev.MustRescale(s.ev.MustApplyLinearTransform(mid, dft.StC))
+	got := s.dec.MustDecryptAndDecode(back, s.enc)
 	if e := maxErr(got, vals); e > 1e-3 {
 		t.Fatalf("DFT roundtrip error %g", e)
 	}
@@ -144,7 +144,7 @@ func TestEvalChebyshevMatchesReference(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	got := s.dec.DecryptAndDecode(out, s.enc)
+	got := s.dec.MustDecryptAndDecode(out, s.enc)
 	for i := range vals {
 		want := EvalChebyshevAt(coeffs, real(vals[i]))
 		if e := math.Abs(real(got[i]) - want); e > 1e-3 {
@@ -206,11 +206,11 @@ func TestFullBootstrapRefresh(t *testing.T) {
 	}
 	lvl := params.MaxLevel()
 	pt := &Plaintext{
-		Value: enc.Encode(vals, params.DefaultScale(lvl), params.LevelModuli(lvl)),
+		Value: enc.MustEncode(vals, params.DefaultScale(lvl), params.LevelModuli(lvl)),
 		Level: lvl,
 		Scale: params.DefaultScale(lvl),
 	}
-	exhausted := ev.AdjustTo(encr.EncryptAtLevel(pt, lvl), 0)
+	exhausted := ev.MustAdjustTo(encr.MustEncryptAtLevel(pt, lvl), 0)
 
 	refreshed, err := bs.Refresh(ev, exhausted)
 	if err != nil {
@@ -219,7 +219,7 @@ func TestFullBootstrapRefresh(t *testing.T) {
 	if refreshed.Level < 1 {
 		t.Fatalf("refresh did not regain levels: %d", refreshed.Level)
 	}
-	got := dec.DecryptAndDecode(refreshed, enc)
+	got := dec.MustDecryptAndDecode(refreshed, enc)
 	// Demonstration-grade precision: ~4-5 error-free bits (the deg-19
 	// sine, the 128-term DFT noise, and the A~40 amplitude swamp the
 	// usual noise floor at these toy parameters).
@@ -236,7 +236,7 @@ func TestMulByI(t *testing.T) {
 	ct := s.encryptValues(vals)
 	for power := 0; power < 4; power++ {
 		out := s.ev.MulByI(ct, power)
-		got := s.dec.DecryptAndDecode(out, s.enc)
+		got := s.dec.MustDecryptAndDecode(out, s.enc)
 		factor := complex(1, 0)
 		for p := 0; p < power; p++ {
 			factor *= complex(0, 1)

@@ -1,10 +1,11 @@
 package ckks
 
 import (
-	"fmt"
 	"math"
 	"math/big"
 
+	"bitpacker/internal/core"
+	"bitpacker/internal/fherr"
 	"bitpacker/internal/ring"
 )
 
@@ -53,12 +54,7 @@ func (ev *Evaluator) MulByI(ct *Ciphertext, power int) *Ciphertext {
 		m.NTT()
 		return m
 	}
-	return &Ciphertext{
-		C0:    mul(ct.C0),
-		C1:    mul(ct.C1),
-		Level: ct.Level,
-		Scale: new(big.Rat).Set(ct.Scale),
-	}
+	return newCiphertext(mul(ct.C0), mul(ct.C1), ct.Level, new(big.Rat).Set(ct.Scale), ct.NoiseBits)
 }
 
 // NewBootstrapper precomputes the DFT transforms and sine coefficients.
@@ -75,7 +71,8 @@ func NewBootstrapper(params *Parameters, enc *Encoder, cfg BootstrapConfig) (*Bo
 	top := params.MaxLevel()
 	need := ChebyshevDepth(cfg.SineDegree) + 3
 	if top < need {
-		return nil, fmt.Errorf("ckks: bootstrapping needs %d levels, chain has %d", need, top)
+		return nil, fherr.Wrap(fherr.ErrInvalidParams,
+			"ckks: bootstrapping needs %d levels, chain has %d", need, top)
 	}
 
 	q0f, _ := new(big.Float).SetInt(params.Chain.Levels[0].Q()).Float64()
@@ -109,26 +106,55 @@ func NewBootstrapper(params *Parameters, enc *Encoder, cfg BootstrapConfig) (*Bo
 // plus conjugation, before building the evaluator's key set).
 func (bs *Bootstrapper) Rotations() []int { return bs.dft.Rotations() }
 
+// refreshedPrecisionBits is the demonstration-grade precision assumed
+// for a bootstrapped ciphertext: the sine-approximation error dominates
+// the carried-through noise estimate, so Refresh resets the output's
+// NoiseBits to scale − refreshedPrecisionBits rather than propagating
+// the (now meaningless) analytic chain.
+const refreshedPrecisionBits = 10
+
 // Refresh bootstraps a level-0 ciphertext back up the chain. The output
 // lands ChebyshevDepth(SineDegree)+3 levels below the top with the
 // original plaintext (to within the sine-approximation precision).
 func (bs *Bootstrapper) Refresh(ev *Evaluator, ct *Ciphertext) (*Ciphertext, error) {
 	if ct.Level != 0 {
-		return nil, fmt.Errorf("ckks: Refresh expects a level-0 ciphertext, got level %d", ct.Level)
+		return nil, fherr.Wrap(fherr.ErrLevelMismatch,
+			"ckks: Refresh expects a level-0 ciphertext, got level %d", ct.Level)
 	}
 
 	// 1. ModRaise; re-tag with the canonical top scale (the CtS factor
 	// was built against it).
-	raised := ev.ModRaise(ct, bs.topLevel)
+	raised, err := ev.ModRaise(ct, bs.topLevel)
+	if err != nil {
+		return nil, err
+	}
 	raised.Scale = bs.params.DefaultScale(bs.topLevel)
+	raised.seal()
 
 	// 2. CoeffToSlot: slots become y = (c + Q0*I) / (2*K*Q0) pairs.
-	y := ev.Rescale(ev.ApplyLinearTransform(raised, bs.dft.CtS))
+	yRaw, err := ev.ApplyLinearTransform(raised, bs.dft.CtS)
+	if err != nil {
+		return nil, err
+	}
+	y, err := ev.Rescale(yRaw)
+	if err != nil {
+		return nil, err
+	}
 
 	// 3. Conjugate split into the two real coefficient streams.
-	yConj := ev.Conjugate(y)
-	yr := ev.Add(y, yConj)                           // c_lo/(K*Q0) + overflow
-	yi := ev.MulByI(ev.Sub(y, yConj), 3)             // c_hi/(K*Q0) + overflow
+	yConj, err := ev.Conjugate(y)
+	if err != nil {
+		return nil, err
+	}
+	yr, err := ev.Add(y, yConj) // c_lo/(K*Q0) + overflow
+	if err != nil {
+		return nil, err
+	}
+	yDiff, err := ev.Sub(y, yConj)
+	if err != nil {
+		return nil, err
+	}
+	yi := ev.MulByI(yDiff, 3)                        // c_hi/(K*Q0) + overflow
 	gr, err := ev.EvalChebyshev(bs.enc, yr, bs.sine) // ~ c_lo/S_top
 	if err != nil {
 		return nil, err
@@ -139,10 +165,24 @@ func (bs *Bootstrapper) Refresh(ev *Evaluator, ct *Ciphertext) (*Ciphertext, err
 	}
 
 	// 4. Recombine u = c_lo + i*c_hi and SlotToCoeff.
-	u := ev.Add(gr, ev.MulByI(gi, 1))
-	if u.Level != bs.dft.StC.Level {
-		u = ev.AdjustTo(u, bs.dft.StC.Level)
+	u, err := ev.Add(gr, ev.MulByI(gi, 1))
+	if err != nil {
+		return nil, err
 	}
-	out := ev.Rescale(ev.ApplyLinearTransform(u, bs.dft.StC))
+	if u.Level != bs.dft.StC.Level {
+		if u, err = ev.AdjustTo(u, bs.dft.StC.Level); err != nil {
+			return nil, err
+		}
+	}
+	outRaw, err := ev.ApplyLinearTransform(u, bs.dft.StC)
+	if err != nil {
+		return nil, err
+	}
+	out, err := ev.Rescale(outRaw)
+	if err != nil {
+		return nil, err
+	}
+	out.NoiseBits = core.RatLog2(out.Scale) - refreshedPrecisionBits
+	out.seal()
 	return out, nil
 }

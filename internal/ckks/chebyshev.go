@@ -1,9 +1,9 @@
 package ckks
 
 import (
-	"fmt"
 	"math/big"
 
+	"bitpacker/internal/fherr"
 	"bitpacker/internal/ring"
 )
 
@@ -19,13 +19,15 @@ import (
 // ~2·sqrt(deg).
 
 // constPT encodes the scalar v into a plaintext at the given level/scale.
+// Scalar encoding cannot fail (one value replicated across all slots), so
+// this uses the Must form.
 func constPT(p *Parameters, enc *Encoder, v float64, level int, scale *big.Rat) *Plaintext {
 	vals := make([]complex128, p.Slots())
 	for i := range vals {
 		vals[i] = complex(v, 0)
 	}
 	return &Plaintext{
-		Value: enc.Encode(vals, scale, p.LevelModuli(level)),
+		Value: enc.MustEncode(vals, scale, p.LevelModuli(level)),
 		Level: level,
 		Scale: new(big.Rat).Set(scale),
 	}
@@ -172,13 +174,94 @@ type chebRes struct {
 	c0 float64
 }
 
+// chebEval threads a sticky error through the heavily chained Chebyshev
+// algebra (the bufio.Scanner pattern): after any step fails, subsequent
+// steps become no-ops and the first error is reported once at the end.
+type chebEval struct {
+	ev  *Evaluator
+	err error
+}
+
+func (ce *chebEval) take(out *Ciphertext, err error) *Ciphertext {
+	if ce.err == nil && err != nil {
+		ce.err = err
+	}
+	if ce.err != nil {
+		return nil
+	}
+	return out
+}
+
+func (ce *chebEval) rescale(ct *Ciphertext) *Ciphertext {
+	if ce.err != nil {
+		return nil
+	}
+	return ce.take(ce.ev.Rescale(ct))
+}
+
+func (ce *chebEval) square(ct *Ciphertext) *Ciphertext {
+	if ce.err != nil {
+		return nil
+	}
+	return ce.take(ce.ev.Square(ct))
+}
+
+func (ce *chebEval) mulRelin(a, b *Ciphertext) *Ciphertext {
+	if ce.err != nil {
+		return nil
+	}
+	return ce.take(ce.ev.MulRelin(a, b))
+}
+
+func (ce *chebEval) mulPlain(ct *Ciphertext, pt *Plaintext) *Ciphertext {
+	if ce.err != nil {
+		return nil
+	}
+	return ce.take(ce.ev.MulPlain(ct, pt))
+}
+
+func (ce *chebEval) mulScalarInt(ct *Ciphertext, k int64) *Ciphertext {
+	if ce.err != nil {
+		return nil
+	}
+	return ce.take(ce.ev.MulScalarInt(ct, k))
+}
+
+func (ce *chebEval) addPlain(ct *Ciphertext, pt *Plaintext) *Ciphertext {
+	if ce.err != nil {
+		return nil
+	}
+	return ce.take(ce.ev.AddPlain(ct, pt))
+}
+
+func (ce *chebEval) add(a, b *Ciphertext) *Ciphertext {
+	if ce.err != nil {
+		return nil
+	}
+	return ce.take(ce.ev.Add(a, b))
+}
+
+func (ce *chebEval) sub(a, b *Ciphertext) *Ciphertext {
+	if ce.err != nil {
+		return nil
+	}
+	return ce.take(ce.ev.Sub(a, b))
+}
+
+func (ce *chebEval) adjustTo(ct *Ciphertext, level int) *Ciphertext {
+	if ce.err != nil {
+		return nil
+	}
+	return ce.take(ce.ev.AdjustTo(ct, level))
+}
+
 // EvalChebyshev evaluates sum_k coeffs[k]*T_k(x) by Paterson–Stockmeyer,
 // consuming ChebyshevDepth(deg) = O(log deg) levels. Zero coefficients
 // are skipped. Degrees <= 2 delegate to the three-term recurrence, which
 // is optimal there.
 func (ev *Evaluator) EvalChebyshev(enc *Encoder, x *Ciphertext, coeffs []float64) (*Ciphertext, error) {
 	if len(coeffs) == 0 {
-		return nil, fmt.Errorf("ckks: empty Chebyshev series")
+		return nil, fherr.Wrap(fherr.ErrInvalidParams, "ckks: empty Chebyshev series")
 	}
 	deg := trimChebyshev(coeffs)
 	if deg <= 2 {
@@ -186,46 +269,60 @@ func (ev *Evaluator) EvalChebyshev(enc *Encoder, x *Ciphertext, coeffs []float64
 	}
 	need := ChebyshevDepth(deg)
 	if x.Level < need {
-		return nil, fmt.Errorf("ckks: need %d levels, have %d", need, x.Level)
+		return nil, fherr.Wrap(fherr.ErrChainExhausted,
+			"ckks: Chebyshev degree %d needs %d levels, have %d", deg, need, x.Level)
 	}
 	p := ev.params
 	pl := newChebPlan(deg)
+	ce := &chebEval{ev: ev}
 
 	// Baby steps T_1..T_bs via 2·T_a·T_b = T_{a+b} + T_{|a-b|}.
 	T := make([]*Ciphertext, pl.bs+1)
 	T[1] = x.CopyNew()
-	for k := 2; k <= pl.bs; k++ {
+	for k := 2; k <= pl.bs && ce.err == nil; k++ {
 		a, b := (k+1)/2, k/2
 		var tk *Ciphertext
 		if a == b {
 			// T_{2a} = 2·T_a^2 - 1.
-			sq := ev.Rescale(ev.Square(T[a]))
-			tk = ev.MulScalarInt(sq, 2)
-			tk = ev.AddPlain(tk, constPT(p, enc, -1, tk.Level, tk.Scale))
+			sq := ce.rescale(ce.square(T[a]))
+			tk = ce.mulScalarInt(sq, 2)
+			if ce.err == nil {
+				tk = ce.addPlain(tk, constPT(p, enc, -1, tk.Level, tk.Scale))
+			}
 		} else {
 			// T_{a+b} = 2·T_a·T_b - T_1 (a-b = 1 here).
 			lvl := T[a].Level
 			if T[b].Level < lvl {
 				lvl = T[b].Level
 			}
-			ta := ev.AdjustTo(T[a].CopyNew(), lvl)
-			tb := ev.AdjustTo(T[b].CopyNew(), lvl)
-			prod := ev.Rescale(ev.MulRelin(ta, tb))
-			prod = ev.MulScalarInt(prod, 2)
-			sub := ev.AdjustTo(T[1].CopyNew(), prod.Level)
-			tk = ev.Sub(prod, sub)
+			ta := ce.adjustTo(T[a].CopyNew(), lvl)
+			tb := ce.adjustTo(T[b].CopyNew(), lvl)
+			prod := ce.rescale(ce.mulRelin(ta, tb))
+			prod = ce.mulScalarInt(prod, 2)
+			if ce.err == nil {
+				sub := ce.adjustTo(T[1].CopyNew(), prod.Level)
+				tk = ce.sub(prod, sub)
+			}
 		}
 		T[k] = tk
+	}
+	if ce.err != nil {
+		return nil, ce.err
 	}
 
 	// Giant steps T_{2m} = 2·T_m^2 - 1 starting from T_bs.
 	G := map[int]*Ciphertext{pl.giants[0]: T[pl.bs]}
-	for i := 1; i < len(pl.giants); i++ {
+	for i := 1; i < len(pl.giants) && ce.err == nil; i++ {
 		prev := G[pl.giants[i-1]]
-		sq := ev.Rescale(ev.Square(prev))
-		tk := ev.MulScalarInt(sq, 2)
-		tk = ev.AddPlain(tk, constPT(p, enc, -1, tk.Level, tk.Scale))
+		sq := ce.rescale(ce.square(prev))
+		tk := ce.mulScalarInt(sq, 2)
+		if ce.err == nil {
+			tk = ce.addPlain(tk, constPT(p, enc, -1, tk.Level, tk.Scale))
+		}
 		G[pl.giants[i]] = tk
+	}
+	if ce.err != nil {
+		return nil, ce.err
 	}
 
 	// linearComb evaluates a degree < bs series against the babies.
@@ -234,12 +331,15 @@ func (ev *Evaluator) EvalChebyshev(enc *Encoder, x *Ciphertext, coeffs []float64
 		if len(c) > 0 {
 			res.c0 = c[0]
 		}
-		for k := 1; k < len(c); k++ {
+		for k := 1; k < len(c) && ce.err == nil; k++ {
 			if c[k] == 0 {
 				continue
 			}
-			term := ev.MulPlain(T[k], constPT(p, enc, c[k], T[k].Level, p.DefaultScale(T[k].Level)))
-			term = ev.Rescale(term)
+			term := ce.mulPlain(T[k], constPT(p, enc, c[k], T[k].Level, p.DefaultScale(T[k].Level)))
+			term = ce.rescale(term)
+			if ce.err != nil {
+				break
+			}
 			if res.ct == nil {
 				res.ct = term
 			} else {
@@ -247,7 +347,7 @@ func (ev *Evaluator) EvalChebyshev(enc *Encoder, x *Ciphertext, coeffs []float64
 				if term.Level < lvl {
 					lvl = term.Level
 				}
-				res.ct = ev.Add(ev.AdjustTo(res.ct, lvl), ev.AdjustTo(term, lvl))
+				res.ct = ce.add(ce.adjustTo(res.ct, lvl), ce.adjustTo(term, lvl))
 			}
 		}
 		return res
@@ -255,6 +355,9 @@ func (ev *Evaluator) EvalChebyshev(enc *Encoder, x *Ciphertext, coeffs []float64
 
 	var eval func(c []float64) chebRes
 	eval = func(c []float64) chebRes {
+		if ce.err != nil {
+			return chebRes{}
+		}
 		d := len(c) - 1
 		for d > 0 && c[d] == 0 {
 			d--
@@ -267,6 +370,9 @@ func (ev *Evaluator) EvalChebyshev(enc *Encoder, x *Ciphertext, coeffs []float64
 		qc, rc := chebDivRem(c, m)
 		qRes := eval(qc)
 		rRes := eval(rc)
+		if ce.err != nil {
+			return chebRes{}
+		}
 
 		// prod = q·T_m.
 		var prod *Ciphertext
@@ -275,17 +381,23 @@ func (ev *Evaluator) EvalChebyshev(enc *Encoder, x *Ciphertext, coeffs []float64
 		case qRes.ct != nil:
 			qct := qRes.ct
 			if qRes.c0 != 0 {
-				qct = ev.AddPlain(qct, constPT(p, enc, qRes.c0, qct.Level, qct.Scale))
+				qct = ce.addPlain(qct, constPT(p, enc, qRes.c0, qct.Level, qct.Scale))
+			}
+			if ce.err != nil {
+				return chebRes{}
 			}
 			lvl := qct.Level
 			if tm.Level < lvl {
 				lvl = tm.Level
 			}
-			qa := ev.AdjustTo(qct, lvl)
-			ta := ev.AdjustTo(tm.CopyNew(), lvl)
-			prod = ev.Rescale(ev.MulRelin(qa, ta))
+			qa := ce.adjustTo(qct, lvl)
+			ta := ce.adjustTo(tm.CopyNew(), lvl)
+			prod = ce.rescale(ce.mulRelin(qa, ta))
 		case qRes.c0 != 0:
-			prod = ev.Rescale(ev.MulPlain(tm, constPT(p, enc, qRes.c0, tm.Level, p.DefaultScale(tm.Level))))
+			prod = ce.rescale(ce.mulPlain(tm, constPT(p, enc, qRes.c0, tm.Level, p.DefaultScale(tm.Level))))
+		}
+		if ce.err != nil {
+			return chebRes{}
 		}
 
 		if prod == nil {
@@ -298,11 +410,14 @@ func (ev *Evaluator) EvalChebyshev(enc *Encoder, x *Ciphertext, coeffs []float64
 		if rRes.ct.Level < lvl {
 			lvl = rRes.ct.Level
 		}
-		sum := ev.Add(ev.AdjustTo(prod, lvl), ev.AdjustTo(rRes.ct, lvl))
+		sum := ce.add(ce.adjustTo(prod, lvl), ce.adjustTo(rRes.ct, lvl))
 		return chebRes{ct: sum, c0: rRes.c0}
 	}
 
 	res := eval(coeffs[:deg+1])
+	if ce.err != nil {
+		return nil, ce.err
+	}
 	if res.ct == nil {
 		// Degenerate all-constant series (deg was trimmed above, so this
 		// needs every higher coefficient to cancel): encode as zero
@@ -312,11 +427,12 @@ func (ev *Evaluator) EvalChebyshev(enc *Encoder, x *Ciphertext, coeffs []float64
 		zero.IsNTT = true
 		out.C0 = zero
 		out.C1 = zero.Copy()
-		return ev.AddPlain(out, constPT(p, enc, res.c0, out.Level, out.Scale)), nil
+		out.seal()
+		return ev.AddPlain(out, constPT(p, enc, res.c0, out.Level, out.Scale))
 	}
 	out := res.ct
 	if res.c0 != 0 {
-		out = ev.AddPlain(out, constPT(p, enc, res.c0, out.Level, out.Scale))
+		return ev.AddPlain(out, constPT(p, enc, res.c0, out.Level, out.Scale))
 	}
 	return out, nil
 }
@@ -328,13 +444,15 @@ func (ev *Evaluator) EvalChebyshev(enc *Encoder, x *Ciphertext, coeffs []float64
 // differential-test baseline for EvalChebyshev.
 func (ev *Evaluator) EvalChebyshevNaive(enc *Encoder, x *Ciphertext, coeffs []float64) (*Ciphertext, error) {
 	if len(coeffs) == 0 {
-		return nil, fmt.Errorf("ckks: empty Chebyshev series")
+		return nil, fherr.Wrap(fherr.ErrInvalidParams, "ckks: empty Chebyshev series")
 	}
 	deg := trimChebyshev(coeffs)
 	if x.Level < deg {
-		return nil, fmt.Errorf("ckks: need %d levels, have %d", deg, x.Level)
+		return nil, fherr.Wrap(fherr.ErrChainExhausted,
+			"ckks: Chebyshev degree %d needs %d levels, have %d", deg, deg, x.Level)
 	}
 	p := ev.params
+	ce := &chebEval{ev: ev}
 
 	if deg == 0 {
 		out := x.CopyNew()
@@ -342,19 +460,26 @@ func (ev *Evaluator) EvalChebyshevNaive(enc *Encoder, x *Ciphertext, coeffs []fl
 		zero.IsNTT = true
 		out.C0 = zero
 		out.C1 = zero.Copy()
-		return ev.AddPlain(out, constPT(p, enc, coeffs[0], out.Level, out.Scale)), nil
+		out.seal()
+		return ev.AddPlain(out, constPT(p, enc, coeffs[0], out.Level, out.Scale))
 	}
 
 	// acc accumulates coeffs[k] * T_k at progressively lower levels;
 	// T_0 = 1 is handled as a plaintext constant at the end.
 	var acc *Ciphertext
 	addTerm := func(tk *Ciphertext, c float64) {
-		term := ev.MulPlain(tk, constPT(p, enc, c, tk.Level, p.DefaultScale(tk.Level)))
-		term = ev.Rescale(term)
+		if ce.err != nil {
+			return
+		}
+		term := ce.mulPlain(tk, constPT(p, enc, c, tk.Level, p.DefaultScale(tk.Level)))
+		term = ce.rescale(term)
+		if ce.err != nil {
+			return
+		}
 		if acc == nil {
 			acc = term
 		} else {
-			acc = ev.Add(ev.AdjustTo(acc, term.Level), term)
+			acc = ce.add(ce.adjustTo(acc, term.Level), term)
 		}
 	}
 
@@ -363,32 +488,43 @@ func (ev *Evaluator) EvalChebyshevNaive(enc *Encoder, x *Ciphertext, coeffs []fl
 		addTerm(tPrev, coeffs[1])
 	}
 	var tPrev2 *Ciphertext
-	for k := 2; k <= deg; k++ {
+	for k := 2; k <= deg && ce.err == nil; k++ {
 		var tk *Ciphertext
 		if k == 2 {
 			// T_2 = 2x^2 - 1.
-			sq := ev.Rescale(ev.Square(x))
-			tk = ev.MulScalarInt(sq, 2)
-			tk = ev.AddPlain(tk, constPT(p, enc, -1, tk.Level, tk.Scale))
-			tPrev2 = ev.AdjustTo(x.CopyNew(), tk.Level) // T_1 aligned
+			sq := ce.rescale(ce.square(x))
+			tk = ce.mulScalarInt(sq, 2)
+			if ce.err == nil {
+				tk = ce.addPlain(tk, constPT(p, enc, -1, tk.Level, tk.Scale))
+			}
+			if ce.err == nil {
+				tPrev2 = ce.adjustTo(x.CopyNew(), tk.Level) // T_1 aligned
+			}
 		} else {
 			// T_k = 2x*T_{k-1} - T_{k-2}.
-			xa := ev.AdjustTo(x.CopyNew(), tPrev.Level)
-			prod := ev.Rescale(ev.MulRelin(xa, tPrev))
-			prod = ev.MulScalarInt(prod, 2)
-			sub := ev.AdjustTo(tPrev2, prod.Level)
-			tk = ev.Sub(prod, sub)
-			tPrev2 = ev.AdjustTo(tPrev, tk.Level)
+			xa := ce.adjustTo(x.CopyNew(), tPrev.Level)
+			prod := ce.rescale(ce.mulRelin(xa, tPrev))
+			prod = ce.mulScalarInt(prod, 2)
+			if ce.err == nil {
+				sub := ce.adjustTo(tPrev2, prod.Level)
+				tk = ce.sub(prod, sub)
+			}
+			if ce.err == nil {
+				tPrev2 = ce.adjustTo(tPrev, tk.Level)
+			}
 		}
 		tPrev = tk
-		if coeffs[k] != 0 {
+		if ce.err == nil && coeffs[k] != 0 {
 			addTerm(tk, coeffs[k])
 		}
+	}
+	if ce.err != nil {
+		return nil, ce.err
 	}
 	// + coeffs[0] * T_0 (acc is non-nil: the trimmed leading coefficient
 	// is nonzero, so the k = deg term was added).
 	if coeffs[0] != 0 {
-		acc = ev.AddPlain(acc, constPT(p, enc, coeffs[0], acc.Level, acc.Scale))
+		return ev.AddPlain(acc, constPT(p, enc, coeffs[0], acc.Level, acc.Scale))
 	}
 	return acc, nil
 }

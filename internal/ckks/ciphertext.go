@@ -1,8 +1,11 @@
 package ckks
 
 import (
+	"hash/fnv"
+	"math"
 	"math/big"
 
+	"bitpacker/internal/fherr"
 	"bitpacker/internal/ring"
 )
 
@@ -15,24 +18,144 @@ type Plaintext struct {
 
 // Ciphertext is a CKKS ciphertext (c0, c1) at a level of the chain. Both
 // polynomials are kept in the NTT domain between operations.
+//
+// NoiseBits carries the evaluator's running estimate of log2 of the
+// ciphertext's error bound in the coefficient embedding (see
+// NoiseModel); it is advisory metadata updated by every homomorphic
+// operation and consumed by the noise-budget guard.
+//
+// meta is a tamper-evidence tag over the bookkeeping fields (level,
+// scale, moduli, domain flags, noise estimate), recomputed by every
+// library operation via seal(). Validate detects out-of-band mutation
+// of any of them — a one-ulp scale skew flips the tag just as loudly as
+// a wrong level.
 type Ciphertext struct {
-	C0, C1 *ring.Poly
-	Level  int
-	Scale  *big.Rat
+	C0, C1    *ring.Poly
+	Level     int
+	Scale     *big.Rat
+	NoiseBits float64
+
+	meta uint64
+}
+
+// newCiphertext assembles and seals a ciphertext.
+func newCiphertext(c0, c1 *ring.Poly, level int, scale *big.Rat, noiseBits float64) *Ciphertext {
+	ct := &Ciphertext{C0: c0, C1: c1, Level: level, Scale: scale, NoiseBits: noiseBits}
+	ct.seal()
+	return ct
 }
 
 // CopyNew returns a deep copy.
 func (ct *Ciphertext) CopyNew() *Ciphertext {
-	return &Ciphertext{
-		C0:    ct.C0.Copy(),
-		C1:    ct.C1.Copy(),
-		Level: ct.Level,
-		Scale: new(big.Rat).Set(ct.Scale),
-	}
+	return newCiphertext(ct.C0.Copy(), ct.C1.Copy(), ct.Level, new(big.Rat).Set(ct.Scale), ct.NoiseBits)
 }
 
 // R returns the residue count of the ciphertext (paper's R).
 func (ct *Ciphertext) R() int { return ct.C0.R() }
+
+// metaTag hashes the bookkeeping fields (not the coefficient payload,
+// which the range check covers).
+func (ct *Ciphertext) metaTag() uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	put := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			buf[i] = byte(v >> (8 * i))
+		}
+		h.Write(buf[:])
+	}
+	put(uint64(ct.Level))
+	put(math.Float64bits(ct.NoiseBits))
+	if ct.Scale != nil {
+		h.Write(ct.Scale.Num().Bytes())
+		h.Write([]byte{'/'})
+		h.Write(ct.Scale.Denom().Bytes())
+	}
+	for _, p := range []*ring.Poly{ct.C0, ct.C1} {
+		if p == nil {
+			put(0)
+			continue
+		}
+		if p.IsNTT {
+			put(1)
+		} else {
+			put(2)
+		}
+		for _, q := range p.Moduli {
+			put(q)
+		}
+	}
+	return h.Sum64()
+}
+
+// seal recomputes the tamper-evidence tag after a library operation
+// finished updating the bookkeeping fields.
+func (ct *Ciphertext) seal() { ct.meta = ct.metaTag() }
+
+// Validate checks the ciphertext's structural invariants against the
+// active chain and returns an error wrapping fherr.ErrInvariant on the
+// first violation:
+//
+//   - both polynomials present (degree-1 ciphertext) with matching
+//     moduli and NTT-domain flags (the evaluator keeps ciphertexts in
+//     the NTT domain between operations);
+//   - level within the chain and moduli exactly the level's canonical
+//     list;
+//   - scale positive and within the representable window of the level's
+//     modulus;
+//   - every residue word in [0, q) for its modulus (a corrupted word is
+//     overwhelmingly likely to leave the range);
+//   - the metadata tag consistent, so any out-of-band mutation of
+//     level/scale/noise bookkeeping — even by one ulp — is detected.
+//
+// Validate is wired behind Config.CheckInvariants (or the
+// BITPACKER_CHECK_INVARIANTS environment variable) and called at
+// evaluator entry points; it costs O(R·N) and is meant for debugging,
+// canaries, and fault-tolerant deployments.
+func (ct *Ciphertext) Validate(params *Parameters) error {
+	if ct == nil {
+		return fherr.Wrap(fherr.ErrInvariant, "ckks: nil ciphertext")
+	}
+	if ct.C0 == nil || ct.C1 == nil {
+		return fherr.Wrap(fherr.ErrInvariant, "ckks: incomplete ciphertext (missing polynomial)")
+	}
+	if !ct.C0.IsNTT || !ct.C1.IsNTT {
+		return fherr.Wrap(fherr.ErrInvariant, "ckks: ciphertext polynomials must be in the NTT domain between operations")
+	}
+	if ct.Level < 0 || ct.Level > params.MaxLevel() {
+		return fherr.Wrap(fherr.ErrInvariant, "ckks: level %d outside chain [0, %d]", ct.Level, params.MaxLevel())
+	}
+	want := params.LevelModuli(ct.Level)
+	for _, p := range []*ring.Poly{ct.C0, ct.C1} {
+		if len(p.Moduli) != len(want) {
+			return fherr.Wrap(fherr.ErrInvariant, "ckks: level %d expects %d residues, polynomial has %d",
+				ct.Level, len(want), len(p.Moduli))
+		}
+		for i := range want {
+			if p.Moduli[i] != want[i] {
+				return fherr.Wrap(fherr.ErrInvariant, "ckks: level %d residue %d modulus %d, canonical chain has %d",
+					ct.Level, i, p.Moduli[i], want[i])
+			}
+		}
+	}
+	if ct.Scale == nil || ct.Scale.Sign() <= 0 {
+		return fherr.Wrap(fherr.ErrInvariant, "ckks: non-positive scale")
+	}
+	if ct.meta != ct.metaTag() {
+		return fherr.Wrap(fherr.ErrInvariant, "ckks: metadata tag mismatch (level/scale/noise bookkeeping tampered)")
+	}
+	for pi, p := range []*ring.Poly{ct.C0, ct.C1} {
+		for i, q := range p.Moduli {
+			for k, c := range p.Coeffs[i] {
+				if c >= q {
+					return fherr.Wrap(fherr.ErrInvariant, "ckks: c%d residue %d coefficient %d = %d out of range [0, %d)",
+						pi, i, k, c, q)
+				}
+			}
+		}
+	}
+	return nil
+}
 
 // scaleAlmostEqual reports whether two scales differ by less than 2^-20
 // relatively; canonical-scale bookkeeping should make them exactly equal,
@@ -46,4 +169,13 @@ func scaleAlmostEqual(a, b *big.Rat) bool {
 	rel := diff.Quo(diff, a)
 	bound := big.NewRat(1, 1<<20)
 	return rel.Cmp(bound) < 0
+}
+
+// addNoiseBits is log2(2^a + 2^b): combine two independent noise bounds
+// additively.
+func addNoiseBits(a, b float64) float64 {
+	if a < b {
+		a, b = b, a
+	}
+	return a + math.Log2(1+math.Pow(2, b-a))
 }

@@ -55,11 +55,11 @@ func newTestSetup(t testing.TB, scheme core.Scheme, levels int, scaleBits float6
 func (s *testSetup) encryptValues(values []complex128) *Ciphertext {
 	lvl := s.params.MaxLevel()
 	pt := &Plaintext{
-		Value: s.enc.Encode(values, s.params.DefaultScale(lvl), s.params.LevelModuli(lvl)),
+		Value: s.enc.MustEncode(values, s.params.DefaultScale(lvl), s.params.LevelModuli(lvl)),
 		Level: lvl,
 		Scale: s.params.DefaultScale(lvl),
 	}
-	return s.encr.EncryptAtLevel(pt, lvl)
+	return s.encr.MustEncryptAtLevel(pt, lvl)
 }
 
 func randomValues(n int, rng *rand.Rand) []complex128 {
@@ -86,8 +86,8 @@ func TestEncoderRoundTrip(t *testing.T) {
 	rng := rand.New(rand.NewPCG(1, 2))
 	vals := randomValues(s.params.Slots(), rng)
 	lvl := s.params.MaxLevel()
-	pt := s.enc.Encode(vals, s.params.DefaultScale(lvl), s.params.LevelModuli(lvl))
-	got := s.enc.Decode(pt, s.dec.Basis(pt.Moduli), s.params.DefaultScale(lvl))
+	pt := s.enc.MustEncode(vals, s.params.DefaultScale(lvl), s.params.LevelModuli(lvl))
+	got := s.enc.Decode(pt, s.dec.MustBasis(pt.Moduli), s.params.DefaultScale(lvl))
 	if e := maxErr(got, vals); e > 1e-8 {
 		t.Fatalf("encode/decode error %g", e)
 	}
@@ -99,7 +99,7 @@ func TestEncryptDecrypt(t *testing.T) {
 		rng := rand.New(rand.NewPCG(3, 4))
 		vals := randomValues(s.params.Slots(), rng)
 		ct := s.encryptValues(vals)
-		got := s.dec.DecryptAndDecode(ct, s.enc)
+		got := s.dec.MustDecryptAndDecode(ct, s.enc)
 		if e := maxErr(got, vals); e > 1e-6 {
 			t.Fatalf("%v: encrypt/decrypt error %g", scheme, e)
 		}
@@ -114,8 +114,8 @@ func TestHomomorphicAdd(t *testing.T) {
 		b := randomValues(s.params.Slots(), rng)
 		ca := s.encryptValues(a)
 		cb := s.encryptValues(b)
-		sum := s.ev.Add(ca, cb)
-		got := s.dec.DecryptAndDecode(sum, s.enc)
+		sum := s.ev.MustAdd(ca, cb)
+		got := s.dec.MustDecryptAndDecode(sum, s.enc)
 		want := make([]complex128, len(a))
 		for i := range a {
 			want[i] = a[i] + b[i]
@@ -123,8 +123,8 @@ func TestHomomorphicAdd(t *testing.T) {
 		if e := maxErr(got, want); e > 1e-6 {
 			t.Fatalf("%v: add error %g", scheme, e)
 		}
-		diff := s.ev.Sub(sum, cb)
-		got = s.dec.DecryptAndDecode(diff, s.enc)
+		diff := s.ev.MustSub(sum, cb)
+		got = s.dec.MustDecryptAndDecode(diff, s.enc)
 		if e := maxErr(got, a); e > 1e-6 {
 			t.Fatalf("%v: sub error %g", scheme, e)
 		}
@@ -139,12 +139,12 @@ func TestMulRelinRescale(t *testing.T) {
 		b := randomValues(s.params.Slots(), rng)
 		ca := s.encryptValues(a)
 		cb := s.encryptValues(b)
-		prod := s.ev.MulRelin(ca, cb)
-		prod = s.ev.Rescale(prod)
+		prod := s.ev.MustMulRelin(ca, cb)
+		prod = s.ev.MustRescale(prod)
 		if prod.Level != s.params.MaxLevel()-1 {
 			t.Fatalf("%v: level after rescale = %d", scheme, prod.Level)
 		}
-		got := s.dec.DecryptAndDecode(prod, s.enc)
+		got := s.dec.MustDecryptAndDecode(prod, s.enc)
 		want := make([]complex128, len(a))
 		for i := range a {
 			want[i] = a[i] * b[i]
@@ -169,7 +169,7 @@ func TestDeepMultiplicationChain(t *testing.T) {
 		ct := s.encryptValues(vals)
 		want := append([]complex128(nil), vals...)
 		for l := 0; l < levels; l++ {
-			ct = s.ev.Rescale(s.ev.Square(ct))
+			ct = s.ev.MustRescale(s.ev.MustSquare(ct))
 			for i := range want {
 				want[i] *= want[i]
 			}
@@ -177,7 +177,7 @@ func TestDeepMultiplicationChain(t *testing.T) {
 		if ct.Level != 0 {
 			t.Fatalf("%v: expected level 0, got %d", scheme, ct.Level)
 		}
-		got := s.dec.DecryptAndDecode(ct, s.enc)
+		got := s.dec.MustDecryptAndDecode(ct, s.enc)
 		if e := maxErr(got, want); e > 1e-4 {
 			t.Fatalf("%v: depth-%d chain error %g", scheme, levels, e)
 		}
@@ -195,13 +195,13 @@ func TestAdjustEnablesAddAcrossLevels(t *testing.T) {
 			vals[i] = complex(2*rng.Float64()-1, 0)
 		}
 		ct := s.encryptValues(vals)
-		sq := s.ev.Rescale(s.ev.Square(ct))
-		adj := s.ev.Adjust(ct)
+		sq := s.ev.MustRescale(s.ev.MustSquare(ct))
+		adj := s.ev.MustAdjust(ct)
 		if adj.Level != sq.Level {
 			t.Fatalf("%v: adjust level %d != %d", scheme, adj.Level, sq.Level)
 		}
-		res := s.ev.Add(sq, adj)
-		got := s.dec.DecryptAndDecode(res, s.enc)
+		res := s.ev.MustAdd(sq, adj)
+		got := s.dec.MustDecryptAndDecode(res, s.enc)
 		want := make([]complex128, n)
 		for i := range vals {
 			want[i] = vals[i]*vals[i] + vals[i]
@@ -218,11 +218,11 @@ func TestAdjustToMultipleLevels(t *testing.T) {
 		rng := rand.New(rand.NewPCG(13, 14))
 		vals := randomValues(s.params.Slots(), rng)
 		ct := s.encryptValues(vals)
-		low := s.ev.AdjustTo(ct, 1)
+		low := s.ev.MustAdjustTo(ct, 1)
 		if low.Level != 1 {
 			t.Fatalf("%v: level %d", scheme, low.Level)
 		}
-		got := s.dec.DecryptAndDecode(low, s.enc)
+		got := s.dec.MustDecryptAndDecode(low, s.enc)
 		if e := maxErr(got, vals); e > 1e-4 {
 			t.Fatalf("%v: adjustTo error %g", scheme, e)
 		}
@@ -237,8 +237,8 @@ func TestRotateAndConjugate(t *testing.T) {
 		vals := randomValues(n, rng)
 		ct := s.encryptValues(vals)
 
-		rot := s.ev.Rotate(ct, 1)
-		got := s.dec.DecryptAndDecode(rot, s.enc)
+		rot := s.ev.MustRotate(ct, 1)
+		got := s.dec.MustDecryptAndDecode(rot, s.enc)
 		want := make([]complex128, n)
 		for i := range want {
 			want[i] = vals[(i+1)%n]
@@ -247,8 +247,8 @@ func TestRotateAndConjugate(t *testing.T) {
 			t.Fatalf("%v: rotate-by-1 error %g", scheme, e)
 		}
 
-		conj := s.ev.Conjugate(ct)
-		got = s.dec.DecryptAndDecode(conj, s.enc)
+		conj := s.ev.MustConjugate(ct)
+		got = s.dec.MustDecryptAndDecode(conj, s.enc)
 		for i := range want {
 			want[i] = cmplx.Conj(vals[i])
 		}
@@ -267,12 +267,12 @@ func TestMulPlainAndAddPlain(t *testing.T) {
 	ct := s.encryptValues(vals)
 	lvl := ct.Level
 	ptW := &Plaintext{
-		Value: s.enc.Encode(weights, s.params.DefaultScale(lvl), s.params.LevelModuli(lvl)),
+		Value: s.enc.MustEncode(weights, s.params.DefaultScale(lvl), s.params.LevelModuli(lvl)),
 		Level: lvl,
 		Scale: s.params.DefaultScale(lvl),
 	}
-	prod := s.ev.Rescale(s.ev.MulPlain(ct, ptW))
-	got := s.dec.DecryptAndDecode(prod, s.enc)
+	prod := s.ev.MustRescale(s.ev.MustMulPlain(ct, ptW))
+	got := s.dec.MustDecryptAndDecode(prod, s.enc)
 	want := make([]complex128, n)
 	for i := range want {
 		want[i] = vals[i] * weights[i]
@@ -282,12 +282,12 @@ func TestMulPlainAndAddPlain(t *testing.T) {
 	}
 
 	ptA := &Plaintext{
-		Value: s.enc.Encode(weights, ct.Scale, s.params.LevelModuli(lvl)),
+		Value: s.enc.MustEncode(weights, ct.Scale, s.params.LevelModuli(lvl)),
 		Level: lvl,
 		Scale: ct.Scale,
 	}
-	sum := s.ev.AddPlain(ct, ptA)
-	got = s.dec.DecryptAndDecode(sum, s.enc)
+	sum := s.ev.MustAddPlain(ct, ptA)
+	got = s.dec.MustDecryptAndDecode(sum, s.enc)
 	for i := range want {
 		want[i] = vals[i] + weights[i]
 	}
@@ -305,8 +305,8 @@ func TestPrecisionTracksScale(t *testing.T) {
 		rng := rand.New(rand.NewPCG(19, 20))
 		vals := randomValues(s.params.Slots(), rng)
 		ct := s.encryptValues(vals)
-		prod := s.ev.Rescale(s.ev.Square(ct))
-		got := s.dec.DecryptAndDecode(prod, s.enc)
+		prod := s.ev.MustRescale(s.ev.MustSquare(ct))
+		got := s.dec.MustDecryptAndDecode(prod, s.enc)
 		want := make([]complex128, len(vals))
 		for i := range vals {
 			want[i] = vals[i] * vals[i]
@@ -334,8 +334,8 @@ func TestDnumVariants(t *testing.T) {
 		rng := rand.New(rand.NewPCG(21, 22))
 		vals := randomValues(s.params.Slots(), rng)
 		ct := s.encryptValues(vals)
-		prod := s.ev.Rescale(s.ev.Square(ct))
-		got := s.dec.DecryptAndDecode(prod, s.enc)
+		prod := s.ev.MustRescale(s.ev.MustSquare(ct))
+		got := s.dec.MustDecryptAndDecode(prod, s.enc)
 		want := make([]complex128, len(vals))
 		for i := range vals {
 			want[i] = vals[i] * vals[i]
@@ -360,8 +360,8 @@ func TestNarrowWordBitPacker(t *testing.T) {
 	rng := rand.New(rand.NewPCG(23, 24))
 	vals := randomValues(s.params.Slots(), rng)
 	ct := s.encryptValues(vals)
-	prod := s.ev.Rescale(s.ev.Square(ct))
-	got := s.dec.DecryptAndDecode(prod, s.enc)
+	prod := s.ev.MustRescale(s.ev.MustSquare(ct))
+	got := s.dec.MustDecryptAndDecode(prod, s.enc)
 	want := make([]complex128, len(vals))
 	for i := range vals {
 		want[i] = vals[i] * vals[i]
@@ -378,19 +378,19 @@ func TestSymmetricEncryption(t *testing.T) {
 	vals := randomValues(s.params.Slots(), rng)
 	lvl := s.params.MaxLevel()
 	pt := &Plaintext{
-		Value: s.enc.Encode(vals, s.params.DefaultScale(lvl), s.params.LevelModuli(lvl)),
+		Value: s.enc.MustEncode(vals, s.params.DefaultScale(lvl), s.params.LevelModuli(lvl)),
 		Level: lvl,
 		Scale: s.params.DefaultScale(lvl),
 	}
-	ct := enc.EncryptAtLevel(pt, lvl)
-	got := s.dec.DecryptAndDecode(ct, s.enc)
+	ct := enc.MustEncryptAtLevel(pt, lvl)
+	got := s.dec.MustDecryptAndDecode(ct, s.enc)
 	if e := maxErr(got, vals); e > 1e-6 {
 		t.Fatalf("symmetric roundtrip error %g", e)
 	}
 	// Symmetric and public-key ciphertexts interoperate.
 	ct2 := s.encryptValues(vals)
-	sum := s.ev.Add(ct, ct2)
-	got = s.dec.DecryptAndDecode(sum, s.enc)
+	sum := s.ev.MustAdd(ct, ct2)
+	got = s.dec.MustDecryptAndDecode(sum, s.enc)
 	want := make([]complex128, len(vals))
 	for i := range vals {
 		want[i] = 2 * vals[i]

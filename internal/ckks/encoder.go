@@ -6,6 +6,7 @@ import (
 	"math/bits"
 	"math/cmplx"
 
+	"bitpacker/internal/fherr"
 	"bitpacker/internal/ring"
 	"bitpacker/internal/rns"
 )
@@ -113,10 +114,21 @@ func roundToBig(f *big.Float) *big.Int {
 
 // Encode embeds values (up to N/2 complex slots; shorter slices are
 // zero-padded) into a coefficient-domain plaintext polynomial over the
-// given moduli, multiplied by scale.
-func (e *Encoder) Encode(values []complex128, scale *big.Rat, moduli []uint64) *ring.Poly {
+// given moduli, multiplied by scale. Oversized inputs, non-positive
+// scales and non-finite values fail with fherr.ErrInvalidParams.
+func (e *Encoder) Encode(values []complex128, scale *big.Rat, moduli []uint64) (*ring.Poly, error) {
 	if len(values) > e.n {
-		panic("ckks: too many values for slot count")
+		return nil, fherr.Wrap(fherr.ErrInvalidParams,
+			"ckks: %d values exceed the %d slots", len(values), e.n)
+	}
+	if scale == nil || scale.Sign() <= 0 {
+		return nil, fherr.Wrap(fherr.ErrInvalidParams, "ckks: encode scale must be positive")
+	}
+	for i, v := range values {
+		if math.IsNaN(real(v)) || math.IsInf(real(v), 0) ||
+			math.IsNaN(imag(v)) || math.IsInf(imag(v), 0) {
+			return nil, fherr.Wrap(fherr.ErrInvalidParams, "ckks: value %d is not finite", i)
+		}
 	}
 	vals := make([]complex128, e.n)
 	copy(vals, values)
@@ -134,7 +146,7 @@ func (e *Encoder) Encode(values []complex128, scale *big.Rat, moduli []uint64) *
 		tmp.Mul(tmp, sf)
 		p.SetCoeffBig(i+e.n, roundToBig(tmp))
 	}
-	return p
+	return p, nil
 }
 
 // Decode reads slots back from a coefficient-domain polynomial carrying
@@ -160,7 +172,7 @@ func (e *Encoder) Decode(p *ring.Poly, basis *rns.Basis, scale *big.Rat) []compl
 }
 
 // EncodeReal is a convenience wrapper for real-valued slot vectors.
-func (e *Encoder) EncodeReal(values []float64, scale *big.Rat, moduli []uint64) *ring.Poly {
+func (e *Encoder) EncodeReal(values []float64, scale *big.Rat, moduli []uint64) (*ring.Poly, error) {
 	cv := make([]complex128, len(values))
 	for i, v := range values {
 		cv[i] = complex(v, 0)

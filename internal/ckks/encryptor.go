@@ -3,6 +3,7 @@ package ckks
 import (
 	"math/big"
 
+	"bitpacker/internal/fherr"
 	"bitpacker/internal/ring"
 	"bitpacker/internal/rns"
 )
@@ -19,11 +20,24 @@ func NewEncryptor(params *Parameters, pk *PublicKey, seed1, seed2 uint64) *Encry
 	return &Encryptor{params: params, pk: pk, sampler: ring.NewSampler(params.Ctx, seed1, seed2)}
 }
 
+// checkEncryptLevel validates an encryption target level against the chain.
+func checkEncryptLevel(p *Parameters, level int) error {
+	if level < 0 || level > p.MaxLevel() {
+		return fherr.Wrap(fherr.ErrLevelMismatch,
+			"ckks: encrypt level %d outside chain [0, %d]", level, p.MaxLevel())
+	}
+	return nil
+}
+
 // EncryptAtLevel encrypts pt (coefficient domain) producing a ciphertext
 // at the given level. The plaintext must have been encoded over that
-// level's moduli.
-func (enc *Encryptor) EncryptAtLevel(pt *Plaintext, level int) *Ciphertext {
+// level's moduli. The fresh ciphertext carries the noise model's
+// fresh-encryption estimate.
+func (enc *Encryptor) EncryptAtLevel(pt *Plaintext, level int) (*Ciphertext, error) {
 	p := enc.params
+	if err := checkEncryptLevel(p, level); err != nil {
+		return nil, err
+	}
 	moduli := p.LevelModuli(level)
 	v := enc.sampler.ZOPoly(moduli, 0.5)
 	v.NTT()
@@ -49,7 +63,8 @@ func (enc *Encryptor) EncryptAtLevel(pt *Plaintext, level int) *Ciphertext {
 	c1.MulCoeffs(v, a)
 	c1.Add(c1, e1)
 
-	return &Ciphertext{C0: c0, C1: c1, Level: level, Scale: new(big.Rat).Set(pt.Scale)}
+	fresh := NewNoiseModel(p).FreshBits()
+	return newCiphertext(c0, c1, level, new(big.Rat).Set(pt.Scale), fresh), nil
 }
 
 // Decryptor decrypts ciphertexts with the secret key.
@@ -76,21 +91,22 @@ func (dec *Decryptor) DecryptToPoly(ct *Ciphertext) *Plaintext {
 	return &Plaintext{Value: m, Level: ct.Level, Scale: new(big.Rat).Set(ct.Scale)}
 }
 
-// Basis returns (caching) the CRT basis for a modulus list.
-func (dec *Decryptor) Basis(moduli []uint64) *rns.Basis {
+// Basis returns (caching) the CRT basis for a modulus list. An invalid
+// modulus list fails with fherr.ErrInvalidParams.
+func (dec *Decryptor) Basis(moduli []uint64) (*rns.Basis, error) {
 	key := ""
 	for _, q := range moduli {
 		key += string(rune(q % 65536))
 	}
 	if b, ok := dec.basisCache[key]; ok && sameModuli(b.Moduli, moduli) {
-		return b
+		return b, nil
 	}
 	b, err := rns.NewBasis(dec.params.N(), moduli)
 	if err != nil {
-		panic(err)
+		return nil, fherr.Wrap(fherr.ErrInvalidParams, "ckks: CRT basis: %v", err)
 	}
 	dec.basisCache[key] = b
-	return b
+	return b, nil
 }
 
 func sameModuli(a, b []uint64) bool {
@@ -106,9 +122,13 @@ func sameModuli(a, b []uint64) bool {
 }
 
 // DecryptAndDecode decrypts ct and decodes its slots.
-func (dec *Decryptor) DecryptAndDecode(ct *Ciphertext, encoder *Encoder) []complex128 {
+func (dec *Decryptor) DecryptAndDecode(ct *Ciphertext, encoder *Encoder) ([]complex128, error) {
 	pt := dec.DecryptToPoly(ct)
-	return encoder.Decode(pt.Value, dec.Basis(pt.Value.Moduli), pt.Scale)
+	basis, err := dec.Basis(pt.Value.Moduli)
+	if err != nil {
+		return nil, err
+	}
+	return encoder.Decode(pt.Value, basis, pt.Scale), nil
 }
 
 // SymmetricEncryptor encrypts directly under the secret key, producing
@@ -126,8 +146,11 @@ func NewSymmetricEncryptor(params *Parameters, sk *SecretKey, seed1, seed2 uint6
 }
 
 // EncryptAtLevel encrypts pt at the given level: c1 uniform, c0 = -c1*s + e + m.
-func (enc *SymmetricEncryptor) EncryptAtLevel(pt *Plaintext, level int) *Ciphertext {
+func (enc *SymmetricEncryptor) EncryptAtLevel(pt *Plaintext, level int) (*Ciphertext, error) {
 	p := enc.params
+	if err := checkEncryptLevel(p, level); err != nil {
+		return nil, err
+	}
 	moduli := p.LevelModuli(level)
 	c1 := enc.sampler.UniformPoly(moduli)
 	e := enc.sampler.GaussianPoly(moduli, p.Sigma)
@@ -141,5 +164,6 @@ func (enc *SymmetricEncryptor) EncryptAtLevel(pt *Plaintext, level int) *Ciphert
 	c0.Neg(c0)
 	c0.Add(c0, e)
 	c0.Add(c0, m)
-	return &Ciphertext{C0: c0, C1: c1, Level: level, Scale: new(big.Rat).Set(pt.Scale)}
+	fresh := NewNoiseModel(p).FreshBits()
+	return newCiphertext(c0, c1, level, new(big.Rat).Set(pt.Scale), fresh), nil
 }

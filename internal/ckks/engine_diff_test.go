@@ -38,10 +38,10 @@ func TestEngineDifferentialMulRescaleRotate(t *testing.T) {
 			rng := rand.New(rand.NewPCG(51, 52))
 			vals := randomValues(s.params.Slots(), rng)
 			ct := s.encryptValues(vals)
-			prod := s.ev.Rescale(s.ev.MulRelin(ct, ct))
-			rot := s.ev.Rotate(prod, 3)
-			sum := s.ev.Add(prod, rot)
-			return s.ev.Rescale(s.ev.MulRelin(sum, s.ev.Rotate(sum, 1)))
+			prod := s.ev.MustRescale(s.ev.MustMulRelin(ct, ct))
+			rot := s.ev.MustRotate(prod, 3)
+			sum := s.ev.MustAdd(prod, rot)
+			return s.ev.MustRescale(s.ev.MustMulRelin(sum, s.ev.MustRotate(sum, 1)))
 		}
 		seq := runWithWorkers(t, 1, pipeline)
 		par := runWithWorkers(t, 4, pipeline)
@@ -55,7 +55,7 @@ func TestEngineDifferentialNTTDomainSwitch(t *testing.T) {
 	s := newTestSetup(t, core.BitPacker, 3, 40, 61, 9, 8, nil)
 	rng := rand.New(rand.NewPCG(53, 54))
 	vals := randomValues(s.params.Slots(), rng)
-	pt := s.enc.Encode(vals, s.params.DefaultScale(2), s.params.LevelModuli(2))
+	pt := s.enc.MustEncode(vals, s.params.DefaultScale(2), s.params.LevelModuli(2))
 
 	pipeline := func() []uint64 {
 		p := pt.Copy()
@@ -157,11 +157,11 @@ func bootstrapPipelineForTest(t *testing.T) func() *Ciphertext {
 		}
 		lvl := params.MaxLevel()
 		pt := &Plaintext{
-			Value: enc.Encode(vals, params.DefaultScale(lvl), params.LevelModuli(lvl)),
+			Value: enc.MustEncode(vals, params.DefaultScale(lvl), params.LevelModuli(lvl)),
 			Level: lvl,
 			Scale: params.DefaultScale(lvl),
 		}
-		exhausted := ev.AdjustTo(encr.EncryptAtLevel(pt, lvl), 0)
+		exhausted := ev.MustAdjustTo(encr.MustEncryptAtLevel(pt, lvl), 0)
 		refreshed, err := bs.Refresh(ev, exhausted)
 		if err != nil {
 			t.Fatal(err)

@@ -1,10 +1,14 @@
 package ckks
 
 import (
-	"fmt"
+	"context"
+	"math"
 	"math/big"
+	"os"
 	"sync"
 
+	"bitpacker/internal/core"
+	"bitpacker/internal/fherr"
 	"bitpacker/internal/ring"
 	"bitpacker/internal/rns"
 )
@@ -12,31 +16,122 @@ import (
 // Evaluator performs homomorphic operations. It is bound to one parameter
 // set and one evaluation key set. The level-management backend (classic
 // RNS-CKKS vs BitPacker) is selected by the chain's Scheme.
+//
+// Every operation returns a wrapped error from the internal/fherr
+// taxonomy instead of panicking; the Must* wrappers in must.go are the
+// only panic boundary. WithContext derives an evaluator whose long
+// fan-outs honor cancellation; SetInvariantChecks and SetNoiseGuard
+// enable the Validate() entry checks and the noise-budget guard.
 type Evaluator struct {
 	params *Parameters
 	keys   *EvaluationKeySet
+	nm     *NoiseModel
 
-	// mu guards the read-mostly precomputation caches; the read path
-	// takes only the shared lock so concurrent evaluations don't
-	// serialize on cache hits.
-	mu sync.RWMutex
-	// Cached per-level precomputations.
+	// ctx, when non-nil, is checked at operation entry and threaded
+	// through engine fan-outs (BSGS transforms, bootstrap).
+	ctx context.Context
+	// checkInvariants runs Ciphertext.Validate on operands at entry.
+	checkInvariants bool
+	// guardBits > 0 arms the noise-budget guard: operations whose output
+	// retains fewer than guardBits bits of budget fail with
+	// fherr.ErrNoiseBudget.
+	guardBits float64
+
+	caches *evalCaches
+}
+
+// evalCaches holds the read-mostly precomputation caches, shared between
+// an evaluator and its WithContext derivatives. The read path takes only
+// the shared lock so concurrent evaluations don't serialize on hits.
+type evalCaches struct {
+	mu        sync.RWMutex
 	convCache map[string]*rns.Conv
 	sdCache   map[string]*ring.ScaleDownParams
 }
 
-// NewEvaluator creates an evaluator.
+// NewEvaluator creates an evaluator. Invariant checking starts enabled
+// when the BITPACKER_CHECK_INVARIANTS environment variable is non-empty.
 func NewEvaluator(params *Parameters, keys *EvaluationKeySet) *Evaluator {
 	return &Evaluator{
-		params:    params,
-		keys:      keys,
-		convCache: map[string]*rns.Conv{},
-		sdCache:   map[string]*ring.ScaleDownParams{},
+		params:          params,
+		keys:            keys,
+		nm:              NewNoiseModel(params),
+		checkInvariants: os.Getenv("BITPACKER_CHECK_INVARIANTS") != "",
+		caches: &evalCaches{
+			convCache: map[string]*rns.Conv{},
+			sdCache:   map[string]*ring.ScaleDownParams{},
+		},
 	}
 }
 
 // Params returns the evaluator's parameter set.
 func (ev *Evaluator) Params() *Parameters { return ev.params }
+
+// WithContext returns an evaluator sharing this one's keys and caches
+// whose operations observe ctx: once ctx is canceled or expires, entry
+// points and engine fan-outs return an error wrapping fherr.ErrCanceled
+// within one dispatch quantum, with pooled scratch returned.
+func (ev *Evaluator) WithContext(ctx context.Context) *Evaluator {
+	ev2 := *ev
+	ev2.ctx = ctx
+	return &ev2
+}
+
+// SetInvariantChecks toggles Ciphertext.Validate at operation entry
+// (Config.CheckInvariants on the public API).
+func (ev *Evaluator) SetInvariantChecks(on bool) { ev.checkInvariants = on }
+
+// SetNoiseGuard arms the noise-budget guard: operations whose output
+// retains fewer than bits bits of budget (log2(scale) - log2(noise
+// bound)) fail with an error wrapping fherr.ErrNoiseBudget. bits <= 0
+// disarms the guard.
+func (ev *Evaluator) SetNoiseGuard(bits float64) { ev.guardBits = bits }
+
+// NoiseBudget returns the remaining noise budget of ct in bits:
+// log2(scale) - log2(estimated noise bound). Values near or below zero
+// mean decryption yields garbage.
+func (ev *Evaluator) NoiseBudget(ct *Ciphertext) float64 {
+	return core.RatLog2(ct.Scale) - ct.NoiseBits
+}
+
+// begin is the common operation prologue: context check plus (when
+// enabled) operand invariant validation.
+func (ev *Evaluator) begin(op string, cts ...*Ciphertext) error {
+	if ev.ctx != nil {
+		if err := ev.ctx.Err(); err != nil {
+			return fherr.Wrap(fherr.ErrCanceled, "ckks: %s (%v)", op, err)
+		}
+	}
+	if ev.checkInvariants {
+		for _, ct := range cts {
+			if err := ct.Validate(ev.params); err != nil {
+				return fherr.Wrap(err, "ckks: %s operand", op)
+			}
+		}
+	}
+	return nil
+}
+
+// guardNoise enforces the noise-budget guard on an operation output.
+func (ev *Evaluator) guardNoise(op string, out *Ciphertext) error {
+	if ev.guardBits <= 0 {
+		return nil
+	}
+	budget := ev.NoiseBudget(out)
+	if budget >= ev.guardBits {
+		return nil
+	}
+	action := "rescale"
+	switch {
+	case out.Level == 0:
+		action = "bootstrap"
+	case scaleAlmostEqual(out.Scale, ev.params.DefaultScale(out.Level)):
+		// Scale already canonical: rescaling would shrink the budget
+		// further; dropping levels cannot restore precision either.
+		action = "adjust or bootstrap"
+	}
+	return &fherr.NoiseBudgetError{Op: op, BudgetBits: budget, GuardBits: ev.guardBits, Action: action}
+}
 
 func moduliKey(a, b []uint64) string {
 	s := make([]byte, 0, 8*(len(a)+len(b))+1)
@@ -56,19 +151,20 @@ func moduliKey(a, b []uint64) string {
 
 func (ev *Evaluator) conv(src, dst []uint64) *rns.Conv {
 	key := moduliKey(src, dst)
-	ev.mu.RLock()
-	c, ok := ev.convCache[key]
-	ev.mu.RUnlock()
+	cc := ev.caches
+	cc.mu.RLock()
+	c, ok := cc.convCache[key]
+	cc.mu.RUnlock()
 	if ok {
 		return c
 	}
-	ev.mu.Lock()
-	defer ev.mu.Unlock()
-	if c, ok := ev.convCache[key]; ok {
+	cc.mu.Lock()
+	defer cc.mu.Unlock()
+	if c, ok := cc.convCache[key]; ok {
 		return c
 	}
 	c = rns.NewConv(src, dst)
-	ev.convCache[key] = c
+	cc.convCache[key] = c
 	return c
 }
 
@@ -78,19 +174,20 @@ func (ev *Evaluator) scaleDownParams(moduli []uint64, shedPos []int) *ring.Scale
 		shed[i] = moduli[pos]
 	}
 	key := moduliKey(moduli, shed)
-	ev.mu.RLock()
-	p, ok := ev.sdCache[key]
-	ev.mu.RUnlock()
+	cc := ev.caches
+	cc.mu.RLock()
+	p, ok := cc.sdCache[key]
+	cc.mu.RUnlock()
 	if ok {
 		return p
 	}
-	ev.mu.Lock()
-	defer ev.mu.Unlock()
-	if p, ok := ev.sdCache[key]; ok {
+	cc.mu.Lock()
+	defer cc.mu.Unlock()
+	if p, ok := cc.sdCache[key]; ok {
 		return p
 	}
 	p = ring.NewScaleDownParams(moduli, shedPos)
-	ev.sdCache[key] = p
+	cc.sdCache[key] = p
 	return p
 }
 
@@ -98,58 +195,92 @@ func (ev *Evaluator) scaleDownParams(moduli []uint64, shedPos []int) *ring.Scale
 // Linear operations
 // ---------------------------------------------------------------------------
 
-func (ev *Evaluator) checkCompatible(a, b *Ciphertext) {
+func checkCompatible(op string, a, b *Ciphertext) error {
 	if a.Level != b.Level {
-		panic(fmt.Sprintf("ckks: level mismatch %d vs %d (adjust first)", a.Level, b.Level))
+		return fherr.Wrap(fherr.ErrLevelMismatch, "ckks: %s: level %d vs %d (adjust first)", op, a.Level, b.Level)
 	}
 	if !scaleAlmostEqual(a.Scale, b.Scale) {
-		panic("ckks: scale mismatch (adjust first)")
+		return fherr.Wrap(fherr.ErrScaleMismatch, "ckks: %s: scale 2^%.3f vs 2^%.3f (adjust first)",
+			op, core.RatLog2(a.Scale), core.RatLog2(b.Scale))
 	}
+	return nil
 }
 
 // Add returns a + b (same level and scale required; use Adjust otherwise).
-func (ev *Evaluator) Add(a, b *Ciphertext) *Ciphertext {
-	ev.checkCompatible(a, b)
+func (ev *Evaluator) Add(a, b *Ciphertext) (*Ciphertext, error) {
+	if err := ev.begin("Add", a, b); err != nil {
+		return nil, err
+	}
+	if err := checkCompatible("Add", a, b); err != nil {
+		return nil, err
+	}
 	out := a.CopyNew()
 	out.C0.Add(a.C0, b.C0)
 	out.C1.Add(a.C1, b.C1)
-	return out
+	out.NoiseBits = addNoiseBits(a.NoiseBits, b.NoiseBits)
+	out.seal()
+	return out, nil
 }
 
 // Sub returns a - b.
-func (ev *Evaluator) Sub(a, b *Ciphertext) *Ciphertext {
-	ev.checkCompatible(a, b)
+func (ev *Evaluator) Sub(a, b *Ciphertext) (*Ciphertext, error) {
+	if err := ev.begin("Sub", a, b); err != nil {
+		return nil, err
+	}
+	if err := checkCompatible("Sub", a, b); err != nil {
+		return nil, err
+	}
 	out := a.CopyNew()
 	out.C0.Sub(a.C0, b.C0)
 	out.C1.Sub(a.C1, b.C1)
-	return out
+	out.NoiseBits = addNoiseBits(a.NoiseBits, b.NoiseBits)
+	out.seal()
+	return out, nil
 }
 
 // Neg returns -a.
-func (ev *Evaluator) Neg(a *Ciphertext) *Ciphertext {
+func (ev *Evaluator) Neg(a *Ciphertext) (*Ciphertext, error) {
+	if err := ev.begin("Neg", a); err != nil {
+		return nil, err
+	}
 	out := a.CopyNew()
 	out.C0.Neg(a.C0)
 	out.C1.Neg(a.C1)
-	return out
+	return out, nil
 }
 
 // AddPlain returns ct + pt; the plaintext must be encoded at ct's level
 // with ct's scale.
-func (ev *Evaluator) AddPlain(ct *Ciphertext, pt *Plaintext) *Ciphertext {
+func (ev *Evaluator) AddPlain(ct *Ciphertext, pt *Plaintext) (*Ciphertext, error) {
+	if err := ev.begin("AddPlain", ct); err != nil {
+		return nil, err
+	}
+	if pt.Level != ct.Level {
+		return nil, fherr.Wrap(fherr.ErrLevelMismatch, "ckks: AddPlain: plaintext level %d vs ciphertext %d", pt.Level, ct.Level)
+	}
 	if !scaleAlmostEqual(ct.Scale, pt.Scale) {
-		panic("ckks: AddPlain scale mismatch")
+		return nil, fherr.Wrap(fherr.ErrScaleMismatch, "ckks: AddPlain: plaintext scale 2^%.3f vs ciphertext 2^%.3f",
+			core.RatLog2(pt.Scale), core.RatLog2(ct.Scale))
 	}
 	m := pt.Value.ScratchCopy()
 	m.NTT()
 	out := ct.CopyNew()
 	out.C0.Add(out.C0, m)
 	ev.params.Ctx.PutPoly(m)
-	return out
+	out.NoiseBits = addNoiseBits(ct.NoiseBits, ev.nm.EncodingBits())
+	out.seal()
+	return out, nil
 }
 
 // MulPlain returns ct * pt elementwise. The result's scale is the product
 // of the scales; rescale afterwards.
-func (ev *Evaluator) MulPlain(ct *Ciphertext, pt *Plaintext) *Ciphertext {
+func (ev *Evaluator) MulPlain(ct *Ciphertext, pt *Plaintext) (*Ciphertext, error) {
+	if err := ev.begin("MulPlain", ct); err != nil {
+		return nil, err
+	}
+	if pt.Level != ct.Level {
+		return nil, fherr.Wrap(fherr.ErrLevelMismatch, "ckks: MulPlain: plaintext level %d vs ciphertext %d", pt.Level, ct.Level)
+	}
 	m := pt.Value.ScratchCopy()
 	m.NTT()
 	out := ct.CopyNew()
@@ -157,16 +288,30 @@ func (ev *Evaluator) MulPlain(ct *Ciphertext, pt *Plaintext) *Ciphertext {
 	out.C1.MulCoeffs(out.C1, m)
 	out.Scale.Mul(out.Scale, pt.Scale)
 	ev.params.Ctx.PutPoly(m)
-	return out
+	// pt·e_ct dominates; the encoding rounding of pt is amplified by the
+	// ciphertext's scale.
+	out.NoiseBits = addNoiseBits(
+		ct.NoiseBits+core.RatLog2(pt.Scale),
+		core.RatLog2(ct.Scale)+ev.nm.EncodingBits(),
+	)
+	out.seal()
+	return out, nil
 }
 
 // MulScalarInt multiplies by a small integer constant (scale unchanged).
-func (ev *Evaluator) MulScalarInt(ct *Ciphertext, c int64) *Ciphertext {
+func (ev *Evaluator) MulScalarInt(ct *Ciphertext, c int64) (*Ciphertext, error) {
+	if err := ev.begin("MulScalarInt", ct); err != nil {
+		return nil, err
+	}
 	out := ct.CopyNew()
 	big := new(big.Int).SetInt64(c)
 	out.C0.MulScalarBig(out.C0, big)
 	out.C1.MulScalarBig(out.C1, big)
-	return out
+	if abs := math.Abs(float64(c)); abs > 1 {
+		out.NoiseBits = ct.NoiseBits + math.Log2(abs)
+	}
+	out.seal()
+	return out, nil
 }
 
 // ---------------------------------------------------------------------------
@@ -175,10 +320,15 @@ func (ev *Evaluator) MulScalarInt(ct *Ciphertext, c int64) *Ciphertext {
 
 // MulRelin multiplies two ciphertexts and relinearizes back to degree one.
 // The output scale is Scale(a)*Scale(b); callers follow with Rescale.
-func (ev *Evaluator) MulRelin(a, b *Ciphertext) *Ciphertext {
-	ev.checkCompatible(a, b)
+func (ev *Evaluator) MulRelin(a, b *Ciphertext) (*Ciphertext, error) {
+	if err := ev.begin("MulRelin", a, b); err != nil {
+		return nil, err
+	}
+	if err := checkCompatible("MulRelin", a, b); err != nil {
+		return nil, err
+	}
 	if ev.keys == nil || ev.keys.Relin == nil {
-		panic("ckks: no relinearization key")
+		return nil, fherr.Wrap(fherr.ErrMissingKey, "ckks: MulRelin: no relinearization key")
 	}
 	p := ev.params
 	moduli := a.C0.Moduli
@@ -211,11 +361,16 @@ func (ev *Evaluator) MulRelin(a, b *Ciphertext) *Ciphertext {
 	p.Ctx.PutPoly(ks1)
 
 	scale := new(big.Rat).Mul(a.Scale, b.Scale)
-	return &Ciphertext{C0: d0, C1: d1, Level: a.Level, Scale: scale}
+	noise := ev.nm.MulBits(core.RatLog2(a.Scale), a.NoiseBits, core.RatLog2(b.Scale), b.NoiseBits)
+	out := newCiphertext(d0, d1, a.Level, scale, noise)
+	if err := ev.guardNoise("MulRelin", out); err != nil {
+		return nil, err
+	}
+	return out, nil
 }
 
 // Square is MulRelin(ct, ct) with one fewer pointwise multiply.
-func (ev *Evaluator) Square(ct *Ciphertext) *Ciphertext {
+func (ev *Evaluator) Square(ct *Ciphertext) (*Ciphertext, error) {
 	return ev.MulRelin(ct, ct)
 }
 
@@ -240,6 +395,7 @@ type HoistedDecomp struct {
 	c0    *ring.Poly
 	level int
 	scale *big.Rat
+	noise float64
 }
 
 // Free returns the decomposition's scratch polynomials to the context
@@ -331,14 +487,18 @@ func (ev *Evaluator) decomposePoly(c2 *ring.Poly) *HoistedDecomp {
 // DecomposeModUp computes the hoisted decomposition of ct's C1 (plus a
 // coefficient-domain copy of C0), ready to be consumed by RotateHoisted
 // or keySwitchHoisted any number of times. Release it with Free.
-func (ev *Evaluator) DecomposeModUp(ct *Ciphertext) *HoistedDecomp {
+func (ev *Evaluator) DecomposeModUp(ct *Ciphertext) (*HoistedDecomp, error) {
+	if err := ev.begin("DecomposeModUp", ct); err != nil {
+		return nil, err
+	}
 	hd := ev.decomposePoly(ct.C1)
 	c0 := ct.C0.ScratchCopy()
 	c0.INTT()
 	hd.c0 = c0
 	hd.level = ct.Level
 	hd.scale = new(big.Rat).Set(ct.Scale)
-	return hd
+	hd.noise = ct.NoiseBits
+	return hd, nil
 }
 
 // keySwitchHoisted is the per-key half of a hybrid keyswitch: apply the
@@ -416,15 +576,25 @@ func (ev *Evaluator) keySwitch(c2 *ring.Poly, swk *SwitchingKey) (*ring.Poly, *r
 // Rotations
 // ---------------------------------------------------------------------------
 
-// applyGalois maps both ciphertext polys through X -> X^galEl and switches
-// the key back to s.
-func (ev *Evaluator) applyGalois(ct *Ciphertext, galEl uint64) *Ciphertext {
+// galoisKey fetches the switching key for galEl, mapping absence onto
+// the typed taxonomy.
+func (ev *Evaluator) galoisKey(op string, galEl uint64) (*SwitchingKey, error) {
 	if ev.keys == nil {
-		panic("ckks: no evaluation keys")
+		return nil, fherr.Wrap(fherr.ErrMissingKey, "ckks: %s: no evaluation keys", op)
 	}
 	swk, ok := ev.keys.Galois[galEl]
 	if !ok {
-		panic(fmt.Sprintf("ckks: no Galois key for element %d", galEl))
+		return nil, fherr.Wrap(fherr.ErrMissingKey, "ckks: %s: no Galois key for element %d", op, galEl)
+	}
+	return swk, nil
+}
+
+// applyGalois maps both ciphertext polys through X -> X^galEl and switches
+// the key back to s.
+func (ev *Evaluator) applyGalois(op string, ct *Ciphertext, galEl uint64) (*Ciphertext, error) {
+	swk, err := ev.galoisKey(op, galEl)
+	if err != nil {
+		return nil, err
 	}
 	ctx := ev.params.Ctx
 	t0 := ct.C0.ScratchCopy()
@@ -442,7 +612,8 @@ func (ev *Evaluator) applyGalois(ct *Ciphertext, galEl uint64) *Ciphertext {
 	ctx.PutPoly(c1)
 	ks0.Add(ks0, c0)
 	ctx.PutPoly(c0)
-	return &Ciphertext{C0: ks0, C1: ks1, Level: ct.Level, Scale: new(big.Rat).Set(ct.Scale)}
+	noise := addNoiseBits(ct.NoiseBits, ev.nm.KeySwitchBits())
+	return newCiphertext(ks0, ks1, ct.Level, new(big.Rat).Set(ct.Scale), noise), nil
 }
 
 // normalizeSteps reduces a rotation amount into [0, slots).
@@ -453,36 +624,40 @@ func normalizeSteps(steps, slots int) int {
 // Rotate rotates the encrypted slot vector left by steps. A rotation by a
 // multiple of the slot count is the identity and returns a copy without
 // performing (or requiring a key for) a keyswitch.
-func (ev *Evaluator) Rotate(ct *Ciphertext, steps int) *Ciphertext {
-	if normalizeSteps(steps, ev.params.Slots()) == 0 {
-		return ct.CopyNew()
+func (ev *Evaluator) Rotate(ct *Ciphertext, steps int) (*Ciphertext, error) {
+	if err := ev.begin("Rotate", ct); err != nil {
+		return nil, err
 	}
-	return ev.applyGalois(ct, ring.GaloisElementForRotation(steps, ev.params.N()))
+	if normalizeSteps(steps, ev.params.Slots()) == 0 {
+		return ct.CopyNew(), nil
+	}
+	return ev.applyGalois("Rotate", ct, ring.GaloisElementForRotation(steps, ev.params.N()))
 }
 
 // Conjugate conjugates the encrypted slots.
-func (ev *Evaluator) Conjugate(ct *Ciphertext) *Ciphertext {
-	return ev.applyGalois(ct, ring.GaloisElementForConjugation(ev.params.N()))
+func (ev *Evaluator) Conjugate(ct *Ciphertext) (*Ciphertext, error) {
+	if err := ev.begin("Conjugate", ct); err != nil {
+		return nil, err
+	}
+	return ev.applyGalois("Conjugate", ct, ring.GaloisElementForConjugation(ev.params.N()))
 }
 
 // rotateHoisted applies one rotation (galEl for nonzero normalized steps)
 // to a pre-decomposed ciphertext: automorphism on the extended digits +
 // inner product + ModDown, plus automorphism+NTT on the hoisted C0 copy.
-func (ev *Evaluator) rotateHoisted(hd *HoistedDecomp, steps int) *Ciphertext {
-	if ev.keys == nil {
-		panic("ckks: no evaluation keys")
-	}
+func (ev *Evaluator) rotateHoisted(hd *HoistedDecomp, steps int) (*Ciphertext, error) {
 	galEl := ring.GaloisElementForRotation(steps, ev.params.N())
-	swk, ok := ev.keys.Galois[galEl]
-	if !ok {
-		panic(fmt.Sprintf("ckks: no Galois key for element %d", galEl))
+	swk, err := ev.galoisKey("RotateHoisted", galEl)
+	if err != nil {
+		return nil, err
 	}
 	c0 := hd.c0.Automorphism(galEl)
 	c0.NTT()
 	ks0, ks1 := ev.keySwitchHoisted(hd, swk, galEl)
 	ks0.Add(ks0, c0)
 	ev.params.Ctx.PutPoly(c0)
-	return &Ciphertext{C0: ks0, C1: ks1, Level: hd.level, Scale: new(big.Rat).Set(hd.scale)}
+	noise := addNoiseBits(hd.noise, ev.nm.KeySwitchBits())
+	return newCiphertext(ks0, ks1, hd.level, new(big.Rat).Set(hd.scale), noise), nil
 }
 
 // RotateHoisted rotates ct by every amount in steps, sharing one digit
@@ -497,7 +672,10 @@ func (ev *Evaluator) rotateHoisted(hd *HoistedDecomp, steps int) *Ciphertext {
 // and noise bound) but not bit-identical: the approximate ModUp error is
 // computed before the automorphism instead of after, which permutes the
 // sub-noise rounding. See DESIGN.md.
-func (ev *Evaluator) RotateHoisted(ct *Ciphertext, steps []int) []*Ciphertext {
+func (ev *Evaluator) RotateHoisted(ct *Ciphertext, steps []int) ([]*Ciphertext, error) {
+	if err := ev.begin("RotateHoisted", ct); err != nil {
+		return nil, err
+	}
 	slots := ev.params.Slots()
 	out := make([]*Ciphertext, len(steps))
 
@@ -514,12 +692,20 @@ func (ev *Evaluator) RotateHoisted(ct *Ciphertext, steps []int) []*Ciphertext {
 
 	var hd *HoistedDecomp
 	if len(uniq) > 0 {
-		hd = ev.DecomposeModUp(ct)
+		var err error
+		hd, err = ev.DecomposeModUp(ct)
+		if err != nil {
+			return nil, err
+		}
 		defer hd.Free(ev.params.Ctx)
 	}
 	rotated := make(map[int]*Ciphertext, len(uniq))
 	for _, n := range uniq {
-		rotated[n] = ev.rotateHoisted(hd, n)
+		r, err := ev.rotateHoisted(hd, n)
+		if err != nil {
+			return nil, err
+		}
+		rotated[n] = r
 	}
 	used := map[int]bool{}
 	for i, s := range steps {
@@ -534,5 +720,5 @@ func (ev *Evaluator) RotateHoisted(ct *Ciphertext, steps []int) []*Ciphertext {
 			out[i] = rotated[n].CopyNew()
 		}
 	}
-	return out
+	return out, nil
 }

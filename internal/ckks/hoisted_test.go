@@ -30,7 +30,7 @@ func TestRotateZeroStepNoKeySwitch(t *testing.T) {
 	ct := s.encryptValues(vals)
 	slots := s.params.Slots()
 	for _, st := range []int{0, slots, -slots, 3 * slots} {
-		out := s.ev.Rotate(ct, st)
+		out := s.ev.MustRotate(ct, st)
 		if !ctEqual(out, ct) {
 			t.Fatalf("steps=%d: zero rotation altered the ciphertext", st)
 		}
@@ -49,17 +49,17 @@ func TestRotateHoistedMatchesRotate(t *testing.T) {
 		vals := randomValues(slots, rng)
 		ct := s.encryptValues(vals)
 
-		hoisted := s.ev.RotateHoisted(ct, steps)
+		hoisted := s.ev.MustRotateHoisted(ct, steps)
 		if len(hoisted) != len(steps) {
 			t.Fatalf("%v: got %d results for %d steps", scheme, len(hoisted), len(steps))
 		}
 		for i, st := range steps {
-			ref := s.ev.Rotate(ct, st)
+			ref := s.ev.MustRotate(ct, st)
 			if hoisted[i].Level != ref.Level || hoisted[i].Scale.Cmp(ref.Scale) != 0 {
 				t.Fatalf("%v steps=%d: level/scale mismatch vs Rotate", scheme, st)
 			}
-			gotH := s.dec.DecryptAndDecode(hoisted[i], s.enc)
-			gotR := s.dec.DecryptAndDecode(ref, s.enc)
+			gotH := s.dec.MustDecryptAndDecode(hoisted[i], s.enc)
+			gotR := s.dec.MustDecryptAndDecode(ref, s.enc)
 			for j := range gotH {
 				want := vals[(j+st)%slots]
 				if e := cmplx.Abs(gotH[j] - want); e > 1e-5 {
@@ -84,7 +84,7 @@ func TestRotateHoistedDedupeNormalize(t *testing.T) {
 	// single Galois key (for step 1) exists, so any failure to normalize
 	// would panic on a missing key.
 	steps := []int{0, 1, 1 + slots, -(slots - 1), slots}
-	outs := s.ev.RotateHoisted(ct, steps)
+	outs := s.ev.MustRotateHoisted(ct, steps)
 	if len(outs) != len(steps) {
 		t.Fatalf("got %d results for %d steps", len(outs), len(steps))
 	}
@@ -108,10 +108,10 @@ func TestRotateHoistedDifferentialWorkers(t *testing.T) {
 			rng := rand.New(rand.NewPCG(77, 78))
 			vals := randomValues(s.params.Slots(), rng)
 			ct := s.encryptValues(vals)
-			outs := s.ev.RotateHoisted(ct, steps)
+			outs := s.ev.MustRotateHoisted(ct, steps)
 			acc := outs[0]
 			for _, o := range outs[1:] {
-				acc = s.ev.Add(acc, o)
+				acc = s.ev.MustAdd(acc, o)
 			}
 			return acc
 		}
@@ -170,13 +170,13 @@ func TestLinearTransformBSGSMatchesNaive(t *testing.T) {
 			t.Fatalf("%v: BSGS costs %d keyswitches vs naive %d", scheme, active, naive)
 		}
 
-		fast := s.ev.Rescale(s.ev.ApplyLinearTransform(ct, lt))
-		ref := s.ev.Rescale(s.ev.ApplyLinearTransformNaive(ct, lt))
+		fast := s.ev.MustRescale(s.ev.MustApplyLinearTransform(ct, lt))
+		ref := s.ev.MustRescale(s.ev.MustApplyLinearTransformNaive(ct, lt))
 		if fast.Level != ref.Level || fast.Scale.Cmp(ref.Scale) != 0 {
 			t.Fatalf("%v: BSGS level/scale mismatch vs naive", scheme)
 		}
-		gotF := s.dec.DecryptAndDecode(fast, s.enc)
-		gotR := s.dec.DecryptAndDecode(ref, s.enc)
+		gotF := s.dec.MustDecryptAndDecode(fast, s.enc)
+		gotR := s.dec.MustDecryptAndDecode(ref, s.enc)
 		for i := 0; i < dim; i++ {
 			if e := cmplx.Abs(gotF[i] - want[i]); e > 1e-4 {
 				t.Fatalf("%v row %d: BSGS err %g vs expected product", scheme, i, e)
@@ -198,7 +198,7 @@ func TestLinearTransformBSGSDifferentialWorkers(t *testing.T) {
 		pipeline := func() *Ciphertext {
 			s := newTestSetup(t, scheme, 2, 40, 61, 9, 8, rots)
 			lt, ct, _ := denseTestTransform(t, s, dim, 83)
-			return s.ev.Rescale(s.ev.ApplyLinearTransform(ct, lt))
+			return s.ev.MustRescale(s.ev.MustApplyLinearTransform(ct, lt))
 		}
 		seq := runWithWorkers(t, 1, pipeline)
 		par := runWithWorkers(t, 4, pipeline)
@@ -249,8 +249,8 @@ func TestEvalChebyshevPSMatchesNaive(t *testing.T) {
 			if name == "dense" && naiveUsed != deg {
 				t.Fatalf("%v: naive consumed %d levels for dense degree %d", scheme, naiveUsed, deg)
 			}
-			gotP := s.dec.DecryptAndDecode(ps, s.enc)
-			gotN := s.dec.DecryptAndDecode(naive, s.enc)
+			gotP := s.dec.MustDecryptAndDecode(ps, s.enc)
+			gotN := s.dec.MustDecryptAndDecode(naive, s.enc)
 			for i := range vals {
 				want := chebyshevRef(coeffs, real(vals[i]))
 				if e := math.Abs(real(gotP[i]) - want); e > 1e-3 {
@@ -303,7 +303,7 @@ func TestEvalChebyshevZeroCoeffNoWaste(t *testing.T) {
 		if out.Level != ct.Level {
 			t.Fatalf("%s: constant-after-trim series consumed %d levels", name, ct.Level-out.Level)
 		}
-		got := s.dec.DecryptAndDecode(out, s.enc)
+		got := s.dec.MustDecryptAndDecode(out, s.enc)
 		if e := math.Abs(real(got[0]) - 0.7); e > 1e-5 {
 			t.Fatalf("%s: constant series decoded to %v", name, real(got[0]))
 		}
@@ -316,7 +316,7 @@ func TestEvalChebyshevZeroCoeffNoWaste(t *testing.T) {
 		if used := ct.Level - out.Level; used != 2 {
 			t.Fatalf("%s: degree-2 series with zero c1 consumed %d levels, want 2", name, used)
 		}
-		got = s.dec.DecryptAndDecode(out, s.enc)
+		got = s.dec.MustDecryptAndDecode(out, s.enc)
 		for i := range vals {
 			want := chebyshevRef([]float64{0.5, 0, 0.3}, real(vals[i]))
 			if e := math.Abs(real(got[i]) - want); e > 1e-4 {

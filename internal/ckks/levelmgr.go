@@ -1,10 +1,11 @@
 package ckks
 
 import (
-	"fmt"
+	"math"
 	"math/big"
 
 	"bitpacker/internal/core"
+	"bitpacker/internal/fherr"
 )
 
 // Level management: rescale and adjust (paper Sec. 2.3 and 3.2).
@@ -21,10 +22,14 @@ import (
 // Rescale moves ct from its level L to L-1, dividing the encrypted value
 // (and the scale) by Q_L·/Q_{L-1} — i.e. by P/K where P is the product of
 // the shed moduli and K of the introduced ones. It is normally called
-// right after a multiplication.
-func (ev *Evaluator) Rescale(ct *Ciphertext) *Ciphertext {
+// right after a multiplication. Rescaling at level 0 fails with
+// fherr.ErrChainExhausted (bootstrap or re-plan the circuit).
+func (ev *Evaluator) Rescale(ct *Ciphertext) (*Ciphertext, error) {
+	if err := ev.begin("Rescale", ct); err != nil {
+		return nil, err
+	}
 	if ct.Level <= 0 {
-		panic("ckks: cannot rescale below level 0")
+		return nil, fherr.Wrap(fherr.ErrChainExhausted, "ckks: Rescale at level 0")
 	}
 	chain := ev.params.Chain
 	tr := chain.TransitionDown(ct.Level)
@@ -40,7 +45,12 @@ func (ev *Evaluator) Rescale(ct *Ciphertext) *Ciphertext {
 		ctx.PutPoly(c1)
 		c0, c1 = u0, u1
 	}
-	shedPos := positionsOf(c0.Moduli, tr.Down)
+	shedPos, err := positionsOf(c0.Moduli, tr.Down)
+	if err != nil {
+		ctx.PutPoly(c0)
+		ctx.PutPoly(c1)
+		return nil, err
+	}
 	sd := ev.scaleDownParams(c0.Moduli, shedPos)
 	s0, s1 := c0.ScaleDown(sd), c1.ScaleDown(sd)
 	ctx.PutPoly(c0)
@@ -51,17 +61,28 @@ func (ev *Evaluator) Rescale(ct *Ciphertext) *Ciphertext {
 
 	// New scale = Scale * K / P, exactly.
 	factor := new(big.Rat).SetInt64(1)
+	shedBits := 0.0
 	for _, q := range tr.Up {
 		factor.Mul(factor, new(big.Rat).SetFrac(new(big.Int).SetUint64(q), big.NewInt(1)))
+		shedBits -= math.Log2(float64(q))
 	}
 	for _, q := range tr.Down {
 		factor.Mul(factor, new(big.Rat).SetFrac(big.NewInt(1), new(big.Int).SetUint64(q)))
+		shedBits += math.Log2(float64(q))
 	}
 	scale := core.LimitRat(new(big.Rat).Mul(ct.Scale, factor))
 
-	out := &Ciphertext{C0: c0, C1: c1, Level: ct.Level - 1, Scale: scale}
-	ev.assertLevelModuli(out)
-	return out
+	// The value (and its noise) divides by P/K; the floor rounding adds
+	// the rescale-floor noise.
+	noise := math.Max(ct.NoiseBits-shedBits, ev.nm.RescaleFloorBits())
+	out := newCiphertext(c0, c1, ct.Level-1, scale, noise)
+	if err := ev.assertLevelModuli(out); err != nil {
+		return nil, err
+	}
+	if err := ev.guardNoise("Rescale", out); err != nil {
+		return nil, err
+	}
+	return out, nil
 }
 
 // Adjust moves ct one level down without changing the encrypted value:
@@ -69,9 +90,12 @@ func (ev *Evaluator) Rescale(ct *Ciphertext) *Ciphertext {
 // rescale (Listings 2 and 6). The resulting scale is the destination
 // level's canonical scale, following Kim et al.'s reduced-error
 // convention adopted by the paper.
-func (ev *Evaluator) Adjust(ct *Ciphertext) *Ciphertext {
+func (ev *Evaluator) Adjust(ct *Ciphertext) (*Ciphertext, error) {
+	if err := ev.begin("Adjust", ct); err != nil {
+		return nil, err
+	}
 	if ct.Level <= 0 {
-		panic("ckks: cannot adjust below level 0")
+		return nil, fherr.Wrap(fherr.ErrChainExhausted, "ckks: Adjust at level 0")
 	}
 	chain := ev.params.Chain
 	l := ct.Level
@@ -80,7 +104,8 @@ func (ev *Evaluator) Adjust(ct *Ciphertext) *Ciphertext {
 	k.Mul(k, qRatio)
 	kInt := roundRat(k)
 	if kInt.Sign() <= 0 {
-		panic(fmt.Sprintf("ckks: adjust constant K=%v not positive; scale too large to adjust", k))
+		return nil, fherr.Wrap(fherr.ErrScaleMismatch,
+			"ckks: Adjust constant K=%v not positive; scale too large to adjust", k)
 	}
 
 	tmp := ct.CopyNew()
@@ -90,22 +115,40 @@ func (ev *Evaluator) Adjust(ct *Ciphertext) *Ciphertext {
 	// convention instead targets the destination scale and absorbs the
 	// sub-ULP rounding of K into the noise.
 	tmp.Scale.Mul(ct.Scale, k)
+	if kf, _ := new(big.Float).SetInt(kInt).Float64(); kf > 1 {
+		tmp.NoiseBits = ct.NoiseBits + math.Log2(kf)
+	}
+	tmp.seal()
 
-	out := ev.Rescale(tmp)
+	out, err := ev.Rescale(tmp)
+	if err != nil {
+		return nil, err
+	}
 	out.Scale = ev.params.DefaultScale(out.Level)
-	return out
+	out.seal()
+	return out, nil
 }
 
 // AdjustTo lowers ct to the given level by repeated one-level adjusts.
-func (ev *Evaluator) AdjustTo(ct *Ciphertext, level int) *Ciphertext {
+// Raising levels is not possible without bootstrapping and fails with
+// fherr.ErrLevelMismatch.
+func (ev *Evaluator) AdjustTo(ct *Ciphertext, level int) (*Ciphertext, error) {
 	if level > ct.Level {
-		panic("ckks: AdjustTo cannot raise levels")
+		return nil, fherr.Wrap(fherr.ErrLevelMismatch,
+			"ckks: AdjustTo cannot raise level %d to %d (bootstrap instead)", ct.Level, level)
+	}
+	if level < 0 {
+		return nil, fherr.Wrap(fherr.ErrChainExhausted, "ckks: AdjustTo target level %d below 0", level)
 	}
 	out := ct
 	for out.Level > level {
-		out = ev.Adjust(out)
+		next, err := ev.Adjust(out)
+		if err != nil {
+			return nil, err
+		}
+		out = next
 	}
-	return out
+	return out, nil
 }
 
 // roundRat rounds a rational to the nearest integer.
@@ -123,7 +166,7 @@ func roundRat(r *big.Rat) *big.Int {
 }
 
 // positionsOf locates each modulus of want within moduli.
-func positionsOf(moduli, want []uint64) []int {
+func positionsOf(moduli, want []uint64) ([]int, error) {
 	pos := make([]int, 0, len(want))
 	idx := map[uint64]int{}
 	for i, q := range moduli {
@@ -132,24 +175,27 @@ func positionsOf(moduli, want []uint64) []int {
 	for _, q := range want {
 		i, ok := idx[q]
 		if !ok {
-			panic("ckks: modulus to shed not present")
+			return nil, fherr.Wrap(fherr.ErrInvariant, "ckks: modulus %d to shed not present in ciphertext", q)
 		}
 		pos = append(pos, i)
 	}
-	return pos
+	return pos, nil
 }
 
-// assertLevelModuli panics if the ciphertext's moduli do not match its
-// level's canonical list (an internal invariant).
-func (ev *Evaluator) assertLevelModuli(ct *Ciphertext) {
+// assertLevelModuli reports an invariant error if the ciphertext's moduli
+// do not match its level's canonical list.
+func (ev *Evaluator) assertLevelModuli(ct *Ciphertext) error {
 	want := ev.params.LevelModuli(ct.Level)
 	got := ct.C0.Moduli
 	if len(got) != len(want) {
-		panic(fmt.Sprintf("ckks: level %d expects %d residues, ciphertext has %d", ct.Level, len(want), len(got)))
+		return fherr.Wrap(fherr.ErrInvariant, "ckks: level %d expects %d residues, ciphertext has %d",
+			ct.Level, len(want), len(got))
 	}
 	for i := range want {
 		if got[i] != want[i] {
-			panic(fmt.Sprintf("ckks: level %d residue %d mismatch: %d vs %d", ct.Level, i, got[i], want[i]))
+			return fherr.Wrap(fherr.ErrInvariant, "ckks: level %d residue %d mismatch: %d vs %d",
+				ct.Level, i, got[i], want[i])
 		}
 	}
+	return nil
 }

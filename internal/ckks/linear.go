@@ -1,11 +1,13 @@
 package ckks
 
 import (
-	"fmt"
+	"math"
 	"math/big"
 	"sort"
 
+	"bitpacker/internal/core"
 	"bitpacker/internal/engine"
+	"bitpacker/internal/fherr"
 	"bitpacker/internal/ring"
 )
 
@@ -141,7 +143,7 @@ func bsgsPlan(diags []int, slots int) int {
 // factorization when it reduces the keyswitch count.
 func NewLinearTransformFromDiags(params *Parameters, enc *Encoder, diags map[int][]complex128, level int) (*LinearTransform, error) {
 	if level < 0 || level > params.MaxLevel() {
-		return nil, fmt.Errorf("ckks: level %d out of range", level)
+		return nil, fherr.Wrap(fherr.ErrInvalidParams, "ckks: level %d out of range", level)
 	}
 	slots := params.Slots()
 	scale := params.DefaultScale(level)
@@ -153,7 +155,7 @@ func NewLinearTransformFromDiags(params *Parameters, enc *Encoder, diags map[int
 	}
 	encode := func(v []complex128) *Plaintext {
 		pt := &Plaintext{
-			Value: enc.Encode(v, scale, params.LevelModuli(level)),
+			Value: enc.MustEncode(v, scale, params.LevelModuli(level)),
 			Level: level,
 			Scale: scale,
 		}
@@ -167,7 +169,7 @@ func NewLinearTransformFromDiags(params *Parameters, enc *Encoder, diags map[int
 	normalized := map[int][]complex128{}
 	for d, diag := range diags {
 		if len(diag) > slots {
-			return nil, fmt.Errorf("ckks: diagonal %d has %d entries for %d slots", d, len(diag), slots)
+			return nil, fherr.Wrap(fherr.ErrInvalidParams, "ckks: diagonal %d has %d entries for %d slots", d, len(diag), slots)
 		}
 		dd := ((d % slots) + slots) % slots
 		padded := make([]complex128, slots)
@@ -207,14 +209,14 @@ func NewLinearTransformFromDiags(params *Parameters, enc *Encoder, diags map[int
 func NewLinearTransform(params *Parameters, enc *Encoder, mat [][]complex128, level int) (*LinearTransform, error) {
 	dim := len(mat)
 	if dim == 0 {
-		return nil, fmt.Errorf("ckks: empty matrix")
+		return nil, fherr.Wrap(fherr.ErrInvalidParams, "ckks: empty matrix")
 	}
 	slots := params.Slots()
 	if dim > slots {
-		return nil, fmt.Errorf("ckks: matrix dim %d exceeds %d slots", dim, slots)
+		return nil, fherr.Wrap(fherr.ErrInvalidParams, "ckks: matrix dim %d exceeds %d slots", dim, slots)
 	}
 	if slots%dim != 0 {
-		return nil, fmt.Errorf("ckks: matrix dim %d must divide slot count %d", dim, slots)
+		return nil, fherr.Wrap(fherr.ErrInvalidParams, "ckks: matrix dim %d must divide slot count %d", dim, slots)
 	}
 	diags := map[int][]complex128{}
 	for d := 0; d < dim; d++ {
@@ -249,7 +251,32 @@ func (ev *Evaluator) zeroTransformResult(ct *Ciphertext, lt *LinearTransform) *C
 	out.C1 = ring.NewPoly(ev.params.Ctx, ct.C1.Moduli)
 	out.C1.IsNTT = true
 	out.Scale = new(big.Rat).Mul(ct.Scale, lt.Scale)
+	out.seal()
 	return out
+}
+
+// transformNoise is the post-transform noise estimate: each of the D
+// diagonal terms contributes MulPlain noise plus (for the rotated ones)
+// keyswitch noise, summed coherently.
+func (ev *Evaluator) transformNoise(ct *Ciphertext, lt *LinearTransform) float64 {
+	perTerm := addNoiseBits(
+		addNoiseBits(ct.NoiseBits, ev.nm.KeySwitchBits())+core.RatLog2(lt.Scale),
+		core.RatLog2(ct.Scale)+ev.nm.EncodingBits(),
+	)
+	terms := len(lt.Diags)
+	if terms < 1 {
+		terms = 1
+	}
+	return perTerm + math.Log2(float64(terms))/2 // sqrt accumulation of independent terms
+}
+
+// checkTransformLevel validates the input against the transform.
+func checkTransformLevel(op string, ct *Ciphertext, lt *LinearTransform) error {
+	if ct.Level != lt.Level {
+		return fherr.Wrap(fherr.ErrLevelMismatch,
+			"ckks: %s: transform at level %d, ciphertext at %d (adjust first)", op, lt.Level, ct.Level)
+	}
+	return nil
 }
 
 // ApplyLinearTransform computes M·v for the encrypted vector v. The input
@@ -266,12 +293,15 @@ func (ev *Evaluator) zeroTransformResult(ct *Ciphertext, lt *LinearTransform) *C
 // When the transform was built by NewLinearTransform for dim < slots, the
 // input vector must be replicated across the slot blocks (ReplicateBlocks
 // does this for freshly encoded vectors).
-func (ev *Evaluator) ApplyLinearTransform(ct *Ciphertext, lt *LinearTransform) *Ciphertext {
-	if ct.Level != lt.Level {
-		panic(fmt.Sprintf("ckks: transform at level %d, ciphertext at %d (adjust first)", lt.Level, ct.Level))
+func (ev *Evaluator) ApplyLinearTransform(ct *Ciphertext, lt *LinearTransform) (*Ciphertext, error) {
+	if err := ev.begin("ApplyLinearTransform", ct); err != nil {
+		return nil, err
+	}
+	if err := checkTransformLevel("ApplyLinearTransform", ct, lt); err != nil {
+		return nil, err
 	}
 	if len(lt.Diags) == 0 {
-		return ev.zeroTransformResult(ct, lt)
+		return ev.zeroTransformResult(ct, lt), nil
 	}
 	if lt.N1 != 0 {
 		return ev.applyLinearTransformBSGS(ct, lt)
@@ -283,18 +313,28 @@ func (ev *Evaluator) ApplyLinearTransform(ct *Ciphertext, lt *LinearTransform) *
 // full keyswitch (ModUp + inner product + ModDown) per nonzero diagonal.
 // It is kept as the differential-testing and benchmarking baseline for
 // the hoisted/BSGS paths.
-func (ev *Evaluator) ApplyLinearTransformNaive(ct *Ciphertext, lt *LinearTransform) *Ciphertext {
-	if ct.Level != lt.Level {
-		panic(fmt.Sprintf("ckks: transform at level %d, ciphertext at %d (adjust first)", lt.Level, ct.Level))
+func (ev *Evaluator) ApplyLinearTransformNaive(ct *Ciphertext, lt *LinearTransform) (*Ciphertext, error) {
+	if err := ev.begin("ApplyLinearTransformNaive", ct); err != nil {
+		return nil, err
+	}
+	if err := checkTransformLevel("ApplyLinearTransformNaive", ct, lt); err != nil {
+		return nil, err
 	}
 	var acc *Ciphertext
 	for _, d := range lt.sortedDiags() {
 		pt := lt.Diags[d]
 		term := ct
 		if d != 0 {
-			term = ev.Rotate(ct, d)
+			var err error
+			term, err = ev.Rotate(ct, d)
+			if err != nil {
+				return nil, err
+			}
 		}
-		term = ev.MulPlain(term, pt)
+		term, err := ev.MulPlain(term, pt)
+		if err != nil {
+			return nil, err
+		}
 		if acc == nil {
 			acc = term
 		} else {
@@ -303,20 +343,26 @@ func (ev *Evaluator) ApplyLinearTransformNaive(ct *Ciphertext, lt *LinearTransfo
 		}
 	}
 	if acc == nil {
-		return ev.zeroTransformResult(ct, lt)
+		return ev.zeroTransformResult(ct, lt), nil
 	}
-	return acc
+	acc.NoiseBits = ev.transformNoise(ct, lt)
+	acc.seal()
+	return acc, nil
 }
 
 // applyLinearTransformHoisted is the per-diagonal path with the rotations
 // hoisted: the input is decomposed once and every diagonal reuses the
 // extended digits.
-func (ev *Evaluator) applyLinearTransformHoisted(ct *Ciphertext, lt *LinearTransform) *Ciphertext {
+func (ev *Evaluator) applyLinearTransformHoisted(ct *Ciphertext, lt *LinearTransform) (*Ciphertext, error) {
 	ds := lt.sortedDiags()
 	var hd *HoistedDecomp
 	for _, d := range ds {
 		if d != 0 {
-			hd = ev.DecomposeModUp(ct)
+			var err error
+			hd, err = ev.DecomposeModUp(ct)
+			if err != nil {
+				return nil, err
+			}
 			defer hd.Free(ev.params.Ctx)
 			break
 		}
@@ -325,9 +371,16 @@ func (ev *Evaluator) applyLinearTransformHoisted(ct *Ciphertext, lt *LinearTrans
 	for _, d := range ds {
 		term := ct
 		if d != 0 {
-			term = ev.rotateHoisted(hd, d)
+			var err error
+			term, err = ev.rotateHoisted(hd, d)
+			if err != nil {
+				return nil, err
+			}
 		}
-		term = ev.MulPlain(term, lt.Diags[d])
+		term, err := ev.MulPlain(term, lt.Diags[d])
+		if err != nil {
+			return nil, err
+		}
 		if acc == nil {
 			acc = term
 		} else {
@@ -335,16 +388,21 @@ func (ev *Evaluator) applyLinearTransformHoisted(ct *Ciphertext, lt *LinearTrans
 			acc.C1.Add(acc.C1, term.C1)
 		}
 	}
-	return acc
+	acc.NoiseBits = ev.transformNoise(ct, lt)
+	acc.seal()
+	return acc, nil
 }
 
 // applyLinearTransformBSGS evaluates the factored transform: hoist the
 // baby rotations of the input (one ModUp), multiply-accumulate each giant
 // step's pre-rotated diagonals against them, then rotate only the n2
 // accumulators. The per-giant accumulations are independent and fan out
-// across the execution engine; the final reduction is ordered, so results
-// are bit-identical for any worker count.
-func (ev *Evaluator) applyLinearTransformBSGS(ct *Ciphertext, lt *LinearTransform) *Ciphertext {
+// across the execution engine (honoring the evaluator's context); the
+// final reduction is ordered, so results are bit-identical for any worker
+// count. A canceled context or dropped engine task surfaces as an error
+// (fherr.ErrCanceled / fherr.ErrEngineFault) with all pooled scratch
+// returned.
+func (ev *Evaluator) applyLinearTransformBSGS(ct *Ciphertext, lt *LinearTransform) (*Ciphertext, error) {
 	p := ev.params
 
 	// Collect the baby and giant steps in deterministic order.
@@ -368,7 +426,11 @@ func (ev *Evaluator) applyLinearTransformBSGS(ct *Ciphertext, lt *LinearTransfor
 	var hd *HoistedDecomp
 	for _, b := range babies {
 		if b != 0 {
-			hd = ev.DecomposeModUp(ct)
+			var err error
+			hd, err = ev.DecomposeModUp(ct)
+			if err != nil {
+				return nil, err
+			}
 			defer hd.Free(p.Ctx)
 			break
 		}
@@ -377,7 +439,11 @@ func (ev *Evaluator) applyLinearTransformBSGS(ct *Ciphertext, lt *LinearTransfor
 		if b == 0 {
 			rot[0] = ct
 		} else {
-			rot[b] = ev.rotateHoisted(hd, b)
+			r, err := ev.rotateHoisted(hd, b)
+			if err != nil {
+				return nil, err
+			}
+			rot[b] = r
 		}
 	}
 
@@ -387,8 +453,9 @@ func (ev *Evaluator) applyLinearTransformBSGS(ct *Ciphertext, lt *LinearTransfor
 	// writes only its own slot and the inner ops are deterministic, so
 	// the fan-out does not change results.
 	accs := make([]*Ciphertext, len(giants))
+	errs := make([]error, len(giants))
 	cost := p.N() * ct.C0.R() * 8 // keyswitch-dominated: always worth fanning out
-	engine.Dispatch(len(giants), cost, func(gi int) {
+	dispatchErr := engine.DispatchCtx(ev.ctx, len(giants), cost, func(gi int) {
 		g := giants[gi]
 		group := lt.bsgs[g]
 		var bs []int
@@ -412,15 +479,40 @@ func (ev *Evaluator) applyLinearTransformBSGS(ct *Ciphertext, lt *LinearTransfor
 				acc1.MulCoeffsAdd(in.C1, pt)
 			}
 		}
-		accCt := &Ciphertext{C0: acc0, C1: acc1, Level: ct.Level, Scale: new(big.Rat).Set(outScale)}
+		accCt := newCiphertext(acc0, acc1, ct.Level, new(big.Rat).Set(outScale), ct.NoiseBits)
 		if g != 0 {
-			rotated := ev.Rotate(accCt, g)
+			rotated, err := ev.Rotate(accCt, g)
 			p.Ctx.PutPoly(acc0)
 			p.Ctx.PutPoly(acc1)
+			if err != nil {
+				errs[gi] = err
+				return
+			}
 			accCt = rotated
 		}
 		accs[gi] = accCt
 	})
+
+	// Error paths discard the partial result; pooled accumulators of
+	// completed tasks are reclaimed here.
+	fail := func(err error) (*Ciphertext, error) {
+		for gi, acc := range accs {
+			if acc != nil && giants[gi] == 0 {
+				// Giant 0's accumulator polys are still pooled.
+				p.Ctx.PutPoly(acc.C0)
+				p.Ctx.PutPoly(acc.C1)
+			}
+		}
+		return nil, err
+	}
+	if dispatchErr != nil {
+		return fail(dispatchErr)
+	}
+	for _, err := range errs {
+		if err != nil {
+			return fail(err)
+		}
+	}
 
 	// Ordered reduction keeps the result independent of scheduling.
 	out := accs[0]
@@ -428,7 +520,9 @@ func (ev *Evaluator) applyLinearTransformBSGS(ct *Ciphertext, lt *LinearTransfor
 		out.C0.Add(out.C0, acc.C0)
 		out.C1.Add(out.C1, acc.C1)
 	}
-	return out
+	out.NoiseBits = ev.transformNoise(ct, lt)
+	out.seal()
+	return out, nil
 }
 
 // ReplicateBlocks repeats the first dim entries of values across the whole

@@ -20,8 +20,8 @@ func TestLinearTransformIdentity(t *testing.T) {
 	rng := rand.New(rand.NewPCG(61, 62))
 	vals := randomValues(slots, rng)
 	ct := s.encryptValues(vals)
-	out := s.ev.Rescale(s.ev.ApplyLinearTransform(ct, lt))
-	got := s.dec.DecryptAndDecode(out, s.enc)
+	out := s.ev.MustRescale(s.ev.MustApplyLinearTransform(ct, lt))
+	got := s.dec.MustDecryptAndDecode(out, s.enc)
 	if e := maxErr(got, vals); e > 1e-5 {
 		t.Fatalf("identity transform error %g", e)
 	}
@@ -60,8 +60,8 @@ func TestLinearTransformDenseMatrix(t *testing.T) {
 		}
 		replicated := ReplicateBlocks(vec, dim, s.params.Slots())
 		ct := s.encryptValues(replicated)
-		out := s.ev.Rescale(s.ev.ApplyLinearTransform(ct, lt))
-		got := s.dec.DecryptAndDecode(out, s.enc)
+		out := s.ev.MustRescale(s.ev.MustApplyLinearTransform(ct, lt))
+		got := s.dec.MustDecryptAndDecode(out, s.enc)
 
 		for i := 0; i < dim; i++ {
 			want := complex(0, 0)
@@ -96,8 +96,8 @@ func TestLinearTransformBanded(t *testing.T) {
 	rng := rand.New(rand.NewPCG(65, 66))
 	vals := randomValues(slots, rng)
 	ct := s.encryptValues(vals)
-	out := s.ev.Rescale(s.ev.ApplyLinearTransform(ct, lt))
-	got := s.dec.DecryptAndDecode(out, s.enc)
+	out := s.ev.MustRescale(s.ev.MustApplyLinearTransform(ct, lt))
+	got := s.dec.MustDecryptAndDecode(out, s.enc)
 	for i := range vals {
 		want := k[0]*vals[((i-1)+slots)%slots] + k[1]*vals[i] + k[2]*vals[(i+1)%slots]
 		if e := cmplx.Abs(got[i] - want); e > 1e-4 {
@@ -165,7 +165,7 @@ func TestEvalChebyshev(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		got := s.dec.DecryptAndDecode(out, s.enc)
+		got := s.dec.MustDecryptAndDecode(out, s.enc)
 		for i := range vals {
 			want := chebyshevRef(coeffs, real(vals[i]))
 			if e := math.Abs(real(got[i]) - want); e > 1e-3 {
@@ -183,7 +183,7 @@ func TestEvalChebyshevEdgeCases(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	got := s.dec.DecryptAndDecode(out, s.enc)
+	got := s.dec.MustDecryptAndDecode(out, s.enc)
 	if math.Abs(real(got[0])-0.75) > 1e-5 {
 		t.Fatalf("constant series: %v", real(got[0]))
 	}
@@ -192,7 +192,7 @@ func TestEvalChebyshevEdgeCases(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	got = s.dec.DecryptAndDecode(out, s.enc)
+	got = s.dec.MustDecryptAndDecode(out, s.enc)
 	if math.Abs(real(got[0])-0.35) > 1e-4 {
 		t.Fatalf("degree-1 series: %v", real(got[0]))
 	}

@@ -43,6 +43,13 @@ func (nm *NoiseModel) RescaleFloorBits() float64 {
 	return math.Log2(math.Sqrt(nm.n() / 3))
 }
 
+// EncodingBits is the rounding noise of encoding a plaintext: each
+// coefficient rounds to the nearest integer, a uniform error of
+// magnitude ~sqrt(N/12) in the coefficient embedding.
+func (nm *NoiseModel) EncodingBits() float64 {
+	return math.Log2(math.Sqrt(nm.n() / 12))
+}
+
 // KeySwitchBits is the additive noise of one hybrid keyswitch: the
 // inner-product noise dnum*N*sigma*B_digit scaled down by P. With the
 // digit products matched to P it is ~sqrt(dnum*N)*sigma plus the ModDown

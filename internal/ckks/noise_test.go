@@ -28,12 +28,12 @@ func TestNoiseModelIsAnEnvelope(t *testing.T) {
 		ct := s.encryptValues(vals)
 		ref := append([]complex128(nil), vals...)
 		for d := 0; d < depth; d++ {
-			ct = s.ev.Rescale(s.ev.Square(ct))
+			ct = s.ev.MustRescale(s.ev.MustSquare(ct))
 			for i := range ref {
 				ref[i] *= ref[i]
 			}
 		}
-		got := s.dec.DecryptAndDecode(ct, s.enc)
+		got := s.dec.MustDecryptAndDecode(ct, s.enc)
 		worst := math.Inf(1)
 		for i := range ref {
 			e := cmplx.Abs(got[i] - ref[i])

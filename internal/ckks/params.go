@@ -122,11 +122,13 @@ func (p *Parameters) KeyBasis() []uint64 {
 	return append(append([]uint64(nil), p.union...), p.Chain.Special...)
 }
 
-// DigitOf returns the keyswitching digit a modulus belongs to.
+// DigitOf returns the keyswitching digit a modulus belongs to. Every
+// modulus reaching here comes from a chain-derived list, so a miss is an
+// unreachable internal state, not a recoverable condition.
 func (p *Parameters) DigitOf(q uint64) int {
 	d, ok := p.digitOf[q]
 	if !ok {
-		panic(fmt.Sprintf("ckks: modulus %d not in chain", q))
+		panic(fmt.Sprintf("ckks: modulus %d not in chain (unreachable)", q))
 	}
 	return d
 }

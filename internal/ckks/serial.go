@@ -3,6 +3,7 @@ package ckks
 import (
 	"encoding/binary"
 	"fmt"
+	"math"
 	"math/big"
 
 	"bitpacker/internal/ring"
@@ -11,12 +12,15 @@ import (
 // Binary serialization for ciphertexts (network/storage interchange).
 // Format (little-endian):
 //
-//	magic "BPCT" | version u8 | level u32 | isNTT u8
+//	magic "BPCT" | version u8 | level u32 | isNTT u8 | noiseBits f64 (v2+)
 //	scaleNum len u32 | bytes | scaleDen len u32 | bytes
 //	R u32 | N u32 | moduli [R]u64 | c0 residues [R][N]u64 | c1 ...
+//
+// Version 2 added the noise-budget estimate; version-1 blobs are still
+// accepted and get the conservative fresh-encryption estimate.
 
 const ctMagic = "BPCT"
-const ctVersion = 1
+const ctVersion = 2
 
 // MarshalBinary encodes the ciphertext.
 func (ct *Ciphertext) MarshalBinary() ([]byte, error) {
@@ -30,7 +34,7 @@ func (ct *Ciphertext) MarshalBinary() ([]byte, error) {
 	n := ct.C0.N()
 	numB := ct.Scale.Num().Bytes()
 	denB := ct.Scale.Denom().Bytes()
-	size := 4 + 1 + 4 + 1 + 4 + len(numB) + 4 + len(denB) + 4 + 4 + 8*r + 2*8*r*n
+	size := 4 + 1 + 4 + 1 + 8 + 4 + len(numB) + 4 + len(denB) + 4 + 4 + 8*r + 2*8*r*n
 	out := make([]byte, 0, size)
 	out = append(out, ctMagic...)
 	out = append(out, ctVersion)
@@ -40,6 +44,7 @@ func (ct *Ciphertext) MarshalBinary() ([]byte, error) {
 		ntt = 1
 	}
 	out = append(out, ntt)
+	out = binary.LittleEndian.AppendUint64(out, math.Float64bits(ct.NoiseBits))
 	out = binary.LittleEndian.AppendUint32(out, uint32(len(numB)))
 	out = append(out, numB...)
 	out = binary.LittleEndian.AppendUint32(out, uint32(len(denB)))
@@ -67,11 +72,19 @@ func UnmarshalCiphertext(params *Parameters, data []byte) (*Ciphertext, error) {
 	if string(rd.take(4)) != ctMagic {
 		return nil, fmt.Errorf("ckks: bad magic")
 	}
-	if v := rd.u8(); v != ctVersion {
-		return nil, fmt.Errorf("ckks: unsupported version %d", v)
+	version := rd.u8()
+	if version != 1 && version != ctVersion {
+		return nil, fmt.Errorf("ckks: unsupported version %d", version)
 	}
 	level := int(rd.u32())
 	isNTT := rd.u8() == 1
+	noiseBits := NewNoiseModel(params).FreshBits() // v1 default: conservative fresh estimate
+	if version >= 2 {
+		noiseBits = math.Float64frombits(rd.u64())
+		if math.IsNaN(noiseBits) || math.IsInf(noiseBits, 0) {
+			return nil, fmt.Errorf("ckks: non-finite noise estimate")
+		}
+	}
 	num := new(big.Int).SetBytes(rd.take(int(rd.u32())))
 	den := new(big.Int).SetBytes(rd.take(int(rd.u32())))
 	if rd.err != nil {
@@ -129,12 +142,7 @@ func UnmarshalCiphertext(params *Parameters, data []byte) (*Ciphertext, error) {
 	if len(rd.buf) != rd.off {
 		return nil, fmt.Errorf("ckks: %d trailing bytes", len(rd.buf)-rd.off)
 	}
-	return &Ciphertext{
-		C0:    polys[0],
-		C1:    polys[1],
-		Level: level,
-		Scale: new(big.Rat).SetFrac(num, den),
-	}, nil
+	return newCiphertext(polys[0], polys[1], level, new(big.Rat).SetFrac(num, den), noiseBits), nil
 }
 
 // reader is a bounds-checked cursor.

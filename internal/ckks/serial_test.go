@@ -28,14 +28,14 @@ func TestCiphertextSerializationRoundTrip(t *testing.T) {
 		t.Fatal("polynomial mismatch")
 	}
 	// The deserialized ciphertext must decrypt identically.
-	want := s.dec.DecryptAndDecode(ct, s.enc)
-	have := s.dec.DecryptAndDecode(got, s.enc)
+	want := s.dec.MustDecryptAndDecode(ct, s.enc)
+	have := s.dec.MustDecryptAndDecode(got, s.enc)
 	if e := maxErr(have, want); e != 0 {
 		t.Fatalf("decryption differs after roundtrip: %g", e)
 	}
 	// And still supports homomorphic ops.
-	sq := s.ev.Rescale(s.ev.Square(got))
-	res := s.dec.DecryptAndDecode(sq, s.enc)
+	sq := s.ev.MustRescale(s.ev.MustSquare(got))
+	res := s.dec.MustDecryptAndDecode(sq, s.enc)
 	ref := make([]complex128, len(vals))
 	for i := range vals {
 		ref[i] = vals[i] * vals[i]
@@ -49,7 +49,7 @@ func TestCiphertextSerializationAtLowerLevel(t *testing.T) {
 	s := newTestSetup(t, core.RNSCKKS, 3, 40, 61, 10, 8, nil)
 	rng := rand.New(rand.NewPCG(43, 44))
 	ct := s.encryptValues(randomValues(s.params.Slots(), rng))
-	low := s.ev.Rescale(s.ev.Square(ct))
+	low := s.ev.MustRescale(s.ev.MustSquare(ct))
 	blob, err := low.MarshalBinary()
 	if err != nil {
 		t.Fatal(err)

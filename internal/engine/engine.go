@@ -24,11 +24,14 @@
 package engine
 
 import (
+	"context"
 	"os"
 	"runtime"
 	"strconv"
 	"sync"
 	"sync/atomic"
+
+	"bitpacker/internal/fherr"
 )
 
 // DefaultMinParallelOps is the default threshold, in total scalar
@@ -90,12 +93,19 @@ func SetMinParallelOps(n int) {
 // job is one Dispatch call: a work function over [0, n) indices, claimed
 // one at a time through the shared atomic cursor. left counts unfinished
 // indices; the goroutine that completes the last one closes done.
+//
+// ctx and drop are only set by DispatchCtx: once ctx is canceled the
+// remaining indices are claimed but skipped (so the join still
+// completes), and drop simulates a lost task for the chaos harness.
 type job struct {
-	work func(int)
-	n    int64
-	next atomic.Int64
-	left atomic.Int64
-	done chan struct{}
+	work    func(int)
+	n       int64
+	next    atomic.Int64
+	left    atomic.Int64
+	done    chan struct{}
+	ctx     context.Context
+	drop    func(int) bool
+	dropped atomic.Int64
 }
 
 // run claims and executes indices until the job is exhausted.
@@ -105,11 +115,43 @@ func (j *job) run() {
 		if i >= j.n {
 			return
 		}
-		j.work(int(i))
+		switch {
+		case j.ctx != nil && j.ctx.Err() != nil:
+			// Canceled: skip the work but keep accounting so the join
+			// closes; the caller reports ErrCanceled and discards the
+			// partial result.
+		case j.drop != nil && j.drop(int(i)):
+			j.dropped.Add(1)
+		default:
+			j.work(int(i))
+		}
 		if j.left.Add(-1) == 0 {
 			close(j.done)
 		}
 	}
+}
+
+// faultHook, when non-nil, is consulted by DispatchCtx for every task
+// index; returning true drops that task (it is never executed) and makes
+// the dispatch report ErrEngineFault. Installed only by the chaos
+// fault-injection harness.
+var faultHook atomic.Value // of func(int) bool
+
+// SetFaultHook installs (or, with nil, clears) the chaos fault hook.
+// Real deployments never call this; it exists so the fault-injection
+// harness can prove that dropped engine jobs surface as errors instead
+// of silently incomplete results.
+func SetFaultHook(h func(task int) bool) {
+	if h == nil {
+		faultHook.Store((func(int) bool)(nil))
+		return
+	}
+	faultHook.Store(h)
+}
+
+func currentFaultHook() func(int) bool {
+	h, _ := faultHook.Load().(func(int) bool)
+	return h
 }
 
 // startPool lazily spawns the long-lived workers. The pool is sized by
@@ -155,6 +197,11 @@ func Dispatch(tasks, opsPerTask int, work func(int)) {
 	poolOnce.Do(startPool)
 	j := &job{work: work, n: int64(tasks), done: make(chan struct{})}
 	j.left.Store(int64(tasks))
+	runJob(j, w, tasks)
+}
+
+// runJob recruits helpers for j and participates until the join.
+func runJob(j *job, w, tasks int) {
 	helpers := w - 1
 	if helpers > tasks-1 {
 		helpers = tasks - 1
@@ -168,4 +215,59 @@ func Dispatch(tasks, opsPerTask int, work func(int)) {
 	}
 	j.run()
 	<-j.done
+}
+
+// DispatchCtx is Dispatch with cancellation and completeness reporting:
+// it runs work(0) … work(tasks-1) like Dispatch, but
+//
+//   - once ctx is canceled or its deadline passes, the remaining task
+//     indices are skipped (each worker observes the cancellation at its
+//     next claim, so the call returns within one dispatch quantum) and
+//     the call reports an error satisfying errors.Is(err,
+//     fherr.ErrCanceled);
+//   - if the chaos fault hook dropped any task, the call reports an
+//     error satisfying errors.Is(err, fherr.ErrEngineFault) instead of
+//     returning a silently incomplete result.
+//
+// On any error the caller must discard the partial outputs (and return
+// pooled scratch). A nil ctx behaves like context.Background().
+func DispatchCtx(ctx context.Context, tasks, opsPerTask int, work func(int)) error {
+	if tasks <= 0 {
+		return nil
+	}
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return fherr.Wrap(fherr.ErrCanceled, "engine: dispatch not started (%v)", err)
+		}
+	}
+	drop := currentFaultHook()
+	w := Workers()
+	if w <= 1 || tasks == 1 || tasks*opsPerTask < MinParallelOps() {
+		dropped := 0
+		for i := 0; i < tasks; i++ {
+			if ctx != nil && ctx.Err() != nil {
+				return fherr.Wrap(fherr.ErrCanceled, "engine: canceled after %d of %d tasks (%v)", i, tasks, ctx.Err())
+			}
+			if drop != nil && drop(i) {
+				dropped++
+				continue
+			}
+			work(i)
+		}
+		if dropped > 0 {
+			return fherr.Wrap(fherr.ErrEngineFault, "engine: %d of %d tasks dropped", dropped, tasks)
+		}
+		return nil
+	}
+	poolOnce.Do(startPool)
+	j := &job{work: work, n: int64(tasks), done: make(chan struct{}), ctx: ctx, drop: drop}
+	j.left.Store(int64(tasks))
+	runJob(j, w, tasks)
+	if ctx != nil && ctx.Err() != nil {
+		return fherr.Wrap(fherr.ErrCanceled, "engine: canceled mid-dispatch (%v)", ctx.Err())
+	}
+	if d := j.dropped.Load(); d > 0 {
+		return fherr.Wrap(fherr.ErrEngineFault, "engine: %d of %d tasks dropped", d, tasks)
+	}
+	return nil
 }

@@ -1,8 +1,14 @@
 package engine
 
 import (
+	"context"
+	"errors"
+	"runtime"
 	"sync/atomic"
 	"testing"
+	"time"
+
+	"bitpacker/internal/fherr"
 )
 
 // forceParallel drops the inline threshold and pins the worker count for
@@ -98,5 +104,115 @@ func TestWorkersEnvOverride(t *testing.T) {
 	t.Setenv("BITPACKER_WORKERS", "bogus")
 	if Workers() < 1 {
 		t.Fatalf("bogus env must fall back to default, got %d", Workers())
+	}
+}
+
+func TestDispatchCtxNilContextRunsAll(t *testing.T) {
+	forceParallel(t, 4)
+	const n = 256
+	counts := make([]int64, n)
+	if err := DispatchCtx(nil, n, 1, func(i int) {
+		atomic.AddInt64(&counts[i], 1)
+	}); err != nil {
+		t.Fatalf("nil ctx dispatch failed: %v", err)
+	}
+	for i, c := range counts {
+		if c != 1 {
+			t.Fatalf("index %d ran %d times", i, c)
+		}
+	}
+}
+
+func TestDispatchCtxPreCanceled(t *testing.T) {
+	forceParallel(t, 4)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err := DispatchCtx(ctx, 64, 1, func(i int) { t.Error("work ran under pre-canceled ctx") })
+	if !errors.Is(err, fherr.ErrCanceled) {
+		t.Fatalf("err = %v, want ErrCanceled", err)
+	}
+}
+
+func TestDispatchCtxCancelMidDispatch(t *testing.T) {
+	forceParallel(t, 4)
+	ctx, cancel := context.WithCancel(context.Background())
+	var ran atomic.Int64
+	err := DispatchCtx(ctx, 1024, 1, func(i int) {
+		if ran.Add(1) == 8 {
+			cancel() // cancel after a few tasks; the rest must be skipped
+		}
+	})
+	if !errors.Is(err, fherr.ErrCanceled) {
+		t.Fatalf("err = %v, want ErrCanceled", err)
+	}
+	if n := ran.Load(); n == 1024 {
+		t.Fatal("cancellation skipped no tasks")
+	}
+}
+
+func TestDispatchCtxCancelInline(t *testing.T) {
+	SetWorkers(1) // inline path
+	defer SetWorkers(0)
+	ctx, cancel := context.WithCancel(context.Background())
+	var ran int
+	err := DispatchCtx(ctx, 100, 1, func(i int) {
+		ran++
+		if ran == 3 {
+			cancel()
+		}
+	})
+	if !errors.Is(err, fherr.ErrCanceled) {
+		t.Fatalf("err = %v, want ErrCanceled", err)
+	}
+	if ran != 3 {
+		t.Fatalf("inline cancel ran %d tasks, want 3", ran)
+	}
+}
+
+func TestDispatchCtxFaultHookDrops(t *testing.T) {
+	forceParallel(t, 4)
+	SetFaultHook(func(task int) bool { return task == 17 })
+	defer SetFaultHook(nil)
+	const n = 64
+	counts := make([]int64, n)
+	err := DispatchCtx(context.Background(), n, 1, func(i int) {
+		atomic.AddInt64(&counts[i], 1)
+	})
+	if !errors.Is(err, fherr.ErrEngineFault) {
+		t.Fatalf("err = %v, want ErrEngineFault", err)
+	}
+	if counts[17] != 0 {
+		t.Fatal("dropped task ran anyway")
+	}
+	for i, c := range counts {
+		if i != 17 && c != 1 {
+			t.Fatalf("index %d ran %d times", i, c)
+		}
+	}
+}
+
+func TestDispatchCtxNoGoroutineLeakAndReusable(t *testing.T) {
+	forceParallel(t, 4)
+	// Warm the pool so its long-lived workers are excluded from the count.
+	_ = DispatchCtx(context.Background(), 128, 1, func(int) {})
+	before := runtime.NumGoroutine()
+	for rep := 0; rep < 20; rep++ {
+		ctx, cancel := context.WithCancel(context.Background())
+		cancel()
+		_ = DispatchCtx(ctx, 512, 1, func(int) {})
+	}
+	// The engine must be immediately reusable after cancellations.
+	var ran atomic.Int64
+	if err := DispatchCtx(context.Background(), 128, 1, func(int) { ran.Add(1) }); err != nil {
+		t.Fatalf("engine unusable after cancels: %v", err)
+	}
+	if ran.Load() != 128 {
+		t.Fatalf("post-cancel dispatch ran %d of 128", ran.Load())
+	}
+	runtime.GC()
+	time.Sleep(20 * time.Millisecond)
+	after := runtime.NumGoroutine()
+	if after > before+2 {
+		t.Fatalf("goroutines grew %d -> %d after canceled dispatches", before, after)
 	}
 }

@@ -55,11 +55,11 @@ func newFuncSetup(scheme core.Scheme, levels int, scaleBits float64, w, logN int
 func (s *funcSetup) encryptTop(values []complex128) *ckks.Ciphertext {
 	lvl := s.params.MaxLevel()
 	pt := &ckks.Plaintext{
-		Value: s.enc.Encode(values, s.params.DefaultScale(lvl), s.params.LevelModuli(lvl)),
+		Value: s.enc.MustEncode(values, s.params.DefaultScale(lvl), s.params.LevelModuli(lvl)),
 		Level: lvl,
 		Scale: s.params.DefaultScale(lvl),
 	}
-	return s.encr.EncryptAtLevel(pt, lvl)
+	return s.encr.MustEncryptAtLevel(pt, lvl)
 }
 
 // ---------------------------------------------------------------------------
@@ -82,7 +82,7 @@ func cpuKernel(s *funcSetup, reps int) time.Duration {
 	for rep := 0; rep < reps; rep++ {
 		ct := s.encryptTop(vals)
 		for ct.Level > 0 {
-			ct = s.ev.Rescale(s.ev.Square(ct))
+			ct = s.ev.MustRescale(s.ev.MustSquare(ct))
 		}
 	}
 	return time.Since(start)
@@ -147,13 +147,13 @@ func precisionRun(s *funcSetup, depth int, seed uint64) (mean, worst float64) {
 	orig := ct.CopyNew()
 	origRef := append([]complex128(nil), ref...)
 	for d := 0; d < depth; d++ {
-		ct = s.ev.Rescale(s.ev.Square(ct))
+		ct = s.ev.MustRescale(s.ev.MustSquare(ct))
 		for i := range ref {
 			ref[i] *= ref[i]
 		}
 		// Cross-level add to exercise adjust.
-		adj := s.ev.AdjustTo(orig.CopyNew(), ct.Level)
-		ct = s.ev.Add(ct, adj)
+		adj := s.ev.MustAdjustTo(orig.CopyNew(), ct.Level)
+		ct = s.ev.MustAdd(ct, adj)
 		for i := range ref {
 			ref[i] += origRef[i]
 		}
@@ -174,7 +174,7 @@ func precisionRun(s *funcSetup, depth int, seed uint64) (mean, worst float64) {
 			break
 		}
 	}
-	got := s.dec.DecryptAndDecode(ct, s.enc)
+	got := s.dec.MustDecryptAndDecode(ct, s.enc)
 	meanBits, worstBits := 0.0, math.Inf(1)
 	for i := range ref {
 		err := cmplx.Abs(got[i] - ref[i])
@@ -264,12 +264,12 @@ func levelOpErrors(scheme core.Scheme, scaleBits float64, w, logN, reps int, adj
 		var got []complex128
 		ref := make([]complex128, n)
 		if adjust {
-			out := s.ev.Adjust(ct)
-			got = s.dec.DecryptAndDecode(out, s.enc)
+			out := s.ev.MustAdjust(ct)
+			got = s.dec.MustDecryptAndDecode(out, s.enc)
 			copy(ref, vals)
 		} else {
-			out := s.ev.Rescale(s.ev.Square(ct))
-			got = s.dec.DecryptAndDecode(out, s.enc)
+			out := s.ev.MustRescale(s.ev.MustSquare(ct))
+			got = s.dec.MustDecryptAndDecode(out, s.enc)
 			for i := range ref {
 				ref[i] = vals[i] * vals[i]
 			}

@@ -1,0 +1,47 @@
+package fherr
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestWrapSatisfiesIs(t *testing.T) {
+	sentinels := []error{
+		ErrLevelMismatch, ErrScaleMismatch, ErrMissingKey,
+		ErrChainExhausted, ErrInvariant, ErrCanceled,
+		ErrNoiseBudget, ErrEngineFault, ErrInvalidParams,
+	}
+	for _, s := range sentinels {
+		err := Wrap(s, "op at level %d", 3)
+		if !errors.Is(err, s) {
+			t.Errorf("Wrap(%v) does not satisfy errors.Is", s)
+		}
+		if !strings.Contains(err.Error(), "op at level 3") {
+			t.Errorf("Wrap lost context: %v", err)
+		}
+		// Wrapped errors of one class must not match another.
+		for _, other := range sentinels {
+			if other != s && errors.Is(err, other) {
+				t.Errorf("Wrap(%v) spuriously matches %v", s, other)
+			}
+		}
+	}
+}
+
+func TestNoiseBudgetError(t *testing.T) {
+	err := error(&NoiseBudgetError{Op: "Rescale", BudgetBits: -1.5, GuardBits: 2, Action: "bootstrap"})
+	if !errors.Is(err, ErrNoiseBudget) {
+		t.Fatal("NoiseBudgetError does not unwrap to ErrNoiseBudget")
+	}
+	var nbe *NoiseBudgetError
+	if !errors.As(err, &nbe) {
+		t.Fatal("errors.As failed")
+	}
+	if nbe.Action != "bootstrap" {
+		t.Fatalf("Action = %q", nbe.Action)
+	}
+	if !strings.Contains(err.Error(), "bootstrap") {
+		t.Fatalf("message lacks action: %v", err)
+	}
+}

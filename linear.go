@@ -44,19 +44,31 @@ func (c *Context) NewDiagonalTransform(diags map[int][]complex128, level int) (*
 }
 
 // Apply computes the matrix-vector product M·v homomorphically. The
-// ciphertext must sit at the transform's level; follow with Rescale.
-// Dense transforms evaluate baby-step/giant-step with hoisted rotations
-// (O(2√D) keyswitches for D diagonals); sparse ones run per-diagonal with
-// the rotations hoisted.
-func (c *Context) Apply(ct *Ciphertext, t *Transform) *Ciphertext {
-	return &Ciphertext{ct: c.eval.ApplyLinearTransform(ct.ct, t.lt)}
+// ciphertext must sit at the transform's level (ErrLevelMismatch
+// otherwise); follow with Rescale. Dense transforms evaluate
+// baby-step/giant-step with hoisted rotations (O(2√D) keyswitches for D
+// diagonals); sparse ones run per-diagonal with the rotations hoisted.
+// Under a canceled WithContext the fan-out stops within one dispatch
+// quantum and Apply fails with ErrCanceled.
+func (c *Context) Apply(ct *Ciphertext, t *Transform) (*Ciphertext, error) {
+	return wrapCt(c.eval.ApplyLinearTransform(ct.ct, t.lt))
+}
+
+// MustApply is Apply, panicking on error.
+func (c *Context) MustApply(ct *Ciphertext, t *Transform) *Ciphertext {
+	return must(c.Apply(ct, t))
 }
 
 // ApplyNaive computes the same product with one full keyswitch per
 // nonzero diagonal — the reference path Apply is benchmarked and
 // differentially tested against. Requires keys for RotationsNaive().
-func (c *Context) ApplyNaive(ct *Ciphertext, t *Transform) *Ciphertext {
-	return &Ciphertext{ct: c.eval.ApplyLinearTransformNaive(ct.ct, t.lt)}
+func (c *Context) ApplyNaive(ct *Ciphertext, t *Transform) (*Ciphertext, error) {
+	return wrapCt(c.eval.ApplyLinearTransformNaive(ct.ct, t.lt))
+}
+
+// MustApplyNaive is ApplyNaive, panicking on error.
+func (c *Context) MustApplyNaive(ct *Ciphertext, t *Transform) *Ciphertext {
+	return must(c.ApplyNaive(ct, t))
 }
 
 // Replicate repeats the first dim values across all slots, the layout

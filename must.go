@@ -1,0 +1,74 @@
+package bitpacker
+
+// Must* wrappers: the public API's documented panic boundary. Each
+// delegates to its error-returning counterpart and panics on failure,
+// keeping examples and benchmarks terse where an error could only be a
+// programming mistake. Production code should use the error forms.
+
+func must[T any](v T, err error) T {
+	if err != nil {
+		panic(err)
+	}
+	return v
+}
+
+// MustNew is New, panicking on error.
+func MustNew(cfg Config) *Context { return must(New(cfg)) }
+
+// MustEncrypt is Encrypt, panicking on error.
+func (c *Context) MustEncrypt(values []complex128) *Ciphertext { return must(c.Encrypt(values)) }
+
+// MustEncryptReal is EncryptReal, panicking on error.
+func (c *Context) MustEncryptReal(values []float64) *Ciphertext { return must(c.EncryptReal(values)) }
+
+// MustDecrypt is Decrypt, panicking on error.
+func (c *Context) MustDecrypt(ct *Ciphertext) []complex128 { return must(c.Decrypt(ct)) }
+
+// MustDecryptReal is DecryptReal, panicking on error.
+func (c *Context) MustDecryptReal(ct *Ciphertext) []float64 { return must(c.DecryptReal(ct)) }
+
+// MustAdd is Add, panicking on error.
+func (c *Context) MustAdd(a, b *Ciphertext) *Ciphertext { return must(c.Add(a, b)) }
+
+// MustSub is Sub, panicking on error.
+func (c *Context) MustSub(a, b *Ciphertext) *Ciphertext { return must(c.Sub(a, b)) }
+
+// MustNeg is Neg, panicking on error.
+func (c *Context) MustNeg(a *Ciphertext) *Ciphertext { return must(c.Neg(a)) }
+
+// MustMul is Mul, panicking on error.
+func (c *Context) MustMul(a, b *Ciphertext) *Ciphertext { return must(c.Mul(a, b)) }
+
+// MustMulConst is MulConst, panicking on error.
+func (c *Context) MustMulConst(a *Ciphertext, values []complex128) *Ciphertext {
+	return must(c.MulConst(a, values))
+}
+
+// MustAddConst is AddConst, panicking on error.
+func (c *Context) MustAddConst(a *Ciphertext, values []complex128) *Ciphertext {
+	return must(c.AddConst(a, values))
+}
+
+// MustRescale is Rescale, panicking on error.
+func (c *Context) MustRescale(a *Ciphertext) *Ciphertext { return must(c.Rescale(a)) }
+
+// MustAdjust is Adjust, panicking on error.
+func (c *Context) MustAdjust(a *Ciphertext, level int) *Ciphertext {
+	return must(c.Adjust(a, level))
+}
+
+// MustRotate is Rotate, panicking on error.
+func (c *Context) MustRotate(a *Ciphertext, steps int) *Ciphertext {
+	return must(c.Rotate(a, steps))
+}
+
+// MustRotateHoisted is RotateHoisted, panicking on error.
+func (c *Context) MustRotateHoisted(a *Ciphertext, steps []int) []*Ciphertext {
+	return must(c.RotateHoisted(a, steps))
+}
+
+// MustConjugate is Conjugate, panicking on error.
+func (c *Context) MustConjugate(a *Ciphertext) *Ciphertext { return must(c.Conjugate(a)) }
+
+// MustRefresh is Refresh, panicking on error.
+func (c *Context) MustRefresh(ct *Ciphertext) *Ciphertext { return must(c.Refresh(ct)) }
