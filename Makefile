@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench check clean panicgate fuzz-smoke
+.PHONY: all build vet test race bench check clean panicgate fuzz-smoke chaos-soak
 
 all: check
 
@@ -37,6 +37,14 @@ panicgate:
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzEncodeDecode -fuzztime 20s .
 	$(GO) test -run '^$$' -fuzz FuzzParams -fuzztime 20s .
+
+# Chaos soak: run the fault-injection and self-healing suites (RRNS
+# repair, op-level retry, checkpoint/resume) repeatedly with shuffled
+# test order. Recovery bugs are often timing- and order-dependent; a
+# soak of shuffled repetitions flushes out what a single pass misses.
+chaos-soak:
+	$(GO) test -race -count=5 -shuffle=on -short -run 'Chaos|SelfHeal|Fault|Retry|Burst|RRNS|Pipeline' \
+		./internal/chaos/... ./internal/engine/... ./internal/pipeline/... ./internal/ckks/... .
 
 # Tier-1 gate: everything must build, vet clean, pass tests, and the
 # parallel hot paths must be race-free.

@@ -88,7 +88,28 @@ type Config struct {
 	// minus estimated noise bits) drops below this threshold. The error
 	// carries a suggested action (rescale, adjust, or bootstrap).
 	NoiseGuardBits float64
+	// RedundantResidue reserves one spare NTT-friendly prime alongside
+	// the live modulus chain and carries every ciphertext's residues mod
+	// that prime as a redundant check channel (RRNS). The channel is
+	// cross-checked against an exact CRT projection of the live residues
+	// at rescale boundaries — catching corruption that stays inside
+	// coefficient range, invisible to CheckInvariants — and repairs a
+	// single corrupted residue in place without decryption. Off by
+	// default; the default chains are byte-identical with it off.
+	RedundantResidue bool
+	// Retry, when non-nil, re-dispatches operations that fail with a
+	// detected fault (ErrInvariant, ErrEngineFault) from their retained
+	// inputs, with exponential backoff, until the policy's attempt
+	// budget is spent — then the operation fails with
+	// ErrFaultUnrecovered wrapping the last cause. A run of consecutive
+	// unrecovered operations opens a circuit breaker (ErrCircuitOpen).
+	// Cancellation always wins over retry: a canceled context returns
+	// ErrCanceled immediately.
+	Retry *RetryPolicy
 }
+
+// RetryPolicy tunes op-level fault recovery (see Config.Retry).
+type RetryPolicy = engine.RetryPolicy
 
 // BootstrapOptions configures functional bootstrapping (see
 // Context.Refresh). Demonstration-grade: the chain must provide
@@ -113,6 +134,8 @@ type Context struct {
 	dec     *ckks.Decryptor
 	eval    *ckks.Evaluator
 	boot    *ckks.Bootstrapper
+	retrier *engine.Retrier
+	ctx     context.Context // from WithContext; nil means Background
 }
 
 // Ciphertext is an encrypted vector at some level of the modulus chain.
@@ -130,6 +153,11 @@ func (c *Ciphertext) Residues() int { return c.ct.R() }
 // ScaleLog2 returns log2 of the ciphertext's scale.
 func (c *Ciphertext) ScaleLog2() float64 {
 	return core.RatLog2(c.ct.Scale)
+}
+
+// Copy returns an independent deep copy of the ciphertext.
+func (c *Ciphertext) Copy() *Ciphertext {
+	return &Ciphertext{ct: c.ct.CopyNew()}
 }
 
 // New builds a context: modulus chain, keys, and engines.
@@ -182,7 +210,8 @@ func New(cfg Config) (*Context, error) {
 		}
 		sec.QMaxBits = maxQP
 	}
-	params, err := ckks.BuildParameters(cfg.Scheme, prog, sec, core.HWSpec{WordBits: cfg.WordBits}, cfg.KeySwitchDigits, cfg.Sigma)
+	params, err := ckks.BuildParametersExt(cfg.Scheme, prog, sec, core.HWSpec{WordBits: cfg.WordBits},
+		cfg.KeySwitchDigits, cfg.Sigma, cfg.RedundantResidue)
 	if err != nil {
 		return nil, err
 	}
@@ -222,6 +251,10 @@ func New(cfg Config) (*Context, error) {
 	if cfg.NoiseGuardBits > 0 {
 		eval.SetNoiseGuard(cfg.NoiseGuardBits)
 	}
+	var retrier *engine.Retrier
+	if cfg.Retry != nil {
+		retrier = engine.NewRetrier(*cfg.Retry)
+	}
 	return &Context{
 		cfg:     cfg,
 		params:  params,
@@ -232,6 +265,7 @@ func New(cfg Config) (*Context, error) {
 		dec:     ckks.NewDecryptor(params, sk),
 		eval:    eval,
 		boot:    boot,
+		retrier: retrier,
 	}, nil
 }
 
@@ -279,7 +313,39 @@ func validateConfig(cfg *Config) error {
 func (c *Context) WithContext(ctx context.Context) *Context {
 	d := *c
 	d.eval = c.eval.WithContext(ctx)
+	d.ctx = ctx
 	return &d
+}
+
+// opCtx is the context observed by this Context's operations.
+func (c *Context) opCtx() context.Context {
+	if c.ctx != nil {
+		return c.ctx
+	}
+	return context.Background()
+}
+
+// runOp executes one homomorphic operation under the context's retry
+// policy, if any: a detected fault (invariant violation from corrupted
+// state, a dropped engine task) re-dispatches the operation from its
+// retained inputs with backoff; the RRNS layer may additionally have
+// repaired the corrupted operand in place during the failed attempt, so
+// the re-run usually succeeds. Without Config.Retry this is a plain
+// single attempt.
+func (c *Context) runOp(name string, op func() (*ckks.Ciphertext, error)) (*Ciphertext, error) {
+	if c.retrier == nil {
+		return wrapCt(op())
+	}
+	var out *ckks.Ciphertext
+	err := c.retrier.Do(c.opCtx(), name, func(context.Context) error {
+		var opErr error
+		out, opErr = op()
+		return opErr
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Ciphertext{ct: out}, nil
 }
 
 // NoiseBudget returns the ciphertext's remaining noise budget in bits:
@@ -306,11 +372,7 @@ func (c *Context) Refresh(ct *Ciphertext) (*Ciphertext, error) {
 	if c.boot == nil {
 		return nil, fherr.Wrap(fherr.ErrInvalidParams, "bitpacker: context built without Config.Bootstrap")
 	}
-	out, err := c.boot.Refresh(c.eval, ct.ct)
-	if err != nil {
-		return nil, err
-	}
-	return &Ciphertext{ct: out}, nil
+	return c.runOp("Refresh", func() (*ckks.Ciphertext, error) { return c.boot.Refresh(c.eval, ct.ct) })
 }
 
 // Slots returns the number of complex slots per ciphertext.
@@ -386,23 +448,23 @@ func wrapCt(ct *ckks.Ciphertext, err error) (*Ciphertext, error) {
 // Add returns a + b (same level and scale; Adjust first if needed).
 // Mismatched operands fail with ErrLevelMismatch or ErrScaleMismatch.
 func (c *Context) Add(a, b *Ciphertext) (*Ciphertext, error) {
-	return wrapCt(c.eval.Add(a.ct, b.ct))
+	return c.runOp("Add", func() (*ckks.Ciphertext, error) { return c.eval.Add(a.ct, b.ct) })
 }
 
 // Sub returns a - b.
 func (c *Context) Sub(a, b *Ciphertext) (*Ciphertext, error) {
-	return wrapCt(c.eval.Sub(a.ct, b.ct))
+	return c.runOp("Sub", func() (*ckks.Ciphertext, error) { return c.eval.Sub(a.ct, b.ct) })
 }
 
 // Neg returns -a.
 func (c *Context) Neg(a *Ciphertext) (*Ciphertext, error) {
-	return wrapCt(c.eval.Neg(a.ct))
+	return c.runOp("Neg", func() (*ckks.Ciphertext, error) { return c.eval.Neg(a.ct) })
 }
 
 // Mul multiplies two ciphertexts (with relinearization). The result's
 // scale is the product of the operand scales; follow with Rescale.
 func (c *Context) Mul(a, b *Ciphertext) (*Ciphertext, error) {
-	return wrapCt(c.eval.MulRelin(a.ct, b.ct))
+	return c.runOp("Mul", func() (*ckks.Ciphertext, error) { return c.eval.MulRelin(a.ct, b.ct) })
 }
 
 // MulConst multiplies by an unencrypted per-slot constant vector, encoded
@@ -418,7 +480,7 @@ func (c *Context) MulConst(a *Ciphertext, values []complex128) (*Ciphertext, err
 		Level: lvl,
 		Scale: c.params.DefaultScale(lvl),
 	}
-	return wrapCt(c.eval.MulPlain(a.ct, pt))
+	return c.runOp("MulConst", func() (*ckks.Ciphertext, error) { return c.eval.MulPlain(a.ct, pt) })
 }
 
 // AddConst adds an unencrypted per-slot constant vector.
@@ -433,7 +495,7 @@ func (c *Context) AddConst(a *Ciphertext, values []complex128) (*Ciphertext, err
 		Level: lvl,
 		Scale: a.ct.Scale,
 	}
-	return wrapCt(c.eval.AddPlain(a.ct, pt))
+	return c.runOp("AddConst", func() (*ckks.Ciphertext, error) { return c.eval.AddPlain(a.ct, pt) })
 }
 
 // Rescale drops the ciphertext one level, dividing out one scale factor
@@ -442,20 +504,20 @@ func (c *Context) AddConst(a *Ciphertext, values []complex128) (*Ciphertext, err
 // level's terminal moduli and scales down by the retired ones. At level 0
 // it fails with ErrChainExhausted.
 func (c *Context) Rescale(a *Ciphertext) (*Ciphertext, error) {
-	return wrapCt(c.eval.Rescale(a.ct))
+	return c.runOp("Rescale", func() (*ckks.Ciphertext, error) { return c.eval.Rescale(a.ct) })
 }
 
 // Adjust lowers a ciphertext to the given level without changing its
 // value, so it can be combined with deeper ciphertexts. Raising a level
 // fails with ErrLevelMismatch (bootstrap instead).
 func (c *Context) Adjust(a *Ciphertext, level int) (*Ciphertext, error) {
-	return wrapCt(c.eval.AdjustTo(a.ct, level))
+	return c.runOp("Adjust", func() (*ckks.Ciphertext, error) { return c.eval.AdjustTo(a.ct, level) })
 }
 
 // Rotate rotates the slot vector left by steps. A missing Galois key
 // (see Config.Rotations) fails with ErrMissingKey.
 func (c *Context) Rotate(a *Ciphertext, steps int) (*Ciphertext, error) {
-	return wrapCt(c.eval.Rotate(a.ct, steps))
+	return c.runOp("Rotate", func() (*ckks.Ciphertext, error) { return c.eval.Rotate(a.ct, steps) })
 }
 
 // RotateHoisted rotates one ciphertext by several step amounts, sharing a
@@ -479,5 +541,5 @@ func (c *Context) RotateHoisted(a *Ciphertext, steps []int) ([]*Ciphertext, erro
 
 // Conjugate conjugates the slots (requires Config.Conjugation).
 func (c *Context) Conjugate(a *Ciphertext) (*Ciphertext, error) {
-	return wrapCt(c.eval.Conjugate(a.ct))
+	return c.runOp("Conjugate", func() (*ckks.Ciphertext, error) { return c.eval.Conjugate(a.ct) })
 }

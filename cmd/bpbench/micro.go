@@ -114,6 +114,12 @@ func runMicrobench(path string) error {
 	if err := benchBootstrap(&records); err != nil {
 		return err
 	}
+	if err := benchRRNSOverhead(&records); err != nil {
+		return err
+	}
+	if err := benchRetryRecovery(&records); err != nil {
+		return err
+	}
 
 	data, err := json.MarshalIndent(records, "", "  ")
 	if err != nil {

@@ -1,0 +1,185 @@
+package main
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"sort"
+	"time"
+
+	"bitpacker"
+	"bitpacker/internal/chaos"
+)
+
+// sampleNs times one round of iters calls and returns ns/op for the round.
+func sampleNs(fn func(), iters int) float64 {
+	start := time.Now()
+	for i := 0; i < iters; i++ {
+		fn()
+	}
+	return float64(time.Since(start).Nanoseconds()) / float64(iters)
+}
+
+// medianNs is the median of a sample set.
+func medianNs(samples []float64) float64 {
+	s := append([]float64(nil), samples...)
+	sort.Float64s(s)
+	return s[len(s)/2]
+}
+
+// benchRRNSOverhead times the clean-path cost of the self-healing
+// machinery: MulRescale with the redundant-residue channel and op-level
+// retry armed, against the plain configuration at identical parameters.
+// The spare channel adds one modular projection per polynomial plus the
+// rescale cross-check; the acceptance bar is <15% on MulRescale.
+func benchRRNSOverhead(records *[]BenchRecord) error {
+	const (
+		logN      = 12
+		levels    = 6
+		scaleBits = 45
+	)
+	// Interleave rounds of the plain and hardened configurations and take
+	// medians: back-to-back sequential timing lets slow machine drift
+	// (thermal, co-tenant load) masquerade as RRNS overhead, while
+	// alternating rounds see the same conditions.
+	const (
+		rounds   = 9
+		perRound = 2
+	)
+	for _, w := range []int{28, 61} {
+		for _, scheme := range []bitpacker.Scheme{bitpacker.RNSCKKS, bitpacker.BitPacker} {
+			fns := make([]func(), 2)
+			residues := 0
+			for i, hardened := range []bool{false, true} {
+				cfg := bitpacker.Config{
+					Scheme:    scheme,
+					LogN:      logN,
+					Levels:    levels,
+					ScaleBits: scaleBits,
+					WordBits:  w,
+				}
+				if hardened {
+					cfg.RedundantResidue = true
+					cfg.Retry = &bitpacker.RetryPolicy{MaxAttempts: 3, BaseDelay: time.Millisecond}
+				}
+				ctx, err := bitpacker.New(cfg)
+				if err != nil {
+					return fmt.Errorf("bench setup (rrns-overhead, %v, w=%d): %w", scheme, w, err)
+				}
+				ct, err := ctx.EncryptReal([]float64{0.5, 0.25})
+				if err != nil {
+					return err
+				}
+				residues = ct.Residues()
+				fns[i] = func() { _ = ctx.MustRescale(ctx.MustMul(ct, ct)) }
+				fns[i]() // warm up pools, NTT tables, conversion caches
+			}
+			samples := [2][]float64{}
+			for r := 0; r < rounds; r++ {
+				for i := range fns {
+					samples[i] = append(samples[i], sampleNs(fns[i], perRound))
+				}
+			}
+			nsPlain, nsRRNS := medianNs(samples[0]), medianNs(samples[1])
+			for i, ns := range []float64{nsPlain, nsRRNS} {
+				op := "MulRescale rrns=off"
+				if i == 1 {
+					op = "MulRescale rrns=on"
+				}
+				rec := BenchRecord{
+					Op:       op,
+					Scheme:   scheme.String(),
+					WordBits: w,
+					LogN:     logN,
+					Residues: residues,
+					Workers:  bitpacker.Workers(),
+					NsPerOp:  ns,
+					Iters:    rounds * perRound,
+				}
+				*records = append(*records, rec)
+				printRecord(rec)
+			}
+			fmt.Printf("  -> rrns-overhead %+.1f%% (%v, w=%d)\n", 100*(nsRRNS-nsPlain)/nsPlain, scheme, w)
+		}
+	}
+	return nil
+}
+
+// benchRetryRecovery times healing a dropped engine task through the
+// retry rung: every iteration arms a one-shot burst fault, so the BSGS
+// linear transform faults once and is re-dispatched — measured against
+// the fault-free transform at the same parameters.
+func benchRetryRecovery(records *[]BenchRecord) error {
+	const (
+		logN      = 11
+		levels    = 2
+		scaleBits = 40
+		dim       = 16
+	)
+	rots := make([]int, 0, dim-1)
+	for r := 1; r < dim; r++ {
+		rots = append(rots, r)
+	}
+	rng := rand.New(rand.NewPCG(21, 22))
+	mat := make([][]complex128, dim)
+	for i := range mat {
+		mat[i] = make([]complex128, dim)
+		for j := range mat[i] {
+			mat[i][j] = complex(2*rng.Float64()-1, 0)
+		}
+	}
+	vec := make([]complex128, dim)
+	for i := range vec {
+		vec[i] = complex(2*rng.Float64()-1, 0)
+	}
+	for _, scheme := range []bitpacker.Scheme{bitpacker.RNSCKKS, bitpacker.BitPacker} {
+		ctx, err := bitpacker.New(bitpacker.Config{
+			Scheme:    scheme,
+			LogN:      logN,
+			Levels:    levels,
+			ScaleBits: scaleBits,
+			WordBits:  61,
+			Rotations: rots,
+			Retry:     &bitpacker.RetryPolicy{MaxAttempts: 3, BaseDelay: 50 * time.Microsecond},
+		})
+		if err != nil {
+			return fmt.Errorf("bench setup (retry-recovery, %v): %w", scheme, err)
+		}
+		tr, err := ctx.NewMatrixTransform(mat, ctx.MaxLevel())
+		if err != nil {
+			return err
+		}
+		ct, err := ctx.Encrypt(ctx.Replicate(vec, dim))
+		if err != nil {
+			return err
+		}
+		base := BenchRecord{
+			Scheme:   scheme.String(),
+			WordBits: 61,
+			LogN:     logN,
+			Residues: ct.Residues(),
+			Workers:  bitpacker.Workers(),
+		}
+
+		rec := base
+		rec.Op = fmt.Sprintf("LinearTransform d=%d clean", dim)
+		cleanNs, cleanIt := timeOp(func() { _ = ctx.MustApply(ct, tr) })
+		rec.NsPerOp, rec.Iters = cleanNs, cleanIt
+		*records = append(*records, rec)
+		printRecord(rec)
+
+		inj := chaos.New(31)
+		rec = base
+		rec.Op = fmt.Sprintf("LinearTransform d=%d fault+retry", dim)
+		healNs, healIt := timeOp(func() {
+			_, restore := inj.Burst(0, 1) // one dropped task per iteration
+			_ = ctx.MustApply(ct, tr)
+			restore()
+		})
+		rec.NsPerOp, rec.Iters = healNs, healIt
+		*records = append(*records, rec)
+		printRecord(rec)
+
+		fmt.Printf("  -> retry-recovery %.2fx clean cost (%v)\n", healNs/cleanNs, scheme)
+	}
+	return nil
+}

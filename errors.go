@@ -32,6 +32,15 @@ var (
 	ErrEngineFault = fherr.ErrEngineFault
 	// ErrInvalidParams: a configuration or input value is out of range.
 	ErrInvalidParams = fherr.ErrInvalidParams
+	// ErrFaultUnrecovered: a detected fault survived the whole retry
+	// budget (see Config.Retry); the wrapped cause is the last failure.
+	// Cancellation takes precedence: a canceled operation reports
+	// ErrCanceled immediately, never ErrFaultUnrecovered.
+	ErrFaultUnrecovered = fherr.ErrFaultUnrecovered
+	// ErrCircuitOpen: too many consecutive operations exhausted their
+	// retries, so the retrier fails fast instead of burning budgets on a
+	// hard-broken engine.
+	ErrCircuitOpen = fherr.ErrCircuitOpen
 )
 
 // NoiseBudgetError details a noise-guard trip: the operation, the

@@ -1,19 +1,44 @@
-// Functional CKKS bootstrapping, end to end: exhaust a ciphertext's
-// levels with real multiplications, Refresh it (ModRaise → homomorphic
-// DFT → sine EvalMod → inverse DFT), and keep computing on the refreshed
-// ciphertext. Demonstration-grade parameters (sparse secret, toy ring) —
-// see the package docs; the paper's accelerator experiments use the
-// BS19/BS26 trace models instead.
+// Functional CKKS bootstrapping as a self-healing pipeline: exhaust a
+// ciphertext's levels with real multiplications, Refresh it (ModRaise →
+// homomorphic DFT → sine EvalMod → inverse DFT), and keep computing on
+// the refreshed ciphertext — with every stage checkpointed to disk.
+//
+// The demo exercises the recovery ladder end to end:
+//
+//  1. Run 1 "crashes" mid-pipeline (the refresh stage dies after the
+//     exhaust stage's checkpoint landed on disk).
+//  2. A brand-new Context — a simulated process restart; the same
+//     Config.Seed regenerates the same keys — resumes from the last
+//     intact checkpoint instead of recomputing the exhaust stage.
+//  3. During the resumed run a chaos injector drops one engine
+//     dispatch; the op-level retry rung re-runs the faulted op
+//     transparently (the redundant-residue channel guards the values
+//     throughout).
+//
+// Demonstration-grade parameters (sparse secret, toy ring) — see the
+// package docs; the paper's accelerator experiments use the BS19/BS26
+// trace models instead.
 package main
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"log"
+	"os"
+	"path/filepath"
+	"time"
 
 	"bitpacker"
+	"bitpacker/internal/chaos"
 )
 
-func main() {
+var errCrash = errors.New("simulated process crash")
+
+// newContext builds the bootstrap-capable context. Called once per
+// "process": a fixed Seed makes the restarted process regenerate the
+// exact keys the checkpoints were produced under.
+func newContext() *bitpacker.Context {
 	ctx, err := bitpacker.New(bitpacker.Config{
 		Scheme: bitpacker.BitPacker,
 		LogN:   8, // toy ring: 128 slots
@@ -27,48 +52,129 @@ func main() {
 		SparseSecretWeight: 3, // |I| <= 2 => K=2 sine range
 		Bootstrap:          &bitpacker.BootstrapOptions{KRange: 2, SineDegree: 19},
 		Seed:               2024,
+		RedundantResidue:   true,
+		Retry:              &bitpacker.RetryPolicy{MaxAttempts: 3, BaseDelay: time.Millisecond},
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
+	return ctx
+}
+
+// stages builds the three-stage pipeline. crash makes the refresh stage
+// die on entry — standing in for a process kill between checkpoints.
+func stages(ctx *bitpacker.Context, scaleDown []complex128, crash bool) []bitpacker.PipelineStage {
+	return []bitpacker.PipelineStage{
+		{Name: "exhaust", Run: func(_ context.Context, st []*bitpacker.Ciphertext) ([]*bitpacker.Ciphertext, error) {
+			ct := st[0]
+			for ct.Level() > 0 {
+				prod, err := ctx.MulConst(ct, scaleDown)
+				if err != nil {
+					return nil, err
+				}
+				if ct, err = ctx.Rescale(prod); err != nil {
+					return nil, err
+				}
+			}
+			return []*bitpacker.Ciphertext{ct}, nil
+		}},
+		{Name: "refresh", Run: func(_ context.Context, st []*bitpacker.Ciphertext) ([]*bitpacker.Ciphertext, error) {
+			if crash {
+				return nil, errCrash
+			}
+			refreshed, err := ctx.Refresh(st[0])
+			if err != nil {
+				return nil, err
+			}
+			return []*bitpacker.Ciphertext{refreshed}, nil
+		}},
+		{Name: "finish", Run: func(_ context.Context, st []*bitpacker.Ciphertext) ([]*bitpacker.Ciphertext, error) {
+			prod, err := ctx.MulConst(st[0], scaleDown)
+			if err != nil {
+				return nil, err
+			}
+			out, err := ctx.Rescale(prod)
+			if err != nil {
+				return nil, err
+			}
+			return []*bitpacker.Ciphertext{out}, nil
+		}},
+	}
+}
+
+func main() {
+	ckptDir, err := os.MkdirTemp("", "bootstrap-ckpt-")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(ckptDir)
+	opts := bitpacker.PipelineOptions{CheckpointDir: ckptDir}
 
 	in := []float64{0.40, -0.25, 0.10, 0.33}
-	ct, err := ctx.EncryptReal(in)
+
+	// ---- run 1: the process dies mid-pipeline ------------------------
+	ctx1 := newContext()
+	ct, err := ctx1.EncryptReal(in)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("fresh ciphertext:      level %2d, %2d residues\n", ct.Level(), ct.Residues())
-
-	// Burn the level budget with real work: x <- x * 0.9 repeatedly.
-	work := make([]float64, len(in))
-	copy(work, in)
-	scaleDown := make([]complex128, ctx.Slots())
+	levels := ct.Level()
+	scaleDown := make([]complex128, ctx1.Slots())
 	for i := range scaleDown {
 		scaleDown[i] = complex(0.9, 0)
 	}
-	for ct.Level() > 0 {
-		ct = ctx.MustRescale(ctx.MustMulConst(ct, scaleDown))
-		for i := range work {
-			work[i] *= 0.9
-		}
-	}
-	fmt.Printf("exhausted ciphertext:  level %2d, %2d residues\n", ct.Level(), ct.Residues())
 
-	refreshed, err := ctx.Refresh(ct)
+	_, _, err = ctx1.RunPipeline(nil, stages(ctx1, scaleDown, true), []*bitpacker.Ciphertext{ct}, opts)
+	if !errors.Is(err, errCrash) {
+		log.Fatalf("expected the simulated crash, got %v", err)
+	}
+	ckpts, _ := filepath.Glob(filepath.Join(ckptDir, "*.ckpt"))
+	fmt.Printf("run 1 died mid-pipeline: %v\n", err)
+	fmt.Printf("checkpoints on disk:   %d (exhaust stage survived the crash)\n", len(ckpts))
+
+	// ---- run 2: a new process resumes past the crash -----------------
+	// Same Config (same Seed) => same keys; the restarted process
+	// re-encrypts its input, but resume ignores it: the exhaust
+	// checkpoint is the trusted starting point.
+	ctx2 := newContext()
+	ct2, err := ctx2.EncryptReal(in)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("refreshed ciphertext:  level %2d, %2d residues\n", refreshed.Level(), refreshed.Residues())
+	// Mid-pipeline fault: drop the next engine dispatch of task 0. The
+	// op that loses it reports ErrEngineFault and the retry rung
+	// re-dispatches from retained inputs — the run never notices.
+	inj := chaos.New(7)
+	remaining, restore := inj.Burst(0, 1)
+	defer restore()
 
-	// Prove the refreshed ciphertext still computes: one more multiply.
-	final := ctx.MustRescale(ctx.MustMulConst(refreshed, scaleDown))
-	out, err := ctx.DecryptReal(final)
+	final, report, err := ctx2.RunPipeline(nil, stages(ctx2, scaleDown, false), []*bitpacker.Ciphertext{ct2}, opts)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Println("\nvalues through exhaust -> bootstrap -> multiply:")
+	fmt.Printf("run 2 resumed from stage %d (%q already checkpointed), ran %d of 3 stages\n",
+		report.ResumedFrom+1, "exhaust", report.StagesRun)
+	if remaining() != 0 {
+		log.Fatal("burst fault never fired")
+	}
+	fmt.Println("injected engine fault: 1 dropped dispatch, healed by op-level retry")
+	fmt.Printf("refreshed ciphertext:  level %2d, %2d residues\n", final[0].Level(), final[0].Residues())
+
+	// ---- verify the values survived crash, resume, and fault ---------
+	out, err := ctx2.DecryptReal(final[0])
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nvalues through exhaust -> crash -> resume -> bootstrap -> multiply:")
 	for i, v := range in {
-		want := work[i] * 0.9
+		want := v
+		for k := 0; k < levels+1; k++ {
+			want *= 0.9
+		}
 		fmt.Printf("  x0=%6.3f  got=%9.5f  exact=%9.5f  |err|=%.1e\n", v, out[i], want, out[i]-want)
+	}
+	if left, _ := filepath.Glob(filepath.Join(ckptDir, "*.ckpt")); len(left) == 0 {
+		fmt.Println("\ncheckpoints cleared after the successful run")
 	}
 }

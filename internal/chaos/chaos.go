@@ -15,6 +15,7 @@ package chaos
 import (
 	"math/big"
 	"math/rand/v2"
+	"sync/atomic"
 
 	"bitpacker/internal/ckks"
 	"bitpacker/internal/engine"
@@ -83,4 +84,40 @@ func (in *Injector) DropEngineTask(task int) (restore func()) {
 func (in *Injector) DropRandomEngineTask(n int) (task int, restore func()) {
 	task = in.rng.IntN(n)
 	return task, in.DropEngineTask(task)
+}
+
+// Burst installs an engine fault hook that drops the given task for the
+// next n dispatches that include it, then deactivates itself — a burst
+// of correlated transient faults (a flaky lane, a brown-out) rather than
+// a single glitch. A retry budget larger than n heals it transparently;
+// a smaller one exhausts into ErrFaultUnrecovered. Returns the live
+// count of drops still pending and a restore function that uninstalls
+// the hook (idempotent; safe to call after the burst self-cleared).
+func (in *Injector) Burst(task, n int) (remaining func() int, restore func()) {
+	var left atomic.Int64
+	left.Store(int64(n))
+	engine.SetFaultHook(func(t int) bool {
+		if t != task {
+			return false
+		}
+		for {
+			v := left.Load()
+			if v <= 0 {
+				return false
+			}
+			if left.CompareAndSwap(v, v-1) {
+				return true
+			}
+		}
+	})
+	return func() int { return int(left.Load()) },
+		func() { engine.SetFaultHook(nil) }
+}
+
+// BurstRandom drops one task chosen in [0, tasks) for the next n
+// dispatches. See Burst.
+func (in *Injector) BurstRandom(tasks, n int) (task int, remaining func() int, restore func()) {
+	task = in.rng.IntN(tasks)
+	remaining, restore = in.Burst(task, n)
+	return task, remaining, restore
 }

@@ -1,12 +1,15 @@
 package chaos
 
 import (
+	"context"
 	"errors"
 	"math/rand/v2"
 	"testing"
+	"time"
 
 	"bitpacker/internal/ckks"
 	"bitpacker/internal/core"
+	"bitpacker/internal/engine"
 	"bitpacker/internal/fherr"
 )
 
@@ -187,6 +190,113 @@ func TestNoiseGuardBlocksExhaustedBudget(t *testing.T) {
 		s.ev.SetNoiseGuard(0)
 		if _, err := s.ev.MulRelin(ct, ct); err != nil {
 			t.Fatalf("%v: disarmed guard still failing: %v", scheme, err)
+		}
+	}
+}
+
+func TestBurstClearsAfterN(t *testing.T) {
+	const dim = 8
+	rots := []int{1, 2, 3, 4, 5, 6, 7}
+	mat := make([][]complex128, dim)
+	mrng := rand.New(rand.NewPCG(71, 72))
+	for i := range mat {
+		mat[i] = make([]complex128, dim)
+		for j := range mat[i] {
+			mat[i][j] = complex(2*mrng.Float64()-1, 0)
+		}
+	}
+	s := newSetup(t, core.BitPacker, rots)
+	lt, err := ckks.NewLinearTransform(s.params, s.enc, mat, s.params.MaxLevel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewPCG(701, 702))
+	ct := s.encrypt(t, rng)
+
+	const burst = 2
+	remaining, restore := New(11).Burst(0, burst)
+	defer restore()
+	// The first `burst` dispatches fault; the next succeeds untouched.
+	for i := 0; i < burst; i++ {
+		if _, err := s.ev.ApplyLinearTransform(ct, lt); !errors.Is(err, fherr.ErrEngineFault) {
+			t.Fatalf("burst round %d: err = %v, want ErrEngineFault", i, err)
+		}
+	}
+	if got := remaining(); got != 0 {
+		t.Fatalf("remaining = %d after %d faulted dispatches, want 0", got, burst)
+	}
+	out, err := s.ev.ApplyLinearTransform(ct, lt)
+	if err != nil {
+		t.Fatalf("dispatch after burst self-cleared: %v", err)
+	}
+	if err := out.Validate(s.params); err != nil {
+		t.Fatalf("post-burst result invalid: %v", err)
+	}
+}
+
+// TestBurstBelowExhaustionIsHealedByRetry wires the burst injector to the
+// op-level retrier: a burst shorter than the attempt budget is healed
+// transparently (same decrypted values as the fault-free run), while a
+// burst that outlasts the budget surfaces ErrFaultUnrecovered.
+func TestBurstBelowExhaustionIsHealedByRetry(t *testing.T) {
+	const dim = 8
+	rots := []int{1, 2, 3, 4, 5, 6, 7}
+	mat := make([][]complex128, dim)
+	mrng := rand.New(rand.NewPCG(81, 82))
+	for i := range mat {
+		mat[i] = make([]complex128, dim)
+		for j := range mat[i] {
+			mat[i][j] = complex(2*mrng.Float64()-1, 0)
+		}
+	}
+	for _, scheme := range bothSchemes {
+		s := newSetup(t, scheme, rots)
+		lt, err := ckks.NewLinearTransform(s.params, s.enc, mat, s.params.MaxLevel())
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewPCG(801, 802))
+		ct := s.encrypt(t, rng)
+		clean, err := s.ev.ApplyLinearTransform(ct, lt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cleanVals, err := s.dec.DecryptAndDecode(clean, s.enc)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		r := engine.NewRetrier(engine.RetryPolicy{MaxAttempts: 3, BaseDelay: 50 * time.Microsecond, Seed: 5})
+		var healed *ckks.Ciphertext
+		_, restore := New(12).Burst(0, 2) // 2 faults < 3 attempts
+		err = r.Do(context.Background(), "linear-transform", func(context.Context) error {
+			var opErr error
+			healed, opErr = s.ev.ApplyLinearTransform(ct, lt)
+			return opErr
+		})
+		restore()
+		if err != nil {
+			t.Fatalf("%v: retry did not heal a sub-budget burst: %v", scheme, err)
+		}
+		healedVals, err := s.dec.DecryptAndDecode(healed, s.enc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range cleanVals {
+			if cleanVals[i] != healedVals[i] {
+				t.Fatalf("%v: healed run differs from fault-free run at slot %d", scheme, i)
+			}
+		}
+
+		// A burst outlasting the budget must exhaust into the typed error.
+		_, restore = New(13).Burst(0, 10)
+		err = r.Do(context.Background(), "linear-transform", func(context.Context) error {
+			_, opErr := s.ev.ApplyLinearTransform(ct, lt)
+			return opErr
+		})
+		restore()
+		if !errors.Is(err, fherr.ErrFaultUnrecovered) {
+			t.Fatalf("%v: over-budget burst: err = %v, want ErrFaultUnrecovered", scheme, err)
 		}
 	}
 }

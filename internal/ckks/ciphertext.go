@@ -35,6 +35,23 @@ type Ciphertext struct {
 	Scale     *big.Rat
 	NoiseBits float64
 
+	// Spare0, Spare1 are the RRNS spare residue channels of C0 and C1:
+	// the coefficients reduced mod the chain's spare prime, stored in the
+	// coefficient domain. They are carried alongside the live
+	// residues (never mixed into them) and cross-checked against an exact
+	// CRT projection of the live residues at rescale boundaries, and used
+	// to reconstruct a single corrupted residue in place. Nil when the
+	// chain has no spare or the channel is stale.
+	Spare0, Spare1 []uint64
+	// SpareDepth is the freshness/width of the spare channel. Zero means
+	// absent or stale (reseeded at the next rescale). d >= 1 means the
+	// integer view of each coefficient is X = x̃ + m·Q with |m| < d,
+	// where x̃ is the canonical lift of the live residues: additions
+	// accumulate wraparounds mod Q that the spare channel (mod q_s) sees
+	// but the live residues do not, so the checker scans the bounded set
+	// of possible m values instead of assuming zero.
+	SpareDepth int
+
 	meta uint64
 }
 
@@ -47,7 +64,21 @@ func newCiphertext(c0, c1 *ring.Poly, level int, scale *big.Rat, noiseBits float
 
 // CopyNew returns a deep copy.
 func (ct *Ciphertext) CopyNew() *Ciphertext {
-	return newCiphertext(ct.C0.Copy(), ct.C1.Copy(), ct.Level, new(big.Rat).Set(ct.Scale), ct.NoiseBits)
+	out := newCiphertext(ct.C0.Copy(), ct.C1.Copy(), ct.Level, new(big.Rat).Set(ct.Scale), ct.NoiseBits)
+	if ct.SpareDepth > 0 {
+		out.Spare0 = append([]uint64(nil), ct.Spare0...)
+		out.Spare1 = append([]uint64(nil), ct.Spare1...)
+		out.SpareDepth = ct.SpareDepth
+	}
+	return out
+}
+
+// clearSpare marks the spare channel stale. Operations whose spare
+// algebra is not tracked (multiplications, keyswitching, rotations) call
+// it on their outputs; the channel is reseeded from trusted state at the
+// next rescale.
+func (ct *Ciphertext) clearSpare() {
+	ct.Spare0, ct.Spare1, ct.SpareDepth = nil, nil, 0
 }
 
 // R returns the residue count of the ciphertext (paper's R).
@@ -150,6 +181,22 @@ func (ct *Ciphertext) Validate(params *Parameters) error {
 				if c >= q {
 					return fherr.Wrap(fherr.ErrInvariant, "ckks: c%d residue %d coefficient %d = %d out of range [0, %d)",
 						pi, i, k, c, q)
+				}
+			}
+		}
+	}
+	if ct.SpareDepth > 0 {
+		qs := params.SpareModulus()
+		if qs == 0 {
+			return fherr.Wrap(fherr.ErrInvariant, "ckks: spare channel present but chain has no spare prime")
+		}
+		for si, sp := range [][]uint64{ct.Spare0, ct.Spare1} {
+			if len(sp) != params.N() {
+				return fherr.Wrap(fherr.ErrInvariant, "ckks: spare%d has %d words, ring degree is %d", si, len(sp), params.N())
+			}
+			for k, w := range sp {
+				if w >= qs {
+					return fherr.Wrap(fherr.ErrInvariant, "ckks: spare%d word %d = %d out of range [0, %d)", si, k, w, qs)
 				}
 			}
 		}

@@ -64,7 +64,9 @@ func (enc *Encryptor) EncryptAtLevel(pt *Plaintext, level int) (*Ciphertext, err
 	c1.Add(c1, e1)
 
 	fresh := NewNoiseModel(p).FreshBits()
-	return newCiphertext(c0, c1, level, new(big.Rat).Set(pt.Scale), fresh), nil
+	ct := newCiphertext(c0, c1, level, new(big.Rat).Set(pt.Scale), fresh)
+	ct.SeedSpare(p)
+	return ct, nil
 }
 
 // Decryptor decrypts ciphertexts with the secret key.
@@ -165,5 +167,7 @@ func (enc *SymmetricEncryptor) EncryptAtLevel(pt *Plaintext, level int) (*Cipher
 	c0.Add(c0, e)
 	c0.Add(c0, m)
 	fresh := NewNoiseModel(p).FreshBits()
-	return newCiphertext(c0, c1, level, new(big.Rat).Set(pt.Scale), fresh), nil
+	ct := newCiphertext(c0, c1, level, new(big.Rat).Set(pt.Scale), fresh)
+	ct.SeedSpare(p)
+	return ct, nil
 }

@@ -94,12 +94,18 @@ func (ev *Evaluator) NoiseBudget(ct *Ciphertext) float64 {
 	return core.RatLog2(ct.Scale) - ct.NoiseBits
 }
 
-// begin is the common operation prologue: context check plus (when
-// enabled) operand invariant validation.
+// begin is the common operation prologue: context check, RRNS
+// range-scan with in-place single-residue repair (when the chain carries
+// a spare), then (when enabled) operand invariant validation.
 func (ev *Evaluator) begin(op string, cts ...*Ciphertext) error {
 	if ev.ctx != nil {
 		if err := ev.ctx.Err(); err != nil {
 			return fherr.Wrap(fherr.ErrCanceled, "ckks: %s (%v)", op, err)
+		}
+	}
+	if ev.rrnsEnabled() {
+		if err := ev.scanRepair(op, cts...); err != nil {
+			return err
 		}
 	}
 	if ev.checkInvariants {
@@ -217,6 +223,7 @@ func (ev *Evaluator) Add(a, b *Ciphertext) (*Ciphertext, error) {
 	out := a.CopyNew()
 	out.C0.Add(a.C0, b.C0)
 	out.C1.Add(a.C1, b.C1)
+	ev.spareCombine(out, a, b, false)
 	out.NoiseBits = addNoiseBits(a.NoiseBits, b.NoiseBits)
 	out.seal()
 	return out, nil
@@ -233,6 +240,7 @@ func (ev *Evaluator) Sub(a, b *Ciphertext) (*Ciphertext, error) {
 	out := a.CopyNew()
 	out.C0.Sub(a.C0, b.C0)
 	out.C1.Sub(a.C1, b.C1)
+	ev.spareCombine(out, a, b, true)
 	out.NoiseBits = addNoiseBits(a.NoiseBits, b.NoiseBits)
 	out.seal()
 	return out, nil
@@ -246,6 +254,7 @@ func (ev *Evaluator) Neg(a *Ciphertext) (*Ciphertext, error) {
 	out := a.CopyNew()
 	out.C0.Neg(a.C0)
 	out.C1.Neg(a.C1)
+	ev.spareNeg(out)
 	return out, nil
 }
 
@@ -265,6 +274,7 @@ func (ev *Evaluator) AddPlain(ct *Ciphertext, pt *Plaintext) (*Ciphertext, error
 	m := pt.Value.ScratchCopy()
 	m.NTT()
 	out := ct.CopyNew()
+	out.clearSpare() // plaintext addition is not tracked by the spare algebra
 	out.C0.Add(out.C0, m)
 	ev.params.Ctx.PutPoly(m)
 	out.NoiseBits = addNoiseBits(ct.NoiseBits, ev.nm.EncodingBits())
@@ -284,6 +294,7 @@ func (ev *Evaluator) MulPlain(ct *Ciphertext, pt *Plaintext) (*Ciphertext, error
 	m := pt.Value.ScratchCopy()
 	m.NTT()
 	out := ct.CopyNew()
+	out.clearSpare() // pointwise NTT products are not tracked by the spare algebra
 	out.C0.MulCoeffs(out.C0, m)
 	out.C1.MulCoeffs(out.C1, m)
 	out.Scale.Mul(out.Scale, pt.Scale)
@@ -307,6 +318,7 @@ func (ev *Evaluator) MulScalarInt(ct *Ciphertext, c int64) (*Ciphertext, error) 
 	big := new(big.Int).SetInt64(c)
 	out.C0.MulScalarBig(out.C0, big)
 	out.C1.MulScalarBig(out.C1, big)
+	ev.spareMulScalarInt(out, c)
 	if abs := math.Abs(float64(c)); abs > 1 {
 		out.NoiseBits = ct.NoiseBits + math.Log2(abs)
 	}

@@ -39,6 +39,17 @@ func (ev *Evaluator) Rescale(ct *Ciphertext) (*Ciphertext, error) {
 	c1 := ct.C1.ScratchCopy()
 	c0.INTT()
 	c1.INTT()
+	// RRNS cross-check at the point where the live residues are in the
+	// coefficient domain anyway: a fresh spare channel must agree with
+	// the exact CRT projection of the live residues up to bounded mod-Q
+	// wraparound.
+	if ev.rrnsEnabled() && ct.SpareDepth > 0 {
+		if err := ev.checkSpare("Rescale", ct, c0, c1); err != nil {
+			ctx.PutPoly(c0)
+			ctx.PutPoly(c1)
+			return nil, err
+		}
+	}
 	if len(tr.Up) > 0 { // BitPacker: introduce the destination's new moduli
 		u0, u1 := c0.ScaleUp(tr.Up), c1.ScaleUp(tr.Up)
 		ctx.PutPoly(c0)
@@ -56,6 +67,14 @@ func (ev *Evaluator) Rescale(ct *Ciphertext) (*Ciphertext, error) {
 	ctx.PutPoly(c0)
 	ctx.PutPoly(c1)
 	c0, c1 = s0, s1
+	// Reseed the spare channel from the rescaled output while it is
+	// still in the coefficient domain — the trusted production point for
+	// the next stretch of the computation.
+	var sp0, sp1 []uint64
+	if ev.rrnsEnabled() {
+		sp0 = ev.projectSpare(c0)
+		sp1 = ev.projectSpare(c1)
+	}
 	c0.NTT()
 	c1.NTT()
 
@@ -76,6 +95,9 @@ func (ev *Evaluator) Rescale(ct *Ciphertext) (*Ciphertext, error) {
 	// the rescale-floor noise.
 	noise := math.Max(ct.NoiseBits-shedBits, ev.nm.RescaleFloorBits())
 	out := newCiphertext(c0, c1, ct.Level-1, scale, noise)
+	if sp0 != nil {
+		out.Spare0, out.Spare1, out.SpareDepth = sp0, sp1, 1
+	}
 	if err := ev.assertLevelModuli(out); err != nil {
 		return nil, err
 	}
@@ -109,6 +131,7 @@ func (ev *Evaluator) Adjust(ct *Ciphertext) (*Ciphertext, error) {
 	}
 
 	tmp := ct.CopyNew()
+	tmp.clearSpare() // K is generally too large for tracked spare algebra
 	tmp.C0.MulScalarBig(tmp.C0, kInt)
 	tmp.C1.MulScalarBig(tmp.C1, kInt)
 	// Exact bookkeeping would multiply the scale by kInt; the canonical

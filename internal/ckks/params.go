@@ -15,9 +15,11 @@ package ckks
 import (
 	"fmt"
 	"math/big"
+	"sync"
 
 	"bitpacker/internal/core"
 	"bitpacker/internal/ring"
+	"bitpacker/internal/rns"
 )
 
 // Parameters bundles everything needed to operate on ciphertexts of one
@@ -41,6 +43,34 @@ type Parameters struct {
 	// position within the level where it first appears (mod Dnum), so
 	// every level's live moduli spread evenly across digits.
 	digitOf map[uint64]int
+
+	// spareMu guards spareProj, the cache of exact CRT projectors the
+	// RRNS channel uses (seed/check projectors keyed per level, repair
+	// projectors keyed per erased residue). Shared by every evaluator
+	// and encryptor over these parameters.
+	spareMu   sync.Mutex
+	spareProj map[string]*rns.Projector
+}
+
+// spareProjector returns (caching) the exact CRT projector from src onto
+// dst. Both always derive from the validated chain, so construction
+// cannot fail.
+func (p *Parameters) spareProjector(src []uint64, dst uint64) *rns.Projector {
+	key := moduliKey(src, []uint64{dst})
+	p.spareMu.Lock()
+	defer p.spareMu.Unlock()
+	if p.spareProj == nil {
+		p.spareProj = map[string]*rns.Projector{}
+	}
+	if pr, ok := p.spareProj[key]; ok {
+		return pr
+	}
+	pr, err := rns.NewProjector(p.Chain.N, src, dst)
+	if err != nil {
+		panic(fmt.Sprintf("ckks: spare projector over chain moduli: %v (unreachable)", err))
+	}
+	p.spareProj[key] = pr
+	return pr
 }
 
 // NewParameters validates the chain and computes the keyswitching layout.
@@ -112,6 +142,10 @@ func (p *Parameters) LevelModuli(level int) []uint64 {
 func (p *Parameters) DefaultScale(level int) *big.Rat {
 	return new(big.Rat).Set(p.Chain.Levels[level].Scale)
 }
+
+// SpareModulus returns the RRNS spare prime, or zero when the chain was
+// built without Options.RedundantResidue.
+func (p *Parameters) SpareModulus() uint64 { return p.Chain.Spare }
 
 // Union returns the canonical ordering of all chain moduli (no specials).
 func (p *Parameters) Union() []uint64 { return p.union }

@@ -11,8 +11,17 @@ import (
 // alpha = ceil(maxR/dnum) automatically (the chain builders need the count
 // up front, so this iterates to a fixed point).
 func BuildParameters(scheme core.Scheme, prog core.ProgramSpec, sec core.SecuritySpec, hw core.HWSpec, dnum int, sigma float64) (*Parameters, error) {
+	return BuildParametersExt(scheme, prog, sec, hw, dnum, sigma, false)
+}
+
+// BuildParametersExt is BuildParameters with the RRNS spare channel
+// toggle: when redundantResidue is set the chain reserves one extra
+// NTT-friendly prime (taken before any live modulus, so it dominates
+// them all) and evaluators over these parameters carry and cross-check
+// the spare residue channel.
+func BuildParametersExt(scheme core.Scheme, prog core.ProgramSpec, sec core.SecuritySpec, hw core.HWSpec, dnum int, sigma float64, redundantResidue bool) (*Parameters, error) {
 	build := func(specials int) (*core.Chain, error) {
-		opts := core.Options{SpecialPrimes: specials}
+		opts := core.Options{SpecialPrimes: specials, RedundantResidue: redundantResidue}
 		if scheme == core.BitPacker {
 			return core.BuildBitPacker(prog, sec, hw, opts)
 		}

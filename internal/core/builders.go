@@ -25,6 +25,13 @@ type Options struct {
 	// primes sampled when exhaustive enumeration is too large (paper uses
 	// 500). Defaults to 500.
 	TerminalCandidates int
+	// RedundantResidue reserves one extra NTT-friendly prime (the RRNS
+	// spare channel, Chain.Spare) before any live modulus is chosen. The
+	// spare is taken first so it is the largest prime below the word
+	// size, guaranteeing spare >= every live modulus — the condition
+	// erasure repair needs. Off by default so existing chains are
+	// byte-identical.
+	RedundantResidue bool
 }
 
 func (o Options) withDefaults() Options {
@@ -96,6 +103,21 @@ func (pp *primePool) belowWord(bits int) (uint64, error) {
 
 func log2u(p uint64) float64 { return math.Log2(float64(p)) }
 
+// reserveSpare takes the RRNS spare prime when the option asks for one.
+// It must run before any live modulus is drawn from the pool: taking the
+// largest prime below the word size first guarantees spare >= every live
+// modulus, which erasure repair relies on.
+func reserveSpare(pool *primePool, w int, opts Options) (uint64, error) {
+	if !opts.RedundantResidue {
+		return 0, nil
+	}
+	p, err := pool.belowWord(w)
+	if err != nil {
+		return 0, fmt.Errorf("core: reserving RRNS spare: %w", err)
+	}
+	return p, nil
+}
+
 // validateSpecs performs the shared sanity checks.
 func validateSpecs(prog ProgramSpec, sec SecuritySpec, hw HWSpec) error {
 	if prog.MaxLevel < 0 {
@@ -151,6 +173,11 @@ func BuildRNSCKKS(prog ProgramSpec, sec SecuritySpec, hw HWSpec, opts Options) (
 	minPrime := pool.minPrimeBits()
 	if float64(w) < minPrime {
 		return nil, fmt.Errorf("core: word size %d below smallest NTT-friendly prime (%.1f bits) for N=%d", hw.WordBits, minPrime, n)
+	}
+
+	spare, err := reserveSpare(pool, w, opts)
+	if err != nil {
+		return nil, err
 	}
 
 	// Special primes first: largest available, so keyswitching digits fit.
@@ -257,7 +284,7 @@ func BuildRNSCKKS(prog ProgramSpec, sec SecuritySpec, hw HWSpec, opts Options) (
 	}
 
 	// Assemble levels: level l uses base + primes of levels 1..l.
-	ch := &Chain{Scheme: RNSCKKS, N: n, WordBits: hw.WordBits, Special: special}
+	ch := &Chain{Scheme: RNSCKKS, N: n, WordBits: hw.WordBits, Special: special, Spare: spare}
 	cur := append([]uint64(nil), base...)
 	for l := 0; l <= prog.MaxLevel; l++ {
 		if l > 0 {
@@ -409,6 +436,11 @@ func BuildBitPacker(prog ProgramSpec, sec SecuritySpec, hw HWSpec, opts Options)
 		return nil, fmt.Errorf("core: word size %d below smallest NTT-friendly prime (%.1f bits) for N=%d", hw.WordBits, minPrime, n)
 	}
 
+	spare, err := reserveSpare(pool, w, opts)
+	if err != nil {
+		return nil, err
+	}
+
 	// Special primes.
 	special := make([]uint64, 0, opts.SpecialPrimes)
 	for i := 0; i < opts.SpecialPrimes; i++ {
@@ -446,7 +478,7 @@ func BuildBitPacker(prog ProgramSpec, sec SecuritySpec, hw HWSpec, opts Options)
 	}
 	cands := terminalCandidates(pool, w, opts.TerminalCandidates)
 
-	ch := &Chain{Scheme: BitPacker, N: n, WordBits: hw.WordBits, Special: special}
+	ch := &Chain{Scheme: BitPacker, N: n, WordBits: hw.WordBits, Special: special, Spare: spare}
 	ch.Levels = make([]*Level, prog.MaxLevel+1)
 
 	scales := make([]*big.Rat, prog.MaxLevel+1)

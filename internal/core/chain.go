@@ -118,6 +118,14 @@ type Chain struct {
 	Levels   []*Level // Levels[L], L = 0..MaxLevel
 	// Special holds the keyswitching special primes (the P basis).
 	Special []uint64
+	// Spare is the redundant-residue (RRNS) check modulus, reserved when
+	// Options.RedundantResidue is set and zero otherwise. It is carried
+	// as an independent channel alongside the live residues and is never
+	// part of any level's modulus. It must be at least as large as every
+	// live modulus so a corrupted residue can be reconstructed from the
+	// remaining residues plus the spare (erasure repair needs the spare's
+	// range to cover the erased modulus).
+	Spare uint64
 }
 
 // MaxLevel returns the top level index.
@@ -140,6 +148,9 @@ func (c *Chain) AllModuli() []uint64 {
 		add(l.Moduli)
 	}
 	add(c.Special)
+	if c.Spare != 0 {
+		add([]uint64{c.Spare})
+	}
 	return out
 }
 
@@ -286,6 +297,26 @@ func (c *Chain) Validate() error {
 	for _, q := range c.Special {
 		if !nt.IsNTTFriendly(q, m) {
 			return fmt.Errorf("core: special prime %d not NTT-friendly", q)
+		}
+	}
+	if c.Spare != 0 {
+		if !nt.IsNTTFriendly(c.Spare, m) {
+			return fmt.Errorf("core: spare prime %d not NTT-friendly", c.Spare)
+		}
+		for _, l := range c.Levels {
+			for _, q := range l.Moduli {
+				if q == c.Spare {
+					return fmt.Errorf("core: spare prime %d collides with level %d", c.Spare, l.Index)
+				}
+				if q > c.Spare {
+					return fmt.Errorf("core: spare prime %d below level-%d modulus %d (erasure repair needs spare >= all live moduli)", c.Spare, l.Index, q)
+				}
+			}
+		}
+		for _, q := range c.Special {
+			if q == c.Spare {
+				return fmt.Errorf("core: spare prime %d collides with a special prime", c.Spare)
+			}
 		}
 	}
 	return nil

@@ -316,3 +316,56 @@ func TestSpecValidation(t *testing.T) {
 		t.Fatal("word below min prime accepted")
 	}
 }
+
+func TestRedundantResidueSpare(t *testing.T) {
+	prog := flatSpec(4, 40, 60)
+	sec := SecuritySpec{LogN: 12}
+	for _, build := range []struct {
+		name string
+		fn   func(ProgramSpec, SecuritySpec, HWSpec, Options) (*Chain, error)
+	}{
+		{"rns-ckks", BuildRNSCKKS},
+		{"bitpacker", BuildBitPacker},
+	} {
+		t.Run(build.name, func(t *testing.T) {
+			for _, w := range []int{28, 61} {
+				plain, err := build.fn(prog, sec, HWSpec{WordBits: w}, Options{SpecialPrimes: 1})
+				if err != nil {
+					t.Fatalf("w=%d plain: %v", w, err)
+				}
+				if plain.Spare != 0 {
+					t.Fatalf("w=%d: spare reserved without the option", w)
+				}
+				ch, err := build.fn(prog, sec, HWSpec{WordBits: w}, Options{SpecialPrimes: 1, RedundantResidue: true})
+				if err != nil {
+					t.Fatalf("w=%d rrns: %v", w, err)
+				}
+				if ch.Spare == 0 {
+					t.Fatalf("w=%d: no spare reserved", w)
+				}
+				if err := ch.Validate(); err != nil {
+					t.Fatalf("w=%d: %v", w, err)
+				}
+				// Spare must dominate every live modulus (erasure repair)
+				// and be distinct from all of them.
+				for _, q := range ch.Levels[ch.MaxLevel()].Moduli {
+					if q > ch.Spare {
+						t.Fatalf("w=%d: live modulus %d exceeds spare %d", w, q, ch.Spare)
+					}
+					if q == ch.Spare {
+						t.Fatalf("w=%d: spare %d reused as live modulus", w, ch.Spare)
+					}
+				}
+				found := false
+				for _, q := range ch.AllModuli() {
+					if q == ch.Spare {
+						found = true
+					}
+				}
+				if !found {
+					t.Fatalf("w=%d: AllModuli misses the spare", w)
+				}
+			}
+		})
+	}
+}

@@ -64,6 +64,25 @@ var (
 	// ErrInvalidParams: a parameter, chain or transform description is
 	// malformed (wrong lengths, out-of-range levels, ...).
 	ErrInvalidParams = errors.New("invalid parameters")
+
+	// ErrFaultUnrecovered: a detected fault (invariant violation, RRNS
+	// mismatch, dropped engine task) persisted through the retry budget.
+	// The wrapped cause is the last attempt's failure. Recover by
+	// restoring from a checkpoint (see internal/pipeline) or recomputing
+	// from clean inputs.
+	//
+	// Precedence: cancellation always wins over retry — once the
+	// operation's context is canceled, the retrier stops immediately and
+	// the error wraps ErrCanceled, never ErrFaultUnrecovered, no matter
+	// how many retry attempts remained.
+	ErrFaultUnrecovered = errors.New("fault not recovered within retry budget")
+
+	// ErrCircuitOpen: the retrier's circuit breaker tripped after too
+	// many consecutive unrecovered operations, so the engine is treated
+	// as hard-broken and operations fail fast instead of burning retry
+	// budgets. Recover by fixing the underlying fault source and calling
+	// Retrier.Reset (or waiting out the configured cool-down).
+	ErrCircuitOpen = errors.New("retry circuit breaker open")
 )
 
 // Wrap attaches a sentinel to a formatted operation context, producing

@@ -11,6 +11,7 @@ func TestWrapSatisfiesIs(t *testing.T) {
 		ErrLevelMismatch, ErrScaleMismatch, ErrMissingKey,
 		ErrChainExhausted, ErrInvariant, ErrCanceled,
 		ErrNoiseBudget, ErrEngineFault, ErrInvalidParams,
+		ErrFaultUnrecovered, ErrCircuitOpen,
 	}
 	for _, s := range sentinels {
 		err := Wrap(s, "op at level %d", 3)
@@ -26,6 +27,34 @@ func TestWrapSatisfiesIs(t *testing.T) {
 				t.Errorf("Wrap(%v) spuriously matches %v", s, other)
 			}
 		}
+	}
+}
+
+// TestRecoverySentinelChaining covers the double-wrapped forms the retry
+// layer produces: exhaustion wraps both ErrFaultUnrecovered and the last
+// attempt's cause, while cancellation takes precedence and never reports
+// exhaustion.
+func TestRecoverySentinelChaining(t *testing.T) {
+	cause := Wrap(ErrEngineFault, "dispatch dropped 1 task")
+	exhausted := Wrap(ErrFaultUnrecovered, "op Mul after 3 attempts: %v", cause)
+	if !errors.Is(exhausted, ErrFaultUnrecovered) {
+		t.Fatal("exhaustion does not satisfy ErrFaultUnrecovered")
+	}
+	if errors.Is(exhausted, ErrCanceled) {
+		t.Fatal("exhaustion must not look canceled")
+	}
+
+	canceled := Wrap(ErrCanceled, "op Mul canceled during attempt 2")
+	if errors.Is(canceled, ErrFaultUnrecovered) {
+		t.Fatal("cancellation must win over retry exhaustion")
+	}
+	if !errors.Is(canceled, ErrCanceled) {
+		t.Fatal("cancellation lost its sentinel")
+	}
+
+	open := Wrap(ErrCircuitOpen, "5 consecutive unrecovered ops")
+	if !errors.Is(open, ErrCircuitOpen) || errors.Is(open, ErrFaultUnrecovered) {
+		t.Fatalf("circuit-open classification wrong: %v", open)
 	}
 }
 

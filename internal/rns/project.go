@@ -1,0 +1,123 @@
+package rns
+
+import (
+	"math"
+	"math/big"
+
+	"bitpacker/internal/nt"
+)
+
+// Projector is a precomputed *exact* CRT projection of an RNS value onto
+// one extra modulus: given residues x_i = X mod src_i of an integer
+// X in [0, Π src_i), Project computes X mod dst.
+//
+// Unlike Conv (the fast approximate base extension, which overshoots by
+// e·P), the projection must be exact — it is the reference the
+// redundant-residue (RRNS) fault check compares the independently carried
+// spare channel against, and the reconstruction kernel erasure-repair
+// uses; an off-by-P result would be indistinguishable from a fault.
+//
+// Exactness comes from recovering the CRT overflow count
+// v = ⌊Σ_i y_i/src_i⌋ (where y_i = [x_i·(P/p_i)^{-1}]_{p_i}) with a
+// floating-point sum: Σ y_i/p_i = v + X/P, so v is the floor of the sum.
+// When the fractional part lands within the float64 error band of an
+// integer boundary the coefficient is recomputed exactly over big.Int —
+// a ~2^-40-probability slow path that keeps the fast path branch-free.
+type Projector struct {
+	Src []uint64
+	Dst uint64
+
+	pHatInv   []uint64 // [(P/p_i)^{-1}]_{p_i}
+	pHatInvSh []uint64
+	pHatDst   []uint64 // (P/p_i) mod dst
+	pHatDstSh []uint64
+	pModDst   uint64 // P mod dst
+	invP      []float64
+
+	basis *Basis // exact big.Int fallback near the rounding boundary
+}
+
+// boundaryEps is the fractional-part guard band around integer boundaries
+// below which ProjectCoeff falls back to exact big.Int reconstruction.
+// The float64 sum of R terms carries ~R·2^-53 of error; 2^-40 leaves
+// three orders of magnitude of margin for any realistic residue count.
+const boundaryEps = 1.0 / (1 << 40)
+
+// NewProjector precomputes the projection from the src moduli onto dst.
+// src must be distinct primes not containing dst.
+func NewProjector(n int, src []uint64, dst uint64) (*Projector, error) {
+	basis, err := NewBasis(n, src)
+	if err != nil {
+		return nil, err
+	}
+	p := &Projector{
+		Src:       append([]uint64(nil), src...),
+		Dst:       dst,
+		pHatInv:   make([]uint64, len(src)),
+		pHatInvSh: make([]uint64, len(src)),
+		pHatDst:   make([]uint64, len(src)),
+		pHatDstSh: make([]uint64, len(src)),
+		invP:      make([]float64, len(src)),
+		basis:     basis,
+	}
+	tmp := new(big.Int)
+	for i, q := range src {
+		pHat := new(big.Int).Div(basis.Q, tmp.SetUint64(q))
+		r := new(big.Int).Mod(pHat, tmp.SetUint64(q)).Uint64()
+		p.pHatInv[i] = nt.InvMod(r, q)
+		p.pHatInvSh[i] = nt.ShoupPrecomp(p.pHatInv[i], q)
+		p.pHatDst[i] = new(big.Int).Mod(pHat, tmp.SetUint64(dst)).Uint64()
+		p.pHatDstSh[i] = nt.ShoupPrecomp(p.pHatDst[i], dst)
+		p.invP[i] = 1.0 / float64(q)
+	}
+	p.pModDst = new(big.Int).Mod(basis.Q, tmp.SetUint64(dst)).Uint64()
+	return p, nil
+}
+
+// SrcProductModDst returns (Π Src) mod Dst, the modular image of the
+// full source modulus — the wraparound quantum the RRNS checker scans in
+// and the repair shift is built from.
+func (p *Projector) SrcProductModDst() uint64 { return p.pModDst }
+
+// ProjectCoeff returns X mod Dst for the single coefficient whose source
+// residues are xs (xs[i] = X mod Src[i], X in [0, ΠSrc)).
+func (p *Projector) ProjectCoeff(xs []uint64) uint64 {
+	var acc uint64
+	var f float64
+	for i, x := range xs {
+		q := p.Src[i]
+		y := nt.MulModShoup(x, p.pHatInv[i], p.pHatInvSh[i], q)
+		acc = nt.AddMod(acc, nt.MulModShoup(y, p.pHatDst[i], p.pHatDstSh[i], p.Dst), p.Dst)
+		f += float64(y) * p.invP[i]
+	}
+	v := math.Floor(f)
+	if frac := f - v; frac < boundaryEps || frac > 1-boundaryEps {
+		return p.projectExact(xs)
+	}
+	// acc = (X + v·P) mod dst; subtract the overflow.
+	over := nt.MulMod(uint64(v), p.pModDst, p.Dst)
+	return nt.SubMod(acc, over, p.Dst)
+}
+
+// projectExact is the big.Int slow path for coefficients whose overflow
+// count is ambiguous at float64 precision.
+func (p *Projector) projectExact(xs []uint64) uint64 {
+	x := p.basis.Compose(xs)
+	return new(big.Int).Mod(x, new(big.Int).SetUint64(p.Dst)).Uint64()
+}
+
+// Project fills dst[k] = X_k mod Dst for every coefficient k, reading
+// residue k of each source vector (src[i][k] = X_k mod Src[i]). dst and
+// the src vectors all have length N.
+func (p *Projector) Project(dst []uint64, src [][]uint64) {
+	if len(src) != len(p.Src) {
+		panic("rns: Project shape mismatch")
+	}
+	xs := make([]uint64, len(src))
+	for k := range dst {
+		for i := range src {
+			xs[i] = src[i][k]
+		}
+		dst[k] = p.ProjectCoeff(xs)
+	}
+}

@@ -1,0 +1,125 @@
+package rns
+
+import (
+	"math/big"
+	"math/rand/v2"
+	"testing"
+)
+
+// projectRef is the big.Int ground truth: compose X from its residues,
+// reduce mod dst.
+func projectRef(b *Basis, xs []uint64, dst uint64) uint64 {
+	x := b.Compose(xs)
+	return new(big.Int).Mod(x, new(big.Int).SetUint64(dst)).Uint64()
+}
+
+func TestProjectCoeffExact(t *testing.T) {
+	for _, tc := range []struct {
+		name     string
+		srcBits  uint
+		srcCount int
+		dstBits  uint
+	}{
+		{"wide-to-wide", 45, 5, 45},
+		{"many-small", 28, 8, 30},
+		{"to-large-spare", 40, 4, 61},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			src := primes(t, tc.srcBits, 128, tc.srcCount)
+			dst := primes(t, tc.dstBits, 128, tc.srcCount+1)[tc.srcCount]
+			p, err := NewProjector(64, src, dst)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, _ := NewBasis(64, src)
+			rng := rand.New(rand.NewPCG(7, 7))
+			for i := 0; i < 500; i++ {
+				x := randBig(rng, b.Q)
+				xs := b.Decompose(x)
+				got := p.ProjectCoeff(xs)
+				want := projectRef(b, xs, dst)
+				if got != want {
+					t.Fatalf("X=%v: got %d want %d", x, got, want)
+				}
+			}
+		})
+	}
+}
+
+// TestProjectCoeffBoundaries drives the float64 overflow-count estimate
+// through its danger zone: values whose fractional part Σ y_i/p_i sits at
+// or next to an integer boundary must hit the exact big.Int fallback and
+// still project correctly.
+func TestProjectCoeffBoundaries(t *testing.T) {
+	src := primes(t, 45, 128, 6)
+	dst := primes(t, 61, 128, 1)[0]
+	p, err := NewProjector(64, src, dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := NewBasis(64, src)
+	edge := []*big.Int{
+		big.NewInt(0),
+		big.NewInt(1),
+		new(big.Int).Sub(b.Q, big.NewInt(1)),
+		new(big.Int).Rsh(b.Q, 1),
+		new(big.Int).Add(new(big.Int).Rsh(b.Q, 1), big.NewInt(1)),
+	}
+	// X = multiples of each q_i land y_i on zero, pinning the fractional
+	// sum near integers.
+	for _, q := range src {
+		for _, k := range []uint64{1, 2, 1 << 20} {
+			v := new(big.Int).Mul(new(big.Int).SetUint64(q), new(big.Int).SetUint64(k))
+			edge = append(edge, v.Mod(v, b.Q))
+		}
+	}
+	for _, x := range edge {
+		xs := b.Decompose(x)
+		got := p.ProjectCoeff(xs)
+		want := projectRef(b, xs, dst)
+		if got != want {
+			t.Fatalf("X=%v: got %d want %d", x, got, want)
+		}
+	}
+}
+
+func TestProjectVector(t *testing.T) {
+	src := primes(t, 40, 128, 4)
+	dst := primes(t, 61, 128, 1)[0]
+	p, err := NewProjector(64, src, dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := NewBasis(64, src)
+	const n = 64
+	rows := make([][]uint64, len(src))
+	for i := range rows {
+		rows[i] = make([]uint64, n)
+	}
+	want := make([]uint64, n)
+	rng := rand.New(rand.NewPCG(9, 9))
+	for k := 0; k < n; k++ {
+		x := randBig(rng, b.Q)
+		xs := b.Decompose(x)
+		for i := range rows {
+			rows[i][k] = xs[i]
+		}
+		want[k] = projectRef(b, xs, dst)
+	}
+	got := make([]uint64, n)
+	p.Project(got, rows)
+	for k := range got {
+		if got[k] != want[k] {
+			t.Fatalf("coeff %d: got %d want %d", k, got[k], want[k])
+		}
+	}
+}
+
+func TestNewProjectorErrors(t *testing.T) {
+	if _, err := NewProjector(64, nil, 97); err == nil {
+		t.Fatal("empty source basis accepted")
+	}
+	if _, err := NewProjector(64, []uint64{15}, 97); err == nil {
+		t.Fatal("composite source modulus accepted")
+	}
+}

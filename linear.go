@@ -49,9 +49,11 @@ func (c *Context) NewDiagonalTransform(diags map[int][]complex128, level int) (*
 // baby-step/giant-step with hoisted rotations (O(2√D) keyswitches for D
 // diagonals); sparse ones run per-diagonal with the rotations hoisted.
 // Under a canceled WithContext the fan-out stops within one dispatch
-// quantum and Apply fails with ErrCanceled.
+// quantum and Apply fails with ErrCanceled. With Config.Retry, a
+// dropped engine task (ErrEngineFault) re-dispatches the whole
+// transform from the untouched input.
 func (c *Context) Apply(ct *Ciphertext, t *Transform) (*Ciphertext, error) {
-	return wrapCt(c.eval.ApplyLinearTransform(ct.ct, t.lt))
+	return c.runOp("Apply", func() (*ckks.Ciphertext, error) { return c.eval.ApplyLinearTransform(ct.ct, t.lt) })
 }
 
 // MustApply is Apply, panicking on error.
@@ -63,7 +65,7 @@ func (c *Context) MustApply(ct *Ciphertext, t *Transform) *Ciphertext {
 // nonzero diagonal — the reference path Apply is benchmarked and
 // differentially tested against. Requires keys for RotationsNaive().
 func (c *Context) ApplyNaive(ct *Ciphertext, t *Transform) (*Ciphertext, error) {
-	return wrapCt(c.eval.ApplyLinearTransformNaive(ct.ct, t.lt))
+	return c.runOp("ApplyNaive", func() (*ckks.Ciphertext, error) { return c.eval.ApplyLinearTransformNaive(ct.ct, t.lt) })
 }
 
 // MustApplyNaive is ApplyNaive, panicking on error.
