@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench check clean panicgate fuzz-smoke chaos-soak
+.PHONY: all build vet test race bench bench-smoke bench-smoke-baseline check clean panicgate fuzz-smoke chaos-soak
 
 all: check
 
@@ -20,6 +20,16 @@ race:
 
 bench:
 	$(GO) test -bench BenchmarkOp -benchtime 1x -run '^$$' .
+
+# Fused-kernel regression gate: at tiny parameters, check fused vs staged
+# MulRescale agree exactly, then fail if the fused/staged time ratio
+# regressed >10% against the checked-in baseline. The baseline is a
+# ratio, not nanoseconds, so any machine can judge it.
+bench-smoke:
+	$(GO) run ./cmd/bpbench -smoke BENCH_SMOKE.json
+
+bench-smoke-baseline:
+	$(GO) run ./cmd/bpbench -smoke BENCH_SMOKE.json -smoke-update
 
 # Error-taxonomy gate: the API layers (root package, internal/ckks,
 # internal/engine, internal/fherr, internal/chaos) report failures as

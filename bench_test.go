@@ -134,3 +134,59 @@ func BenchmarkOpEncryptDecrypt(b *testing.B) {
 		}
 	})
 }
+
+// BenchmarkOpLinearTransform measures the dense 16-diagonal BSGS
+// matrix-vector product at bpbench's parameters, for fused and staged
+// execution — the kernel the fusion work targets.
+func BenchmarkOpLinearTransform(b *testing.B) {
+	const dim = 16
+	rots := make([]int, 0, dim-1)
+	for r := 1; r < dim; r++ {
+		rots = append(rots, r)
+	}
+	mat := make([][]complex128, dim)
+	for i := range mat {
+		mat[i] = make([]complex128, dim)
+		for j := range mat[i] {
+			mat[i][j] = complex(1/float64(i+j+2), 0)
+		}
+	}
+	for _, scheme := range []Scheme{RNSCKKS, BitPacker} {
+		for _, fused := range []bool{true, false} {
+			mode := "fused"
+			if !fused {
+				mode = "staged"
+			}
+			b.Run(fmt.Sprintf("%s/%s", schemeName(scheme), mode), func(b *testing.B) {
+				ctx, err := New(Config{
+					Scheme:    scheme,
+					LogN:      11,
+					Levels:    2,
+					ScaleBits: 40,
+					WordBits:  61,
+					Rotations: rots,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				ctx.SetFused(fused)
+				tr, err := ctx.NewMatrixTransform(mat, ctx.MaxLevel())
+				if err != nil {
+					b.Fatal(err)
+				}
+				vec := make([]complex128, dim)
+				for i := range vec {
+					vec[i] = complex(1/float64(i+2), 0)
+				}
+				ct, err := ctx.Encrypt(ctx.Replicate(vec, dim))
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					_ = ctx.MustApply(ct, tr)
+				}
+			})
+		}
+	}
+}

@@ -97,6 +97,13 @@ type Config struct {
 	// single corrupted residue in place without decryption. Off by
 	// default; the default chains are byte-identical with it off.
 	RedundantResidue bool
+	// DisableFusion turns off the fused per-residue kernel paths and
+	// runs every hot operation stage by stage (each kernel as its own
+	// full pass over all residues). The two paths are bit-identical;
+	// the staged one exists as the differential-testing and benchmark
+	// baseline. Also enabled by the BITPACKER_UNFUSED environment
+	// variable.
+	DisableFusion bool
 	// Retry, when non-nil, re-dispatches operations that fail with a
 	// detected fault (ErrInvariant, ErrEngineFault) from their retained
 	// inputs, with exponential backoff, until the policy's attempt
@@ -245,6 +252,9 @@ func New(cfg Config) (*Context, error) {
 		Galois: kg.GenRotationKeys(sk, rotations, conj),
 	}
 	eval := ckks.NewEvaluator(params, keys)
+	if cfg.DisableFusion {
+		eval.SetFused(false)
+	}
 	if cfg.CheckInvariants {
 		eval.SetInvariantChecks(true)
 	}
@@ -466,6 +476,22 @@ func (c *Context) Neg(a *Ciphertext) (*Ciphertext, error) {
 func (c *Context) Mul(a, b *Ciphertext) (*Ciphertext, error) {
 	return c.runOp("Mul", func() (*ckks.Ciphertext, error) { return c.eval.MulRelin(a.ct, b.ct) })
 }
+
+// MulRescale multiplies (with relinearization) and rescales as one fused
+// macro operation: the tensor product, keyswitch and level transition
+// share intermediates, so the product never materializes as a full
+// ciphertext between the two steps. Bit-identical to Mul followed by
+// Rescale.
+func (c *Context) MulRescale(a, b *Ciphertext) (*Ciphertext, error) {
+	return c.runOp("MulRescale", func() (*ckks.Ciphertext, error) { return c.eval.MulRescale(a.ct, b.ct) })
+}
+
+// SetFused toggles the fused per-residue kernel paths at runtime (see
+// Config.DisableFusion). Both settings produce bit-identical results.
+func (c *Context) SetFused(on bool) { c.eval.SetFused(on) }
+
+// Fused reports whether the fused kernel paths are active.
+func (c *Context) Fused() bool { return c.eval.Fused() }
 
 // MulConst multiplies by an unencrypted per-slot constant vector, encoded
 // at the ciphertext's level and scale; follow with Rescale.

@@ -7,6 +7,8 @@
 //	bpbench -exp fig11      # run one experiment (comma-separated list OK)
 //	bpbench -list           # list experiment IDs
 //	bpbench -json bench.json  # microbenchmark the host kernels, emit JSON
+//	bpbench -smoke BENCH_SMOKE.json           # fused/staged regression gate (CI)
+//	bpbench -smoke BENCH_SMOKE.json -smoke-update  # refresh the smoke baseline
 package main
 
 import (
@@ -24,7 +26,17 @@ func main() {
 	exp := flag.String("exp", "", "comma-separated experiment ids (default: all)")
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	jsonPath := flag.String("json", "", "run host-kernel microbenchmarks and write JSON records to this file")
+	smokePath := flag.String("smoke", "", "run the fused/staged differential smoke bench against this baseline file")
+	smokeUpdate := flag.Bool("smoke-update", false, "with -smoke: rewrite the baseline instead of checking against it")
 	flag.Parse()
+
+	if *smokePath != "" {
+		if err := runBenchSmoke(*smokePath, *smokeUpdate); err != nil {
+			fmt.Fprintf(os.Stderr, "bench-smoke: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *jsonPath != "" {
 		if err := runMicrobench(*jsonPath); err != nil {

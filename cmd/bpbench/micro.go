@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math/rand/v2"
 	"os"
+	"runtime"
 	"time"
 
 	"bitpacker"
@@ -14,19 +15,39 @@ import (
 // the -json flag so external tooling (plotting, regression tracking) can
 // consume host-kernel timings without scraping `go test -bench` output.
 type BenchRecord struct {
-	Op       string  `json:"op"`
-	Scheme   string  `json:"scheme"`
-	WordBits int     `json:"word_bits"`
-	LogN     int     `json:"log_n"`
-	Residues int     `json:"residues"`
-	Workers  int     `json:"workers"`
-	NsPerOp  float64 `json:"ns_per_op"`
-	Iters    int     `json:"iters"`
+	Op          string  `json:"op"`
+	Scheme      string  `json:"scheme"`
+	WordBits    int     `json:"word_bits"`
+	LogN        int     `json:"log_n"`
+	Residues    int     `json:"residues"`
+	Workers     int     `json:"workers"`
+	Fused       bool    `json:"fused"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+	Iters       int     `json:"iters"`
+}
+
+// benchStat is one timing measurement: wall time plus heap-allocation
+// counters, so pooled-copy elimination shows up as numbers, not claims.
+type benchStat struct {
+	NsPerOp     float64
+	AllocsPerOp float64
+	BytesPerOp  float64
+	Iters       int
+}
+
+func (r *BenchRecord) apply(st benchStat) {
+	r.NsPerOp, r.AllocsPerOp, r.BytesPerOp, r.Iters = st.NsPerOp, st.AllocsPerOp, st.BytesPerOp, st.Iters
 }
 
 // timeOp runs fn repeatedly until it has accumulated enough wall time for
-// a stable estimate and returns ns/op with the iteration count used.
-func timeOp(fn func()) (float64, int) {
+// a stable estimate and returns ns/op, allocs/op and bytes/op with the
+// iteration count used. Allocation counters come from the runtime's
+// cumulative Mallocs/TotalAlloc deltas across the timed iterations (the
+// same counters `go test -benchmem` reports), so pool hits cost zero and
+// every pool miss or stray copy is visible.
+func timeOp(fn func()) benchStat {
 	const (
 		minDuration = 200 * time.Millisecond
 		maxIters    = 1 << 16
@@ -35,7 +56,10 @@ func timeOp(fn func()) (float64, int) {
 	var (
 		iters   int
 		elapsed time.Duration
+		before  runtime.MemStats
+		after   runtime.MemStats
 	)
+	runtime.ReadMemStats(&before)
 	for elapsed < minDuration && iters < maxIters {
 		n := 1
 		if elapsed > 0 {
@@ -53,12 +77,19 @@ func timeOp(fn func()) (float64, int) {
 		elapsed += time.Since(start)
 		iters += n
 	}
-	return float64(elapsed.Nanoseconds()) / float64(iters), iters
+	runtime.ReadMemStats(&after)
+	return benchStat{
+		NsPerOp:     float64(elapsed.Nanoseconds()) / float64(iters),
+		AllocsPerOp: float64(after.Mallocs-before.Mallocs) / float64(iters),
+		BytesPerOp:  float64(after.TotalAlloc-before.TotalAlloc) / float64(iters),
+		Iters:       iters,
+	}
 }
 
 // runMicrobench times the host-library hot ops (ciphertext multiply +
 // rescale, level adjust) for both representations at the accelerator- and
-// CPU-favored word sizes, and writes the records as JSON to path.
+// CPU-favored word sizes — fused and staged, at 1 and 4 workers — and
+// writes the records as JSON to path.
 func runMicrobench(path string) error {
 	const (
 		logN      = 12
@@ -66,51 +97,62 @@ func runMicrobench(path string) error {
 		scaleBits = 45
 	)
 	var records []BenchRecord
-	for _, w := range []int{28, 61} {
-		for _, scheme := range []bitpacker.Scheme{bitpacker.RNSCKKS, bitpacker.BitPacker} {
-			ctx, err := bitpacker.New(bitpacker.Config{
-				Scheme:    scheme,
-				LogN:      logN,
-				Levels:    levels,
-				ScaleBits: scaleBits,
-				WordBits:  w,
-			})
-			if err != nil {
-				return fmt.Errorf("bench setup (%v, w=%d): %w", scheme, w, err)
+	for _, workers := range []int{1, 4} {
+		bitpacker.SetWorkers(workers)
+		for _, w := range []int{28, 61} {
+			for _, scheme := range []bitpacker.Scheme{bitpacker.RNSCKKS, bitpacker.BitPacker} {
+				ctx, err := bitpacker.New(bitpacker.Config{
+					Scheme:    scheme,
+					LogN:      logN,
+					Levels:    levels,
+					ScaleBits: scaleBits,
+					WordBits:  w,
+				})
+				if err != nil {
+					return fmt.Errorf("bench setup (%v, w=%d): %w", scheme, w, err)
+				}
+				ct, err := ctx.EncryptReal([]float64{0.5, 0.25})
+				if err != nil {
+					return fmt.Errorf("bench encrypt (%v, w=%d): %w", scheme, w, err)
+				}
+				base := BenchRecord{
+					Scheme:   scheme.String(),
+					WordBits: w,
+					LogN:     logN,
+					Residues: ct.Residues(),
+					Workers:  workers,
+				}
+				ops := []struct {
+					name string
+					run  func()
+				}{
+					{"MulRescale", func() { _ = ctx.MustMulRescale(ct, ct) }},
+					{"Adjust", func() { _ = ctx.MustAdjust(ct, ct.Level()-1) }},
+				}
+				for _, fused := range []bool{true, false} {
+					ctx.SetFused(fused)
+					for _, op := range ops {
+						rec := base
+						rec.Op, rec.Fused = op.name, fused
+						rec.apply(timeOp(op.run))
+						records = append(records, rec)
+						printRecord(rec)
+					}
+				}
+				ctx.SetFused(true)
 			}
-			ct, err := ctx.EncryptReal([]float64{0.5, 0.25})
-			if err != nil {
-				return fmt.Errorf("bench encrypt (%v, w=%d): %w", scheme, w, err)
-			}
-			base := BenchRecord{
-				Scheme:   scheme.String(),
-				WordBits: w,
-				LogN:     logN,
-				Residues: ct.Residues(),
-				Workers:  bitpacker.Workers(),
-			}
-
-			rec := base
-			rec.Op = "MulRescale"
-			rec.NsPerOp, rec.Iters = timeOp(func() { _ = ctx.MustRescale(ctx.MustMul(ct, ct)) })
-			records = append(records, rec)
-			fmt.Printf("  %-12s %-10s w=%-3d %12.0f ns/op (%d iters, %d workers)\n",
-				rec.Op, rec.Scheme, rec.WordBits, rec.NsPerOp, rec.Iters, rec.Workers)
-
-			rec = base
-			rec.Op = "Adjust"
-			rec.NsPerOp, rec.Iters = timeOp(func() { _ = ctx.MustAdjust(ct, ct.Level()-1) })
-			records = append(records, rec)
-			fmt.Printf("  %-12s %-10s w=%-3d %12.0f ns/op (%d iters, %d workers)\n",
-				rec.Op, rec.Scheme, rec.WordBits, rec.NsPerOp, rec.Iters, rec.Workers)
 		}
 	}
+	bitpacker.SetWorkers(0)
 	if err := benchRotateHoisted(&records); err != nil {
 		return err
 	}
 	if err := benchLinearTransform(&records); err != nil {
 		return err
 	}
+	// The remaining suites characterize the recovery ladder, not the
+	// fused/staged split; run them at workers=1 like earlier BENCH files.
+	bitpacker.SetWorkers(1)
 	if err := benchBootstrap(&records); err != nil {
 		return err
 	}
@@ -120,6 +162,7 @@ func runMicrobench(path string) error {
 	if err := benchRetryRecovery(&records); err != nil {
 		return err
 	}
+	bitpacker.SetWorkers(0)
 
 	data, err := json.MarshalIndent(records, "", "  ")
 	if err != nil {
@@ -134,12 +177,17 @@ func runMicrobench(path string) error {
 }
 
 func printRecord(rec BenchRecord) {
-	fmt.Printf("  %-22s %-10s w=%-3d %12.0f ns/op (%d iters, %d workers)\n",
-		rec.Op, rec.Scheme, rec.WordBits, rec.NsPerOp, rec.Iters, rec.Workers)
+	mode := "fused "
+	if !rec.Fused {
+		mode = "staged"
+	}
+	fmt.Printf("  %-26s %-10s w=%-3d %s %12.0f ns/op %8.1f allocs/op %12.0f B/op (%d iters, %d workers)\n",
+		rec.Op, rec.Scheme, rec.WordBits, mode, rec.NsPerOp, rec.AllocsPerOp, rec.BytesPerOp, rec.Iters, rec.Workers)
 }
 
 // benchRotateHoisted times rotating one ciphertext eight ways with
-// per-rotation keyswitching vs a single hoisted decomposition.
+// per-rotation keyswitching vs a single hoisted decomposition (which at
+// workers>1 also fans the rotations out as one fork/join).
 func benchRotateHoisted(records *[]BenchRecord) error {
 	const (
 		logN      = 11
@@ -151,52 +199,62 @@ func benchRotateHoisted(records *[]BenchRecord) error {
 	for i := range steps {
 		steps[i] = i + 1
 	}
-	for _, scheme := range []bitpacker.Scheme{bitpacker.RNSCKKS, bitpacker.BitPacker} {
-		ctx, err := bitpacker.New(bitpacker.Config{
-			Scheme:    scheme,
-			LogN:      logN,
-			Levels:    levels,
-			ScaleBits: scaleBits,
-			WordBits:  61,
-			Rotations: steps,
-		})
-		if err != nil {
-			return fmt.Errorf("bench setup (%v): %w", scheme, err)
-		}
-		ct, err := ctx.EncryptReal([]float64{0.5, 0.25})
-		if err != nil {
-			return err
-		}
-		base := BenchRecord{
-			Scheme:   scheme.String(),
-			WordBits: 61,
-			LogN:     logN,
-			Residues: ct.Residues(),
-			Workers:  bitpacker.Workers(),
-		}
-
-		rec := base
-		rec.Op = fmt.Sprintf("Rotate x%d", nRots)
-		rec.NsPerOp, rec.Iters = timeOp(func() {
-			for _, s := range steps {
-				_ = ctx.MustRotate(ct, s)
+	for _, workers := range []int{1, 4} {
+		bitpacker.SetWorkers(workers)
+		for _, scheme := range []bitpacker.Scheme{bitpacker.RNSCKKS, bitpacker.BitPacker} {
+			ctx, err := bitpacker.New(bitpacker.Config{
+				Scheme:    scheme,
+				LogN:      logN,
+				Levels:    levels,
+				ScaleBits: scaleBits,
+				WordBits:  61,
+				Rotations: steps,
+			})
+			if err != nil {
+				return fmt.Errorf("bench setup (%v): %w", scheme, err)
 			}
-		})
-		*records = append(*records, rec)
-		printRecord(rec)
+			ct, err := ctx.EncryptReal([]float64{0.5, 0.25})
+			if err != nil {
+				return err
+			}
+			base := BenchRecord{
+				Scheme:   scheme.String(),
+				WordBits: 61,
+				LogN:     logN,
+				Residues: ct.Residues(),
+				Workers:  workers,
+				Fused:    true,
+			}
 
-		rec = base
-		rec.Op = fmt.Sprintf("RotateHoisted x%d", nRots)
-		rec.NsPerOp, rec.Iters = timeOp(func() { _ = ctx.MustRotateHoisted(ct, steps) })
-		*records = append(*records, rec)
-		printRecord(rec)
+			rec := base
+			rec.Op = fmt.Sprintf("Rotate x%d", nRots)
+			rec.apply(timeOp(func() {
+				for _, s := range steps {
+					_ = ctx.MustRotate(ct, s)
+				}
+			}))
+			*records = append(*records, rec)
+			printRecord(rec)
+
+			for _, fused := range []bool{true, false} {
+				ctx.SetFused(fused)
+				rec = base
+				rec.Op, rec.Fused = fmt.Sprintf("RotateHoisted x%d", nRots), fused
+				rec.apply(timeOp(func() { _ = ctx.MustRotateHoisted(ct, steps) }))
+				*records = append(*records, rec)
+				printRecord(rec)
+			}
+			ctx.SetFused(true)
+		}
 	}
+	bitpacker.SetWorkers(0)
 	return nil
 }
 
 // benchLinearTransform times a dense 16-diagonal matrix-vector product on
-// the BSGS path against the naive per-diagonal reference — the
-// CoeffToSlot-style kernel the hoisting work targets.
+// the BSGS path (fused and staged) against the naive per-diagonal
+// reference — the CoeffToSlot-style kernel the hoisting and fusion work
+// targets.
 func benchLinearTransform(records *[]BenchRecord) error {
 	const (
 		logN      = 11
@@ -220,51 +278,63 @@ func benchLinearTransform(records *[]BenchRecord) error {
 	for i := range vec {
 		vec[i] = complex(2*rng.Float64()-1, 0)
 	}
-	for _, scheme := range []bitpacker.Scheme{bitpacker.RNSCKKS, bitpacker.BitPacker} {
-		ctx, err := bitpacker.New(bitpacker.Config{
-			Scheme:    scheme,
-			LogN:      logN,
-			Levels:    levels,
-			ScaleBits: scaleBits,
-			WordBits:  61,
-			Rotations: rots,
-		})
-		if err != nil {
-			return fmt.Errorf("bench setup (%v): %w", scheme, err)
-		}
-		tr, err := ctx.NewMatrixTransform(mat, ctx.MaxLevel())
-		if err != nil {
-			return err
-		}
-		ct, err := ctx.Encrypt(ctx.Replicate(vec, dim))
-		if err != nil {
-			return err
-		}
-		naiveKS, activeKS := tr.KeySwitchCounts()
-		base := BenchRecord{
-			Scheme:   scheme.String(),
-			WordBits: 61,
-			LogN:     logN,
-			Residues: ct.Residues(),
-			Workers:  bitpacker.Workers(),
-		}
+	for _, workers := range []int{1, 4} {
+		bitpacker.SetWorkers(workers)
+		for _, scheme := range []bitpacker.Scheme{bitpacker.RNSCKKS, bitpacker.BitPacker} {
+			ctx, err := bitpacker.New(bitpacker.Config{
+				Scheme:    scheme,
+				LogN:      logN,
+				Levels:    levels,
+				ScaleBits: scaleBits,
+				WordBits:  61,
+				Rotations: rots,
+			})
+			if err != nil {
+				return fmt.Errorf("bench setup (%v): %w", scheme, err)
+			}
+			tr, err := ctx.NewMatrixTransform(mat, ctx.MaxLevel())
+			if err != nil {
+				return err
+			}
+			ct, err := ctx.Encrypt(ctx.Replicate(vec, dim))
+			if err != nil {
+				return err
+			}
+			naiveKS, activeKS := tr.KeySwitchCounts()
+			base := BenchRecord{
+				Scheme:   scheme.String(),
+				WordBits: 61,
+				LogN:     logN,
+				Residues: ct.Residues(),
+				Workers:  workers,
+				Fused:    true,
+			}
 
-		rec := base
-		rec.Op = fmt.Sprintf("LinearTransformNaive d=%d ks=%d", dim, naiveKS)
-		naiveNs, naiveIt := timeOp(func() { _ = ctx.MustApplyNaive(ct, tr) })
-		rec.NsPerOp, rec.Iters = naiveNs, naiveIt
-		*records = append(*records, rec)
-		printRecord(rec)
+			rec := base
+			rec.Op = fmt.Sprintf("LinearTransformNaive d=%d ks=%d", dim, naiveKS)
+			rec.apply(timeOp(func() { _ = ctx.MustApplyNaive(ct, tr) }))
+			*records = append(*records, rec)
+			printRecord(rec)
 
-		rec = base
-		rec.Op = fmt.Sprintf("LinearTransformBSGS d=%d ks=%d", dim, activeKS)
-		bsgsNs, bsgsIt := timeOp(func() { _ = ctx.MustApply(ct, tr) })
-		rec.NsPerOp, rec.Iters = bsgsNs, bsgsIt
-		*records = append(*records, rec)
-		printRecord(rec)
-
-		fmt.Printf("  -> BSGS speedup %.2fx (%v)\n", naiveNs/bsgsNs, scheme)
+			var fusedNs, stagedNs float64
+			for _, fused := range []bool{true, false} {
+				ctx.SetFused(fused)
+				rec = base
+				rec.Op, rec.Fused = fmt.Sprintf("LinearTransformBSGS d=%d ks=%d", dim, activeKS), fused
+				rec.apply(timeOp(func() { _ = ctx.MustApply(ct, tr) }))
+				if fused {
+					fusedNs = rec.NsPerOp
+				} else {
+					stagedNs = rec.NsPerOp
+				}
+				*records = append(*records, rec)
+				printRecord(rec)
+			}
+			ctx.SetFused(true)
+			fmt.Printf("  -> BSGS fusion speedup %.2fx (%v, %d workers)\n", stagedNs/fusedNs, scheme, workers)
+		}
 	}
+	bitpacker.SetWorkers(0)
 	return nil
 }
 
@@ -301,14 +371,15 @@ func benchBootstrap(records *[]BenchRecord) error {
 		LogN:     logN,
 		Residues: ct.Residues(),
 		Workers:  bitpacker.Workers(),
+		Fused:    true,
 		Op:       fmt.Sprintf("Bootstrap deg=%d", deg),
 	}
-	rec.NsPerOp, rec.Iters = timeOp(func() {
+	rec.apply(timeOp(func() {
 		if _, err := ctx.Refresh(exhausted); err != nil {
 			fmt.Fprintf(os.Stderr, "bpbench: bootstrap refresh failed: %v\n", err)
 			os.Exit(1)
 		}
-	})
+	}))
 	*records = append(*records, rec)
 	printRecord(rec)
 	return nil

@@ -92,6 +92,7 @@ func benchRRNSOverhead(records *[]BenchRecord) error {
 					LogN:     logN,
 					Residues: residues,
 					Workers:  bitpacker.Workers(),
+					Fused:    true,
 					NsPerOp:  ns,
 					Iters:    rounds * perRound,
 				}
@@ -158,28 +159,29 @@ func benchRetryRecovery(records *[]BenchRecord) error {
 			LogN:     logN,
 			Residues: ct.Residues(),
 			Workers:  bitpacker.Workers(),
+			Fused:    true,
 		}
 
 		rec := base
 		rec.Op = fmt.Sprintf("LinearTransform d=%d clean", dim)
-		cleanNs, cleanIt := timeOp(func() { _ = ctx.MustApply(ct, tr) })
-		rec.NsPerOp, rec.Iters = cleanNs, cleanIt
+		clean := timeOp(func() { _ = ctx.MustApply(ct, tr) })
+		rec.apply(clean)
 		*records = append(*records, rec)
 		printRecord(rec)
 
 		inj := chaos.New(31)
 		rec = base
 		rec.Op = fmt.Sprintf("LinearTransform d=%d fault+retry", dim)
-		healNs, healIt := timeOp(func() {
+		heal := timeOp(func() {
 			_, restore := inj.Burst(0, 1) // one dropped task per iteration
 			_ = ctx.MustApply(ct, tr)
 			restore()
 		})
-		rec.NsPerOp, rec.Iters = healNs, healIt
+		rec.apply(heal)
 		*records = append(*records, rec)
 		printRecord(rec)
 
-		fmt.Printf("  -> retry-recovery %.2fx clean cost (%v)\n", healNs/cleanNs, scheme)
+		fmt.Printf("  -> retry-recovery %.2fx clean cost (%v)\n", heal.NsPerOp/clean.NsPerOp, scheme)
 	}
 	return nil
 }

@@ -1,0 +1,149 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand/v2"
+	"os"
+
+	"bitpacker"
+)
+
+// smokeBaseline is the checked-in regression reference for `make
+// bench-smoke`. It stores the fused/staged MulRescale time ratio per
+// scheme rather than absolute nanoseconds: both variants are measured in
+// the same process on the same machine in interleaved rounds, so the
+// ratio is machine-independent and a CI runner's speed never matters —
+// only a change in the relative cost of the fused path can move it.
+type smokeBaseline struct {
+	MulRescaleFusedOverStaged map[string]float64 `json:"mul_rescale_fused_over_staged"`
+}
+
+// smokeTolerance: fail when the measured ratio exceeds the baseline by
+// more than 10% (the issue's regression bar), with a little extra slack
+// absorbed by the median-of-interleaved-rounds measurement.
+const smokeTolerance = 1.10
+
+// runBenchSmoke is the CI regression gate: at tiny parameters it checks
+// that the fused and staged MulRescale paths decrypt to exactly the same
+// slots, then times both interleaved and compares the fused/staged ratio
+// against the checked-in baseline. With update set it rewrites the
+// baseline instead of judging against it.
+func runBenchSmoke(path string, update bool) error {
+	const (
+		logN      = 10
+		levels    = 3
+		scaleBits = 40
+		rounds    = 9
+		perRound  = 8
+	)
+	bitpacker.SetWorkers(1)
+	defer bitpacker.SetWorkers(0)
+
+	measured := map[string]float64{}
+	for _, scheme := range []bitpacker.Scheme{bitpacker.RNSCKKS, bitpacker.BitPacker} {
+		ctx, err := bitpacker.New(bitpacker.Config{
+			Scheme:    scheme,
+			LogN:      logN,
+			Levels:    levels,
+			ScaleBits: scaleBits,
+			WordBits:  61,
+		})
+		if err != nil {
+			return fmt.Errorf("smoke setup (%v): %w", scheme, err)
+		}
+		rng := rand.New(rand.NewPCG(41, 42))
+		vals := make([]complex128, ctx.Slots())
+		for i := range vals {
+			vals[i] = complex(2*rng.Float64()-1, 2*rng.Float64()-1)
+		}
+		ct, err := ctx.Encrypt(vals)
+		if err != nil {
+			return err
+		}
+
+		// Differential gate first: fused vs staged must agree exactly.
+		ctx.SetFused(true)
+		fusedOut, err := ctx.MulRescale(ct, ct)
+		if err != nil {
+			return err
+		}
+		fusedSlots, err := ctx.Decrypt(fusedOut)
+		if err != nil {
+			return err
+		}
+		ctx.SetFused(false)
+		stagedOut, err := ctx.MulRescale(ct, ct)
+		if err != nil {
+			return err
+		}
+		stagedSlots, err := ctx.Decrypt(stagedOut)
+		if err != nil {
+			return err
+		}
+		for i := range fusedSlots {
+			if fusedSlots[i] != stagedSlots[i] {
+				return fmt.Errorf("smoke (%v): fused and staged MulRescale disagree at slot %d: %v vs %v",
+					scheme, i, fusedSlots[i], stagedSlots[i])
+			}
+		}
+
+		// Interleaved rounds: machine drift hits both variants equally.
+		fns := [2]func(){
+			func() { _ = ctx.MustMulRescale(ct, ct) },
+			func() { _ = ctx.MustMulRescale(ct, ct) },
+		}
+		ctx.SetFused(true)
+		fns[0]()
+		ctx.SetFused(false)
+		fns[1]()
+		samples := [2][]float64{}
+		for r := 0; r < rounds; r++ {
+			ctx.SetFused(true)
+			samples[0] = append(samples[0], sampleNs(fns[0], perRound))
+			ctx.SetFused(false)
+			samples[1] = append(samples[1], sampleNs(fns[1], perRound))
+		}
+		ctx.SetFused(true)
+		fusedNs, stagedNs := medianNs(samples[0]), medianNs(samples[1])
+		ratio := fusedNs / stagedNs
+		measured[scheme.String()] = ratio
+		fmt.Printf("  smoke MulRescale %-10s fused %.0f ns/op, staged %.0f ns/op, ratio %.3f\n",
+			scheme.String(), fusedNs, stagedNs, ratio)
+	}
+
+	if update {
+		data, err := json.MarshalIndent(smokeBaseline{MulRescaleFusedOverStaged: measured}, "", "  ")
+		if err != nil {
+			return err
+		}
+		data = append(data, '\n')
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote smoke baseline to %s\n", path)
+		return nil
+	}
+
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("smoke: no baseline at %s (regenerate with -smoke-update): %w", path, err)
+	}
+	var base smokeBaseline
+	if err := json.Unmarshal(data, &base); err != nil {
+		return fmt.Errorf("smoke: baseline %s: %w", path, err)
+	}
+	for scheme, got := range measured {
+		want, ok := base.MulRescaleFusedOverStaged[scheme]
+		if !ok {
+			return fmt.Errorf("smoke: baseline %s has no entry for %s (regenerate with -smoke-update)", path, scheme)
+		}
+		if got > want*smokeTolerance {
+			return fmt.Errorf("smoke: MulRescale fused/staged ratio regressed on %s: %.3f vs baseline %.3f (+%.0f%% > %.0f%% bar)",
+				scheme, got, want, 100*(got/want-1), 100*(smokeTolerance-1))
+		}
+		fmt.Printf("  smoke %-10s ratio %.3f within %.0f%% of baseline %.3f\n",
+			scheme, got, 100*(smokeTolerance-1), want)
+	}
+	return nil
+}

@@ -73,6 +73,30 @@ func (ct *Ciphertext) CopyNew() *Ciphertext {
 	return out
 }
 
+// CopyCiphertexts deep-copies a whole state slice at once: every
+// component row of every ciphertext is copied in a single fork/join
+// (instead of one fork/join pair per ciphertext), which is what
+// checkpointing and pipeline retry snapshots want. The copies' rows are
+// pool-backed but owned by the returned ciphertexts.
+func CopyCiphertexts(cts []*Ciphertext) []*Ciphertext {
+	polys := make([]*ring.Poly, 0, 2*len(cts))
+	for _, ct := range cts {
+		polys = append(polys, ct.C0, ct.C1)
+	}
+	copies := ring.ScratchCopyBatch(polys...)
+	out := make([]*Ciphertext, len(cts))
+	for i, ct := range cts {
+		c := newCiphertext(copies[2*i], copies[2*i+1], ct.Level, new(big.Rat).Set(ct.Scale), ct.NoiseBits)
+		if ct.SpareDepth > 0 {
+			c.Spare0 = append([]uint64(nil), ct.Spare0...)
+			c.Spare1 = append([]uint64(nil), ct.Spare1...)
+			c.SpareDepth = ct.SpareDepth
+		}
+		out[i] = c
+	}
+	return out
+}
+
 // clearSpare marks the spare channel stale. Operations whose spare
 // algebra is not tracked (multiplications, keyswitching, rotations) call
 // it on their outputs; the channel is reseeded from trusted state at the

@@ -8,6 +8,7 @@ import (
 	"sync"
 
 	"bitpacker/internal/core"
+	"bitpacker/internal/engine"
 	"bitpacker/internal/fherr"
 	"bitpacker/internal/ring"
 	"bitpacker/internal/rns"
@@ -37,6 +38,14 @@ type Evaluator struct {
 	// fherr.ErrNoiseBudget.
 	guardBits float64
 
+	// fused selects the fused-kernel hot paths (MulRelin, Rescale,
+	// Adjust, MulRescale, keyswitching, BSGS): per-residue stage chains
+	// run as one work item per residue and independent ciphertext ops
+	// batch into single fork/joins. The unfused twins are kept as the
+	// stage-by-stage baseline; both produce bit-identical results (see
+	// DESIGN.md and the engine_diff tests).
+	fused bool
+
 	caches *evalCaches
 }
 
@@ -50,19 +59,29 @@ type evalCaches struct {
 }
 
 // NewEvaluator creates an evaluator. Invariant checking starts enabled
-// when the BITPACKER_CHECK_INVARIANTS environment variable is non-empty.
+// when the BITPACKER_CHECK_INVARIANTS environment variable is non-empty;
+// the fused hot paths start enabled unless BITPACKER_UNFUSED is set.
 func NewEvaluator(params *Parameters, keys *EvaluationKeySet) *Evaluator {
 	return &Evaluator{
 		params:          params,
 		keys:            keys,
 		nm:              NewNoiseModel(params),
 		checkInvariants: os.Getenv("BITPACKER_CHECK_INVARIANTS") != "",
+		fused:           os.Getenv("BITPACKER_UNFUSED") == "",
 		caches: &evalCaches{
 			convCache: map[string]*rns.Conv{},
 			sdCache:   map[string]*ring.ScaleDownParams{},
 		},
 	}
 }
+
+// SetFused selects between the fused-kernel hot paths (default) and the
+// stage-by-stage unfused baseline. Results are bit-identical either way;
+// the toggle exists for differential testing and benchmarking.
+func (ev *Evaluator) SetFused(on bool) { ev.fused = on }
+
+// Fused reports whether the fused hot paths are active.
+func (ev *Evaluator) Fused() bool { return ev.fused }
 
 // Params returns the evaluator's parameter set.
 func (ev *Evaluator) Params() *Parameters { return ev.params }
@@ -212,7 +231,30 @@ func checkCompatible(op string, a, b *Ciphertext) error {
 	return nil
 }
 
+// polyPairLike returns two pooled polynomials shaped like ct's
+// components. The caller must fully overwrite both (pair kernels do).
+func (ev *Evaluator) polyPairLike(ct *Ciphertext) (*ring.Poly, *ring.Poly) {
+	c0 := ev.params.Ctx.GetPoly(ct.C0.Moduli)
+	c0.IsNTT = ct.C0.IsNTT
+	c1 := ev.params.Ctx.GetPoly(ct.C1.Moduli)
+	c1.IsNTT = ct.C1.IsNTT
+	return c0, c1
+}
+
+// plainOperand returns pt's polynomial in the NTT domain: a zero-copy
+// alias when it is already transformed (LinearTransform pre-transforms
+// its diagonals), a pooled fused copy+NTT otherwise. release reports
+// whether the caller must PutPoly the result.
+func (ev *Evaluator) plainOperand(pt *Plaintext) (m *ring.Poly, release bool) {
+	if pt.Value.IsNTT {
+		return pt.Value, false
+	}
+	return pt.Value.ScratchCopyNTT(), true
+}
+
 // Add returns a + b (same level and scale required; use Adjust otherwise).
+// Both component sums run in one fork/join on pooled output rows — no
+// intermediate full copy of a.
 func (ev *Evaluator) Add(a, b *Ciphertext) (*Ciphertext, error) {
 	if err := ev.begin("Add", a, b); err != nil {
 		return nil, err
@@ -220,12 +262,10 @@ func (ev *Evaluator) Add(a, b *Ciphertext) (*Ciphertext, error) {
 	if err := checkCompatible("Add", a, b); err != nil {
 		return nil, err
 	}
-	out := a.CopyNew()
-	out.C0.Add(a.C0, b.C0)
-	out.C1.Add(a.C1, b.C1)
-	ev.spareCombine(out, a, b, false)
-	out.NoiseBits = addNoiseBits(a.NoiseBits, b.NoiseBits)
-	out.seal()
+	c0, c1 := ev.polyPairLike(a)
+	ring.AddPair(c0, a.C0, b.C0, c1, a.C1, b.C1)
+	out := newCiphertext(c0, c1, a.Level, new(big.Rat).Set(a.Scale), addNoiseBits(a.NoiseBits, b.NoiseBits))
+	ev.spareCombineInto(out, a, b, false)
 	return out, nil
 }
 
@@ -237,12 +277,10 @@ func (ev *Evaluator) Sub(a, b *Ciphertext) (*Ciphertext, error) {
 	if err := checkCompatible("Sub", a, b); err != nil {
 		return nil, err
 	}
-	out := a.CopyNew()
-	out.C0.Sub(a.C0, b.C0)
-	out.C1.Sub(a.C1, b.C1)
-	ev.spareCombine(out, a, b, true)
-	out.NoiseBits = addNoiseBits(a.NoiseBits, b.NoiseBits)
-	out.seal()
+	c0, c1 := ev.polyPairLike(a)
+	ring.SubPair(c0, a.C0, b.C0, c1, a.C1, b.C1)
+	out := newCiphertext(c0, c1, a.Level, new(big.Rat).Set(a.Scale), addNoiseBits(a.NoiseBits, b.NoiseBits))
+	ev.spareCombineInto(out, a, b, true)
 	return out, nil
 }
 
@@ -251,10 +289,10 @@ func (ev *Evaluator) Neg(a *Ciphertext) (*Ciphertext, error) {
 	if err := ev.begin("Neg", a); err != nil {
 		return nil, err
 	}
-	out := a.CopyNew()
-	out.C0.Neg(a.C0)
-	out.C1.Neg(a.C1)
-	ev.spareNeg(out)
+	c0, c1 := ev.polyPairLike(a)
+	ring.NegPair(c0, a.C0, c1, a.C1)
+	out := newCiphertext(c0, c1, a.Level, new(big.Rat).Set(a.Scale), a.NoiseBits)
+	ev.spareNegInto(out, a)
 	return out, nil
 }
 
@@ -271,15 +309,17 @@ func (ev *Evaluator) AddPlain(ct *Ciphertext, pt *Plaintext) (*Ciphertext, error
 		return nil, fherr.Wrap(fherr.ErrScaleMismatch, "ckks: AddPlain: plaintext scale 2^%.3f vs ciphertext 2^%.3f",
 			core.RatLog2(pt.Scale), core.RatLog2(ct.Scale))
 	}
-	m := pt.Value.ScratchCopy()
-	m.NTT()
-	out := ct.CopyNew()
-	out.clearSpare() // plaintext addition is not tracked by the spare algebra
-	out.C0.Add(out.C0, m)
-	ev.params.Ctx.PutPoly(m)
-	out.NoiseBits = addNoiseBits(ct.NoiseBits, ev.nm.EncodingBits())
-	out.seal()
-	return out, nil
+	m, release := ev.plainOperand(pt)
+	c0, c1 := ev.polyPairLike(ct)
+	// Only C0 changes; C1 is copied in the same fork/join. The spare
+	// channel is not tracked across plaintext addition, so the output
+	// starts stale.
+	ring.AddCopyPair(c0, ct.C0, m, c1, ct.C1)
+	if release {
+		ev.params.Ctx.PutPoly(m)
+	}
+	noise := addNoiseBits(ct.NoiseBits, ev.nm.EncodingBits())
+	return newCiphertext(c0, c1, ct.Level, new(big.Rat).Set(ct.Scale), noise), nil
 }
 
 // MulPlain returns ct * pt elementwise. The result's scale is the product
@@ -291,22 +331,22 @@ func (ev *Evaluator) MulPlain(ct *Ciphertext, pt *Plaintext) (*Ciphertext, error
 	if pt.Level != ct.Level {
 		return nil, fherr.Wrap(fherr.ErrLevelMismatch, "ckks: MulPlain: plaintext level %d vs ciphertext %d", pt.Level, ct.Level)
 	}
-	m := pt.Value.ScratchCopy()
-	m.NTT()
-	out := ct.CopyNew()
-	out.clearSpare() // pointwise NTT products are not tracked by the spare algebra
-	out.C0.MulCoeffs(out.C0, m)
-	out.C1.MulCoeffs(out.C1, m)
-	out.Scale.Mul(out.Scale, pt.Scale)
-	ev.params.Ctx.PutPoly(m)
+	m, release := ev.plainOperand(pt)
+	c0, c1 := ev.polyPairLike(ct)
+	// Both pointwise products share one fork/join; the NTT products are
+	// not tracked by the spare algebra, so the output starts stale.
+	ring.MulCoeffsPair(c0, ct.C0, c1, ct.C1, m)
+	if release {
+		ev.params.Ctx.PutPoly(m)
+	}
+	scale := new(big.Rat).Mul(ct.Scale, pt.Scale)
 	// pt·e_ct dominates; the encoding rounding of pt is amplified by the
 	// ciphertext's scale.
-	out.NoiseBits = addNoiseBits(
+	noise := addNoiseBits(
 		ct.NoiseBits+core.RatLog2(pt.Scale),
 		core.RatLog2(ct.Scale)+ev.nm.EncodingBits(),
 	)
-	out.seal()
-	return out, nil
+	return newCiphertext(c0, c1, ct.Level, scale, noise), nil
 }
 
 // MulScalarInt multiplies by a small integer constant (scale unchanged).
@@ -314,15 +354,14 @@ func (ev *Evaluator) MulScalarInt(ct *Ciphertext, c int64) (*Ciphertext, error) 
 	if err := ev.begin("MulScalarInt", ct); err != nil {
 		return nil, err
 	}
-	out := ct.CopyNew()
-	big := new(big.Int).SetInt64(c)
-	out.C0.MulScalarBig(out.C0, big)
-	out.C1.MulScalarBig(out.C1, big)
-	ev.spareMulScalarInt(out, c)
+	c0, c1 := ev.polyPairLike(ct)
+	ring.MulScalarBigPair(c0, ct.C0, c1, ct.C1, new(big.Int).SetInt64(c))
+	noise := ct.NoiseBits
 	if abs := math.Abs(float64(c)); abs > 1 {
-		out.NoiseBits = ct.NoiseBits + math.Log2(abs)
+		noise = ct.NoiseBits + math.Log2(abs)
 	}
-	out.seal()
+	out := newCiphertext(c0, c1, ct.Level, new(big.Rat).Set(ct.Scale), noise)
+	ev.spareMulScalarIntInto(out, ct, c)
 	return out, nil
 }
 
@@ -346,29 +385,37 @@ func (ev *Evaluator) MulRelin(a, b *Ciphertext) (*Ciphertext, error) {
 	moduli := a.C0.Moduli
 
 	// The degree-two products fully overwrite their destinations, so the
-	// non-zeroed pooled polys are safe; d2 and tmp die inside this call
-	// and go back to the pool.
+	// non-zeroed pooled polys are safe; d2 (and tmp on the staged path)
+	// die inside this call and go back to the pool.
 	d0 := p.Ctx.GetPoly(moduli)
 	d0.IsNTT = true
-	d0.MulCoeffs(a.C0, b.C0)
-
 	d1 := p.Ctx.GetPoly(moduli)
 	d1.IsNTT = true
-	d1.MulCoeffs(a.C0, b.C1)
-	tmp := p.Ctx.GetPoly(moduli)
-	tmp.IsNTT = true
-	tmp.MulCoeffs(a.C1, b.C0)
-	d1.Add(d1, tmp)
-	p.Ctx.PutPoly(tmp)
-
 	d2 := p.Ctx.GetPoly(moduli)
 	d2.IsNTT = true
-	d2.MulCoeffs(a.C1, b.C1)
+	if ev.fused {
+		// All three tensor components in one fork/join; the cross term
+		// accumulates a0·b1 + a1·b0 per coefficient without a scratch poly.
+		ring.MulRelinProducts(d0, d1, d2, a.C0, a.C1, b.C0, b.C1)
+	} else {
+		d0.MulCoeffs(a.C0, b.C0)
+		d1.MulCoeffs(a.C0, b.C1)
+		tmp := p.Ctx.GetPoly(moduli)
+		tmp.IsNTT = true
+		tmp.MulCoeffs(a.C1, b.C0)
+		d1.Add(d1, tmp)
+		p.Ctx.PutPoly(tmp)
+		d2.MulCoeffs(a.C1, b.C1)
+	}
 
 	ks0, ks1 := ev.keySwitch(d2, ev.keys.Relin)
 	p.Ctx.PutPoly(d2)
-	d0.Add(d0, ks0)
-	d1.Add(d1, ks1)
+	if ev.fused {
+		ring.AddPair(d0, d0, ks0, d1, d1, ks1)
+	} else {
+		d0.Add(d0, ks0)
+		d1.Add(d1, ks1)
+	}
 	p.Ctx.PutPoly(ks0)
 	p.Ctx.PutPoly(ks1)
 
@@ -429,13 +476,28 @@ func (hd *HoistedDecomp) Free(ctx *ring.Context) {
 // over the current level moduli). This is the per-input half of keySwitch;
 // keySwitchHoisted is the per-key half.
 func (ev *Evaluator) decomposePoly(c2 *ring.Poly) *HoistedDecomp {
+	var c2c *ring.Poly
+	if ev.fused {
+		c2c = c2.ScratchCopyINTT()
+	} else {
+		c2c = c2.ScratchCopy()
+		c2c.INTT()
+	}
+	hd := ev.decomposeCoeff(c2c)
+	ev.params.Ctx.PutPoly(c2c)
+	return hd
+}
+
+// decomposeCoeff is decomposePoly minus the copy/transform: c2c must
+// already be in the coefficient domain over the live moduli (the fused
+// Galois path feeds the permuted polynomial straight in, skipping a
+// round trip through the NTT domain — bit-identical because the
+// transforms are exact inverses). c2c is only read.
+func (ev *Evaluator) decomposeCoeff(c2c *ring.Poly) *HoistedDecomp {
 	p := ev.params
-	live := c2.Moduli
+	live := c2c.Moduli
 	special := p.Chain.Special
 	ext := append(append([]uint64(nil), live...), special...)
-
-	c2c := c2.ScratchCopy()
-	c2c.INTT()
 
 	// Rows of c2c per digit.
 	digitRows := make(map[int][]int)
@@ -492,7 +554,22 @@ func (ev *Evaluator) decomposePoly(c2 *ring.Poly) *HoistedDecomp {
 		}
 		hd.digits[d] = digit
 	}
-	p.Ctx.PutPoly(c2c)
+	if ev.fused {
+		// Fused consumers take the digits in the evaluation domain: a
+		// Galois automorphism there is a pure permutation of evaluation
+		// points (ring.PermuteNTT), so transforming each extended digit
+		// ONCE here lets every hoisted rotation reuse it with zero
+		// transforms, and the galEl==1 inner product aliases it with zero
+		// copies. One batched fork/join over all digit rows; bit-identical
+		// to transforming per use because the transform is deterministic.
+		var built []*ring.Poly
+		for _, d := range hd.digits {
+			if d != nil {
+				built = append(built, d)
+			}
+		}
+		ring.NTTBatch(built...)
+	}
 	return hd
 }
 
@@ -504,8 +581,15 @@ func (ev *Evaluator) DecomposeModUp(ct *Ciphertext) (*HoistedDecomp, error) {
 		return nil, err
 	}
 	hd := ev.decomposePoly(ct.C1)
-	c0 := ct.C0.ScratchCopy()
-	c0.INTT()
+	var c0 *ring.Poly
+	if ev.fused {
+		// Evaluation-domain snapshot: each hoisted rotation permutes it in
+		// place of an automorphism+NTT — zero transforms per rotation.
+		c0 = ct.C0.ScratchCopy()
+	} else {
+		c0 = ct.C0.ScratchCopy()
+		c0.INTT()
+	}
 	hd.c0 = c0
 	hd.level = ct.Level
 	hd.scale = new(big.Rat).Set(ct.Scale)
@@ -517,54 +601,127 @@ func (ev *Evaluator) DecomposeModUp(ct *Ciphertext) (*HoistedDecomp, error) {
 // Galois automorphism galEl (1 = identity) to each pre-extended digit,
 // inner-multiply with the key, and ModDown (divide the accumulated pair
 // by P) back to the live moduli. With galEl == 1 this is bit-identical to
-// the unsplit keyswitch.
+// the unsplit keyswitch. Outputs are in the NTT domain.
 func (ev *Evaluator) keySwitchHoisted(hd *HoistedDecomp, swk *SwitchingKey, galEl uint64) (*ring.Poly, *ring.Poly) {
+	if ev.fused {
+		return ev.keySwitchFused(hd, swk, galEl, true)
+	}
+	return ev.keySwitchHoistedUnfused(hd, swk, galEl)
+}
+
+// keySwitchFused is the fused twin of keySwitchHoistedUnfused: each digit
+// is consumed in the evaluation domain (pre-transformed once by the fused
+// decomposition, so galEl==1 aliases it copy-free and a Galois map is a
+// pure permutation of evaluation points), both inner-product halves share
+// one fork/join against the accumulator pair, and the ModDown runs in the
+// NTT domain when the caller wants NTT output — only the special rows are
+// inverse-transformed and only the basis-conversion rows transformed
+// forward, so the live accumulator rows never leave the evaluation
+// domain. Bit-identical to the staged pipeline — the first digit writes
+// the accumulators directly (AddMod with a zero accumulator is the
+// identity), every later stage preserves canonical residues, and the
+// transforms are exactly linear.
+//
+// nttOut=false returns the pair in the coefficient domain so callers that
+// keep computing there (rescale tails) skip transforms.
+func (ev *Evaluator) keySwitchFused(hd *HoistedDecomp, swk *SwitchingKey, galEl uint64, nttOut bool) (*ring.Poly, *ring.Poly) {
+	acc0, acc1 := ev.keySwitchExtFused(hd, swk, galEl)
+	return ev.extModDownFused(acc0, acc1, hd.live, nttOut)
+}
+
+// keySwitchExtFused is the inner-product half of the fused keyswitch: it
+// returns the accumulated pair still in the extended (live+special) basis
+// and the NTT domain, WITHOUT dividing by P. Callers either hand the pair
+// to extModDownFused, or — when several keyswitch outputs are about to be
+// summed anyway (BSGS giant steps) — add the raw pairs first and ModDown
+// once: mod-q addition is exact, so the regrouping is value-safe, and the
+// single shared rounding makes the sum cheaper than per-term ModDowns.
+// The returned polys are pooled; the caller owns them.
+func (ev *Evaluator) keySwitchExtFused(hd *HoistedDecomp, swk *SwitchingKey, galEl uint64) (*ring.Poly, *ring.Poly) {
 	p := ev.params
-	live := hd.live
 	ext := hd.ext
 
-	acc0 := p.Ctx.GetPolyZero(ext)
+	acc0 := p.Ctx.GetPoly(ext)
 	acc0.IsNTT = true
-	acc1 := p.Ctx.GetPolyZero(ext)
+	acc1 := p.Ctx.GetPoly(ext)
 	acc1.IsNTT = true
 
+	first := true
 	for d := 0; d < p.Dnum; d++ {
 		if hd.digits[d] == nil {
 			continue
 		}
 		var digit *ring.Poly
-		if galEl == 1 {
-			digit = hd.digits[d].ScratchCopy()
-		} else {
-			digit = hd.digits[d].Automorphism(galEl)
+		owned := true
+		switch src := hd.digits[d]; {
+		case src.IsNTT && galEl == 1:
+			// Pre-transformed digit, identity map: the inner product only
+			// reads its rows, so alias it instead of copying.
+			digit = src
+			owned = false
+		case src.IsNTT:
+			digit = src.PermuteNTT(galEl)
+		case galEl == 1:
+			// Coefficient-domain digit (staged decomposition consumed
+			// under a fused evaluator): legacy copy+NTT per use.
+			digit = src.ScratchCopyNTT()
+		default:
+			digit = src.AutomorphismNTT(galEl)
 		}
-		digit.NTT()
-
 		// The key rows are only read: alias them instead of copying the
 		// whole switching key per digit.
 		kb := swk.B[d].RestrictView(ext)
 		ka := swk.A[d].RestrictView(ext)
-		acc0.MulCoeffsAdd(digit, kb)
-		acc1.MulCoeffsAdd(digit, ka)
-		p.Ctx.PutPoly(digit)
+		if first {
+			ring.MulCoeffsPairInto(acc0, acc1, digit, kb, ka)
+			first = false
+		} else {
+			ring.MulCoeffsPairAdd(acc0, acc1, digit, kb, ka)
+		}
+		if owned {
+			p.Ctx.PutPoly(digit)
+		}
 	}
+	if first {
+		// No live digit (cannot happen for a well-formed chain, but the
+		// pooled accumulators are not zeroed — make the degenerate case
+		// match the zero-initialized legacy path).
+		for _, a := range []*ring.Poly{acc0, acc1} {
+			for _, row := range a.Coeffs {
+				for k := range row {
+					row[k] = 0
+				}
+			}
+		}
+	}
+	return acc0, acc1
+}
 
-	// ModDown: divide by P and shed the special moduli.
+// extModDownFused divides an extended-basis accumulator pair by P and
+// sheds the special moduli, landing back on live. It consumes acc0/acc1
+// (returned to the pool).
+func (ev *Evaluator) extModDownFused(acc0, acc1 *ring.Poly, live []uint64, nttOut bool) (*ring.Poly, *ring.Poly) {
+	p := ev.params
+	ext := acc0.Moduli
 	special := p.Chain.Special
 	shedPos := make([]int, len(special))
 	for i := range special {
 		shedPos[i] = len(live) + i
 	}
 	sd := ev.scaleDownParams(ext, shedPos)
-	acc0.INTT()
-	acc1.INTT()
-	out0 := acc0.ScaleDown(sd)
-	out1 := acc1.ScaleDown(sd)
+	var outs []*ring.Poly
+	if nttOut {
+		// NTT-domain ModDown: the live rows stay put; only the special
+		// rows are inverse-transformed and only the conversion rows
+		// transformed forward.
+		outs = sd.ScaleDownNTTBatch([]*ring.Poly{acc0, acc1})
+	} else {
+		ring.INTTBatch(acc0, acc1)
+		outs = sd.ScaleDownBatch([]*ring.Poly{acc0, acc1}, false)
+	}
 	p.Ctx.PutPoly(acc0)
 	p.Ctx.PutPoly(acc1)
-	out0.NTT()
-	out1.NTT()
-	return out0, out1
+	return outs[0], outs[1]
 }
 
 // keySwitch applies swk to c2 (NTT domain over the current level moduli),
@@ -603,29 +760,34 @@ func (ev *Evaluator) galoisKey(op string, galEl uint64) (*SwitchingKey, error) {
 
 // applyGalois maps both ciphertext polys through X -> X^galEl and switches
 // the key back to s.
+//
+// Fused path: only C1 leaves the evaluation domain — its permuted
+// coefficient form feeds the digit decomposition (skipping the legacy
+// NTT→INTT round trip, which is exact and therefore bit-identical). C0
+// never transforms at all: in the NTT domain the automorphism is a pure
+// permutation of evaluation points, and the keyswitch corrections come
+// back NTT-domain (NTT ModDown), so the fold is a single gather+add.
 func (ev *Evaluator) applyGalois(op string, ct *Ciphertext, galEl uint64) (*Ciphertext, error) {
 	swk, err := ev.galoisKey(op, galEl)
 	if err != nil {
 		return nil, err
 	}
+	if !ev.fused {
+		return ev.applyGaloisUnfused(ct, swk, galEl)
+	}
 	ctx := ev.params.Ctx
-	t0 := ct.C0.ScratchCopy()
-	t0.INTT()
-	c0 := t0.Automorphism(galEl)
-	ctx.PutPoly(t0)
-	c0.NTT()
-	t1 := ct.C1.ScratchCopy()
-	t1.INTT()
-	c1 := t1.Automorphism(galEl)
-	ctx.PutPoly(t1)
-	c1.NTT()
-
-	ks0, ks1 := ev.keySwitch(c1, swk)
-	ctx.PutPoly(c1)
-	ks0.Add(ks0, c0)
-	ctx.PutPoly(c0)
+	a1c := ring.AutomorphismFromNTTBatch(galEl, ct.C1)[0]
+	hd := ev.decomposeCoeff(a1c)
+	ctx.PutPoly(a1c)
+	ks0, ks1 := ev.keySwitchFused(hd, swk, 1, true)
+	hd.Free(ctx)
+	// φ(c0) + ks0 computed as one evaluation-domain gather+add: equal
+	// bit-for-bit to permuting in the coefficient domain and transforming,
+	// because the transform is exactly linear on canonical residues.
+	c0 := ct.C0.PermuteNTTAdd(galEl, ks0)
+	ctx.PutPoly(ks0)
 	noise := addNoiseBits(ct.NoiseBits, ev.nm.KeySwitchBits())
-	return newCiphertext(ks0, ks1, ct.Level, new(big.Rat).Set(ct.Scale), noise), nil
+	return newCiphertext(c0, ks1, ct.Level, new(big.Rat).Set(ct.Scale), noise), nil
 }
 
 // normalizeSteps reduces a rotation amount into [0, slots).
@@ -655,21 +817,37 @@ func (ev *Evaluator) Conjugate(ct *Ciphertext) (*Ciphertext, error) {
 }
 
 // rotateHoisted applies one rotation (galEl for nonzero normalized steps)
-// to a pre-decomposed ciphertext: automorphism on the extended digits +
-// inner product + ModDown, plus automorphism+NTT on the hoisted C0 copy.
+// to a pre-decomposed ciphertext. The fused path is double-hoisted: the
+// digits were transformed once at decomposition, so a rotation is a pure
+// evaluation-domain permutation of each digit + inner product + NTT
+// ModDown, and the C0 half is a single gather+add — the per-rotation
+// transform count drops from O(dnum·ext) to just the ModDown's
+// special-row INTTs and conversion-row NTTs.
 func (ev *Evaluator) rotateHoisted(hd *HoistedDecomp, steps int) (*Ciphertext, error) {
 	galEl := ring.GaloisElementForRotation(steps, ev.params.N())
 	swk, err := ev.galoisKey("RotateHoisted", galEl)
 	if err != nil {
 		return nil, err
 	}
-	c0 := hd.c0.Automorphism(galEl)
-	c0.NTT()
-	ks0, ks1 := ev.keySwitchHoisted(hd, swk, galEl)
-	ks0.Add(ks0, c0)
-	ev.params.Ctx.PutPoly(c0)
+	if !ev.fused {
+		return ev.rotateHoistedUnfused(hd, swk, galEl)
+	}
+	if !hd.c0.IsNTT {
+		// Staged-produced decomposition consumed under a fused evaluator:
+		// run the legacy fused fold (coefficient-domain C0 + shared NTT).
+		c0 := hd.c0.Automorphism(galEl)
+		ks0, ks1 := ev.keySwitchFused(hd, swk, galEl, false)
+		c0.AddNTT(ks0)
+		ev.params.Ctx.PutPoly(ks0)
+		ks1.NTT()
+		noise := addNoiseBits(hd.noise, ev.nm.KeySwitchBits())
+		return newCiphertext(c0, ks1, hd.level, new(big.Rat).Set(hd.scale), noise), nil
+	}
+	ks0, ks1 := ev.keySwitchFused(hd, swk, galEl, true)
+	c0 := hd.c0.PermuteNTTAdd(galEl, ks0)
+	ev.params.Ctx.PutPoly(ks0)
 	noise := addNoiseBits(hd.noise, ev.nm.KeySwitchBits())
-	return newCiphertext(ks0, ks1, hd.level, new(big.Rat).Set(hd.scale), noise), nil
+	return newCiphertext(c0, ks1, hd.level, new(big.Rat).Set(hd.scale), noise), nil
 }
 
 // RotateHoisted rotates ct by every amount in steps, sharing one digit
@@ -712,12 +890,33 @@ func (ev *Evaluator) RotateHoisted(ct *Ciphertext, steps []int) ([]*Ciphertext, 
 		defer hd.Free(ev.params.Ctx)
 	}
 	rotated := make(map[int]*Ciphertext, len(uniq))
-	for _, n := range uniq {
-		r, err := ev.rotateHoisted(hd, n)
-		if err != nil {
+	if ev.fused && len(uniq) > 1 {
+		// Independent rotations off the shared decomposition: fan out as
+		// one fork/join, first error (in step order) wins.
+		rs := make([]*Ciphertext, len(uniq))
+		rerrs := make([]error, len(uniq))
+		cost := ev.params.N() * ct.C0.R() * 8
+		if err := engine.DispatchCtx(ev.ctx, len(uniq), cost, func(i int) {
+			rs[i], rerrs[i] = ev.rotateHoisted(hd, uniq[i])
+		}); err != nil {
 			return nil, err
 		}
-		rotated[n] = r
+		for _, err := range rerrs {
+			if err != nil {
+				return nil, err
+			}
+		}
+		for i, n := range uniq {
+			rotated[n] = rs[i]
+		}
+	} else {
+		for _, n := range uniq {
+			r, err := ev.rotateHoisted(hd, n)
+			if err != nil {
+				return nil, err
+			}
+			rotated[n] = r
+		}
 	}
 	used := map[int]bool{}
 	for i, s := range steps {

@@ -6,6 +6,7 @@ import (
 
 	"bitpacker/internal/core"
 	"bitpacker/internal/fherr"
+	"bitpacker/internal/ring"
 )
 
 // Level management: rescale and adjust (paper Sec. 2.3 and 3.2).
@@ -31,70 +32,80 @@ func (ev *Evaluator) Rescale(ct *Ciphertext) (*Ciphertext, error) {
 	if ct.Level <= 0 {
 		return nil, fherr.Wrap(fherr.ErrChainExhausted, "ckks: Rescale at level 0")
 	}
-	chain := ev.params.Chain
-	tr := chain.TransitionDown(ct.Level)
-	ctx := ev.params.Ctx
+	if !ev.fused {
+		return ev.rescaleUnfused(ct)
+	}
+	return ev.rescaleFused(ct, nil, ct.Scale, ct.NoiseBits, true)
+}
 
-	c0 := ct.C0.ScratchCopy()
-	c1 := ct.C1.ScratchCopy()
-	c0.INTT()
-	c1.INTT()
-	// RRNS cross-check at the point where the live residues are in the
-	// coefficient domain anyway: a fresh spare channel must agree with
-	// the exact CRT projection of the live residues up to bounded mod-Q
-	// wraparound.
-	if ev.rrnsEnabled() && ct.SpareDepth > 0 {
-		if err := ev.checkSpare("Rescale", ct, c0, c1); err != nil {
-			ctx.PutPoly(c0)
-			ctx.PutPoly(c1)
-			return nil, err
-		}
+// upFactor returns the product of the transition's introduced moduli
+// (nil when there are none — the classic RNS-CKKS case).
+func upFactor(up []uint64) *big.Int {
+	if len(up) == 0 {
+		return nil
 	}
-	if len(tr.Up) > 0 { // BitPacker: introduce the destination's new moduli
-		u0, u1 := c0.ScaleUp(tr.Up), c1.ScaleUp(tr.Up)
-		ctx.PutPoly(c0)
-		ctx.PutPoly(c1)
-		c0, c1 = u0, u1
+	k := big.NewInt(1)
+	for _, q := range up {
+		k.Mul(k, new(big.Int).SetUint64(q))
 	}
-	shedPos, err := positionsOf(c0.Moduli, tr.Down)
+	return k
+}
+
+// rescaleBookkeeping computes the output scale and noise of a one-level
+// transition applied to a ciphertext with the given input scale and
+// noise: scale × K/P exactly, noise divided by P/K with the floor
+// rounding clamped at the rescale-floor bound.
+func (ev *Evaluator) rescaleBookkeeping(up, down []uint64, inScale *big.Rat, inNoise float64) (*big.Rat, float64) {
+	factor := new(big.Rat).SetInt64(1)
+	shedBits := 0.0
+	for _, q := range up {
+		factor.Mul(factor, new(big.Rat).SetFrac(new(big.Int).SetUint64(q), big.NewInt(1)))
+		shedBits -= math.Log2(float64(q))
+	}
+	for _, q := range down {
+		factor.Mul(factor, new(big.Rat).SetFrac(big.NewInt(1), new(big.Int).SetUint64(q)))
+		shedBits += math.Log2(float64(q))
+	}
+	scale := core.LimitRat(new(big.Rat).Mul(inScale, factor))
+	noise := math.Max(inNoise-shedBits, ev.nm.RescaleFloorBits())
+	return scale, noise
+}
+
+// rescaleTail is the back half of every fused rescale: cs holds the two
+// working components, already in the coefficient domain over the
+// scaled-up moduli and premultiplied. It divides out the retired moduli
+// (running the forward transform inside the division pass when no spare
+// reseed needs the coefficient form), seeds the spare channel, and does
+// the scale/noise/level bookkeeping. cs is consumed (returned to the
+// pool).
+func (ev *Evaluator) rescaleTail(cs []*ring.Poly, level int, down []uint64, inScale *big.Rat, inNoise float64, shedBitsUp []uint64) (*Ciphertext, error) {
+	ctx := ev.params.Ctx
+	shedPos, err := positionsOf(cs[0].Moduli, down)
 	if err != nil {
-		ctx.PutPoly(c0)
-		ctx.PutPoly(c1)
+		ctx.PutPoly(cs[0])
+		ctx.PutPoly(cs[1])
 		return nil, err
 	}
-	sd := ev.scaleDownParams(c0.Moduli, shedPos)
-	s0, s1 := c0.ScaleDown(sd), c1.ScaleDown(sd)
-	ctx.PutPoly(c0)
-	ctx.PutPoly(c1)
-	c0, c1 = s0, s1
+	sd := ev.scaleDownParams(cs[0].Moduli, shedPos)
+	rrns := ev.rrnsEnabled()
+	// Without a spare channel the forward transform runs inside the
+	// division pass, while each output row is still cache-resident.
+	outs := sd.ScaleDownBatch(cs, !rrns)
+	ctx.PutPoly(cs[0])
+	ctx.PutPoly(cs[1])
+	c0, c1 := outs[0], outs[1]
 	// Reseed the spare channel from the rescaled output while it is
 	// still in the coefficient domain — the trusted production point for
 	// the next stretch of the computation.
 	var sp0, sp1 []uint64
-	if ev.rrnsEnabled() {
+	if rrns {
 		sp0 = ev.projectSpare(c0)
 		sp1 = ev.projectSpare(c1)
+		ring.NTTBatch(c0, c1)
 	}
-	c0.NTT()
-	c1.NTT()
 
-	// New scale = Scale * K / P, exactly.
-	factor := new(big.Rat).SetInt64(1)
-	shedBits := 0.0
-	for _, q := range tr.Up {
-		factor.Mul(factor, new(big.Rat).SetFrac(new(big.Int).SetUint64(q), big.NewInt(1)))
-		shedBits -= math.Log2(float64(q))
-	}
-	for _, q := range tr.Down {
-		factor.Mul(factor, new(big.Rat).SetFrac(big.NewInt(1), new(big.Int).SetUint64(q)))
-		shedBits += math.Log2(float64(q))
-	}
-	scale := core.LimitRat(new(big.Rat).Mul(ct.Scale, factor))
-
-	// The value (and its noise) divides by P/K; the floor rounding adds
-	// the rescale-floor noise.
-	noise := math.Max(ct.NoiseBits-shedBits, ev.nm.RescaleFloorBits())
-	out := newCiphertext(c0, c1, ct.Level-1, scale, noise)
+	scale, noise := ev.rescaleBookkeeping(shedBitsUp, down, inScale, inNoise)
+	out := newCiphertext(c0, c1, level-1, scale, noise)
 	if sp0 != nil {
 		out.Spare0, out.Spare1, out.SpareDepth = sp0, sp1, 1
 	}
@@ -105,6 +116,44 @@ func (ev *Evaluator) Rescale(ct *Ciphertext) (*Ciphertext, error) {
 		return nil, err
 	}
 	return out, nil
+}
+
+// rescaleFused runs the one-level transition with fused kernels: one
+// batched pass does copy + inverse transform + premultiply (pre·K folded
+// into a single Shoup constant — canonical scalar multiplies compose
+// exactly, so this is bit-identical to the staged multiplies) and
+// appends the introduced-modulus rows; the exact division feeds the
+// forward transform row by row. pre is Adjust's rounded constant (nil
+// for plain Rescale); inScale/inNoise describe the (virtual) input after
+// premultiplication; check enables the RRNS spare cross-check, which
+// needs the untouched coefficient residues and therefore splits the prep
+// in two.
+func (ev *Evaluator) rescaleFused(ct *Ciphertext, pre *big.Int, inScale *big.Rat, inNoise float64, check bool) (*Ciphertext, error) {
+	tr := ev.params.Chain.TransitionDown(ct.Level)
+	ctx := ev.params.Ctx
+
+	mul := upFactor(tr.Up)
+	if pre != nil {
+		if mul == nil {
+			mul = new(big.Int).Set(pre)
+		} else {
+			mul.Mul(mul, pre)
+		}
+	}
+
+	var cs []*ring.Poly
+	if check && ev.rrnsEnabled() && ct.SpareDepth > 0 {
+		cs = ctx.RescalePrepBatch([]*ring.Poly{ct.C0, ct.C1}, nil, nil)
+		if err := ev.checkSpare("Rescale", ct, cs[0], cs[1]); err != nil {
+			ctx.PutPoly(cs[0])
+			ctx.PutPoly(cs[1])
+			return nil, err
+		}
+		ctx.ScaleUpBatchInPlace(cs, tr.Up, mul)
+	} else {
+		cs = ctx.RescalePrepBatch([]*ring.Poly{ct.C0, ct.C1}, tr.Up, mul)
+	}
+	return ev.rescaleTail(cs, ct.Level, tr.Down, inScale, inNoise, tr.Up)
 }
 
 // Adjust moves ct one level down without changing the encrypted value:
@@ -130,26 +179,100 @@ func (ev *Evaluator) Adjust(ct *Ciphertext) (*Ciphertext, error) {
 			"ckks: Adjust constant K=%v not positive; scale too large to adjust", k)
 	}
 
-	tmp := ct.CopyNew()
-	tmp.clearSpare() // K is generally too large for tracked spare algebra
-	tmp.C0.MulScalarBig(tmp.C0, kInt)
-	tmp.C1.MulScalarBig(tmp.C1, kInt)
-	// Exact bookkeeping would multiply the scale by kInt; the canonical
-	// convention instead targets the destination scale and absorbs the
-	// sub-ULP rounding of K into the noise.
-	tmp.Scale.Mul(ct.Scale, k)
-	if kf, _ := new(big.Float).SetInt(kInt).Float64(); kf > 1 {
-		tmp.NoiseBits = ct.NoiseBits + math.Log2(kf)
+	var out *Ciphertext
+	var err error
+	if ev.fused {
+		// No intermediate copy: kInt premultiplies inside the fused
+		// rescale prep (folded with the scale-up constant into one
+		// per-row multiply), and the scale/noise the staged path would
+		// have stamped on its temporary feed the bookkeeping directly.
+		// The spare channel is not checked — K is generally too large
+		// for the tracked spare algebra, so the staged path cleared it.
+		inScale := new(big.Rat).Mul(ct.Scale, k)
+		inNoise := ct.NoiseBits
+		if kf, _ := new(big.Float).SetInt(kInt).Float64(); kf > 1 {
+			inNoise = ct.NoiseBits + math.Log2(kf)
+		}
+		out, err = ev.rescaleFused(ct, kInt, inScale, inNoise, false)
+	} else {
+		out, err = ev.adjustUnfused(ct, k, kInt)
 	}
-	tmp.seal()
-
-	out, err := ev.Rescale(tmp)
 	if err != nil {
 		return nil, err
 	}
 	out.Scale = ev.params.DefaultScale(out.Level)
 	out.seal()
 	return out, nil
+}
+
+// MulRescale computes Rescale(MulRelin(a, b)) as one fused macro op: the
+// tensor product, relinearization and level transition share their
+// intermediate polynomials, so the product pair never round-trips
+// through a full-size ciphertext copy — the keyswitch corrections stay
+// in the coefficient domain and fold into the inverse transform that the
+// rescale needs anyway. Bit-identical to the two-call sequence.
+func (ev *Evaluator) MulRescale(a, b *Ciphertext) (*Ciphertext, error) {
+	if !ev.fused {
+		return ev.mulRescaleUnfused(a, b)
+	}
+	if err := ev.begin("MulRelin", a, b); err != nil {
+		return nil, err
+	}
+	if err := checkCompatible("MulRelin", a, b); err != nil {
+		return nil, err
+	}
+	if ev.keys == nil || ev.keys.Relin == nil {
+		return nil, fherr.Wrap(fherr.ErrMissingKey, "ckks: MulRelin: no relinearization key")
+	}
+	p := ev.params
+	ctx := p.Ctx
+	moduli := a.C0.Moduli
+
+	d0 := ctx.GetPoly(moduli)
+	d0.IsNTT = true
+	d1 := ctx.GetPoly(moduli)
+	d1.IsNTT = true
+	d2 := ctx.GetPoly(moduli)
+	d2.IsNTT = true
+	ring.MulRelinProducts(d0, d1, d2, a.C0, a.C1, b.C0, b.C1)
+
+	hd := ev.decomposePoly(d2)
+	ctx.PutPoly(d2)
+	ks0, ks1 := ev.keySwitchFused(hd, ev.keys.Relin, 1, false)
+	hd.Free(ctx)
+
+	scale := new(big.Rat).Mul(a.Scale, b.Scale)
+	noise := ev.nm.MulBits(core.RatLog2(a.Scale), a.NoiseBits, core.RatLog2(b.Scale), b.NoiseBits)
+	free := func() {
+		ctx.PutPoly(d0)
+		ctx.PutPoly(d1)
+		ctx.PutPoly(ks0)
+		ctx.PutPoly(ks1)
+	}
+	// Guard the (never materialized) product ciphertext exactly as
+	// MulRelin would have before rescaling.
+	if err := ev.guardNoise("MulRelin", &Ciphertext{Level: a.Level, Scale: scale, NoiseBits: noise}); err != nil {
+		free()
+		return nil, err
+	}
+	if a.Level <= 0 {
+		free()
+		return nil, fherr.Wrap(fherr.ErrChainExhausted, "ckks: Rescale at level 0")
+	}
+
+	// Rescale tail, consuming the product pair in place: the inverse
+	// transform of each component absorbs the coefficient-domain
+	// keyswitch correction (the transform is exactly linear), then the
+	// scale-up multiply and the exact division run on the same rows. A
+	// fresh product carries no spare channel, so there is nothing to
+	// cross-check before the transition.
+	ring.INTTAddPair(d0, ks0, d1, ks1)
+	ctx.PutPoly(ks0)
+	ctx.PutPoly(ks1)
+	tr := p.Chain.TransitionDown(a.Level)
+	cs := []*ring.Poly{d0, d1}
+	ctx.ScaleUpBatchInPlace(cs, tr.Up, upFactor(tr.Up))
+	return ev.rescaleTail(cs, a.Level, tr.Down, scale, noise, tr.Up)
 }
 
 // AdjustTo lowers ct to the given level by repeated one-level adjusts.

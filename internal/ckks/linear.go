@@ -435,15 +435,44 @@ func (ev *Evaluator) applyLinearTransformBSGS(ct *Ciphertext, lt *LinearTransfor
 			break
 		}
 	}
-	for _, b := range babies {
-		if b == 0 {
-			rot[0] = ct
-		} else {
-			r, err := ev.rotateHoisted(hd, b)
+	if ev.fused && len(babies) > 1 {
+		// The hoisted baby rotations are independent (each reads the
+		// shared decomposition and writes only its own slot), so they
+		// fan out as one fork/join instead of running back to back;
+		// first-error selection stays in baby order, deterministic.
+		rots := make([]*Ciphertext, len(babies))
+		rerrs := make([]error, len(babies))
+		cost := p.N() * ct.C0.R() * 8 // keyswitch-dominated per rotation
+		if err := engine.DispatchCtx(ev.ctx, len(babies), cost, func(bi int) {
+			if b := babies[bi]; b == 0 {
+				rots[bi] = ct
+			} else if r, err := ev.rotateHoisted(hd, b); err != nil {
+				rerrs[bi] = err
+			} else {
+				rots[bi] = r
+			}
+		}); err != nil {
+			return nil, err
+		}
+		for _, err := range rerrs {
 			if err != nil {
 				return nil, err
 			}
-			rot[b] = r
+		}
+		for bi, b := range babies {
+			rot[b] = rots[bi]
+		}
+	} else {
+		for _, b := range babies {
+			if b == 0 {
+				rot[0] = ct
+			} else {
+				r, err := ev.rotateHoisted(hd, b)
+				if err != nil {
+					return nil, err
+				}
+				rot[b] = r
+			}
 		}
 	}
 
@@ -451,8 +480,19 @@ func (ev *Evaluator) applyLinearTransformBSGS(ct *Ciphertext, lt *LinearTransfor
 
 	// Per-giant-step accumulation, fanned out over the engine. Each task
 	// writes only its own slot and the inner ops are deterministic, so
-	// the fan-out does not change results.
-	accs := make([]*Ciphertext, len(giants))
+	// the fan-out does not change results. A nonzero giant does NOT pay a
+	// full keyswitch: it decomposes its accumulator, runs the inner
+	// product, and permutes the result while it is still in the extended
+	// (live+special) basis — the expensive ModDown is hoisted out of the
+	// loop, because the giants' keyswitch outputs are about to be summed
+	// anyway and mod-q addition is exact, so adding the raw pairs first
+	// and dividing by P once is value-safe and strictly cheaper.
+	type giantPart struct {
+		acc0, acc1 *ring.Poly // giant 0 only: live-basis accumulator pair
+		e0, e1     *ring.Poly // nonzero giants: permuted ext-basis inner product
+		c0         *ring.Poly // nonzero giants: permuted C0 half (live basis)
+	}
+	parts := make([]giantPart, len(giants))
 	errs := make([]error, len(giants))
 	cost := p.N() * ct.C0.R() * 8 // keyswitch-dominated: always worth fanning out
 	dispatchErr := engine.DispatchCtx(ev.ctx, len(giants), cost, func(gi int) {
@@ -471,36 +511,60 @@ func (ev *Evaluator) applyLinearTransformBSGS(ct *Ciphertext, lt *LinearTransfor
 		for i, b := range bs {
 			in := rot[b]
 			pt := group[b].Value
-			if i == 0 {
+			switch {
+			case ev.fused && i == 0:
+				// Both accumulator halves share the diagonal operand in
+				// one fork/join per baby instead of two.
+				ring.MulCoeffsPairInto(acc0, acc1, pt, in.C0, in.C1)
+			case ev.fused:
+				ring.MulCoeffsPairAdd(acc0, acc1, pt, in.C0, in.C1)
+			case i == 0:
 				acc0.MulCoeffs(in.C0, pt)
 				acc1.MulCoeffs(in.C1, pt)
-			} else {
+			default:
 				acc0.MulCoeffsAdd(in.C0, pt)
 				acc1.MulCoeffsAdd(in.C1, pt)
 			}
 		}
-		accCt := newCiphertext(acc0, acc1, ct.Level, new(big.Rat).Set(outScale), ct.NoiseBits)
-		if g != 0 {
-			rotated, err := ev.Rotate(accCt, g)
+		if g == 0 {
+			parts[gi] = giantPart{acc0: acc0, acc1: acc1}
+			return
+		}
+		galEl := ring.GaloisElementForRotation(g, p.N())
+		swk, err := ev.galoisKey("ApplyLinearTransform", galEl)
+		if err != nil {
 			p.Ctx.PutPoly(acc0)
 			p.Ctx.PutPoly(acc1)
-			if err != nil {
-				errs[gi] = err
-				return
-			}
-			accCt = rotated
+			errs[gi] = err
+			return
 		}
-		accs[gi] = accCt
+		hd := ev.decomposePoly(acc1)
+		var e0, e1, c0p *ring.Poly
+		if ev.fused {
+			e0, e1 = ev.keySwitchExtFused(hd, swk, galEl)
+			c0p = acc0.PermuteNTT(galEl)
+		} else {
+			e0, e1 = ev.keySwitchExtUnfused(hd, swk, galEl)
+			t := acc0.ScratchCopy()
+			t.INTT()
+			c0p = t.Automorphism(galEl)
+			p.Ctx.PutPoly(t)
+			c0p.NTT()
+		}
+		hd.Free(p.Ctx)
+		p.Ctx.PutPoly(acc0)
+		p.Ctx.PutPoly(acc1)
+		parts[gi] = giantPart{e0: e0, e1: e1, c0: c0p}
 	})
 
-	// Error paths discard the partial result; pooled accumulators of
-	// completed tasks are reclaimed here.
+	// Error paths discard the partial result; pooled pieces of completed
+	// tasks are reclaimed here.
 	fail := func(err error) (*Ciphertext, error) {
-		for gi, acc := range accs {
-			if acc != nil && giants[gi] == 0 {
-				// Giant 0's accumulator polys are still pooled.
-				p.Ctx.PutPoly(acc.C0)
-				p.Ctx.PutPoly(acc.C1)
+		for _, part := range parts {
+			for _, q := range []*ring.Poly{part.acc0, part.acc1, part.e0, part.e1, part.c0} {
+				if q != nil {
+					p.Ctx.PutPoly(q)
+				}
 			}
 		}
 		return nil, err
@@ -514,12 +578,56 @@ func (ev *Evaluator) applyLinearTransformBSGS(ct *Ciphertext, lt *LinearTransfor
 		}
 	}
 
-	// Ordered reduction keeps the result independent of scheduling.
-	out := accs[0]
-	for _, acc := range accs[1:] {
-		out.C0.Add(out.C0, acc.C0)
-		out.C1.Add(out.C1, acc.C1)
+	// Ordered reduction keeps the result independent of scheduling: sum
+	// the extended-basis pairs and the permuted C0 halves in ascending
+	// giant order (exact mod-q adds), divide by P once, then fold in
+	// giant 0's unrotated accumulator.
+	var ext0, ext1, c0sum *ring.Poly // ownership taken from the first nonzero giant
+	var out0, out1 *ring.Poly       // giant 0's contribution (live basis)
+	for gi := range giants {
+		part := parts[gi]
+		if part.acc0 != nil {
+			out0, out1 = part.acc0, part.acc1
+			continue
+		}
+		if ext0 == nil {
+			ext0, ext1, c0sum = part.e0, part.e1, part.c0
+			continue
+		}
+		if ev.fused {
+			ring.AddPair(ext0, ext0, part.e0, ext1, ext1, part.e1)
+		} else {
+			ext0.Add(ext0, part.e0)
+			ext1.Add(ext1, part.e1)
+		}
+		c0sum.Add(c0sum, part.c0)
+		p.Ctx.PutPoly(part.e0)
+		p.Ctx.PutPoly(part.e1)
+		p.Ctx.PutPoly(part.c0)
 	}
+	if ext0 != nil {
+		var ks0, ks1 *ring.Poly
+		if ev.fused {
+			ks0, ks1 = ev.extModDownFused(ext0, ext1, ct.C0.Moduli, true)
+		} else {
+			ks0, ks1 = ev.extModDownUnfused(ext0, ext1, ct.C0.Moduli)
+		}
+		ks0.Add(ks0, c0sum)
+		p.Ctx.PutPoly(c0sum)
+		if out0 == nil {
+			out0, out1 = ks0, ks1
+		} else {
+			if ev.fused {
+				ring.AddPair(out0, out0, ks0, out1, out1, ks1)
+			} else {
+				out0.Add(out0, ks0)
+				out1.Add(out1, ks1)
+			}
+			p.Ctx.PutPoly(ks0)
+			p.Ctx.PutPoly(ks1)
+		}
+	}
+	out := newCiphertext(out0, out1, ct.Level, new(big.Rat).Set(outScale), ct.NoiseBits)
 	out.NoiseBits = ev.transformNoise(ct, lt)
 	out.seal()
 	return out, nil

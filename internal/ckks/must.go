@@ -47,6 +47,9 @@ func (ev *Evaluator) MustMulScalarInt(ct *Ciphertext, c int64) *Ciphertext {
 // MustMulRelin is MulRelin, panicking on error.
 func (ev *Evaluator) MustMulRelin(a, b *Ciphertext) *Ciphertext { return must(ev.MulRelin(a, b)) }
 
+// MustMulRescale is MulRescale, panicking on error.
+func (ev *Evaluator) MustMulRescale(a, b *Ciphertext) *Ciphertext { return must(ev.MulRescale(a, b)) }
+
 // MustSquare is Square, panicking on error.
 func (ev *Evaluator) MustSquare(ct *Ciphertext) *Ciphertext { return must(ev.Square(ct)) }
 

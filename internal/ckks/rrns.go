@@ -44,6 +44,7 @@ package ckks
 // ciphertext stay race-free on the clean path.
 
 import (
+	"bitpacker/internal/engine"
 	"bitpacker/internal/fherr"
 	"bitpacker/internal/nt"
 	"bitpacker/internal/ring"
@@ -81,12 +82,10 @@ func (ct *Ciphertext) SeedSpare(params *Parameters) {
 		return
 	}
 	ctx := params.Ctx
-	c0 := ct.C0.ScratchCopy()
-	c0.INTT()
+	c0 := ct.C0.ScratchCopyINTT()
 	ct.Spare0 = projectSpareVec(params, c0)
 	ctx.PutPoly(c0)
-	c1 := ct.C1.ScratchCopy()
-	c1.INTT()
+	c1 := ct.C1.ScratchCopyINTT()
 	ct.Spare1 = projectSpareVec(params, c1)
 	ctx.PutPoly(c1)
 	ct.SpareDepth = 1
@@ -112,23 +111,48 @@ func (ev *Evaluator) checkSpare(op string, ct *Ciphertext, c0c, c1c *ring.Poly) 
 		allowed = append(allowed, off, nt.NegMod(off, qs))
 	}
 
-	want := params.Ctx.GetVec()
-	defer params.Ctx.PutVec(want)
+	// Project and compare in one chunked pass: each chunk runs the exact
+	// CRT projection coefficient-by-coefficient and compares in place,
+	// never materializing the projected vector. Chunks are ordered by
+	// coefficient, so the lowest flagged chunk's record is the same first
+	// failing coefficient the serial scan would report.
+	n := params.N()
+	const chunk = 1024
+	chunks := (n + chunk - 1) / chunk
+	firstBad := make([]int, chunks)
 	for side, pair := range []struct {
 		poly  *ring.Poly
 		spare []uint64
 	}{{c0c, ct.Spare0}, {c1c, ct.Spare1}} {
-		proj.Project(want, pair.poly.Coeffs)
-		for k := range want {
-			diff := nt.SubMod(pair.spare[k], want[k], qs)
-			ok := false
-			for _, a := range allowed {
-				if diff == a {
-					ok = true
-					break
+		src := pair.poly.Coeffs
+		spare := pair.spare
+		engine.Dispatch(chunks, chunk*(3*len(src)+16), func(c int) {
+			firstBad[c] = -1
+			lo, hi := c*chunk, (c+1)*chunk
+			if hi > n {
+				hi = n
+			}
+			xs := make([]uint64, len(src))
+			for k := lo; k < hi; k++ {
+				for i := range src {
+					xs[i] = src[i][k]
+				}
+				diff := nt.SubMod(spare[k], proj.ProjectCoeff(xs), qs)
+				ok := false
+				for _, a := range allowed {
+					if diff == a {
+						ok = true
+						break
+					}
+				}
+				if !ok {
+					firstBad[c] = k
+					return
 				}
 			}
-			if !ok {
+		})
+		for _, k := range firstBad {
+			if k >= 0 {
 				return fherr.Wrap(fherr.ErrInvariant,
 					"ckks: %s: RRNS mismatch on c%d coefficient %d (spare channel disagrees with live residues)",
 					op, side, k)
@@ -167,21 +191,38 @@ func (ev *Evaluator) scanRepair(op string, cts ...*Ciphertext) error {
 				}
 			}
 		}
+		// Range-scan every residue row of both components in one
+		// fork/join; the scan is read-only, so it commutes with the
+		// per-side reduction and repair below (which touch different
+		// polynomials than any remaining scan).
+		r0 := len(ct.C0.Moduli)
+		flagged := make([]bool, r0+len(ct.C1.Moduli))
+		engine.Dispatch(len(flagged), params.N(), func(t int) {
+			p, i := ct.C0, t
+			if t >= r0 {
+				p, i = ct.C1, t-r0
+			}
+			q := p.Moduli[i]
+			for _, w := range p.Coeffs[i] {
+				if w >= q {
+					flagged[t] = true
+					return
+				}
+			}
+		})
 		for side, pair := range []struct {
 			poly  *ring.Poly
 			spare []uint64
-		}{{ct.C0, ct.Spare0}, {ct.C1, ct.Spare1}} {
+			flags []bool
+		}{{ct.C0, ct.Spare0, flagged[:r0]}, {ct.C1, ct.Spare1, flagged[r0:]}} {
 			bad := -1
 			multi := false
-			for i, q := range pair.poly.Moduli {
-				for _, w := range pair.poly.Coeffs[i] {
-					if w >= q {
-						if bad >= 0 && bad != i {
-							multi = true
-						}
-						bad = i
-						break
+			for i, f := range pair.flags {
+				if f {
+					if bad >= 0 && bad != i {
+						multi = true
 					}
+					bad = i
 				}
 			}
 			if bad < 0 {
@@ -229,20 +270,28 @@ func (ev *Evaluator) repairResidue(op string, p *ring.Poly, spare []uint64, dept
 	}
 
 	// Coefficient-domain copies of the good rows and the shifted spare.
+	// Each row's copy+inverse-transform is one work item; the scratch
+	// vectors come from the pool serially (the pool is not dispatched
+	// into).
 	srcModuli := make([]uint64, 0, len(p.Moduli))
 	src := make([][]uint64, 0, len(p.Moduli))
 	var scratch [][]uint64
+	goodRows := make([]int, 0, len(p.Moduli))
 	for i, q := range p.Moduli {
 		if i == bad {
 			continue
 		}
-		v := ctx.GetVec()
-		copy(v, p.Coeffs[i])
-		ctx.Table(q).Inverse(v)
 		srcModuli = append(srcModuli, q)
+		v := ctx.GetVec()
 		src = append(src, v)
 		scratch = append(scratch, v)
+		goodRows = append(goodRows, i)
 	}
+	engine.Dispatch(len(goodRows), 3*params.N(), func(j int) {
+		i := goodRows[j]
+		copy(src[j], p.Coeffs[i])
+		ctx.Table(p.Moduli[i]).Inverse(src[j])
+	})
 	s := ctx.GetVec()
 	copy(s, spare)
 	shift := nt.MulMod((d-1)%qs, params.spareProjector(p.Moduli, qs).SrcProductModDst(), qs)
@@ -266,57 +315,59 @@ func (ev *Evaluator) repairResidue(op string, p *ring.Poly, spare []uint64, dept
 	return nil
 }
 
-// spareCombine updates out's spare channel (a copy of a's, via CopyNew)
-// for out = a ± b. Both operands need fresh channels and the combined
-// wraparound window must stay scannable; otherwise the channel goes
+// spareCombineInto writes out's spare channel for out = a ± b from the
+// operands' channels (out starts without one — the linear ops no longer
+// copy a wholesale). Both operands need fresh channels and the combined
+// wraparound window must stay scannable; otherwise the channel stays
 // stale.
-func (ev *Evaluator) spareCombine(out, a, b *Ciphertext, sub bool) {
+func (ev *Evaluator) spareCombineInto(out, a, b *Ciphertext, sub bool) {
 	if !ev.rrnsEnabled() {
 		return
 	}
 	if a.SpareDepth == 0 || b.SpareDepth == 0 || a.SpareDepth+b.SpareDepth > maxSpareDepth {
-		out.clearSpare()
 		return
 	}
 	qs := ev.params.Chain.Spare
-	for _, pair := range []struct{ o, x []uint64 }{{out.Spare0, b.Spare0}, {out.Spare1, b.Spare1}} {
+	out.Spare0 = make([]uint64, len(a.Spare0))
+	out.Spare1 = make([]uint64, len(a.Spare1))
+	for _, tri := range []struct{ o, x, y []uint64 }{
+		{out.Spare0, a.Spare0, b.Spare0},
+		{out.Spare1, a.Spare1, b.Spare1},
+	} {
 		if sub {
-			for k := range pair.o {
-				pair.o[k] = nt.SubMod(pair.o[k], pair.x[k], qs)
+			for k := range tri.o {
+				tri.o[k] = nt.SubMod(tri.x[k], tri.y[k], qs)
 			}
 		} else {
-			for k := range pair.o {
-				pair.o[k] = nt.AddMod(pair.o[k], pair.x[k], qs)
+			for k := range tri.o {
+				tri.o[k] = nt.AddMod(tri.x[k], tri.y[k], qs)
 			}
 		}
 	}
 	out.SpareDepth = a.SpareDepth + b.SpareDepth
 }
 
-// spareNeg updates out's spare channel for out = -a (out holds a copy of
-// a's channel). Negation maps wrap count m to -m-1, widening the window
-// by one.
-func (ev *Evaluator) spareNeg(out *Ciphertext) {
-	if !ev.rrnsEnabled() || out.SpareDepth == 0 {
-		return
-	}
-	if out.SpareDepth+1 > maxSpareDepth {
-		out.clearSpare()
+// spareNegInto writes out's spare channel for out = -a. Negation maps
+// wrap count m to -m-1, widening the window by one.
+func (ev *Evaluator) spareNegInto(out, a *Ciphertext) {
+	if !ev.rrnsEnabled() || a.SpareDepth == 0 || a.SpareDepth+1 > maxSpareDepth {
 		return
 	}
 	qs := ev.params.Chain.Spare
-	for _, sp := range [][]uint64{out.Spare0, out.Spare1} {
-		for k := range sp {
-			sp[k] = nt.NegMod(sp[k], qs)
+	out.Spare0 = make([]uint64, len(a.Spare0))
+	out.Spare1 = make([]uint64, len(a.Spare1))
+	for _, pair := range []struct{ o, x []uint64 }{{out.Spare0, a.Spare0}, {out.Spare1, a.Spare1}} {
+		for k := range pair.o {
+			pair.o[k] = nt.NegMod(pair.x[k], qs)
 		}
 	}
-	out.SpareDepth++
+	out.SpareDepth = a.SpareDepth + 1
 }
 
-// spareMulScalarInt updates out's spare channel for out = c·a (out holds
-// a copy of a's channel). The wrap window scales with |c|.
-func (ev *Evaluator) spareMulScalarInt(out *Ciphertext, c int64) {
-	if !ev.rrnsEnabled() || out.SpareDepth == 0 {
+// spareMulScalarIntInto writes out's spare channel for out = c·a. The
+// wrap window scales with |c|.
+func (ev *Evaluator) spareMulScalarIntInto(out, a *Ciphertext, c int64) {
+	if !ev.rrnsEnabled() || a.SpareDepth == 0 {
 		return
 	}
 	abs := c
@@ -326,12 +377,10 @@ func (ev *Evaluator) spareMulScalarInt(out *Ciphertext, c int64) {
 	// abs < 0 only for MinInt64, whose negation overflows; treat it like
 	// any other window-busting constant.
 	if c == 0 || abs < 0 || abs > maxSpareDepth {
-		out.clearSpare()
 		return
 	}
-	newDepth := int64(out.SpareDepth)*abs + 1
+	newDepth := int64(a.SpareDepth)*abs + 1
 	if newDepth > maxSpareDepth {
-		out.clearSpare()
 		return
 	}
 	qs := ev.params.Chain.Spare
@@ -339,9 +388,11 @@ func (ev *Evaluator) spareMulScalarInt(out *Ciphertext, c int64) {
 	if c < 0 {
 		cm = nt.NegMod(cm, qs)
 	}
-	for _, sp := range [][]uint64{out.Spare0, out.Spare1} {
-		for k := range sp {
-			sp[k] = nt.MulMod(sp[k], cm, qs)
+	out.Spare0 = make([]uint64, len(a.Spare0))
+	out.Spare1 = make([]uint64, len(a.Spare1))
+	for _, pair := range []struct{ o, x []uint64 }{{out.Spare0, a.Spare0}, {out.Spare1, a.Spare1}} {
+		for k := range pair.o {
+			pair.o[k] = nt.MulMod(pair.x[k], cm, qs)
 		}
 	}
 	out.SpareDepth = int(newDepth)

@@ -1,0 +1,94 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"bitpacker/internal/fherr"
+)
+
+// TestDispatchFusedMatchesStagedPasses checks that fusing a stage chain
+// produces the same result as running the stages as separate full passes,
+// at several worker counts.
+func TestDispatchFusedMatchesStagedPasses(t *testing.T) {
+	const tasks, n = 8, 64
+	build := func() [][]int {
+		rows := make([][]int, tasks)
+		for i := range rows {
+			rows[i] = make([]int, n)
+			for k := range rows[i] {
+				rows[i][k] = i*n + k
+			}
+		}
+		return rows
+	}
+	stageA := func(rows [][]int) func(int) {
+		return func(i int) {
+			for k := range rows[i] {
+				rows[i][k] *= 3
+			}
+		}
+	}
+	stageB := func(rows [][]int) func(int) {
+		return func(i int) {
+			for k := range rows[i] {
+				rows[i][k] += 7
+			}
+		}
+	}
+
+	want := build()
+	Dispatch(tasks, n, stageA(want))
+	Dispatch(tasks, n, stageB(want))
+
+	for _, w := range []int{1, 4} {
+		SetWorkers(w)
+		SetMinParallelOps(1)
+		got := build()
+		DispatchFused(tasks, n, stageA(got), stageB(got))
+		for i := range got {
+			for k := range got[i] {
+				if got[i][k] != want[i][k] {
+					t.Fatalf("workers=%d: fused[%d][%d]=%d, staged=%d", w, i, k, got[i][k], want[i][k])
+				}
+			}
+		}
+	}
+	SetWorkers(0)
+	SetMinParallelOps(0)
+}
+
+// TestDispatchFusedCtxFault checks that a dropped fused work item skips
+// every stage of that task and surfaces as ErrEngineFault.
+func TestDispatchFusedCtxFault(t *testing.T) {
+	const tasks = 4
+	SetFaultHook(func(task int) bool { return task == 2 })
+	defer SetFaultHook(nil)
+
+	ranA := make([]bool, tasks)
+	ranB := make([]bool, tasks)
+	err := DispatchFusedCtx(context.Background(), tasks, 1,
+		func(i int) { ranA[i] = true },
+		func(i int) { ranB[i] = true },
+	)
+	if !errors.Is(err, fherr.ErrEngineFault) {
+		t.Fatalf("want ErrEngineFault, got %v", err)
+	}
+	for i := 0; i < tasks; i++ {
+		want := i != 2
+		if ranA[i] != want || ranB[i] != want {
+			t.Fatalf("task %d: stageA=%v stageB=%v, want both %v", i, ranA[i], ranB[i], want)
+		}
+	}
+}
+
+// TestDispatchFusedCtxCanceled checks the canceled-context path.
+func TestDispatchFusedCtxCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err := DispatchFusedCtx(ctx, 4, 1, func(int) {}, func(int) {})
+	if !errors.Is(err, fherr.ErrCanceled) {
+		t.Fatalf("want ErrCanceled, got %v", err)
+	}
+}

@@ -34,6 +34,11 @@ type Table struct {
 	invShoup []uint64
 	nInv     uint64 // N^{-1} mod q
 	nInvSh   uint64
+	// invN1 = inv[1]·N^{-1} mod q: the last inverse stage's single twiddle
+	// with the final N^{-1} scaling folded in, so the correction pass
+	// disappears into the last butterfly (N >= 2 only).
+	invN1   uint64
+	invN1Sh uint64
 
 	// Barrett constant floor(2^128/q) for division-free pointwise products.
 	brHi, brLo uint64
@@ -81,6 +86,10 @@ func NewTable(q uint64, n int) (*Table, error) {
 	}
 	t.nInv = nt.InvMod(uint64(n), q)
 	t.nInvSh = nt.ShoupPrecomp(t.nInv, q)
+	if n >= 2 {
+		t.invN1 = nt.MulMod(t.inv[1], t.nInv, q)
+		t.invN1Sh = nt.ShoupPrecomp(t.invN1, q)
+	}
 	t.brHi, t.brLo = nt.BarrettConstant(q)
 	return t, nil
 }
@@ -93,7 +102,9 @@ func NewTable(q uint64, n int) (*Table, error) {
 // Each butterfly reduces its sum operand into [0, 2q), takes the twiddle
 // product in [0, 2q) via the subtraction-free Shoup multiply, and emits
 // u+v and u-v+2q, both < 4q. Since q < 2^62 (nt.MaxModulusBits), 4q never
-// overflows uint64. A final pass folds [0, 4q) back into [0, q).
+// overflows uint64. The [0, 4q) → [0, q) correction is folded into the
+// last butterfly stage (which already writes every word once), so the
+// transform makes no separate correction pass over the vector.
 func (t *Table) Forward(a []uint64) {
 	if len(a) != t.N {
 		panic("ntt: length mismatch")
@@ -102,31 +113,52 @@ func (t *Table) Forward(a []uint64) {
 	q2 := q << 1
 	n := t.N
 	step := n
-	for m := 1; m < n; m <<= 1 {
+	for m := 1; m < n>>1; m <<= 1 {
 		step >>= 1
 		for i := 0; i < m; i++ {
 			w := t.psi[m+i]
 			ws := t.psiShoup[m+i]
 			j1 := 2 * i * step
-			for j := j1; j < j1+step; j++ {
-				u := a[j]
+			lo := a[j1 : j1+step : j1+step]
+			hi := a[j1+step : j1+2*step : j1+2*step]
+			for j := range lo {
+				u := lo[j]
 				if u >= q2 {
 					u -= q2
 				}
-				v := nt.MulModLazyShoup(a[j+step], w, ws, q)
-				a[j] = u + v
-				a[j+step] = u + q2 - v
+				v := nt.MulModLazyShoup(hi[j], w, ws, q)
+				lo[j] = u + v
+				hi[j] = u + q2 - v
 			}
 		}
 	}
-	for j, x := range a {
+	// Last stage (step == 1), with the final correction fused in: the
+	// emitted u+v and u+2q-v are reduced from [0, 4q) to [0, q) in
+	// registers, exactly as the separate pass would.
+	for i, m := 0, n>>1; i < m; i++ {
+		w := t.psi[m+i]
+		ws := t.psiShoup[m+i]
+		u := a[2*i]
+		if u >= q2 {
+			u -= q2
+		}
+		v := nt.MulModLazyShoup(a[2*i+1], w, ws, q)
+		x := u + v
 		if x >= q2 {
 			x -= q2
 		}
 		if x >= q {
 			x -= q
 		}
-		a[j] = x
+		y := u + q2 - v
+		if y >= q2 {
+			y -= q2
+		}
+		if y >= q {
+			y -= q
+		}
+		a[2*i] = x
+		a[2*i+1] = y
 	}
 }
 
@@ -136,8 +168,13 @@ func (t *Table) Forward(a []uint64) {
 // The Gentleman-Sande network keeps values in [0, 2q): the sum branch is
 // reduced with one conditional subtraction, the difference branch feeds
 // u-v+2q (< 4q, safe for q < 2^62) into the lazy Shoup multiply which
-// lands back in [0, 2q). The final N^{-1} scaling uses the exact Shoup
-// multiply, which both corrects the range and finishes the transform.
+// lands back in [0, 2q). The final N^{-1} scaling is folded into the last
+// stage: its single twiddle becomes inv[1]·N^{-1} (precomputed), and the
+// sum branch takes the exact Shoup multiply by N^{-1} directly — both
+// branches emit the same fully reduced words the separate scaling pass
+// produced, without re-reading the vector. (The exact Shoup multiply
+// fully reduces any operand < 4q, since its lazy product lies in [0, 2q)
+// for q < 2^62; the lazy transforms rely on the same bound.)
 func (t *Table) Inverse(a []uint64) {
 	if len(a) != t.N {
 		panic("ntt: length mismatch")
@@ -145,27 +182,46 @@ func (t *Table) Inverse(a []uint64) {
 	q := t.Q
 	q2 := q << 1
 	n := t.N
+	if n == 1 {
+		a[0] = nt.MulModShoup(a[0], t.nInv, t.nInvSh, q)
+		return
+	}
 	step := 1
-	for m := n >> 1; m >= 1; m >>= 1 {
+	for m := n >> 1; m >= 2; m >>= 1 {
 		for i := 0; i < m; i++ {
 			w := t.inv[m+i]
 			ws := t.invShoup[m+i]
 			j1 := 2 * i * step
-			for j := j1; j < j1+step; j++ {
-				u := a[j]
-				v := a[j+step]
+			lo := a[j1 : j1+step : j1+step]
+			hi := a[j1+step : j1+2*step : j1+2*step]
+			for j := range lo {
+				u := lo[j]
+				v := hi[j]
 				s := u + v
 				if s >= q2 {
 					s -= q2
 				}
-				a[j] = s
-				a[j+step] = nt.MulModLazyShoup(u+q2-v, w, ws, q)
+				lo[j] = s
+				hi[j] = nt.MulModLazyShoup(u+q2-v, w, ws, q)
 			}
 		}
 		step <<= 1
 	}
-	for j := range a {
-		a[j] = nt.MulModShoup(a[j], t.nInv, t.nInvSh, q)
+	// Last stage (m == 1) with the N^{-1} scaling fused in.
+	half := n >> 1
+	w, ws := t.invN1, t.invN1Sh
+	nInv, nInvSh := t.nInv, t.nInvSh
+	lo := a[:half:half]
+	hi := a[half:n:n]
+	for j := range lo {
+		u := lo[j]
+		v := hi[j]
+		s := u + v
+		if s >= q2 {
+			s -= q2
+		}
+		lo[j] = nt.MulModShoup(s, nInv, nInvSh, q)
+		hi[j] = nt.MulModShoup(u+q2-v, w, ws, q)
 	}
 }
 
@@ -175,6 +231,8 @@ func (t *Table) Inverse(a []uint64) {
 // nt.MulMod pays per coefficient.
 func (t *Table) MulCoeffs(out, a, b []uint64) {
 	q, bhi, blo := t.Q, t.brHi, t.brLo
+	a = a[:len(out)]
+	b = b[:len(out)]
 	for i := range out {
 		out[i] = nt.MulModBarrett(a[i], b[i], q, bhi, blo)
 	}
@@ -184,8 +242,27 @@ func (t *Table) MulCoeffs(out, a, b []uint64) {
 // domain) into out: out[i] = out[i] + a[i]*b[i] mod q.
 func (t *Table) MulCoeffsAdd(out, a, b []uint64) {
 	q, bhi, blo := t.Q, t.brHi, t.brLo
+	a = a[:len(out)]
+	b = b[:len(out)]
 	for i := range out {
 		out[i] = nt.AddMod(out[i], nt.MulModBarrett(a[i], b[i], q, bhi, blo), q)
+	}
+}
+
+// MulCoeffsCross stores the cross product out[i] = a0[i]*b1[i] +
+// a1[i]*b0[i] mod q (all NTT domain) — the middle term of a degree-1
+// ciphertext product, computed in one pass instead of a MulCoeffs
+// followed by a MulCoeffsAdd.
+func (t *Table) MulCoeffsCross(out, a0, b1, a1, b0 []uint64) {
+	q, bhi, blo := t.Q, t.brHi, t.brLo
+	a0 = a0[:len(out)]
+	b1 = b1[:len(out)]
+	a1 = a1[:len(out)]
+	b0 = b0[:len(out)]
+	for i := range out {
+		x := nt.MulModBarrett(a0[i], b1[i], q, bhi, blo)
+		y := nt.MulModBarrett(a1[i], b0[i], q, bhi, blo)
+		out[i] = nt.AddMod(x, y, q)
 	}
 }
 

@@ -184,11 +184,8 @@ func (p *Pipeline) resume() (stage int, state []*ckks.Ciphertext, ok bool) {
 }
 
 func copyState(state []*ckks.Ciphertext) []*ckks.Ciphertext {
-	out := make([]*ckks.Ciphertext, len(state))
-	for i, ct := range state {
-		out[i] = ct.CopyNew()
-	}
-	return out
+	// All ciphertexts' rows copy in one batched fork/join.
+	return ckks.CopyCiphertexts(state)
 }
 
 // EncodeState serializes a state slice: count u32, then each

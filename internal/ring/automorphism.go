@@ -1,6 +1,11 @@
 package ring
 
-import "bitpacker/internal/engine"
+import (
+	"math/bits"
+
+	"bitpacker/internal/engine"
+	"bitpacker/internal/nt"
+)
 
 // Automorphisms of Z_q[X]/(X^N+1): the maps φ_k(X) = X^k for odd k,
 // which implement CKKS slot rotations (k = 5^r mod 2N) and conjugation
@@ -64,6 +69,93 @@ func (c *Context) AutomorphismTable(k uint64) []uint64 {
 	return t
 }
 
+// AutomorphismNTTTable returns (building and caching lazily) the gather
+// table of φ_k in the NTT evaluation domain: out[j] = in[tab[j]], with no
+// sign corrections. k must be odd.
+//
+// The forward transform (decimation-in-time over ψ powers in bit-reversed
+// order) emits out[j] = a(ψ^{e_j}) with e_j = 2·brv(j)+1, where brv is
+// the logN-bit reversal. Applying φ_k and evaluating at ψ^{e_j} gives
+// a(ψ^{k·e_j mod 2N}) — another primitive 2N-th root, since k is odd —
+// so NTT(φ_k(a)) is a pure permutation of NTT(a): tab[j] indexes the
+// evaluation point with exponent k·e_j mod 2N. The table depends only on
+// the transform's ordering convention, not on the modulus, so one table
+// serves every residue row.
+func (c *Context) AutomorphismNTTTable(k uint64) []uint64 {
+	if k%2 == 0 {
+		panic("ring: Galois element must be odd")
+	}
+	n := uint64(c.N)
+	m := 2 * n
+	k %= m
+	c.autoMu.RLock()
+	t, ok := c.autoNTTTabs[k]
+	c.autoMu.RUnlock()
+	if ok {
+		return t
+	}
+	c.autoMu.Lock()
+	defer c.autoMu.Unlock()
+	if t, ok := c.autoNTTTabs[k]; ok { // double-checked: another worker won
+		return t
+	}
+	logN := bits.Len64(n) - 1
+	brv := func(x uint64) uint64 {
+		if logN == 0 {
+			return 0
+		}
+		return bits.Reverse64(x) >> (64 - logN)
+	}
+	t = make([]uint64, n)
+	for j := uint64(0); j < n; j++ {
+		e := 2*brv(j) + 1
+		t[j] = brv((e * k % m - 1) / 2)
+	}
+	c.autoNTTTabs[k] = t
+	return t
+}
+
+// PermuteNTT returns φ_k(p) for NTT-domain p: a pure gather of evaluation
+// points, with zero transforms. Bit-identical to INTT+Automorphism+NTT
+// because the transform is exact and emits canonical residues, so the
+// permuted evaluation values are the same canonical words either way.
+func (p *Poly) PermuteNTT(k uint64) *Poly {
+	if !p.IsNTT {
+		panic("ring: PermuteNTT requires NTT domain")
+	}
+	tab := p.ctx.AutomorphismNTTTable(k)
+	out := p.ctx.GetPoly(p.Moduli)
+	out.IsNTT = true
+	engine.Dispatch(len(p.Moduli), p.ctx.N, func(i int) {
+		src, dst := p.Coeffs[i], out.Coeffs[i]
+		for j, s := range tab {
+			dst[j] = src[s]
+		}
+	})
+	return out
+}
+
+// PermuteNTTAdd returns φ_k(p) + b (both NTT domain) in one gather pass
+// per row — the hoisted-rotation C0 fold, with the keyswitch correction
+// added while the gathered word is still in a register.
+func (p *Poly) PermuteNTTAdd(k uint64, b *Poly) *Poly {
+	if !p.IsNTT {
+		panic("ring: PermuteNTTAdd requires NTT domain")
+	}
+	sameShape(p, b)
+	tab := p.ctx.AutomorphismNTTTable(k)
+	out := p.ctx.GetPoly(p.Moduli)
+	out.IsNTT = true
+	engine.Dispatch(len(p.Moduli), p.ctx.N, func(i int) {
+		q := p.Moduli[i]
+		src, add, dst := p.Coeffs[i], b.Coeffs[i], out.Coeffs[i]
+		for j, s := range tab {
+			dst[j] = nt.AddMod(src[s], add[j], q)
+		}
+	})
+	return out
+}
+
 // Automorphism returns φ_k(p): out coefficient at index (i·k mod 2N) gets
 // ±p_i, with the sign flipped when i·k mod 2N lands in [N, 2N).
 // p must be in the coefficient domain and k must be odd. The index map is
@@ -81,19 +173,7 @@ func (p *Poly) Automorphism(k uint64) *Poly {
 	out := p.ctx.GetPoly(p.Moduli)
 	out.IsNTT = false
 	engine.Dispatch(len(p.Moduli), n, func(i int) {
-		q := p.Moduli[i]
-		src, dst := p.Coeffs[i], out.Coeffs[i]
-		for j := 0; j < n; j++ {
-			e := tab[j]
-			v := src[j]
-			if e&autoSignBit != 0 {
-				if v != 0 {
-					v = q - v
-				}
-				e &^= autoSignBit
-			}
-			dst[e] = v
-		}
+		autoPermuteRow(out.Coeffs[i], p.Coeffs[i], tab, p.Moduli[i])
 	})
 	return out
 }

@@ -31,8 +31,9 @@ type Context struct {
 	// autoMu guards the automorphism permutation tables, which are
 	// read-mostly for the same reason: hoisted keyswitching applies the
 	// same Galois map to every decomposition digit of every rotation.
-	autoMu   sync.RWMutex
-	autoTabs map[uint64][]uint64
+	autoMu      sync.RWMutex
+	autoTabs    map[uint64][]uint64
+	autoNTTTabs map[uint64][]uint64 // evaluation-domain gather tables
 
 	// vecs pools N-length []uint64 residue vectors (stored as *[]uint64
 	// so Put does not allocate an interface header).
@@ -45,7 +46,12 @@ func NewContext(n int) (*Context, error) {
 	if n <= 0 || n&(n-1) != 0 {
 		return nil, fmt.Errorf("ring: N=%d is not a power of two", n)
 	}
-	c := &Context{N: n, tables: make(map[uint64]*ntt.Table), autoTabs: make(map[uint64][]uint64)}
+	c := &Context{
+		N:           n,
+		tables:      make(map[uint64]*ntt.Table),
+		autoTabs:    make(map[uint64][]uint64),
+		autoNTTTabs: make(map[uint64][]uint64),
+	}
 	c.vecs.New = func() any {
 		v := make([]uint64, n)
 		return &v

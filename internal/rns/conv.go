@@ -192,6 +192,150 @@ func (d *ExactDiv) Apply(keptRes, shedRes [][]uint64) {
 	}
 }
 
+// DivBatchTarget is one polynomial's worth of work for ApplyBatch.
+type DivBatchTarget struct {
+	Shed [][]uint64 // coefficient-domain residues mod Conv.Src (read-only)
+	Kept [][]uint64 // residues mod Kept (read-only; Out may alias it)
+	Out  [][]uint64 // receives the scaled-down rows
+	// Epi, if non-nil, runs on each finished output row inside the same
+	// work item (e.g. the NTT back to the evaluation domain), so the row
+	// is transformed while still cache-resident.
+	Epi func(j int, row []uint64)
+}
+
+// ApplyBatch runs Apply over several polynomials as two fork/joins total
+// (instead of three per polynomial), and fuses the subtract-divide pass
+// with each target's epilogue so every output row is written exactly
+// once. The inner accumulation keeps Apply's i-order, so results are
+// bit-identical to per-polynomial Apply calls at every worker count.
+func (d *ExactDiv) ApplyBatch(targets []DivBatchTarget) {
+	if len(targets) == 0 {
+		return
+	}
+	c := d.Conv
+	nSrc := len(c.Src)
+	nKept := len(d.Kept)
+	n := len(targets[0].Kept[0])
+	// Stage A: y[t][i] = [shed_i · pHatInv_i]_{p_i}, all targets batched.
+	y := make([][]uint64, len(targets)*nSrc)
+	for i := range y {
+		y[i] = getVec(n)
+	}
+	engine.Dispatch(len(y), n, func(ti int) {
+		t, i := ti/nSrc, ti%nSrc
+		p := c.Src[i]
+		w, ws := c.pHatInv[i], c.pHatInvSh[i]
+		yi := y[ti]
+		for k, x := range targets[t].Shed[i] {
+			yi[k] = nt.MulModShoup(x, w, ws, p)
+		}
+	})
+	// Stage B: per kept row, accumulate the conversion in i-order,
+	// subtract, divide by P, then run the fused epilogue — one write per
+	// output word, no intermediate conversion buffer.
+	engine.Dispatch(len(targets)*nKept, n*(nSrc+8), func(tj int) {
+		t, j := tj/nKept, tj%nKept
+		tgt := &targets[t]
+		q := d.Kept[j]
+		wp, wps := d.invP[j], d.invPSh[j]
+		wcol := make([]uint64, nSrc)
+		wscol := make([]uint64, nSrc)
+		for i := 0; i < nSrc; i++ {
+			wcol[i] = c.mat[i][j]
+			wscol[i] = c.matSh[i][j]
+		}
+		yt := y[t*nSrc : (t+1)*nSrc]
+		kj := tgt.Kept[j]
+		oj := tgt.Out[j][:len(kj)]
+		for k := range oj {
+			var acc uint64
+			for i := range yt {
+				acc = nt.AddMod(acc, nt.MulModShoup(yt[i][k], wcol[i], wscol[i], q), q)
+			}
+			oj[k] = nt.MulModShoup(nt.SubMod(kj[k], acc, q), wp, wps, q)
+		}
+		if tgt.Epi != nil {
+			tgt.Epi(j, oj)
+		}
+	})
+	for i := range y {
+		putVec(y[i])
+	}
+}
+
+// ApplyBatchNTT is ApplyBatch for targets whose Kept and Out rows are in
+// the NTT evaluation domain while the Shed rows stay in the coefficient
+// domain: the conversion row is assembled in the coefficient domain
+// (same i-ordered accumulation as ApplyBatch), moved to the evaluation
+// domain by fwd — the caller's forward transform for kept modulus j —
+// and the subtract-divide then runs pointwise on evaluation-domain
+// words. The transform is exactly linear and emits canonical residues,
+// and every operand here is canonical, so the outputs are bit-identical
+// to coefficient-domain ApplyBatch sandwiched between inverse/forward
+// transforms of the kept rows — but only the conversion rows are ever
+// forward-transformed and the kept rows never leave the NTT domain.
+func (d *ExactDiv) ApplyBatchNTT(targets []DivBatchTarget, fwd func(j int, row []uint64)) {
+	if len(targets) == 0 {
+		return
+	}
+	c := d.Conv
+	nSrc := len(c.Src)
+	nKept := len(d.Kept)
+	n := len(targets[0].Kept[0])
+	// Stage A: y[t][i] = [shed_i · pHatInv_i]_{p_i}, identical to
+	// ApplyBatch (the shed rows are coefficient-domain in both variants).
+	y := make([][]uint64, len(targets)*nSrc)
+	for i := range y {
+		y[i] = getVec(n)
+	}
+	engine.Dispatch(len(y), n, func(ti int) {
+		t, i := ti/nSrc, ti%nSrc
+		p := c.Src[i]
+		w, ws := c.pHatInv[i], c.pHatInvSh[i]
+		yi := y[ti]
+		for k, x := range targets[t].Shed[i] {
+			yi[k] = nt.MulModShoup(x, w, ws, p)
+		}
+	})
+	// Stage B: per kept row, accumulate the conversion into a scratch
+	// row (i-order preserved, so bits match Apply), forward-transform it,
+	// then subtract-divide against the evaluation-domain kept row.
+	engine.Dispatch(len(targets)*nKept, n*(nSrc+16), func(tj int) {
+		t, j := tj/nKept, tj%nKept
+		tgt := &targets[t]
+		q := d.Kept[j]
+		wp, wps := d.invP[j], d.invPSh[j]
+		wcol := make([]uint64, nSrc)
+		wscol := make([]uint64, nSrc)
+		for i := 0; i < nSrc; i++ {
+			wcol[i] = c.mat[i][j]
+			wscol[i] = c.matSh[i][j]
+		}
+		yt := y[t*nSrc : (t+1)*nSrc]
+		kj := tgt.Kept[j]
+		conv := getVec(len(kj))
+		for k := range conv {
+			var acc uint64
+			for i := range yt {
+				acc = nt.AddMod(acc, nt.MulModShoup(yt[i][k], wcol[i], wscol[i], q), q)
+			}
+			conv[k] = acc
+		}
+		fwd(j, conv)
+		oj := tgt.Out[j][:len(kj)]
+		for k := range oj {
+			oj[k] = nt.MulModShoup(nt.SubMod(kj[k], conv[k], q), wp, wps, q)
+		}
+		putVec(conv)
+		if tgt.Epi != nil {
+			tgt.Epi(j, oj)
+		}
+	})
+	for i := range y {
+		putVec(y[i])
+	}
+}
+
 // ApplyScalar is the single-coefficient variant of Apply, for tests.
 func (d *ExactDiv) ApplyScalar(kept, shed []uint64) []uint64 {
 	sub := d.Conv.ConvertScalar(shed)

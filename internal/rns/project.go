@@ -4,6 +4,7 @@ import (
 	"math"
 	"math/big"
 
+	"bitpacker/internal/engine"
 	"bitpacker/internal/nt"
 )
 
@@ -106,18 +107,37 @@ func (p *Projector) projectExact(xs []uint64) uint64 {
 	return new(big.Int).Mod(x, new(big.Int).SetUint64(p.Dst)).Uint64()
 }
 
+// projectChunk is the coefficient-range granularity Project parallelises
+// over. Coefficients are independent, so any split is exact; 1024 keeps
+// the per-task closure overhead negligible against the per-coefficient
+// CRT work.
+const projectChunk = 1024
+
 // Project fills dst[k] = X_k mod Dst for every coefficient k, reading
 // residue k of each source vector (src[i][k] = X_k mod Src[i]). dst and
-// the src vectors all have length N.
+// the src vectors all have length N. Coefficients are independent, so the
+// range is chunked across the engine worker pool.
 func (p *Projector) Project(dst []uint64, src [][]uint64) {
 	if len(src) != len(p.Src) {
 		panic("rns: Project shape mismatch")
 	}
-	xs := make([]uint64, len(src))
-	for k := range dst {
-		for i := range src {
-			xs[i] = src[i][k]
-		}
-		dst[k] = p.ProjectCoeff(xs)
+	n := len(dst)
+	chunks := (n + projectChunk - 1) / projectChunk
+	if chunks == 0 {
+		return
 	}
+	engine.Dispatch(chunks, projectChunk*(3*len(src)+8), func(c int) {
+		lo := c * projectChunk
+		hi := lo + projectChunk
+		if hi > n {
+			hi = n
+		}
+		xs := make([]uint64, len(src))
+		for k := lo; k < hi; k++ {
+			for i := range src {
+				xs[i] = src[i][k]
+			}
+			dst[k] = p.ProjectCoeff(xs)
+		}
+	})
 }

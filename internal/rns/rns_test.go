@@ -5,6 +5,7 @@ import (
 	"math/rand/v2"
 	"testing"
 
+	"bitpacker/internal/engine"
 	"bitpacker/internal/nt"
 )
 
@@ -173,4 +174,86 @@ func randBig(rng *rand.Rand, max *big.Int) *big.Int {
 	}
 	v := new(big.Int).SetBytes(buf)
 	return v.Mod(v, max)
+}
+
+// TestApplyBatchMatchesApply checks the fused-batched scaleDown against
+// per-target Apply, bit for bit, at workers 1 and 4, including the fused
+// epilogue hook.
+func TestApplyBatchMatchesApply(t *testing.T) {
+	shed := primes(t, 30, 128, 2)
+	kept := primes(t, 40, 128, 3)
+	d := NewExactDiv(shed, kept)
+	rng := rand.New(rand.NewPCG(5, 5))
+	n := 64
+
+	mkTarget := func() (shedRes, keptRes [][]uint64) {
+		shedRes = make([][]uint64, len(shed))
+		for i, q := range shed {
+			shedRes[i] = make([]uint64, n)
+			for k := range shedRes[i] {
+				shedRes[i][k] = rng.Uint64N(q)
+			}
+		}
+		keptRes = make([][]uint64, len(kept))
+		for j, q := range kept {
+			keptRes[j] = make([]uint64, n)
+			for k := range keptRes[j] {
+				keptRes[j][k] = rng.Uint64N(q)
+			}
+		}
+		return
+	}
+	clone := func(rows [][]uint64) [][]uint64 {
+		out := make([][]uint64, len(rows))
+		for i := range rows {
+			out[i] = append([]uint64(nil), rows[i]...)
+		}
+		return out
+	}
+
+	shed0, kept0 := mkTarget()
+	shed1, kept1 := mkTarget()
+
+	want0, want1 := clone(kept0), clone(kept1)
+	d.Apply(want0, shed0)
+	d.Apply(want1, shed1)
+
+	engine.SetMinParallelOps(1)
+	defer func() {
+		engine.SetWorkers(0)
+		engine.SetMinParallelOps(0)
+	}()
+	for _, w := range []int{1, 4} {
+		engine.SetWorkers(w)
+		epiRan := make([]bool, len(kept))
+		out0 := make([][]uint64, len(kept))
+		for j := range out0 {
+			out0[j] = make([]uint64, n)
+		}
+		d.ApplyBatch([]DivBatchTarget{
+			{Shed: shed0, Kept: kept0, Out: out0,
+				Epi: func(j int, row []uint64) { epiRan[j] = true }},
+			{Shed: shed1, Kept: clone(kept1), Out: clone(kept1)},
+		})
+		for j := range kept {
+			if !epiRan[j] {
+				t.Fatalf("workers=%d: epilogue skipped for row %d", w, j)
+			}
+			for k := 0; k < n; k++ {
+				if out0[j][k] != want0[j][k] {
+					t.Fatalf("workers=%d: row %d coeff %d differs", w, j, k)
+				}
+			}
+		}
+		// Out aliasing Kept (in-place) must also match.
+		inPlace := clone(kept1)
+		d.ApplyBatch([]DivBatchTarget{{Shed: shed1, Kept: inPlace, Out: inPlace}})
+		for j := range kept {
+			for k := 0; k < n; k++ {
+				if inPlace[j][k] != want1[j][k] {
+					t.Fatalf("workers=%d: in-place row %d coeff %d differs", w, j, k)
+				}
+			}
+		}
+	}
 }

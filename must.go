@@ -39,6 +39,9 @@ func (c *Context) MustNeg(a *Ciphertext) *Ciphertext { return must(c.Neg(a)) }
 // MustMul is Mul, panicking on error.
 func (c *Context) MustMul(a, b *Ciphertext) *Ciphertext { return must(c.Mul(a, b)) }
 
+// MustMulRescale is MulRescale, panicking on error.
+func (c *Context) MustMulRescale(a, b *Ciphertext) *Ciphertext { return must(c.MulRescale(a, b)) }
+
 // MustMulConst is MulConst, panicking on error.
 func (c *Context) MustMulConst(a *Ciphertext, values []complex128) *Ciphertext {
 	return must(c.MulConst(a, values))

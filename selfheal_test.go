@@ -83,6 +83,38 @@ func TestSelfHealResidueCorruption(t *testing.T) {
 	}
 }
 
+// TestSelfHealFusedKernels: the RRNS rung keeps working inside the fused
+// kernels. A chaos-injected residue-word flip is repaired in place by the
+// fused MulRescale macro op and by the fused rotation path, the healed
+// outputs equal the fault-free run slot for slot, and the fused and
+// staged (SetFused(false)) healed runs agree exactly with each other.
+func TestSelfHealFusedKernels(t *testing.T) {
+	for _, scheme := range []Scheme{RNSCKKS, BitPacker} {
+		c := healCtx(t, scheme, nil, []int{2})
+		rng := rand.New(rand.NewPCG(21, 22))
+		a := c.MustEncrypt(randComplex(c.Slots(), rng))
+		b := c.MustEncrypt(randComplex(c.Slots(), rng))
+
+		run := func(fused, corrupt bool, seed uint64) []complex128 {
+			c.SetFused(fused)
+			defer c.SetFused(true)
+			ca, cb := a.Copy(), b.Copy()
+			if corrupt {
+				chaos.New(seed).CorruptResidueWord(ca.ct)
+			}
+			out := c.MustMulRescale(ca, c.MustRotate(cb, 2))
+			return c.MustDecrypt(out)
+		}
+		clean := run(true, false, 0)
+		for trial := uint64(0); trial < 3; trial++ {
+			healedFused := run(true, true, 300+trial)
+			healedStaged := run(false, true, 300+trial)
+			equalSlots(t, "fused residue-word", healedFused, clean)
+			equalSlots(t, "staged residue-word", healedStaged, clean)
+		}
+	}
+}
+
 // TestSelfHealDroppedTaskBurst: the retry rung heals a burst of dropped
 // engine tasks shorter than the attempt budget; a longer burst exhausts
 // into ErrFaultUnrecovered.
