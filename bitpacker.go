@@ -8,6 +8,7 @@ import (
 	"bitpacker/internal/core"
 	"bitpacker/internal/engine"
 	"bitpacker/internal/fherr"
+	"bitpacker/internal/ring"
 	"bitpacker/internal/security"
 )
 
@@ -104,6 +105,29 @@ type Config struct {
 	// baseline. Also enabled by the BITPACKER_UNFUSED environment
 	// variable.
 	DisableFusion bool
+	// KeyCacheBytes, when nonzero, replaces eager key generation with a
+	// budgeted key cache: switching keys (relinearization, rotations,
+	// bootstrap Galois keys) are generated lazily from the secret key on
+	// first use and their resident footprint is kept within this soft
+	// byte budget by demoting cold keys to seed-compressed form (only
+	// the B half resident; the uniform A half regenerated on demand
+	// inside the keyswitch) and then evicting them entirely. Rotations
+	// and Conjugation become optional hints — any rotation can be served
+	// on demand without ErrMissingKey — and long-running plans (BSGS
+	// transforms, hoisted rotation batches) pin their whole key demand
+	// up front so the working set streams in once and stays resident.
+	// Results are bit-identical to the eager dense path. Inspect the
+	// cache with Context.KeyCacheStats; pre-warm and pin a plan's
+	// rotations with Context.PinRotations.
+	KeyCacheBytes int64
+	// CompressKeys stores the eagerly generated switching keys (and the
+	// public key) seed-compressed: the uniform A half of every key digit
+	// is replaced by the 16-byte seed it was expanded from, roughly
+	// halving resident key memory; keyswitch kernels regenerate A rows
+	// from the seed inside the fused dispatch, bit-identical to the
+	// dense path. Ignored when KeyCacheBytes is set (the cache manages
+	// compression itself).
+	CompressKeys bool
 	// Retry, when non-nil, re-dispatches operations that fail with a
 	// detected fault (ErrInvariant, ErrEngineFault) from their retained
 	// inputs, with exponential backoff, until the policy's attempt
@@ -140,6 +164,8 @@ type Context struct {
 	enc     *ckks.Encryptor
 	dec     *ckks.Decryptor
 	eval    *ckks.Evaluator
+	keys    *ckks.EvaluationKeySet // eager key set; nil under KeyCacheBytes
+	km      *ckks.KeyManager       // budgeted key cache; nil unless KeyCacheBytes
 	boot    *ckks.Bootstrapper
 	retrier *engine.Retrier
 	ctx     context.Context // from WithContext; nil means Background
@@ -247,11 +273,27 @@ func New(cfg Config) (*Context, error) {
 		sk = kg.GenSecretKey()
 	}
 	pk := kg.GenPublicKey(sk)
-	keys := &ckks.EvaluationKeySet{
-		Relin:  kg.GenRelinKey(sk),
-		Galois: kg.GenRotationKeys(sk, rotations, conj),
+	var keys *ckks.EvaluationKeySet
+	var km *ckks.KeyManager
+	var eval *ckks.Evaluator
+	if cfg.KeyCacheBytes > 0 {
+		// Budgeted cache: no eager generation at all — every switching
+		// key (including bootstrap rotations) is produced lazily on first
+		// use and managed within the byte budget.
+		km = ckks.NewKeyManager(params, kg, sk, cfg.KeyCacheBytes)
+		eval = ckks.NewEvaluator(params, nil)
+		eval.SetKeyManager(km)
+	} else {
+		keys = &ckks.EvaluationKeySet{
+			Relin:  kg.GenRelinKey(sk),
+			Galois: kg.GenRotationKeys(sk, rotations, conj),
+		}
+		if cfg.CompressKeys {
+			keys.Compress()
+			pk.Compress()
+		}
+		eval = ckks.NewEvaluator(params, keys)
 	}
-	eval := ckks.NewEvaluator(params, keys)
 	if cfg.DisableFusion {
 		eval.SetFused(false)
 	}
@@ -274,6 +316,8 @@ func New(cfg Config) (*Context, error) {
 		enc:     ckks.NewEncryptor(params, pk, cfg.Seed+2, cfg.Seed+3),
 		dec:     ckks.NewDecryptor(params, sk),
 		eval:    eval,
+		keys:    keys,
+		km:      km,
 		boot:    boot,
 		retrier: retrier,
 	}, nil
@@ -484,6 +528,55 @@ func (c *Context) Mul(a, b *Ciphertext) (*Ciphertext, error) {
 // Rescale.
 func (c *Context) MulRescale(a, b *Ciphertext) (*Ciphertext, error) {
 	return c.runOp("MulRescale", func() (*ckks.Ciphertext, error) { return c.eval.MulRescale(a.ct, b.ct) })
+}
+
+// KeyCacheStats reports the budgeted key cache's cumulative counters and
+// current/peak resident key footprint. The second return is false when
+// the context was built without Config.KeyCacheBytes (eager keys have no
+// cache to report on; see ResidentKeyBytes for their footprint).
+func (c *Context) KeyCacheStats() (ckks.KeyCacheStats, bool) {
+	if c.km == nil {
+		return ckks.KeyCacheStats{}, false
+	}
+	return c.km.Stats(), true
+}
+
+// ResidentKeyBytes reports the bytes of switching-key material currently
+// resident in memory: the cache's live footprint under KeyCacheBytes,
+// otherwise the eager key set's size (halved by CompressKeys).
+func (c *Context) ResidentKeyBytes() int64 {
+	if c.km != nil {
+		return c.km.Stats().ResidentBytes
+	}
+	if c.keys == nil {
+		return 0
+	}
+	return c.keys.ResidentBytes()
+}
+
+// PinRotations declares a plan's rotation-key working set up front: under
+// Config.KeyCacheBytes the keys for the given slot steps are generated
+// (or promoted) now and pinned against demotion and eviction until the
+// returned release is called, so a loop of Rotate/RotateHoisted calls
+// over those steps runs entirely on cache hits. Zero and duplicate steps
+// are ignored. Without a key cache this is a no-op. The release function
+// is idempotent.
+func (c *Context) PinRotations(steps ...int) (func(), error) {
+	slots := c.params.Slots()
+	seen := map[uint64]bool{}
+	els := make([]uint64, 0, len(steps))
+	for _, s := range steps {
+		s = ((s % slots) + slots) % slots
+		if s == 0 {
+			continue
+		}
+		el := ring.GaloisElementForRotation(s, c.params.N())
+		if !seen[el] {
+			seen[el] = true
+			els = append(els, el)
+		}
+	}
+	return c.eval.PinGaloisKeys("PinRotations", els)
 }
 
 // SetFused toggles the fused per-residue kernel paths at runtime (see

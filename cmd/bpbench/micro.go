@@ -26,6 +26,11 @@ type BenchRecord struct {
 	AllocsPerOp float64 `json:"allocs_per_op"`
 	BytesPerOp  float64 `json:"bytes_per_op"`
 	Iters       int     `json:"iters"`
+	// Key-memory kernels only: resident/peak switching-key bytes and the
+	// key cache's hit rate over the run.
+	ResidentKeyBytes int64   `json:"resident_key_bytes,omitempty"`
+	PeakKeyBytes     int64   `json:"peak_key_bytes,omitempty"`
+	KeyCacheHitRate  float64 `json:"key_cache_hit_rate,omitempty"`
 }
 
 // benchStat is one timing measurement: wall time plus heap-allocation
@@ -150,9 +155,16 @@ func runMicrobench(path string) error {
 	if err := benchLinearTransform(&records); err != nil {
 		return err
 	}
-	// The remaining suites characterize the recovery ladder, not the
-	// fused/staged split; run them at workers=1 like earlier BENCH files.
+	// The remaining suites characterize key memory and the recovery
+	// ladder, not the fused/staged split; run them at workers=1 like
+	// earlier BENCH files.
 	bitpacker.SetWorkers(1)
+	if err := benchKeyMemory(&records); err != nil {
+		return err
+	}
+	if err := benchKeygenLatency(&records); err != nil {
+		return err
+	}
 	if err := benchBootstrap(&records); err != nil {
 		return err
 	}

@@ -17,6 +17,11 @@ import (
 // only a change in the relative cost of the fused path can move it.
 type smokeBaseline struct {
 	MulRescaleFusedOverStaged map[string]float64 `json:"mul_rescale_fused_over_staged"`
+	// ResidentKeyBytesCompressedOverDense is fully deterministic (a byte
+	// count, not a timing): the resident switching-key footprint of a
+	// seed-compressed key set over the dense one, per scheme. Compression
+	// regressing — A halves sneaking back into residency — moves it up.
+	ResidentKeyBytesCompressedOverDense map[string]float64 `json:"resident_key_bytes_compressed_over_dense"`
 }
 
 // smokeTolerance: fail when the measured ratio exceeds the baseline by
@@ -41,6 +46,7 @@ func runBenchSmoke(path string, update bool) error {
 	defer bitpacker.SetWorkers(0)
 
 	measured := map[string]float64{}
+	keyRatios := map[string]float64{}
 	for _, scheme := range []bitpacker.Scheme{bitpacker.RNSCKKS, bitpacker.BitPacker} {
 		ctx, err := bitpacker.New(bitpacker.Config{
 			Scheme:    scheme,
@@ -110,10 +116,48 @@ func runBenchSmoke(path string, update bool) error {
 		measured[scheme.String()] = ratio
 		fmt.Printf("  smoke MulRescale %-10s fused %.0f ns/op, staged %.0f ns/op, ratio %.3f\n",
 			scheme.String(), fusedNs, stagedNs, ratio)
+
+		// Key-memory gate: seed-compressed keys must stay bit-identical
+		// in results and ~half the resident bytes of dense keys. The byte
+		// ratio is deterministic — any timing noise is irrelevant here.
+		denseCfg := bitpacker.Config{
+			Scheme: scheme, LogN: logN, Levels: levels,
+			ScaleBits: scaleBits, WordBits: 61, Rotations: []int{1, 2},
+		}
+		denseCtx, err := bitpacker.New(denseCfg)
+		if err != nil {
+			return fmt.Errorf("smoke key setup (%v): %w", scheme, err)
+		}
+		compCfg := denseCfg
+		compCfg.CompressKeys = true
+		compCtx, err := bitpacker.New(compCfg)
+		if err != nil {
+			return fmt.Errorf("smoke key setup (%v): %w", scheme, err)
+		}
+		denseRot, err := denseCtx.Rotate(denseCtx.MustEncrypt(vals), 2)
+		if err != nil {
+			return err
+		}
+		compRot, err := compCtx.Rotate(compCtx.MustEncrypt(vals), 2)
+		if err != nil {
+			return err
+		}
+		denseSlots, compSlots := denseCtx.MustDecrypt(denseRot), compCtx.MustDecrypt(compRot)
+		for i := range denseSlots {
+			if denseSlots[i] != compSlots[i] {
+				return fmt.Errorf("smoke (%v): compressed-key Rotate disagrees with dense at slot %d", scheme, i)
+			}
+		}
+		keyRatio := float64(compCtx.ResidentKeyBytes()) / float64(denseCtx.ResidentKeyBytes())
+		keyRatios[scheme.String()] = keyRatio
+		fmt.Printf("  smoke keys       %-10s compressed/dense resident bytes %.3f\n", scheme.String(), keyRatio)
 	}
 
 	if update {
-		data, err := json.MarshalIndent(smokeBaseline{MulRescaleFusedOverStaged: measured}, "", "  ")
+		data, err := json.MarshalIndent(smokeBaseline{
+			MulRescaleFusedOverStaged:           measured,
+			ResidentKeyBytesCompressedOverDense: keyRatios,
+		}, "", "  ")
 		if err != nil {
 			return err
 		}
@@ -143,6 +187,18 @@ func runBenchSmoke(path string, update bool) error {
 				scheme, got, want, 100*(got/want-1), 100*(smokeTolerance-1))
 		}
 		fmt.Printf("  smoke %-10s ratio %.3f within %.0f%% of baseline %.3f\n",
+			scheme, got, 100*(smokeTolerance-1), want)
+	}
+	for scheme, got := range keyRatios {
+		want, ok := base.ResidentKeyBytesCompressedOverDense[scheme]
+		if !ok {
+			return fmt.Errorf("smoke: baseline %s has no key-bytes entry for %s (regenerate with -smoke-update)", path, scheme)
+		}
+		if got > want*smokeTolerance {
+			return fmt.Errorf("smoke: compressed/dense resident key bytes regressed on %s: %.3f vs baseline %.3f (+%.0f%% > %.0f%% bar)",
+				scheme, got, want, 100*(got/want-1), 100*(smokeTolerance-1))
+		}
+		fmt.Printf("  smoke keys %-10s ratio %.3f within %.0f%% of baseline %.3f\n",
 			scheme, got, 100*(smokeTolerance-1), want)
 	}
 	return nil

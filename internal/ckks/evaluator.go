@@ -28,6 +28,12 @@ type Evaluator struct {
 	keys   *EvaluationKeySet
 	nm     *NoiseModel
 
+	// km, when non-nil, replaces the static key set as the source of
+	// switching keys: keys are generated lazily from the secret key,
+	// demoted to seed-compressed form or evicted under a byte budget, and
+	// pinned for the duration of each keyswitch (see KeyManager).
+	km *KeyManager
+
 	// ctx, when non-nil, is checked at operation entry and threaded
 	// through engine fan-outs (BSGS transforms, bootstrap).
 	ctx context.Context
@@ -74,6 +80,16 @@ func NewEvaluator(params *Parameters, keys *EvaluationKeySet) *Evaluator {
 		},
 	}
 }
+
+// SetKeyManager routes the evaluator's switching-key lookups through a
+// budgeted key cache (lazy generation, seed-compressed demotion, LRU
+// eviction) instead of the static key set. With a manager installed, any
+// Galois element can be served on demand — ErrMissingKey no longer
+// occurs for rotations. Results are bit-identical to dense keys.
+func (ev *Evaluator) SetKeyManager(km *KeyManager) { ev.km = km }
+
+// KeyManager returns the installed key manager, or nil.
+func (ev *Evaluator) KeyManager() *KeyManager { return ev.km }
 
 // SetFused selects between the fused-kernel hot paths (default) and the
 // stage-by-stage unfused baseline. Results are bit-identical either way;
@@ -378,9 +394,11 @@ func (ev *Evaluator) MulRelin(a, b *Ciphertext) (*Ciphertext, error) {
 	if err := checkCompatible("MulRelin", a, b); err != nil {
 		return nil, err
 	}
-	if ev.keys == nil || ev.keys.Relin == nil {
-		return nil, fherr.Wrap(fherr.ErrMissingKey, "ckks: MulRelin: no relinearization key")
+	rlk, releaseKey, err := ev.relinKey("MulRelin")
+	if err != nil {
+		return nil, err
 	}
+	defer releaseKey()
 	p := ev.params
 	moduli := a.C0.Moduli
 
@@ -408,7 +426,7 @@ func (ev *Evaluator) MulRelin(a, b *Ciphertext) (*Ciphertext, error) {
 		d2.MulCoeffs(a.C1, b.C1)
 	}
 
-	ks0, ks1 := ev.keySwitch(d2, ev.keys.Relin)
+	ks0, ks1 := ev.keySwitch(d2, rlk)
 	p.Ctx.PutPoly(d2)
 	if ev.fused {
 		ring.AddPair(d0, d0, ks0, d1, d1, ks1)
@@ -671,12 +689,23 @@ func (ev *Evaluator) keySwitchExtFused(hd *HoistedDecomp, swk *SwitchingKey, gal
 		// The key rows are only read: alias them instead of copying the
 		// whole switching key per digit.
 		kb := swk.B[d].RestrictView(ext)
-		ka := swk.A[d].RestrictView(ext)
-		if first {
-			ring.MulCoeffsPairInto(acc0, acc1, digit, kb, ka)
+		if swk.A[d] == nil {
+			// Seed-compressed key: the uniform A rows are regenerated from
+			// the digit's seed inside the fused dispatch, one residue row
+			// at a time — row content depends only on (seed, modulus), so
+			// the regenerated sub-basis matches the dense key's restricted
+			// rows bit for bit, and A never materializes.
+			if first {
+				ring.MulCoeffsPairIntoSeeded(acc0, acc1, digit, kb, swk.ASeeds[d])
+				first = false
+			} else {
+				ring.MulCoeffsPairAddSeeded(acc0, acc1, digit, kb, swk.ASeeds[d])
+			}
+		} else if first {
+			ring.MulCoeffsPairInto(acc0, acc1, digit, kb, swk.A[d].RestrictView(ext))
 			first = false
 		} else {
-			ring.MulCoeffsPairAdd(acc0, acc1, digit, kb, ka)
+			ring.MulCoeffsPairAdd(acc0, acc1, digit, kb, swk.A[d].RestrictView(ext))
 		}
 		if owned {
 			p.Ctx.PutPoly(digit)
@@ -745,17 +774,49 @@ func (ev *Evaluator) keySwitch(c2 *ring.Poly, swk *SwitchingKey) (*ring.Poly, *r
 // Rotations
 // ---------------------------------------------------------------------------
 
-// galoisKey fetches the switching key for galEl, mapping absence onto
-// the typed taxonomy.
-func (ev *Evaluator) galoisKey(op string, galEl uint64) (*SwitchingKey, error) {
+// noopRelease is the release function for keys served from the static
+// key set, which are never demoted or evicted.
+func noopRelease() {}
+
+// galoisKey fetches the switching key for galEl, pinned until release is
+// called. With a key manager it is generated/promoted on demand; from
+// the static key set absence maps onto the typed taxonomy.
+func (ev *Evaluator) galoisKey(op string, galEl uint64) (*SwitchingKey, func(), error) {
+	if ev.km != nil {
+		return ev.km.Acquire(op, galEl)
+	}
 	if ev.keys == nil {
-		return nil, fherr.Wrap(fherr.ErrMissingKey, "ckks: %s: no evaluation keys", op)
+		return nil, nil, fherr.Wrap(fherr.ErrMissingKey, "ckks: %s: no evaluation keys", op)
 	}
 	swk, ok := ev.keys.Galois[galEl]
 	if !ok {
-		return nil, fherr.Wrap(fherr.ErrMissingKey, "ckks: %s: no Galois key for element %d", op, galEl)
+		return nil, nil, fherr.Wrap(fherr.ErrMissingKey, "ckks: %s: no Galois key for element %d", op, galEl)
 	}
-	return swk, nil
+	return swk, noopRelease, nil
+}
+
+// relinKey fetches the relinearization key, pinned until release runs.
+func (ev *Evaluator) relinKey(op string) (*SwitchingKey, func(), error) {
+	if ev.km != nil {
+		return ev.km.Acquire(op, RelinKeyID)
+	}
+	if ev.keys == nil || ev.keys.Relin == nil {
+		return nil, nil, fherr.Wrap(fherr.ErrMissingKey, "ckks: %s: no relinearization key", op)
+	}
+	return ev.keys.Relin, noopRelease, nil
+}
+
+// PinGaloisKeys declares a plan's whole rotation-key demand up front:
+// with a key manager, every element in els is pinned resident until the
+// returned release runs, so a multi-keyswitch plan (BSGS transform,
+// hoisted rotation fan-out, pipeline stage) streams its working set in
+// once instead of thrashing the budget key by key. Without a manager it
+// is a no-op — static key sets are always resident.
+func (ev *Evaluator) PinGaloisKeys(op string, els []uint64) (func(), error) {
+	if ev.km == nil {
+		return noopRelease, nil
+	}
+	return ev.km.Pin(op, els)
 }
 
 // applyGalois maps both ciphertext polys through X -> X^galEl and switches
@@ -768,10 +829,11 @@ func (ev *Evaluator) galoisKey(op string, galEl uint64) (*SwitchingKey, error) {
 // permutation of evaluation points, and the keyswitch corrections come
 // back NTT-domain (NTT ModDown), so the fold is a single gather+add.
 func (ev *Evaluator) applyGalois(op string, ct *Ciphertext, galEl uint64) (*Ciphertext, error) {
-	swk, err := ev.galoisKey(op, galEl)
+	swk, releaseKey, err := ev.galoisKey(op, galEl)
 	if err != nil {
 		return nil, err
 	}
+	defer releaseKey()
 	if !ev.fused {
 		return ev.applyGaloisUnfused(ct, swk, galEl)
 	}
@@ -825,10 +887,11 @@ func (ev *Evaluator) Conjugate(ct *Ciphertext) (*Ciphertext, error) {
 // special-row INTTs and conversion-row NTTs.
 func (ev *Evaluator) rotateHoisted(hd *HoistedDecomp, steps int) (*Ciphertext, error) {
 	galEl := ring.GaloisElementForRotation(steps, ev.params.N())
-	swk, err := ev.galoisKey("RotateHoisted", galEl)
+	swk, releaseKey, err := ev.galoisKey("RotateHoisted", galEl)
 	if err != nil {
 		return nil, err
 	}
+	defer releaseKey()
 	if !ev.fused {
 		return ev.rotateHoistedUnfused(hd, swk, galEl)
 	}
@@ -882,7 +945,19 @@ func (ev *Evaluator) RotateHoisted(ct *Ciphertext, steps []int) ([]*Ciphertext, 
 
 	var hd *HoistedDecomp
 	if len(uniq) > 0 {
-		var err error
+		// Declare the whole rotation-key demand before the fan-out: with a
+		// key manager the working set is pinned resident across all the
+		// rotations instead of being acquired (and possibly evicted and
+		// regenerated) once per step.
+		els := make([]uint64, len(uniq))
+		for i, n := range uniq {
+			els[i] = ring.GaloisElementForRotation(n, ev.params.N())
+		}
+		releaseKeys, err := ev.PinGaloisKeys("RotateHoisted", els)
+		if err != nil {
+			return nil, err
+		}
+		defer releaseKeys()
 		hd, err = ev.DecomposeModUp(ct)
 		if err != nil {
 			return nil, err

@@ -1,0 +1,483 @@
+package ckks
+
+import (
+	"math/rand/v2"
+	"sync"
+	"testing"
+
+	"bitpacker/internal/core"
+	"bitpacker/internal/engine"
+	"bitpacker/internal/ring"
+)
+
+// Tests for the key-management subsystem: seed-compressed switching keys
+// must be bit-identical to dense ones through every keyswitch path, key
+// generation must be order-independent (the property lazy regeneration
+// leans on), and the budgeted LRU manager must respect pins, demote and
+// evict coldest-first, and survive concurrent acquirers under -race.
+
+// swkEqual compares two switching keys digit by digit: seeds, B halves,
+// and the A halves after decompressing both to dense form.
+func swkEqual(ctx *testSetup, x, y *SwitchingKey) bool {
+	if len(x.B) != len(y.B) {
+		return false
+	}
+	xc, yc := cloneKey(x), cloneKey(y)
+	xc.Decompress(ctx.params.Ctx)
+	yc.Decompress(ctx.params.Ctx)
+	for j := range xc.B {
+		if xc.ASeeds[j] != yc.ASeeds[j] || !xc.B[j].Equal(yc.B[j]) || !xc.A[j].Equal(yc.A[j]) {
+			return false
+		}
+	}
+	return true
+}
+
+// cloneKey copies the key's slices (sharing poly contents) so Compress
+// and Decompress on the clone leave the original untouched.
+func cloneKey(swk *SwitchingKey) *SwitchingKey {
+	return &SwitchingKey{
+		B:      append([]*ring.Poly(nil), swk.B...),
+		A:      append([]*ring.Poly(nil), swk.A...),
+		ASeeds: append([]ring.Seed(nil), swk.ASeeds...),
+	}
+}
+
+func TestKeygenOrderIndependent(t *testing.T) {
+	// The same key id must yield the same bits no matter what else has
+	// been generated before it — the property that makes cold-key
+	// regeneration (and GenRotationKeys' documented determinism) sound.
+	s := newTestSetup(t, core.BitPacker, 2, 40, 61, 8, 4, nil)
+	kgA := NewKeyGenerator(s.params, 11, 22)
+	kgB := NewKeyGenerator(s.params, 11, 22)
+	skA := kgA.GenSecretKey()
+	skB := kgB.GenSecretKey()
+	if !skA.S.Equal(skB.S) {
+		t.Fatal("secret keys from equal seeds differ")
+	}
+
+	// Generator A: relin first, then rotations 1, 3. Generator B: the
+	// reverse order, with an extra unrelated key interleaved.
+	n := s.params.N()
+	el1 := ring.GaloisElementForRotation(1, n)
+	el3 := ring.GaloisElementForRotation(3, n)
+	relA := kgA.GenRelinKey(skA)
+	rot1A := kgA.GenGaloisKey(skA, el1)
+	rot3A := kgA.GenGaloisKey(skA, el3)
+
+	rot3B := kgB.GenGaloisKey(skB, el3)
+	kgB.GenGaloisKey(skB, ring.GaloisElementForRotation(7, n)) // unrelated
+	relB := kgB.GenRelinKey(skB)
+	rot1B := kgB.GenGaloisKey(skB, el1)
+
+	for _, pair := range []struct {
+		name string
+		a, b *SwitchingKey
+	}{{"relin", relA, relB}, {"rot1", rot1A, rot1B}, {"rot3", rot3A, rot3B}} {
+		if !swkEqual(s, pair.a, pair.b) {
+			t.Fatalf("%s key depends on generation order", pair.name)
+		}
+	}
+}
+
+func TestGenRotationKeysConjDedup(t *testing.T) {
+	// A rotation whose Galois element coincides with the conjugation
+	// element must be generated once, and the whole set must match
+	// per-element generation.
+	s := newTestSetup(t, core.BitPacker, 2, 40, 61, 8, 4, nil)
+	n := s.params.N()
+	conjEl := ring.GaloisElementForConjugation(n)
+	// Find a rotation step mapping to the conjugation element, if any;
+	// regardless, passing conjugate=true twice over overlapping requests
+	// must still produce each element exactly once.
+	set := s.kg.GenRotationKeys(s.sk, []int{1, 2, 1, -1}, true)
+	want := map[uint64]bool{
+		ring.GaloisElementForRotation(1, n):  true,
+		ring.GaloisElementForRotation(2, n):  true,
+		ring.GaloisElementForRotation(-1, n): true,
+		conjEl:                               true,
+	}
+	if len(set) != len(want) {
+		t.Fatalf("got %d keys, want %d (duplicates not deduped)", len(set), len(want))
+	}
+	for el := range want {
+		one := s.kg.GenGaloisKey(s.sk, el)
+		if !swkEqual(s, set[el], one) {
+			t.Fatalf("batch-generated key %d differs from individually generated", el)
+		}
+	}
+}
+
+func TestCompressRoundTrip(t *testing.T) {
+	s := newTestSetup(t, core.BitPacker, 2, 40, 61, 8, 4, nil)
+	swk := s.kg.GenRelinKey(s.sk)
+	dense := cloneKey(swk)
+	denseBytes := swk.ResidentBytes()
+	swk.Compress()
+	if !swk.Compressed() {
+		t.Fatal("Compress left dense halves")
+	}
+	if got := swk.ResidentBytes(); got*2 != denseBytes {
+		t.Fatalf("compressed key holds %d bytes, want half of %d", got, denseBytes)
+	}
+	swk.Decompress(s.params.Ctx)
+	for j := range swk.A {
+		if !swk.A[j].Equal(dense.A[j]) {
+			t.Fatalf("digit %d: decompressed A differs from original", j)
+		}
+	}
+}
+
+// TestCompressedKeysDifferential: every keyswitch consumer must produce
+// bit-identical ciphertexts from seed-compressed keys — fused and staged,
+// workers 1 and 4, both schemes.
+func TestCompressedKeysDifferential(t *testing.T) {
+	for _, scheme := range []core.Scheme{core.BitPacker, core.RNSCKKS} {
+		s := newTestSetup(t, scheme, 4, 40, 61, 9, 8, []int{1, 3})
+		rng := rand.New(rand.NewPCG(301, 302))
+		a := s.encryptValues(randomValues(s.params.Slots(), rng))
+		b := s.encryptValues(randomValues(s.params.Slots(), rng))
+
+		// A twin evaluator over the same params whose keys are the same
+		// bits, seed-compressed.
+		ckg := NewKeyGenerator(s.params, 11, 22)
+		csk := ckg.GenSecretKey()
+		ckeys := &EvaluationKeySet{
+			Relin:  ckg.GenRelinKey(csk),
+			Galois: ckg.GenRotationKeys(csk, []int{1, 3}, true),
+		}
+		ckeys.Compress()
+		cev := NewEvaluator(s.params, ckeys)
+
+		ops := []struct {
+			name string
+			run  func(ev *Evaluator) *Ciphertext
+		}{
+			{"MulRelin", func(ev *Evaluator) *Ciphertext { return ev.MustMulRelin(a, b) }},
+			{"MulRescale", func(ev *Evaluator) *Ciphertext { return ev.MustMulRescale(a, b) }},
+			{"Rotate", func(ev *Evaluator) *Ciphertext { return ev.MustRotate(a, 3) }},
+			{"Conjugate", func(ev *Evaluator) *Ciphertext { return ev.MustConjugate(a) }},
+			{"RotateHoisted", func(ev *Evaluator) *Ciphertext { return ev.MustRotateHoisted(a, []int{1, 3})[1] }},
+		}
+		for _, workers := range []int{1, 4} {
+			for _, fused := range []bool{true, false} {
+				for _, op := range ops {
+					s.ev.SetFused(fused)
+					cev.SetFused(fused)
+					want := runWithWorkers(t, workers, func() *Ciphertext { return op.run(s.ev) })
+					got := runWithWorkers(t, workers, func() *Ciphertext { return op.run(cev) })
+					if !ctEqualNoise(got, want) {
+						t.Fatalf("%v workers=%d fused=%v: %s from compressed keys differs from dense",
+							scheme, workers, fused, op.name)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestKeyManagerDifferential: a budget small enough to force demotion and
+// eviction mid-pipeline must not change a single bit of the results.
+func TestKeyManagerDifferential(t *testing.T) {
+	for _, scheme := range []core.Scheme{core.BitPacker, core.RNSCKKS} {
+		s := newTestSetup(t, scheme, 4, 40, 61, 9, 8, []int{1, 2, 3})
+		rng := rand.New(rand.NewPCG(401, 402))
+		vals := randomValues(s.params.Slots(), rng)
+		a := s.encryptValues(vals)
+		b := s.encryptValues(randomValues(s.params.Slots(), rng))
+
+		oneKey := s.kg.GenRelinKey(s.sk).ResidentBytes()
+		kg := NewKeyGenerator(s.params, 11, 22)
+		sk := kg.GenSecretKey()
+
+		// Budget holds ~1.5 dense keys: every second acquisition evicts.
+		km := NewKeyManager(s.params, kg, sk, oneKey*3/2)
+		kev := NewEvaluator(s.params, nil)
+		kev.SetKeyManager(km)
+
+		pipeline := func(ev *Evaluator) *Ciphertext {
+			x := ev.MustRotate(a, 1)
+			x = ev.MustMulRescale(x, b)
+			x = ev.MustRotate(x, 2)
+			x = ev.MustAdd(x, ev.MustRotate(x, 3))
+			x = ev.MustConjugate(x)
+			outs := ev.MustRotateHoisted(x, []int{1, 2, 3})
+			return ev.MustMulRescale(outs[0], outs[2])
+		}
+		for _, workers := range []int{1, 4} {
+			want := runWithWorkers(t, workers, func() *Ciphertext { return pipeline(s.ev) })
+			got := runWithWorkers(t, workers, func() *Ciphertext { return pipeline(kev) })
+			if !ctEqualNoise(got, want) {
+				t.Fatalf("%v workers=%d: key-manager pipeline differs from static dense keys", scheme, workers)
+			}
+		}
+		st := km.Stats()
+		if st.KeyGens == 0 || st.Misses == 0 {
+			t.Fatalf("manager never generated: %+v", st)
+		}
+		if st.Demotions == 0 && st.Evictions == 0 {
+			t.Fatalf("budget %d never forced demotion/eviction: %+v", km.budget, st)
+		}
+		if st.ResidentBytes > st.PeakResidentBytes {
+			t.Fatalf("resident %d exceeds peak %d", st.ResidentBytes, st.PeakResidentBytes)
+		}
+	}
+}
+
+// TestKeyManagerLinearTransform: the BSGS transform pins its whole key
+// demand up front; under a budget smaller than the working set it must
+// still complete (soft budget) and match the static-keys result bit for
+// bit.
+func TestKeyManagerLinearTransform(t *testing.T) {
+	const dim = 8
+	rots := []int{1, 2, 3, 4, 5, 6, 7}
+	s := newTestSetup(t, core.BitPacker, 2, 40, 61, 9, 8, rots)
+	rng := rand.New(rand.NewPCG(501, 502))
+
+	mat := make([][]complex128, dim)
+	for i := range mat {
+		mat[i] = make([]complex128, dim)
+		for j := range mat[i] {
+			mat[i][j] = complex(2*rng.Float64()-1, 0)
+		}
+	}
+	lt, err := NewLinearTransform(s.params, s.enc, mat, s.params.MaxLevel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct := s.encryptValues(randomValues(s.params.Slots(), rng))
+
+	oneKey := s.kg.GenRelinKey(s.sk).ResidentBytes()
+	kg := NewKeyGenerator(s.params, 11, 22)
+	sk := kg.GenSecretKey()
+	km := NewKeyManager(s.params, kg, sk, oneKey*2) // far below the plan's demand
+	kev := NewEvaluator(s.params, nil)
+	kev.SetKeyManager(km)
+
+	want := s.ev.MustApplyLinearTransform(ct, lt)
+	got := kev.MustApplyLinearTransform(ct, lt)
+	if !ctEqualNoise(got, want) {
+		t.Fatal("key-manager BSGS transform differs from static dense keys")
+	}
+	st := km.Stats()
+	if st.PeakResidentBytes <= km.budget {
+		t.Fatalf("pinned plan should overshoot the soft budget: peak %d budget %d", st.PeakResidentBytes, km.budget)
+	}
+	if st.ResidentBytes > km.budget {
+		t.Fatalf("budget not enforced after release: resident %d budget %d", st.ResidentBytes, km.budget)
+	}
+}
+
+// TestKeyManagerBootstrapDifferential: a full Refresh served entirely by
+// lazy cache-managed keys must match the eager dense run bit for bit.
+func TestKeyManagerBootstrapDifferential(t *testing.T) {
+	const (
+		deg = 19
+		k   = 2
+	)
+	lvls := ChebyshevDepth(deg) + 4
+	targets := make([]float64, lvls+1)
+	for i := range targets {
+		targets[i] = 40
+	}
+	prog := core.ProgramSpec{MaxLevel: lvls, TargetScaleBits: targets, QMinBits: 48}
+	params, err := BuildParameters(core.BitPacker, prog, core.SecuritySpec{LogN: 8}, core.HWSpec{WordBits: 61}, 8, 3.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc := NewEncoder(params)
+	bs, err := NewBootstrapper(params, enc, BootstrapConfig{KRange: k, SineDegree: deg})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	kg := NewKeyGenerator(params, 101, 102)
+	sk := kg.GenSecretKeySparse(3)
+	pk := kg.GenPublicKey(sk)
+	keys := &EvaluationKeySet{
+		Relin:  kg.GenRelinKey(sk),
+		Galois: kg.GenRotationKeys(sk, bs.Rotations(), true),
+	}
+	ev := NewEvaluator(params, keys)
+
+	kg2 := NewKeyGenerator(params, 101, 102)
+	sk2 := kg2.GenSecretKeySparse(3)
+	km := NewKeyManager(params, kg2, sk2, keys.ResidentBytes()/4)
+	kev := NewEvaluator(params, nil)
+	kev.SetKeyManager(km)
+
+	encr := NewEncryptor(params, pk, 103, 104)
+	rng := rand.New(rand.NewPCG(105, 106))
+	vals := make([]complex128, params.Slots())
+	for i := range vals {
+		vals[i] = complex(rng.Float64()-0.5, rng.Float64()-0.5)
+	}
+	lvl := params.MaxLevel()
+	pt := &Plaintext{
+		Value: enc.MustEncode(vals, params.DefaultScale(lvl), params.LevelModuli(lvl)),
+		Level: lvl,
+		Scale: params.DefaultScale(lvl),
+	}
+	exhausted := ev.MustAdjustTo(encr.MustEncryptAtLevel(pt, lvl), 0)
+
+	want, err := bs.Refresh(ev, exhausted)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := bs.Refresh(kev, exhausted)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ctEqualNoise(got, want) {
+		t.Fatal("key-manager bootstrap differs from eager dense keys")
+	}
+	if st := km.Stats(); st.Evictions == 0 {
+		t.Fatalf("quarter-size budget never evicted during bootstrap: %+v", st)
+	}
+}
+
+// TestKeyManagerStatesAndPins drives the cache through its three states
+// and checks the pin contract directly.
+func TestKeyManagerStatesAndPins(t *testing.T) {
+	s := newTestSetup(t, core.BitPacker, 2, 40, 61, 8, 4, nil)
+	kg := NewKeyGenerator(s.params, 11, 22)
+	sk := kg.GenSecretKey()
+	oneKey := kg.GenRelinKey(sk).ResidentBytes()
+
+	km := NewKeyManager(s.params, kg, sk, oneKey*2)
+	n := s.params.N()
+	els := []uint64{
+		ring.GaloisElementForRotation(1, n),
+		ring.GaloisElementForRotation(2, n),
+		ring.GaloisElementForRotation(3, n),
+	}
+
+	// Fill past the budget: with room for two dense keys, the coldest
+	// key is demoted to compressed form, and further pressure evicts.
+	var rels []func()
+	for _, el := range els {
+		_, rel, err := km.Acquire("test", el)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rels = append(rels, rel)
+	}
+	st := km.Stats()
+	if st.ResidentBytes <= km.budget {
+		t.Fatalf("three pinned keys should overshoot: resident %d budget %d", st.ResidentBytes, km.budget)
+	}
+	if st.Demotions != 0 || st.Evictions != 0 {
+		t.Fatalf("pinned keys were demoted/evicted: %+v", st)
+	}
+	for _, rel := range rels {
+		rel()
+		rel() // idempotent
+	}
+	// Re-acquiring triggers enforcement on each call; after the churn
+	// the footprint must sit within budget once all pins are dropped.
+	_, rel, err := km.Acquire("test", els[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel()
+	st = km.Stats()
+	if st.ResidentBytes > km.budget {
+		t.Fatalf("unpinned footprint above budget: resident %d budget %d", st.ResidentBytes, km.budget)
+	}
+	if st.Demotions == 0 && st.Evictions == 0 {
+		t.Fatalf("pressure never reclaimed anything: %+v", st)
+	}
+
+	// A cold re-acquisition is a miss that regenerates bit-identical
+	// key material.
+	want := kg.GenGaloisKey(sk, els[1])
+	swk, rel2, err := km.Acquire("test", els[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !swkEqual(s, swk, want) {
+		t.Fatal("regenerated key differs from direct generation")
+	}
+	rel2()
+
+	// Unlimited budget: nothing is ever demoted or evicted.
+	km2 := NewKeyManager(s.params, kg, sk, 0)
+	for _, el := range els {
+		_, rel, err := km2.Acquire("test", el)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rel()
+	}
+	if st := km2.Stats(); st.Demotions != 0 || st.Evictions != 0 {
+		t.Fatalf("unlimited budget reclaimed keys: %+v", st)
+	}
+}
+
+// TestKeyManagerHammer exercises the manager from many goroutines with a
+// budget small enough that keys constantly bounce between all three
+// states. Run under -race (make race covers this package), and every
+// result is checked against a single-threaded reference.
+func TestKeyManagerHammer(t *testing.T) {
+	s := newTestSetup(t, core.BitPacker, 2, 40, 61, 8, 4, []int{1, 2, 3, 4})
+	rng := rand.New(rand.NewPCG(601, 602))
+	ct := s.encryptValues(randomValues(s.params.Slots(), rng))
+
+	refs := make([]*Ciphertext, 4)
+	for i := range refs {
+		refs[i] = s.ev.MustRotate(ct, i+1)
+	}
+
+	kg := NewKeyGenerator(s.params, 11, 22)
+	sk := kg.GenSecretKey()
+	oneKey := kg.GenRelinKey(sk).ResidentBytes()
+	// Room for three of the four keys dense: enough reuse for hits, with
+	// continuous demotion/eviction churn on the fourth.
+	km := NewKeyManager(s.params, kg, sk, oneKey*3)
+
+	const goroutines = 8
+	const iters = 12
+	errs := make(chan error, goroutines)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			// One evaluator per goroutine (evaluators are not themselves
+			// concurrent-safe); the manager is the shared object under test.
+			ev := NewEvaluator(s.params, nil)
+			ev.SetKeyManager(km)
+			for i := 0; i < iters; i++ {
+				step := (g+i)%4 + 1
+				got, err := ev.Rotate(ct, step)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if !ctEqualNoise(got, refs[step-1]) {
+					errs <- errRotateMismatch(step)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	st := km.Stats()
+	if st.Hits == 0 || st.KeyGens == 0 {
+		t.Fatalf("hammer exercised nothing: %+v", st)
+	}
+	if st.ResidentBytes > km.budget {
+		t.Fatalf("resident %d above budget %d after hammer", st.ResidentBytes, km.budget)
+	}
+}
+
+type errRotateMismatch int
+
+func (e errRotateMismatch) Error() string { return "concurrent rotate result differs from reference" }
+
+// Silence unused-import lint trickery for helper aliases below.
+var _ = engine.Workers

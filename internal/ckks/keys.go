@@ -2,9 +2,44 @@ package ckks
 
 import (
 	"math/big"
+	"sort"
 
 	"bitpacker/internal/ring"
 )
+
+// Key material is derived deterministically from the generator's master
+// seed through a per-key label path, never from a shared streaming PRNG:
+//
+//	secret        <- master / kindSecret
+//	pk            <- master / {kindPublicA, kindPublicErr}
+//	swk[id][j].A  <- master / kindSwkA   / id / j
+//	swk[id][j].e  <- master / kindSwkErr / id / j
+//
+// where id is the key's Galois element (RelinKeyID = 0 for the
+// relinearization key; Galois elements are odd and >= 3, so 0 never
+// collides). Two consequences the rest of the subsystem leans on:
+//
+//  1. Generation order is irrelevant: GenGaloisKey(sk, 5) returns the
+//     same bits whether it is the first or the fortieth key generated,
+//     so a key evicted to seed form can be regenerated bit-identically.
+//  2. The uniform A half is redundant given ASeeds: Compress() drops it
+//     and any consumer can rebuild exactly the rows it needs with
+//     ring.UniformRowFromSeed.
+
+// Seed-derivation kinds (first label of every path).
+const (
+	seedKindSecret uint64 = iota + 1
+	seedKindSecretSparse
+	seedKindPublicA
+	seedKindPublicErr
+	seedKindSwkA
+	seedKindSwkErr
+)
+
+// RelinKeyID is the key id the relinearization key uses in seed
+// derivation and in the key cache. Galois elements are always odd and
+// >= 3, so 0 is reserved.
+const RelinKeyID uint64 = 0
 
 // SecretKey holds the ternary secret s over the full key basis
 // (every chain modulus plus the specials), in the NTT domain.
@@ -13,16 +48,79 @@ type SecretKey struct {
 }
 
 // PublicKey is an encryption of zero: (b, a) = (-a*s + e, a) over the full
-// key basis, NTT domain.
+// key basis, NTT domain. ASeed regenerates A; after Compress, A is nil and
+// consumers rebuild it (or the sub-basis rows they need) from the seed.
 type PublicKey struct {
-	B, A *ring.Poly
+	B, A  *ring.Poly
+	ASeed ring.Seed
 }
+
+// Compress drops the dense uniform half; A stays recoverable via ASeed.
+func (pk *PublicKey) Compress() { pk.A = nil }
+
+// Compressed reports whether the dense A half has been dropped.
+func (pk *PublicKey) Compressed() bool { return pk.A == nil }
 
 // SwitchingKey re-encrypts the product with some s' (s^2 for
 // relinearization, phi_k(s) for rotations) under s. One (B, A) pair per
-// keyswitching digit, over the full key basis, NTT domain.
+// keyswitching digit, over the full key basis, NTT domain. ASeeds[j]
+// regenerates A[j]; after Compress, A[j] is nil and the keyswitch inner
+// product regenerates rows on the fly.
 type SwitchingKey struct {
-	B, A []*ring.Poly
+	B, A   []*ring.Poly
+	ASeeds []ring.Seed
+}
+
+// Compress drops the dense A halves, keeping only the per-digit seeds.
+func (swk *SwitchingKey) Compress() {
+	for j := range swk.A {
+		swk.A[j] = nil
+	}
+}
+
+// Compressed reports whether every dense A half has been dropped.
+func (swk *SwitchingKey) Compressed() bool {
+	for _, a := range swk.A {
+		if a != nil {
+			return false
+		}
+	}
+	return true
+}
+
+// Decompress rebuilds any dropped A halves from their seeds, over the
+// basis of the matching B digit — bit-identical to the originals.
+func (swk *SwitchingKey) Decompress(ctx *ring.Context) {
+	for j := range swk.A {
+		if swk.A[j] == nil {
+			swk.A[j] = ring.UniformPolyFromSeed(ctx, swk.B[j].Moduli, swk.ASeeds[j])
+		}
+	}
+}
+
+// ResidentBytes is the coefficient storage the key currently pins in
+// memory (B always, A only while materialized). Seeds and headers are
+// negligible and excluded.
+func (swk *SwitchingKey) ResidentBytes() int64 {
+	var total int64
+	for _, b := range swk.B {
+		total += polyBytes(b)
+	}
+	for _, a := range swk.A {
+		total += polyBytes(a)
+	}
+	return total
+}
+
+func polyBytes(p *ring.Poly) int64 {
+	if p == nil {
+		return 0
+	}
+	var n int64
+	for _, row := range p.Coeffs {
+		n += int64(len(row)) * 8
+	}
+	return n
 }
 
 // EvaluationKeySet is everything the evaluator may need.
@@ -31,23 +129,51 @@ type EvaluationKeySet struct {
 	Galois map[uint64]*SwitchingKey // by Galois element
 }
 
-// KeyGenerator derives all key material deterministically from a seed.
-type KeyGenerator struct {
-	params  *Parameters
-	sampler *ring.Sampler
+// Compress drops the dense A halves of every key in the set.
+func (ks *EvaluationKeySet) Compress() {
+	if ks.Relin != nil {
+		ks.Relin.Compress()
+	}
+	for _, swk := range ks.Galois {
+		swk.Compress()
+	}
 }
 
-// NewKeyGenerator creates a generator with the given seed.
-func NewKeyGenerator(params *Parameters, seed1, seed2 uint64) *KeyGenerator {
-	return &KeyGenerator{
-		params:  params,
-		sampler: ring.NewSampler(params.Ctx, seed1, seed2),
+// ResidentBytes totals the resident coefficient storage across the set.
+func (ks *EvaluationKeySet) ResidentBytes() int64 {
+	var total int64
+	if ks.Relin != nil {
+		total += ks.Relin.ResidentBytes()
 	}
+	for _, swk := range ks.Galois {
+		total += swk.ResidentBytes()
+	}
+	return total
+}
+
+// KeyGenerator derives all key material deterministically from a seed.
+// Every key gets its own derived PRNG stream, so keys are reproducible
+// individually and in any generation order.
+type KeyGenerator struct {
+	params *Parameters
+	master ring.Seed
+}
+
+// NewKeyGenerator creates a generator with the given 128-bit master seed.
+func NewKeyGenerator(params *Parameters, seed1, seed2 uint64) *KeyGenerator {
+	return &KeyGenerator{params: params, master: ring.Seed{seed1, seed2}}
+}
+
+// sampler returns a fresh sampler on the derived stream for the given
+// label path.
+func (kg *KeyGenerator) sampler(labels ...uint64) *ring.Sampler {
+	s := kg.master.Derive(labels...)
+	return ring.NewSampler(kg.params.Ctx, s[0], s[1])
 }
 
 // GenSecretKey samples a uniform-ternary secret.
 func (kg *KeyGenerator) GenSecretKey() *SecretKey {
-	s := kg.sampler.TernaryPoly(kg.params.KeyBasis())
+	s := kg.sampler(seedKindSecret).TernaryPoly(kg.params.KeyBasis())
 	s.NTT()
 	return &SecretKey{S: s}
 }
@@ -55,15 +181,16 @@ func (kg *KeyGenerator) GenSecretKey() *SecretKey {
 // GenPublicKey samples a fresh public key for sk.
 func (kg *KeyGenerator) GenPublicKey(sk *SecretKey) *PublicKey {
 	basis := kg.params.KeyBasis()
-	a := kg.sampler.UniformPoly(basis)
-	e := kg.sampler.GaussianPoly(basis, kg.params.Sigma)
+	aSeed := kg.master.Derive(seedKindPublicA)
+	a := ring.UniformPolyFromSeed(kg.params.Ctx, basis, aSeed)
+	e := kg.sampler(seedKindPublicErr).GaussianPoly(basis, kg.params.Sigma)
 	e.NTT()
 	b := ring.NewPoly(kg.params.Ctx, basis)
 	b.IsNTT = true
 	b.MulCoeffs(a, sk.S)
 	b.Neg(b)
 	b.Add(b, e)
-	return &PublicKey{B: b, A: a}
+	return &PublicKey{B: b, A: a, ASeed: aSeed}
 }
 
 // gadget returns g_j for digit j: P * Uhat_j * [Uhat_j^{-1}]_{U_j}, where
@@ -94,17 +221,22 @@ func (kg *KeyGenerator) gadget(digit int) *big.Int {
 }
 
 // GenSwitchingKey builds the key switching sPrime -> sk (both NTT domain
-// over the full key basis).
-func (kg *KeyGenerator) GenSwitchingKey(sk *SecretKey, sPrime *ring.Poly) *SwitchingKey {
+// over the full key basis). id is the key's identity in the seed
+// derivation — the Galois element for rotation keys, RelinKeyID for the
+// relinearization key — so regenerating the same id reproduces the same
+// key bits regardless of what else has been generated.
+func (kg *KeyGenerator) GenSwitchingKey(sk *SecretKey, sPrime *ring.Poly, id uint64) *SwitchingKey {
 	p := kg.params
 	basis := p.KeyBasis()
 	swk := &SwitchingKey{
-		B: make([]*ring.Poly, p.Dnum),
-		A: make([]*ring.Poly, p.Dnum),
+		B:      make([]*ring.Poly, p.Dnum),
+		A:      make([]*ring.Poly, p.Dnum),
+		ASeeds: make([]ring.Seed, p.Dnum),
 	}
 	for j := 0; j < p.Dnum; j++ {
-		a := kg.sampler.UniformPoly(basis)
-		e := kg.sampler.GaussianPoly(basis, p.Sigma)
+		aSeed := kg.master.Derive(seedKindSwkA, id, uint64(j))
+		a := ring.UniformPolyFromSeed(p.Ctx, basis, aSeed)
+		e := kg.sampler(seedKindSwkErr, id, uint64(j)).GaussianPoly(basis, p.Sigma)
 		e.NTT()
 		// b = -a*s + e + g_j * s'
 		b := ring.NewPoly(p.Ctx, basis)
@@ -118,6 +250,7 @@ func (kg *KeyGenerator) GenSwitchingKey(sk *SecretKey, sPrime *ring.Poly) *Switc
 		b.Add(b, gs)
 		swk.B[j] = b
 		swk.A[j] = a
+		swk.ASeeds[j] = aSeed
 	}
 	return swk
 }
@@ -127,7 +260,7 @@ func (kg *KeyGenerator) GenRelinKey(sk *SecretKey) *SwitchingKey {
 	s2 := ring.NewPoly(kg.params.Ctx, kg.params.KeyBasis())
 	s2.IsNTT = true
 	s2.MulCoeffs(sk.S, sk.S)
-	return kg.GenSwitchingKey(sk, s2)
+	return kg.GenSwitchingKey(sk, s2, RelinKeyID)
 }
 
 // GenGaloisKey builds the phi_k(s) -> s switching key for Galois element k.
@@ -136,22 +269,31 @@ func (kg *KeyGenerator) GenGaloisKey(sk *SecretKey, galEl uint64) *SwitchingKey 
 	s.INTT()
 	sk2 := s.Automorphism(galEl)
 	sk2.NTT()
-	return kg.GenSwitchingKey(sk, sk2)
+	return kg.GenSwitchingKey(sk, sk2, galEl)
 }
 
 // GenRotationKeys builds Galois keys for the given slot rotations and,
-// optionally, conjugation.
+// optionally, conjugation. Each distinct Galois element is generated
+// exactly once — the conjugation element is skipped if a rotation already
+// produced it — and generation proceeds in ascending element order.
+// Because every key draws from its own derived stream, the resulting keys
+// are identical for any call pattern that requests the same elements.
 func (kg *KeyGenerator) GenRotationKeys(sk *SecretKey, rotations []int, conjugate bool) map[uint64]*SwitchingKey {
-	out := map[uint64]*SwitchingKey{}
 	n := kg.params.N()
+	want := map[uint64]bool{}
 	for _, r := range rotations {
-		el := ring.GaloisElementForRotation(r, n)
-		if _, ok := out[el]; !ok {
-			out[el] = kg.GenGaloisKey(sk, el)
-		}
+		want[ring.GaloisElementForRotation(r, n)] = true
 	}
 	if conjugate {
-		el := ring.GaloisElementForConjugation(n)
+		want[ring.GaloisElementForConjugation(n)] = true
+	}
+	els := make([]uint64, 0, len(want))
+	for el := range want {
+		els = append(els, el)
+	}
+	sort.Slice(els, func(i, j int) bool { return els[i] < els[j] })
+	out := make(map[uint64]*SwitchingKey, len(els))
+	for _, el := range els {
 		out[el] = kg.GenGaloisKey(sk, el)
 	}
 	return out
@@ -161,7 +303,7 @@ func (kg *KeyGenerator) GenRotationKeys(sk *SecretKey, rotations []int, conjugat
 // ternary), the distribution bootstrapping uses so the ModRaise overflow
 // I(X) stays within the sine approximation's range.
 func (kg *KeyGenerator) GenSecretKeySparse(h int) *SecretKey {
-	s := kg.sampler.SparseTernaryPoly(kg.params.KeyBasis(), h)
+	s := kg.sampler(seedKindSecretSparse, uint64(h)).SparseTernaryPoly(kg.params.KeyBasis(), h)
 	s.NTT()
 	return &SecretKey{S: s}
 }

@@ -1,0 +1,279 @@
+package ckks
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"bitpacker/internal/ring"
+)
+
+// Binary serialization for switching keys and evaluation key sets.
+// Switching-key format (little-endian):
+//
+//	magic "BPSK" | version u8 | flags u8 | dnum u32 | R u32 | N u32
+//	basis [R]u64
+//	per digit: aseed [2]u64 | B rows [R][N]u64 | A rows [R][N]u64 (dense only)
+//
+// flags bit0 set = seed-compressed: the dense A halves are omitted and
+// the decoder restores a compressed key whose A rows regenerate from the
+// per-digit seeds (bit-identical to the dense original — the seeds ARE
+// the A halves). A key is serialized compressed iff every digit's A is
+// dropped; a fully dense key round-trips dense. Keys in a mixed state
+// (some digits materialized) serialize compressed — the materialized rows
+// are redundant with the seeds, never information.
+//
+// Key-set format:
+//
+//	magic "BPKS" | version u8 | flags u8 | count u32
+//	flags bit0 set: relin key as len u32 | switching-key blob
+//	per Galois key, ascending element order: element u64 | len u32 | blob
+const (
+	swkMagic = "BPSK"
+	ksMagic  = "BPKS"
+
+	keySerialVersion = 1
+
+	swkFlagCompressed = 1 << 0
+	ksFlagHasRelin    = 1 << 0
+)
+
+// MarshalBinary encodes the switching key. Fully dense keys carry their A
+// halves verbatim; anything else serializes seed-compressed (about half
+// the bytes), which loses no information.
+func (swk *SwitchingKey) MarshalBinary() ([]byte, error) {
+	dnum := len(swk.B)
+	if dnum == 0 || len(swk.A) != dnum || len(swk.ASeeds) != dnum {
+		return nil, fmt.Errorf("ckks: marshal of malformed switching key")
+	}
+	dense := true
+	for _, a := range swk.A {
+		if a == nil {
+			dense = false
+			break
+		}
+	}
+	basis := swk.B[0].Moduli
+	r := len(basis)
+	n := swk.B[0].N()
+	for j := 0; j < dnum; j++ {
+		if !sameModuli(swk.B[j].Moduli, basis) || (dense && !sameModuli(swk.A[j].Moduli, basis)) {
+			return nil, fmt.Errorf("ckks: switching-key digits disagree on basis")
+		}
+	}
+	rows := 1
+	flags := byte(swkFlagCompressed)
+	if dense {
+		rows = 2
+		flags = 0
+	}
+	size := 4 + 1 + 1 + 4 + 4 + 4 + 8*r + dnum*(16+rows*8*r*n)
+	out := make([]byte, 0, size)
+	out = append(out, swkMagic...)
+	out = append(out, keySerialVersion, flags)
+	out = binary.LittleEndian.AppendUint32(out, uint32(dnum))
+	out = binary.LittleEndian.AppendUint32(out, uint32(r))
+	out = binary.LittleEndian.AppendUint32(out, uint32(n))
+	for _, q := range basis {
+		out = binary.LittleEndian.AppendUint64(out, q)
+	}
+	for j := 0; j < dnum; j++ {
+		out = binary.LittleEndian.AppendUint64(out, swk.ASeeds[j][0])
+		out = binary.LittleEndian.AppendUint64(out, swk.ASeeds[j][1])
+		out = appendPolyRows(out, swk.B[j])
+		if dense {
+			out = appendPolyRows(out, swk.A[j])
+		}
+	}
+	return out, nil
+}
+
+func appendPolyRows(out []byte, p *ring.Poly) []byte {
+	for _, row := range p.Coeffs {
+		for _, c := range row {
+			out = binary.LittleEndian.AppendUint64(out, c)
+		}
+	}
+	return out
+}
+
+// UnmarshalSwitchingKey decodes a switching key serialized by
+// MarshalBinary, validating the basis against the parameters' key basis.
+// Compressed blobs yield a compressed key (A halves nil, regenerable from
+// the carried seeds via Decompress or on the fly in the keyswitch).
+func UnmarshalSwitchingKey(params *Parameters, data []byte) (*SwitchingKey, error) {
+	rd := reader{buf: data}
+	swk, err := readSwitchingKey(params, &rd)
+	if err != nil {
+		return nil, err
+	}
+	if len(rd.buf) != rd.off {
+		return nil, fmt.Errorf("ckks: %d trailing bytes", len(rd.buf)-rd.off)
+	}
+	return swk, nil
+}
+
+func readSwitchingKey(params *Parameters, rd *reader) (*SwitchingKey, error) {
+	if string(rd.take(4)) != swkMagic {
+		return nil, fmt.Errorf("ckks: bad switching-key magic")
+	}
+	if v := rd.u8(); v != keySerialVersion {
+		return nil, fmt.Errorf("ckks: unsupported switching-key version %d", v)
+	}
+	flags := rd.u8()
+	dense := flags&swkFlagCompressed == 0
+	dnum := int(rd.u32())
+	r := int(rd.u32())
+	n := int(rd.u32())
+	if rd.err != nil {
+		return nil, rd.err
+	}
+	if n != params.N() {
+		return nil, fmt.Errorf("ckks: ring degree %d does not match parameters (%d)", n, params.N())
+	}
+	if dnum != params.Dnum {
+		return nil, fmt.Errorf("ckks: digit count %d does not match parameters (%d)", dnum, params.Dnum)
+	}
+	basis := params.KeyBasis()
+	if r != len(basis) {
+		return nil, fmt.Errorf("ckks: key basis has %d residues, parameters expect %d", r, len(basis))
+	}
+	for i, q := range basis {
+		if rd.u64() != q {
+			return nil, fmt.Errorf("ckks: key-basis modulus %d mismatch", i)
+		}
+	}
+	swk := &SwitchingKey{
+		B:      make([]*ring.Poly, dnum),
+		A:      make([]*ring.Poly, dnum),
+		ASeeds: make([]ring.Seed, dnum),
+	}
+	for j := 0; j < dnum; j++ {
+		swk.ASeeds[j] = ring.Seed{rd.u64(), rd.u64()}
+		b, err := readPolyRows(params, basis, rd)
+		if err != nil {
+			return nil, err
+		}
+		swk.B[j] = b
+		if dense {
+			a, err := readPolyRows(params, basis, rd)
+			if err != nil {
+				return nil, err
+			}
+			swk.A[j] = a
+		}
+	}
+	if rd.err != nil {
+		return nil, rd.err
+	}
+	return swk, nil
+}
+
+func readPolyRows(params *Parameters, basis []uint64, rd *reader) (*ring.Poly, error) {
+	p := ring.NewPoly(params.Ctx, basis)
+	p.IsNTT = true
+	n := params.N()
+	for i, q := range basis {
+		for k := 0; k < n; k++ {
+			c := rd.u64()
+			if c >= q {
+				if rd.err != nil {
+					return nil, rd.err
+				}
+				return nil, fmt.Errorf("ckks: key residue out of range")
+			}
+			p.Coeffs[i][k] = c
+		}
+	}
+	return p, nil
+}
+
+// MarshalBinary encodes the evaluation key set. Galois keys are written
+// in ascending element order, so equal sets serialize byte-identically.
+func (ks *EvaluationKeySet) MarshalBinary() ([]byte, error) {
+	var flags byte
+	if ks.Relin != nil {
+		flags |= ksFlagHasRelin
+	}
+	els := make([]uint64, 0, len(ks.Galois))
+	for el := range ks.Galois {
+		els = append(els, el)
+	}
+	for i := 1; i < len(els); i++ { // insertion sort: tiny n, no extra import
+		for j := i; j > 0 && els[j-1] > els[j]; j-- {
+			els[j-1], els[j] = els[j], els[j-1]
+		}
+	}
+	out := make([]byte, 0, 64)
+	out = append(out, ksMagic...)
+	out = append(out, keySerialVersion, flags)
+	out = binary.LittleEndian.AppendUint32(out, uint32(len(els)))
+	if ks.Relin != nil {
+		blob, err := ks.Relin.MarshalBinary()
+		if err != nil {
+			return nil, err
+		}
+		out = binary.LittleEndian.AppendUint32(out, uint32(len(blob)))
+		out = append(out, blob...)
+	}
+	for _, el := range els {
+		blob, err := ks.Galois[el].MarshalBinary()
+		if err != nil {
+			return nil, fmt.Errorf("ckks: galois key %d: %w", el, err)
+		}
+		out = binary.LittleEndian.AppendUint64(out, el)
+		out = binary.LittleEndian.AppendUint32(out, uint32(len(blob)))
+		out = append(out, blob...)
+	}
+	return out, nil
+}
+
+// UnmarshalEvaluationKeySet decodes a key set serialized by MarshalBinary.
+func UnmarshalEvaluationKeySet(params *Parameters, data []byte) (*EvaluationKeySet, error) {
+	rd := reader{buf: data}
+	if string(rd.take(4)) != ksMagic {
+		return nil, fmt.Errorf("ckks: bad key-set magic")
+	}
+	if v := rd.u8(); v != keySerialVersion {
+		return nil, fmt.Errorf("ckks: unsupported key-set version %d", v)
+	}
+	flags := rd.u8()
+	count := int(rd.u32())
+	if rd.err != nil {
+		return nil, rd.err
+	}
+	if count < 0 || count > 1<<20 {
+		return nil, fmt.Errorf("ckks: implausible galois key count %d", count)
+	}
+	ks := &EvaluationKeySet{Galois: make(map[uint64]*SwitchingKey, count)}
+	if flags&ksFlagHasRelin != 0 {
+		swk, err := UnmarshalSwitchingKey(params, rd.take(int(rd.u32())))
+		if err != nil {
+			if rd.err != nil {
+				return nil, rd.err
+			}
+			return nil, fmt.Errorf("ckks: relin key: %w", err)
+		}
+		ks.Relin = swk
+	}
+	for i := 0; i < count; i++ {
+		el := rd.u64()
+		swk, err := UnmarshalSwitchingKey(params, rd.take(int(rd.u32())))
+		if err != nil {
+			if rd.err != nil {
+				return nil, rd.err
+			}
+			return nil, fmt.Errorf("ckks: galois key %d: %w", el, err)
+		}
+		if _, dup := ks.Galois[el]; dup {
+			return nil, fmt.Errorf("ckks: duplicate galois key %d", el)
+		}
+		ks.Galois[el] = swk
+	}
+	if rd.err != nil {
+		return nil, rd.err
+	}
+	if len(rd.buf) != rd.off {
+		return nil, fmt.Errorf("ckks: %d trailing bytes", len(rd.buf)-rd.off)
+	}
+	return ks, nil
+}

@@ -1,0 +1,201 @@
+package ckks
+
+import (
+	"bytes"
+	"testing"
+
+	"bitpacker/internal/core"
+	"bitpacker/internal/ring"
+)
+
+func TestSwitchingKeySerialDense(t *testing.T) {
+	s := newTestSetup(t, core.BitPacker, 2, 40, 61, 8, 4, nil)
+	swk := s.kg.GenRelinKey(s.sk)
+	blob, err := swk.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := UnmarshalSwitchingKey(s.params, blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Compressed() {
+		t.Fatal("dense key decoded compressed")
+	}
+	if !swkEqual(s, got, swk) {
+		t.Fatal("dense round trip changed the key")
+	}
+}
+
+func TestSwitchingKeySerialCompressed(t *testing.T) {
+	s := newTestSetup(t, core.BitPacker, 2, 40, 61, 8, 4, nil)
+	dense := s.kg.GenRelinKey(s.sk)
+	denseBlob, err := dense.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	comp := cloneKey(dense)
+	comp.Compress()
+	blob, err := comp.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(blob) > len(denseBlob)*55/100 {
+		t.Fatalf("compressed blob %d bytes not ~half of dense %d", len(blob), len(denseBlob))
+	}
+	got, err := UnmarshalSwitchingKey(s.params, blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Compressed() {
+		t.Fatal("compressed key decoded dense")
+	}
+	// The seeds are the A halves: decompressing must reproduce the dense
+	// original bit for bit.
+	if !swkEqual(s, got, dense) {
+		t.Fatal("compressed round trip lost key material")
+	}
+
+	// A partially materialized key serializes compressed too (the dense
+	// rows are redundant with the seeds).
+	partial := cloneKey(dense)
+	partial.A[0] = nil
+	pblob, err := partial.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(pblob, blob) {
+		t.Fatal("partially materialized key did not serialize as compressed")
+	}
+}
+
+func TestEvaluationKeySetSerial(t *testing.T) {
+	s := newTestSetup(t, core.BitPacker, 2, 40, 61, 8, 4, nil)
+	ks := &EvaluationKeySet{
+		Relin:  s.kg.GenRelinKey(s.sk),
+		Galois: s.kg.GenRotationKeys(s.sk, []int{1, 3, -2}, true),
+	}
+	blob, err := ks.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Deterministic: equal sets serialize byte-identically regardless of
+	// map iteration order.
+	blob2, err := ks.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(blob, blob2) {
+		t.Fatal("key-set serialization is not deterministic")
+	}
+	got, err := UnmarshalEvaluationKeySet(s.params, blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !swkEqual(s, got.Relin, ks.Relin) {
+		t.Fatal("relin key changed in round trip")
+	}
+	if len(got.Galois) != len(ks.Galois) {
+		t.Fatalf("got %d galois keys, want %d", len(got.Galois), len(ks.Galois))
+	}
+	for el, want := range ks.Galois {
+		if !swkEqual(s, got.Galois[el], want) {
+			t.Fatalf("galois key %d changed in round trip", el)
+		}
+	}
+
+	// Compressed set round-trips and still decompresses to the same bits.
+	ks.Compress()
+	cblob, err := ks.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cblob) >= len(blob) {
+		t.Fatal("compressed set not smaller than dense set")
+	}
+	cgot, err := UnmarshalEvaluationKeySet(s.params, cblob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for el, want := range ks.Galois {
+		if !swkEqual(s, cgot.Galois[el], want) {
+			t.Fatalf("compressed galois key %d changed in round trip", el)
+		}
+	}
+
+	// No relin: flag round-trips.
+	noRelin := &EvaluationKeySet{Galois: ks.Galois}
+	nblob, err := noRelin.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ngot, err := UnmarshalEvaluationKeySet(s.params, nblob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ngot.Relin != nil {
+		t.Fatal("relin key appeared from nowhere")
+	}
+}
+
+func TestKeySerialErrors(t *testing.T) {
+	s := newTestSetup(t, core.BitPacker, 2, 40, 61, 8, 4, nil)
+	swk := s.kg.GenRelinKey(s.sk)
+	blob, err := swk.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := UnmarshalSwitchingKey(s.params, []byte("XXXX")); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+	if _, err := UnmarshalSwitchingKey(s.params, blob[:len(blob)/2]); err == nil {
+		t.Fatal("truncated blob accepted")
+	}
+	if _, err := UnmarshalSwitchingKey(s.params, append(append([]byte(nil), blob...), 0)); err == nil {
+		t.Fatal("trailing bytes accepted")
+	}
+	bad := append([]byte(nil), blob...)
+	bad[4] = 99 // version
+	if _, err := UnmarshalSwitchingKey(s.params, bad); err == nil {
+		t.Fatal("unknown version accepted")
+	}
+	// Out-of-range residue: set a coefficient word to an impossible value.
+	bad = append([]byte(nil), blob...)
+	off := len(bad) - 8
+	for i := 0; i < 8; i++ {
+		bad[off+i] = 0xff
+	}
+	if _, err := UnmarshalSwitchingKey(s.params, bad); err == nil {
+		t.Fatal("out-of-range residue accepted")
+	}
+	// Wrong parameters (different dnum → different digit count).
+	other := newTestSetup(t, core.BitPacker, 2, 40, 61, 8, 2, nil)
+	if _, err := UnmarshalSwitchingKey(other.params, blob); err == nil {
+		t.Fatal("key accepted under mismatched parameters")
+	}
+
+	// Malformed key refuses to marshal.
+	if _, err := (&SwitchingKey{}).MarshalBinary(); err == nil {
+		t.Fatal("empty key marshaled")
+	}
+	mixed := cloneKey(swk)
+	mixed.B[0] = ring.NewPoly(s.params.Ctx, s.params.KeyBasis()[:1])
+	if _, err := mixed.MarshalBinary(); err == nil {
+		t.Fatal("basis-mismatched key marshaled")
+	}
+
+	// Key-set errors.
+	ks := &EvaluationKeySet{Relin: swk, Galois: map[uint64]*SwitchingKey{}}
+	ksBlob, err := ks.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := UnmarshalEvaluationKeySet(s.params, ksBlob[:8]); err == nil {
+		t.Fatal("truncated key set accepted")
+	}
+	if _, err := UnmarshalEvaluationKeySet(s.params, []byte("YYYYYY")); err == nil {
+		t.Fatal("bad key-set magic accepted")
+	}
+}

@@ -221,9 +221,11 @@ func (ev *Evaluator) MulRescale(a, b *Ciphertext) (*Ciphertext, error) {
 	if err := checkCompatible("MulRelin", a, b); err != nil {
 		return nil, err
 	}
-	if ev.keys == nil || ev.keys.Relin == nil {
-		return nil, fherr.Wrap(fherr.ErrMissingKey, "ckks: MulRelin: no relinearization key")
+	rlk, releaseKey, err := ev.relinKey("MulRelin")
+	if err != nil {
+		return nil, err
 	}
+	defer releaseKey()
 	p := ev.params
 	ctx := p.Ctx
 	moduli := a.C0.Moduli
@@ -238,7 +240,7 @@ func (ev *Evaluator) MulRescale(a, b *Ciphertext) (*Ciphertext, error) {
 
 	hd := ev.decomposePoly(d2)
 	ctx.PutPoly(d2)
-	ks0, ks1 := ev.keySwitchFused(hd, ev.keys.Relin, 1, false)
+	ks0, ks1 := ev.keySwitchFused(hd, rlk, 1, false)
 	hd.Free(ctx)
 
 	scale := new(big.Rat).Mul(a.Scale, b.Scale)

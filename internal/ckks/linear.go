@@ -74,6 +74,18 @@ func (lt *LinearTransform) Rotations() []int {
 	return out
 }
 
+// GaloisElements returns the Galois elements the transform's evaluation
+// path touches, in the same deterministic order as Rotations() — the
+// plan-wide key demand a key manager pins before evaluation begins.
+func (lt *LinearTransform) GaloisElements(n int) []uint64 {
+	rots := lt.Rotations()
+	els := make([]uint64, len(rots))
+	for i, r := range rots {
+		els[i] = ring.GaloisElementForRotation(r, n)
+	}
+	return els
+}
+
 // RotationsNaive returns the rotation amounts the per-diagonal reference
 // path (ApplyLinearTransformNaive) needs, in ascending order.
 func (lt *LinearTransform) RotationsNaive() []int {
@@ -303,6 +315,15 @@ func (ev *Evaluator) ApplyLinearTransform(ct *Ciphertext, lt *LinearTransform) (
 	if len(lt.Diags) == 0 {
 		return ev.zeroTransformResult(ct, lt), nil
 	}
+	// Declare the plan's whole key demand up front: with a key manager
+	// the transform's rotation keys are pinned resident for the duration
+	// of the evaluation, so the per-giant keyswitches hit a stable
+	// working set instead of re-streaming keys mid-plan.
+	releaseKeys, err := ev.PinGaloisKeys("ApplyLinearTransform", lt.GaloisElements(ev.params.N()))
+	if err != nil {
+		return nil, err
+	}
+	defer releaseKeys()
 	if lt.N1 != 0 {
 		return ev.applyLinearTransformBSGS(ct, lt)
 	}
@@ -531,13 +552,14 @@ func (ev *Evaluator) applyLinearTransformBSGS(ct *Ciphertext, lt *LinearTransfor
 			return
 		}
 		galEl := ring.GaloisElementForRotation(g, p.N())
-		swk, err := ev.galoisKey("ApplyLinearTransform", galEl)
+		swk, releaseKey, err := ev.galoisKey("ApplyLinearTransform", galEl)
 		if err != nil {
 			p.Ctx.PutPoly(acc0)
 			p.Ctx.PutPoly(acc1)
 			errs[gi] = err
 			return
 		}
+		defer releaseKey()
 		hd := ev.decomposePoly(acc1)
 		var e0, e1, c0p *ring.Poly
 		if ev.fused {
@@ -583,7 +605,7 @@ func (ev *Evaluator) applyLinearTransformBSGS(ct *Ciphertext, lt *LinearTransfor
 	// giant order (exact mod-q adds), divide by P once, then fold in
 	// giant 0's unrotated accumulator.
 	var ext0, ext1, c0sum *ring.Poly // ownership taken from the first nonzero giant
-	var out0, out1 *ring.Poly       // giant 0's contribution (live basis)
+	var out0, out1 *ring.Poly        // giant 0's contribution (live basis)
 	for gi := range giants {
 		part := parts[gi]
 		if part.acc0 != nil {

@@ -62,9 +62,18 @@ func (ev *Evaluator) keySwitchExtUnfused(hd *HoistedDecomp, swk *SwitchingKey, g
 		// The key rows are only read: alias them instead of copying the
 		// whole switching key per digit.
 		kb := swk.B[d].RestrictView(ext)
-		ka := swk.A[d].RestrictView(ext)
 		acc0.MulCoeffsAdd(digit, kb)
-		acc1.MulCoeffsAdd(digit, ka)
+		if swk.A[d] == nil {
+			// Seed-compressed key: materialize the needed A rows from the
+			// digit's seed into pooled scratch for this one pass. Row
+			// content depends only on (seed, modulus), so the values match
+			// the dense key's restricted rows bit for bit.
+			ka := ring.GetUniformPolyFromSeed(p.Ctx, ext, swk.ASeeds[d])
+			acc1.MulCoeffsAdd(digit, ka)
+			p.Ctx.PutPoly(ka)
+		} else {
+			acc1.MulCoeffsAdd(digit, swk.A[d].RestrictView(ext))
+		}
 		p.Ctx.PutPoly(digit)
 	}
 	return acc0, acc1

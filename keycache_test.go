@@ -1,0 +1,224 @@
+package bitpacker
+
+import (
+	"errors"
+	"math/rand/v2"
+	"testing"
+	"time"
+
+	"bitpacker/internal/chaos"
+)
+
+// End-to-end tests for the key-management configuration surface:
+// Config.CompressKeys and Config.KeyCacheBytes must be pure memory knobs
+// — every result bit-identical to the default eager dense path — and the
+// cache must compose with the recovery ladder (a fault injected during
+// seed regeneration of a key's A half heals via Config.Retry).
+
+func keyCfg(scheme Scheme, rotations []int) Config {
+	return Config{
+		Scheme:    scheme,
+		LogN:      9,
+		Levels:    3,
+		ScaleBits: 40,
+		WordBits:  61,
+		Rotations: rotations,
+	}
+}
+
+// slotsEqual requires exact (bit-level) agreement of decrypted slots —
+// the decryption of bit-identical ciphertexts.
+func slotsEqual(t *testing.T, label string, got, want []complex128) {
+	t.Helper()
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("%s: slot %d differs: %v vs %v", label, i, got[i], want[i])
+		}
+	}
+}
+
+func keyPipeline(c *Context, a, b *Ciphertext) []complex128 {
+	x := c.MustRotate(a, 1)
+	x = c.MustMulRescale(x, b)
+	x = c.MustAdd(x, c.MustRotate(x, 3))
+	outs := c.MustRotateHoisted(x, []int{1, 3})
+	return c.MustDecrypt(c.MustMulRescale(outs[0], outs[1]))
+}
+
+func TestCompressKeysDifferentialE2E(t *testing.T) {
+	for _, scheme := range []Scheme{RNSCKKS, BitPacker} {
+		dense, err := New(keyCfg(scheme, []int{1, 3}))
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := keyCfg(scheme, []int{1, 3})
+		cfg.CompressKeys = true
+		comp, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if db, cb := dense.ResidentKeyBytes(), comp.ResidentKeyBytes(); cb*2 != db {
+			t.Fatalf("%v: CompressKeys resident %d, want half of dense %d", scheme, cb, db)
+		}
+		if _, ok := comp.KeyCacheStats(); ok {
+			t.Fatalf("%v: CompressKeys alone should not report a cache", scheme)
+		}
+
+		rng := rand.New(rand.NewPCG(31, 32))
+		va := randComplex(dense.Slots(), rng)
+		vb := randComplex(dense.Slots(), rng)
+		want := keyPipeline(dense, dense.MustEncrypt(va), dense.MustEncrypt(vb))
+		got := keyPipeline(comp, comp.MustEncrypt(va), comp.MustEncrypt(vb))
+		slotsEqual(t, "compressed keys", got, want)
+	}
+}
+
+func TestKeyCacheDifferentialE2E(t *testing.T) {
+	for _, scheme := range []Scheme{RNSCKKS, BitPacker} {
+		dense, err := New(keyCfg(scheme, []int{1, 3}))
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Budget ~1.5 dense keys: the pipeline's four keys (relin plus
+		// three rotations) constantly displace each other.
+		cfg := keyCfg(scheme, nil) // rotations on demand — no registry needed
+		cfg.KeyCacheBytes = dense.ResidentKeyBytes() / 3
+		cached, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		rng := rand.New(rand.NewPCG(41, 42))
+		va := randComplex(dense.Slots(), rng)
+		vb := randComplex(dense.Slots(), rng)
+		want := keyPipeline(dense, dense.MustEncrypt(va), dense.MustEncrypt(vb))
+		got := keyPipeline(cached, cached.MustEncrypt(va), cached.MustEncrypt(vb))
+		slotsEqual(t, "key cache", got, want)
+
+		st, ok := cached.KeyCacheStats()
+		if !ok {
+			t.Fatalf("%v: KeyCacheBytes set but no cache reported", scheme)
+		}
+		if st.KeyGens == 0 || st.Demotions+st.Evictions == 0 {
+			t.Fatalf("%v: tight budget produced no churn: %+v", scheme, st)
+		}
+		if st.ResidentBytes > st.BudgetBytes {
+			t.Fatalf("%v: resident %d above budget %d", scheme, st.ResidentBytes, st.BudgetBytes)
+		}
+		if cached.ResidentKeyBytes() != st.ResidentBytes {
+			t.Fatalf("%v: ResidentKeyBytes disagrees with cache stats", scheme)
+		}
+
+		// PinRotations holds a working set resident: everything pinned is
+		// a hit for the duration.
+		release, err := cached.PinRotations(1, 3, 0, 1) // zero/dup ignored
+		if err != nil {
+			t.Fatal(err)
+		}
+		before, _ := cached.KeyCacheStats()
+		for i := 0; i < 3; i++ {
+			cached.MustRotate(cached.MustEncrypt(va), 1)
+			cached.MustRotate(cached.MustEncrypt(va), 3)
+		}
+		after, _ := cached.KeyCacheStats()
+		if after.KeyGens != before.KeyGens {
+			t.Fatalf("%v: pinned rotations regenerated keys: %+v -> %+v", scheme, before, after)
+		}
+		release()
+		release() // idempotent
+	}
+}
+
+func TestKeyCacheTransformAndMissingKey(t *testing.T) {
+	// With a cache, any rotation is served on demand — ErrMissingKey is
+	// out of the vocabulary; without one, an unregistered rotation still
+	// fails typed.
+	const dim = 8
+	mrng := rand.New(rand.NewPCG(51, 52))
+	mat := make([][]complex128, dim)
+	for i := range mat {
+		mat[i] = make([]complex128, dim)
+		for j := range mat[i] {
+			mat[i][j] = complex(2*mrng.Float64()-1, 0)
+		}
+	}
+	dense, err := New(keyCfg(BitPacker, []int{1, 2, 3, 4, 5, 6, 7}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := keyCfg(BitPacker, nil)
+	cfg.KeyCacheBytes = dense.ResidentKeyBytes() / 4
+	cached, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rng := rand.New(rand.NewPCG(53, 54))
+	in := randComplex(dim, rng)
+	tr, err := dense.NewMatrixTransform(mat, dense.MaxLevel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	trc, err := cached.NewMatrixTransform(mat, cached.MaxLevel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := dense.MustDecrypt(dense.MustApply(dense.MustEncrypt(dense.Replicate(in, dim)), tr))
+	got := cached.MustDecrypt(cached.MustApply(cached.MustEncrypt(cached.Replicate(in, dim)), trc))
+	slotsEqual(t, "BSGS transform under key cache", got, want)
+
+	if _, err := dense.Rotate(dense.MustEncrypt(randComplex(dense.Slots(), rng)), 9); !errors.Is(err, ErrMissingKey) {
+		t.Fatalf("unregistered rotation without cache: err = %v, want ErrMissingKey", err)
+	}
+	if _, err := cached.Rotate(cached.MustEncrypt(randComplex(cached.Slots(), rng)), 9); err != nil {
+		t.Fatalf("cache failed to serve unregistered rotation: %v", err)
+	}
+}
+
+// TestKeyCacheChaosRegen: a dropped engine task injected while the cache
+// rematerializes an evicted key's A half from seed must surface as a
+// detected fault and heal through op-level retry, with the healed result
+// bit-identical to the fault-free dense run.
+func TestKeyCacheChaosRegen(t *testing.T) {
+	for _, scheme := range []Scheme{RNSCKKS, BitPacker} {
+		dense, err := New(keyCfg(scheme, []int{1, 2}))
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := keyCfg(scheme, nil)
+		cfg.KeyCacheBytes = dense.ResidentKeyBytes() / 2 // room for ~1 dense key
+		cfg.Retry = &RetryPolicy{MaxAttempts: 3, BaseDelay: 50 * time.Microsecond, Seed: 7}
+		cached, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		rng := rand.New(rand.NewPCG(61, 62))
+		vals := randComplex(dense.Slots(), rng)
+		ct := cached.MustEncrypt(vals)
+		want := dense.MustDecrypt(dense.MustRotate(dense.MustEncrypt(vals), 1))
+
+		// Populate then displace: rotate by 1 (generates that key), then
+		// by 2 (budget pressure demotes/evicts the first), so the next
+		// rotate-by-1 must regenerate A from seed — the injection window.
+		cached.MustRotate(ct, 1)
+		cached.MustRotate(ct, 2)
+
+		_, restore := chaos.New(9).Burst(0, 1) // drop task 0 of the next dispatch
+		healed, err := cached.Rotate(ct, 1)
+		restore()
+		if err != nil {
+			t.Fatalf("%v: retry did not heal fault during key regeneration: %v", scheme, err)
+		}
+		slotsEqual(t, "healed regen", cached.MustDecrypt(healed), want)
+
+		// A burst outlasting the attempt budget surfaces typed.
+		cached.MustRotate(ct, 2)
+		_, restore = chaos.New(10).Burst(0, 10)
+		_, err = cached.Rotate(ct, 1)
+		restore()
+		if !errors.Is(err, ErrFaultUnrecovered) {
+			t.Fatalf("%v: over-budget burst during regeneration: err = %v, want ErrFaultUnrecovered", scheme, err)
+		}
+	}
+}
