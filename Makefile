@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench bench-smoke bench-smoke-baseline check clean panicgate fuzz-smoke chaos-soak
+.PHONY: all build vet test race bench bench-smoke bench-smoke-baseline check clean panicgate fuzz-smoke chaos-soak serve-smoke serve-load
 
 all: check
 
@@ -14,9 +14,10 @@ test:
 	$(GO) test ./...
 
 # The execution engine's concurrency is validated with the race detector
-# over the packages that dispatch work across residues.
+# over the packages that dispatch work across residues, plus the serving
+# layer's scheduler.
 race:
-	$(GO) test -race ./internal/ring/... ./internal/ckks/...
+	$(GO) test -race ./internal/ring/... ./internal/ckks/... ./internal/serve/...
 
 bench:
 	$(GO) test -bench BenchmarkOp -benchtime 1x -run '^$$' .
@@ -38,15 +39,29 @@ bench-smoke-baseline:
 # assertions that no input can trigger. Low-level kernels (ring, rns,
 # nt, ntt, core) keep precondition panics by design; see DESIGN.md.
 panicgate:
-	@bad=$$(grep -rn "panic(" --include="*.go" *.go internal/ckks internal/engine internal/fherr internal/chaos \
+	@bad=$$(grep -rn "panic(" --include="*.go" *.go internal/ckks internal/engine internal/fherr internal/chaos internal/serve \
 		| grep -v _test.go | grep -vE '(^|/)must\.go:' | grep -v unreachable; true); \
 	if [ -n "$$bad" ]; then echo "untyped panic in API layer:"; echo "$$bad"; exit 1; fi
 
 # Short native-fuzz runs over every target: a smoke pass for CI, not a
-# campaign. Seed corpora live in testdata/fuzz/.
+# campaign. Seed corpora live in testdata/fuzz/ next to each target;
+# the deserialization targets carry hostile-length corpus cases.
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzEncodeDecode -fuzztime 20s .
 	$(GO) test -run '^$$' -fuzz FuzzParams -fuzztime 20s .
+	$(GO) test -run '^$$' -fuzz FuzzUnmarshalCiphertext -fuzztime 20s .
+	$(GO) test -run '^$$' -fuzz FuzzUnmarshalSwitchingKey -fuzztime 20s ./internal/ckks
+
+# Serving-layer smoke: 100 mixed-tenant requests through the full HTTP
+# stack under chaos bursts — zero 5xx, every answer verified, clean
+# drain — with the race detector on.
+serve-smoke:
+	$(GO) test -race -count=1 -run 'TestServeSmoke' -v ./internal/serve
+
+# Serving-layer load comparison: packed vs one-request-per-ciphertext
+# req/s and latency percentiles into BENCH_5.json.
+serve-load:
+	$(GO) run ./cmd/bpbench -serve-load BENCH_5.json
 
 # Chaos soak: run the fault-injection and self-healing suites (RRNS
 # repair, op-level retry, checkpoint/resume) repeatedly with shuffled

@@ -586,6 +586,48 @@ func (c *Context) SetFused(on bool) { c.eval.SetFused(on) }
 // Fused reports whether the fused kernel paths are active.
 func (c *Context) Fused() bool { return c.eval.Fused() }
 
+// Plain is a reusable encoded plaintext, bound to one level of the
+// chain. Encoding is an O(N log N) transform — callers that apply the
+// same constant vector to many ciphertexts (masks, fixed weights)
+// should encode once with EncodePlain and reuse the Plain instead of
+// paying the transform inside every MulConst call.
+type Plain struct {
+	pt *ckks.Plaintext
+}
+
+// Level returns the level the plaintext was encoded for.
+func (p *Plain) Level() int { return p.pt.Level }
+
+// EncodePlain encodes a constant vector at the given level's default
+// scale for repeated use with MulPlain. The result is only valid for
+// ciphertexts at exactly that level.
+func (c *Context) EncodePlain(values []complex128, level int) (*Plain, error) {
+	if level < 0 || level > c.params.MaxLevel() {
+		return nil, fherr.Wrap(fherr.ErrInvalidParams, "bitpacker: level %d outside [0, %d]", level, c.params.MaxLevel())
+	}
+	val, err := c.encoder.Encode(values, c.params.DefaultScale(level), c.params.LevelModuli(level))
+	if err != nil {
+		return nil, err
+	}
+	return &Plain{pt: &ckks.Plaintext{
+		Value: val,
+		Level: level,
+		Scale: c.params.DefaultScale(level),
+	}}, nil
+}
+
+// MulPlain multiplies by a pre-encoded plaintext (see EncodePlain);
+// follow with Rescale. Bit-identical to MulConst with the same vector,
+// minus the per-call encode. A level mismatch between the ciphertext
+// and the plaintext fails with ErrLevelMismatch.
+func (c *Context) MulPlain(a *Ciphertext, p *Plain) (*Ciphertext, error) {
+	if a.ct.Level != p.pt.Level {
+		return nil, fherr.Wrap(fherr.ErrLevelMismatch,
+			"bitpacker: MulPlain ciphertext at level %d, plaintext encoded for %d", a.ct.Level, p.pt.Level)
+	}
+	return c.runOp("MulPlain", func() (*ckks.Ciphertext, error) { return c.eval.MulPlain(a.ct, p.pt) })
+}
+
 // MulConst multiplies by an unencrypted per-slot constant vector, encoded
 // at the ciphertext's level and scale; follow with Rescale.
 func (c *Context) MulConst(a *Ciphertext, values []complex128) (*Ciphertext, error) {

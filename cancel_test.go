@@ -1,6 +1,7 @@
 package bitpacker
 
 import (
+	"bytes"
 	"context"
 	"errors"
 	"math"
@@ -49,6 +50,130 @@ func bootstrapCtx(t *testing.T) *Context {
 		t.Fatal(err)
 	}
 	return ctx
+}
+
+// TestCancelThenResumePipeline cancels RunPipeline in the middle of a
+// stage and asserts the full recovery contract: the failure surfaces as
+// typed ErrCanceled (never laundered into ErrEngineFault — the key
+// cache's A-regeneration dispatch sits on this path), no dispatch
+// goroutine leaks, the completed stages' checkpoints survive, and a
+// subsequent run resumes past them to a bit-identical final state.
+func TestCancelThenResumePipeline(t *testing.T) {
+	base, err := New(Config{
+		Scheme:    BitPacker,
+		LogN:      9,
+		Levels:    3,
+		ScaleBits: 40,
+		QMinBits:  48,
+		WordBits:  61,
+		Seed:      9,
+		// A tight budget keeps the stage keys bouncing through the
+		// compressed state, so cancellation also exercises the cache's
+		// promotion dispatch.
+		KeyCacheBytes: 256 << 10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := make([]float64, base.Slots())
+	for i := range in {
+		in[i] = 0.001 * float64(i%7)
+	}
+	initial, err := base.EncryptReal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	entryBudget := make([]int64, 3)
+	var counter *stepCancelCtx
+	stages := make([]PipelineStage, 3)
+	for i := range stages {
+		step := i + 1
+		idx := i
+		stages[i] = PipelineStage{
+			Name: []string{"rotate1", "rotate2", "rotate3"}[i],
+			Run: func(ctx context.Context, state []*Ciphertext) ([]*Ciphertext, error) {
+				if counter != nil {
+					entryBudget[idx] = counter.budget.Load()
+				}
+				cc := base.WithContext(ctx)
+				x, err := cc.Rotate(state[0], step)
+				if err != nil {
+					return nil, err
+				}
+				x, err = cc.MulRescale(x, x)
+				if err != nil {
+					return nil, err
+				}
+				return []*Ciphertext{x}, nil
+			},
+		}
+	}
+
+	// Reference run (also counts the context checks each stage performs).
+	const startBudget = 1 << 40
+	counter = newStepCancelCtx(startBudget)
+	want, report, err := base.RunPipeline(counter, stages, []*Ciphertext{initial}, PipelineOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.StagesRun != 3 {
+		t.Fatalf("reference run executed %d stages", report.StagesRun)
+	}
+	wantBlob, err := base.MarshalCiphertext(want[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	checksBeforeStage1 := startBudget - entryBudget[1]
+	counter = nil
+	before := runtime.NumGoroutine()
+
+	// Cancel a few checks into stage 1: stage 0's checkpoint is already
+	// durable, stage 1 dies mid-flight.
+	dir := t.TempDir()
+	opts := PipelineOptions{CheckpointDir: dir}
+	_, report, err = base.RunPipeline(newStepCancelCtx(checksBeforeStage1+3), stages, []*Ciphertext{initial}, opts)
+	if err == nil {
+		t.Fatal("mid-stage cancellation did not fail the run")
+	}
+	if !errors.Is(err, ErrCanceled) {
+		t.Fatalf("mid-stage cancel: got %v, want ErrCanceled", err)
+	}
+	if errors.Is(err, ErrEngineFault) {
+		t.Fatalf("cancellation laundered into an engine fault: %v", err)
+	}
+	if report.StagesRun != 1 {
+		t.Fatalf("canceled run completed %d stages, want 1", report.StagesRun)
+	}
+
+	// The dispatch goroutines must wind down, not leak.
+	runtime.GC()
+	for i := 0; i < 50 && runtime.NumGoroutine() > before+2; i++ {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if after := runtime.NumGoroutine(); after > before+2 {
+		t.Fatalf("goroutines grew %d -> %d across canceled pipeline", before, after)
+	}
+
+	// Resume: skips the checkpointed stage and lands on the reference
+	// result bit for bit.
+	got, report, err := base.RunPipeline(context.Background(), stages, []*Ciphertext{initial}, opts)
+	if err != nil {
+		t.Fatalf("resume after cancellation: %v", err)
+	}
+	if report.ResumedFrom != 0 {
+		t.Fatalf("resumed from stage %d, want 0", report.ResumedFrom)
+	}
+	if report.StagesRun != 2 {
+		t.Fatalf("resume executed %d stages, want 2", report.StagesRun)
+	}
+	gotBlob, err := base.MarshalCiphertext(got[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(gotBlob, wantBlob) {
+		t.Fatal("resumed pipeline result differs from uninterrupted run")
+	}
 }
 
 // TestCancelMidBootstrap cancels a Refresh at several points along the

@@ -28,7 +28,18 @@ func main() {
 	jsonPath := flag.String("json", "", "run host-kernel microbenchmarks and write JSON records to this file")
 	smokePath := flag.String("smoke", "", "run the fused/staged differential smoke bench against this baseline file")
 	smokeUpdate := flag.Bool("smoke-update", false, "with -smoke: rewrite the baseline instead of checking against it")
+	serveLoad := flag.String("serve-load", "", "run the multi-tenant serving-layer load generator and write packed-vs-solo records to this file")
+	serveTenants := flag.Int("serve-tenants", 8, "with -serve-load: concurrent tenants")
+	serveRequests := flag.Int("serve-requests", 200, "with -serve-load: total requests per mode")
 	flag.Parse()
+
+	if *serveLoad != "" {
+		if err := runServeLoad(*serveLoad, *serveTenants, *serveRequests); err != nil {
+			fmt.Fprintf(os.Stderr, "serve-load: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *smokePath != "" {
 		if err := runBenchSmoke(*smokePath, *smokeUpdate); err != nil {

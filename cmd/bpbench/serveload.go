@@ -1,0 +1,222 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"bitpacker"
+	"bitpacker/internal/serve"
+)
+
+// serveLoadRecord is one BENCH_5.json entry: the serving layer's
+// request throughput and latency for one scheduler mode.
+type serveLoadRecord struct {
+	Mode          string  `json:"mode"` // "packed" or "solo"
+	Scheme        string  `json:"scheme"`
+	LogN          int     `json:"log_n"`
+	Tenants       int     `json:"tenants"`
+	Window        int     `json:"window"`
+	Requests      int     `json:"requests"`
+	ReqPerSec     float64 `json:"reqps"`
+	P50Ms         float64 `json:"p50_ms"`
+	P99Ms         float64 `json:"p99_ms"`
+	PackedBatches int64   `json:"packed_batches"`
+	PackedReqs    int64   `json:"packed_reqs"`
+	SoloEvals     int64   `json:"solo_evals"`
+	MaxBatch      int64   `json:"max_batch"`
+}
+
+// runServeLoad drives the in-process serving stack with concurrent
+// multi-tenant clients in both scheduler modes and writes the
+// comparison to outPath. The slot-packing mode must clear the solo
+// baseline on req/s at comparable tail latency — that multiple is the
+// serving layer's whole reason to exist.
+func runServeLoad(outPath string, tenants, requests int) error {
+	if tenants <= 0 {
+		tenants = 8
+	}
+	if requests <= 0 {
+		requests = 200
+	}
+	var records []serveLoadRecord
+	for _, packing := range []bool{false, true} {
+		rec, err := serveLoadRun(packing, tenants, requests)
+		if err != nil {
+			return err
+		}
+		records = append(records, rec)
+		fmt.Printf("%-6s  %7.1f req/s  p50 %6.2fms  p99 %6.2fms  (batches=%d maxbatch=%d)\n",
+			rec.Mode, rec.ReqPerSec, rec.P50Ms, rec.P99Ms, rec.PackedBatches, rec.MaxBatch)
+	}
+	speedup := records[1].ReqPerSec / records[0].ReqPerSec
+	fmt.Printf("packed/solo speedup: %.2fx\n", speedup)
+	data, err := json.MarshalIndent(records, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(outPath, append(data, '\n'), 0o644)
+}
+
+func serveLoadRun(packing bool, tenants, requests int) (serveLoadRecord, error) {
+	const logN = 10
+	cfg := serve.ProfileConfig{
+		Name: "bench",
+		Params: bitpacker.Config{
+			Scheme:        bitpacker.BitPacker,
+			LogN:          logN,
+			Levels:        3,
+			ScaleBits:     40,
+			QMinBits:      48,
+			WordBits:      61,
+			Seed:          21,
+			KeyCacheBytes: 16 << 20,
+		},
+		Window:        (1 << (logN - 1)) / tenants,
+		MaxBatch:      tenants,
+		FlushInterval: 3 * time.Millisecond,
+		QueueDepth:    4 * tenants,
+		Packing:       packing,
+	}
+	srv, err := serve.NewServer(serve.Options{Profiles: []serve.ProfileConfig{cfg}})
+	if err != nil {
+		return serveLoadRecord{}, err
+	}
+	ts := httptest.NewServer(srv)
+	defer func() { ts.Close(); srv.Close() }()
+
+	// A client context with the profile's parameters encrypts the
+	// inputs; everything is pre-encrypted so the timed window measures
+	// the server, not the load generator.
+	client, err := bitpacker.New(cfg.Params)
+	if err != nil {
+		return serveLoadRecord{}, err
+	}
+	windowStart := make([]int, tenants)
+	for ti := 0; ti < tenants; ti++ {
+		body, _ := json.Marshal(serve.RegisterRequest{Profile: "bench", Tenant: fmt.Sprintf("t%d", ti)})
+		res, err := http.Post(ts.URL+"/v1/register", "application/json", bytes.NewReader(body))
+		if err != nil {
+			return serveLoadRecord{}, err
+		}
+		var rr serve.RegisterResponse
+		json.NewDecoder(res.Body).Decode(&rr)
+		res.Body.Close()
+		windowStart[ti] = rr.WindowStart
+	}
+	blobs := make([][]byte, requests)
+	headers := make([][]byte, requests)
+	for i := range blobs {
+		ti := i % tenants
+		in := make([]float64, client.Slots())
+		for k := 0; k < cfg.Window; k++ {
+			in[windowStart[ti]+k] = 0.01 * float64((i+k)%9)
+		}
+		ct, err := client.EncryptReal(in)
+		if err != nil {
+			return serveLoadRecord{}, err
+		}
+		if blobs[i], err = client.MarshalCiphertext(ct); err != nil {
+			return serveLoadRecord{}, err
+		}
+		headers[i], _ = json.Marshal(serve.EvalHeader{
+			Profile: "bench", Tenant: fmt.Sprintf("t%d", ti), Op: serve.OpQuartic,
+		})
+	}
+
+	latencies := make([]time.Duration, requests)
+	var firstErr error
+	var errMu sync.Mutex
+	var wg sync.WaitGroup
+	start := time.Now()
+	for c := 0; c < tenants; c++ {
+		wg.Add(1)
+		go func(clientID int) {
+			defer wg.Done()
+			for i := clientID; i < requests; i += tenants {
+				var body bytes.Buffer
+				serve.WriteFrame(&body, serve.FrameHeader, headers[i])
+				serve.WriteFrame(&body, serve.FrameBlob, blobs[i])
+				t0 := time.Now()
+				res, err := http.Post(ts.URL+"/v1/eval", "application/octet-stream", &body)
+				if err == nil {
+					if res.StatusCode != 200 {
+						err = fmt.Errorf("serve-load: status %d", res.StatusCode)
+					}
+					// Consume the framed response inside the timed window:
+					// latency includes the download, like a real client's.
+					if err == nil {
+						if _, _, err = serve.ReadFrame(res.Body, 1<<16); err == nil {
+							_, _, err = serve.ReadFrame(res.Body, serve.DefaultMaxBlobBytes)
+						}
+					}
+					res.Body.Close()
+				}
+				latencies[i] = time.Since(t0)
+				if err != nil {
+					errMu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					errMu.Unlock()
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	if firstErr != nil {
+		return serveLoadRecord{}, firstErr
+	}
+
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	pct := func(p float64) float64 {
+		idx := int(math.Ceil(p*float64(requests))) - 1
+		if idx < 0 {
+			idx = 0
+		}
+		return float64(latencies[idx]) / float64(time.Millisecond)
+	}
+	mode := "solo"
+	if packing {
+		mode = "packed"
+	}
+	var stats serve.SchedStats
+	var sb bytes.Buffer
+	res, err := http.Get(ts.URL + "/v1/stats")
+	if err == nil {
+		sb.ReadFrom(res.Body)
+		res.Body.Close()
+		var parsed struct {
+			Profiles map[string]struct {
+				Scheduler serve.SchedStats `json:"scheduler"`
+			} `json:"profiles"`
+		}
+		if json.Unmarshal(sb.Bytes(), &parsed) == nil {
+			stats = parsed.Profiles["bench"].Scheduler
+		}
+	}
+	return serveLoadRecord{
+		Mode:          mode,
+		Scheme:        "bitpacker",
+		LogN:          logN,
+		Tenants:       tenants,
+		Window:        cfg.Window,
+		Requests:      requests,
+		ReqPerSec:     float64(requests) / elapsed.Seconds(),
+		P50Ms:         pct(0.50),
+		P99Ms:         pct(0.99),
+		PackedBatches: stats.PackedBatches,
+		PackedReqs:    stats.PackedReqs,
+		SoloEvals:     stats.SoloEvals,
+		MaxBatch:      stats.MaxBatch,
+	}, nil
+}

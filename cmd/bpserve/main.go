@@ -1,0 +1,102 @@
+// Command bpserve runs the multi-tenant FHE serving layer: an HTTP
+// service over one bitpacker context profile with per-tenant slot
+// windows, a slot-packing batch scheduler, bounded queues with 429
+// backpressure, and durable checkpoint/resume long jobs.
+//
+// Quickstart:
+//
+//	bpserve -addr :8080 -jobdir /tmp/bpserve-jobs
+//	curl -s -X POST localhost:8080/v1/register \
+//	    -d '{"profile":"default","tenant":"alice"}'
+//	curl -s localhost:8080/v1/stats
+//
+// Eval and job submissions are framed binary streams (see
+// internal/serve and the README quickstart); bpbench -serve-load is the
+// reference client.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"bitpacker"
+	"bitpacker/internal/serve"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	logN := flag.Int("logn", 11, "ring degree log2 for the default profile")
+	levels := flag.Int("levels", 4, "multiplicative depth")
+	scaleBits := flag.Float64("scale", 40, "CKKS scale bits")
+	wordBits := flag.Int("word", 61, "hardware word size (BitPacker packing target)")
+	scheme := flag.String("scheme", "bitpacker", "scheme: bitpacker or rnsckks")
+	window := flag.Int("window", 0, "slots per tenant window (0 = Slots()/8)")
+	maxBatch := flag.Int("maxbatch", 0, "max requests per packed batch (0 = window capacity)")
+	flush := flag.Duration("flush", 3*time.Millisecond, "batch flush deadline")
+	queueDepth := flag.Int("queue", 64, "request queue depth (full = HTTP 429)")
+	keyCache := flag.Int64("keycache", 32<<20, "switching-key cache budget in bytes")
+	noPack := flag.Bool("nopack", false, "disable slot packing (solo evaluation)")
+	jobDir := flag.String("jobdir", "", "durable job state directory (empty = jobs disabled)")
+	retries := flag.Int("retries", 3, "op-level retry attempts for detected faults")
+	flag.Parse()
+
+	sc := bitpacker.BitPacker
+	if *scheme == "rnsckks" {
+		sc = bitpacker.RNSCKKS
+	}
+	cfg := bitpacker.Config{
+		Scheme:        sc,
+		LogN:          *logN,
+		Levels:        *levels,
+		ScaleBits:     *scaleBits,
+		WordBits:      *wordBits,
+		KeyCacheBytes: *keyCache,
+	}
+	if *retries > 0 {
+		cfg.Retry = &bitpacker.RetryPolicy{MaxAttempts: *retries}
+	}
+	srv, err := serve.NewServer(serve.Options{
+		Profiles: []serve.ProfileConfig{{
+			Name:          "default",
+			Params:        cfg,
+			Window:        *window,
+			MaxBatch:      *maxBatch,
+			FlushInterval: *flush,
+			QueueDepth:    *queueDepth,
+			Packing:       !*noPack,
+		}},
+		JobDir: *jobDir,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	httpSrv := &http.Server{Addr: *addr, Handler: srv}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	go func() {
+		<-ctx.Done()
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		httpSrv.Shutdown(shutdownCtx)
+	}()
+
+	log.Printf("bpserve listening on %s (scheme=%s logN=%d levels=%d packing=%v)",
+		*addr, *scheme, *logN, *levels, !*noPack)
+	if err := httpSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	// HTTP intake is closed; drain the schedulers and in-flight jobs so
+	// every accepted request is answered before the process exits.
+	srv.Close()
+	log.Printf("bpserve drained cleanly")
+}

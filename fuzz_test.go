@@ -127,3 +127,44 @@ func FuzzParams(f *testing.F) {
 		}
 	})
 }
+
+// FuzzUnmarshalCiphertext hammers the wire decoder with arbitrary blobs
+// — the serving layer makes this path attacker-reachable. It must never
+// panic or allocate beyond the payload it was actually handed, and
+// anything it accepts must pass full invariant validation and re-encode.
+func FuzzUnmarshalCiphertext(f *testing.F) {
+	ctx, err := fuzzContext()
+	if err != nil {
+		f.Fatal(err)
+	}
+	ct, err := ctx.EncryptReal([]float64{0.5, -0.25})
+	if err != nil {
+		f.Fatal(err)
+	}
+	blob, err := ctx.MarshalCiphertext(ct)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(blob)
+	f.Add(blob[:len(blob)/2])
+	f.Add([]byte("BPCT"))
+	// Hostile declared lengths: the scale-numerator length field claims
+	// ~4 GiB against a few remaining bytes.
+	hostile := append([]byte(nil), blob[:24]...)
+	for i := 18; i < 22; i++ {
+		hostile[i] = 0xff
+	}
+	f.Add(hostile)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, err := ctx.UnmarshalCiphertext(data)
+		if err != nil {
+			return // rejected blobs just need a clean typed error
+		}
+		if err := ctx.Validate(got); err != nil {
+			t.Fatalf("accepted blob fails validation: %v", err)
+		}
+		if _, err := ctx.MarshalCiphertext(got); err != nil {
+			t.Fatalf("accepted blob does not re-encode: %v", err)
+		}
+	})
+}

@@ -783,7 +783,7 @@ func noopRelease() {}
 // the static key set absence maps onto the typed taxonomy.
 func (ev *Evaluator) galoisKey(op string, galEl uint64) (*SwitchingKey, func(), error) {
 	if ev.km != nil {
-		return ev.km.Acquire(op, galEl)
+		return ev.km.Acquire(ev.ctx, op, galEl)
 	}
 	if ev.keys == nil {
 		return nil, nil, fherr.Wrap(fherr.ErrMissingKey, "ckks: %s: no evaluation keys", op)
@@ -798,7 +798,7 @@ func (ev *Evaluator) galoisKey(op string, galEl uint64) (*SwitchingKey, func(), 
 // relinKey fetches the relinearization key, pinned until release runs.
 func (ev *Evaluator) relinKey(op string) (*SwitchingKey, func(), error) {
 	if ev.km != nil {
-		return ev.km.Acquire(op, RelinKeyID)
+		return ev.km.Acquire(ev.ctx, op, RelinKeyID)
 	}
 	if ev.keys == nil || ev.keys.Relin == nil {
 		return nil, nil, fherr.Wrap(fherr.ErrMissingKey, "ckks: %s: no relinearization key", op)
@@ -816,7 +816,7 @@ func (ev *Evaluator) PinGaloisKeys(op string, els []uint64) (func(), error) {
 	if ev.km == nil {
 		return noopRelease, nil
 	}
-	return ev.km.Pin(op, els)
+	return ev.km.Pin(ev.ctx, op, els)
 }
 
 // applyGalois maps both ciphertext polys through X -> X^galEl and switches

@@ -1,0 +1,75 @@
+package ckks
+
+import (
+	"sync"
+	"testing"
+
+	"bitpacker/internal/core"
+)
+
+var (
+	fuzzParamsOnce sync.Once
+	fuzzParamsVal  *Parameters
+	fuzzParamsErr  error
+)
+
+// fuzzParams is shared across fuzz executions: chain construction
+// dominates a decode attempt by orders of magnitude.
+func fuzzParams() (*Parameters, error) {
+	fuzzParamsOnce.Do(func() {
+		prog := core.ProgramSpec{MaxLevel: 1, TargetScaleBits: []float64{40, 40}, QMinBits: 60}
+		fuzzParamsVal, fuzzParamsErr = BuildParameters(core.BitPacker, prog,
+			core.SecuritySpec{LogN: 8}, core.HWSpec{WordBits: 61}, 2, 3.2)
+	})
+	return fuzzParamsVal, fuzzParamsErr
+}
+
+// FuzzUnmarshalSwitchingKey hammers the key decoders with arbitrary
+// blobs. Both are attacker-reachable through the serving layer's key
+// registry; they must never panic or allocate beyond the actual payload,
+// and an accepted key must re-encode.
+func FuzzUnmarshalSwitchingKey(f *testing.F) {
+	params, err := fuzzParams()
+	if err != nil {
+		f.Fatal(err)
+	}
+	kg := NewKeyGenerator(params, 51, 52)
+	sk := kg.GenSecretKey()
+	swk := kg.GenRelinKey(sk)
+	blob, err := swk.MarshalBinary()
+	if err != nil {
+		f.Fatal(err)
+	}
+	compressed := cloneKey(swk)
+	compressed.Compress()
+	cblob, err := compressed.MarshalBinary()
+	if err != nil {
+		f.Fatal(err)
+	}
+	ksBlob, err := (&EvaluationKeySet{Relin: swk, Galois: map[uint64]*SwitchingKey{}}).MarshalBinary()
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(blob)
+	f.Add(cblob)
+	f.Add(blob[:len(blob)/3])
+	f.Add(ksBlob)
+	// Hostile key-set: the relin sub-blob length claims ~4 GiB.
+	hostile := append([]byte(nil), ksBlob[:16]...)
+	for i := 10; i < 14; i++ {
+		hostile[i] = 0xff
+	}
+	f.Add(hostile)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if swk, err := UnmarshalSwitchingKey(params, data); err == nil {
+			if _, err := swk.MarshalBinary(); err != nil {
+				t.Fatalf("accepted switching key does not re-encode: %v", err)
+			}
+		}
+		if ks, err := UnmarshalEvaluationKeySet(params, data); err == nil {
+			if _, err := ks.MarshalBinary(); err != nil {
+				t.Fatalf("accepted key set does not re-encode: %v", err)
+			}
+		}
+	})
+}

@@ -2,6 +2,7 @@ package ckks
 
 import (
 	"container/list"
+	"context"
 	"sync"
 
 	"bitpacker/internal/engine"
@@ -118,20 +119,23 @@ func aBytes(swk *SwitchingKey) int64 {
 // under a fault-reporting dispatch: a dropped engine task (chaos
 // injection, lost accelerator job) surfaces as ErrEngineFault instead of
 // silently corrupt key material, so op-level retry regenerates cleanly.
+// The dispatch error keeps its own class — a canceled ctx must surface
+// as ErrCanceled, never be laundered into an engine fault (retry rungs
+// treat cancellation as terminal and faults as retryable).
 // On error the key is restored to fully-compressed form.
-func materializeA(ctx *ring.Context, swk *SwitchingKey) error {
+func materializeA(ctx context.Context, rctx *ring.Context, swk *SwitchingKey) error {
 	for j := range swk.A {
 		if swk.A[j] != nil {
 			continue
 		}
-		a := ring.NewPoly(ctx, swk.B[j].Moduli)
+		a := ring.NewPoly(rctx, swk.B[j].Moduli)
 		a.IsNTT = true
 		seed := swk.ASeeds[j]
-		if err := engine.DispatchCtx(nil, len(a.Moduli), ctx.N, func(i int) {
+		if err := engine.DispatchCtx(ctx, len(a.Moduli), rctx.N, func(i int) {
 			ring.UniformRowFromSeed(a.Coeffs[i], a.Moduli[i], seed)
 		}); err != nil {
 			swk.Compress()
-			return fherr.Wrap(fherr.ErrEngineFault, "ckks: key A-regeneration digit %d (%v)", j, err)
+			return fherr.Wrap(err, "ckks: key A-regeneration digit %d", j)
 		}
 		swk.A[j] = a
 	}
@@ -205,8 +209,15 @@ func (km *KeyManager) enforceLocked() {
 // than duplicating the work); resident-but-compressed keys are promoted
 // back to full form when the budget allows, otherwise returned compressed
 // (the keyswitch then regenerates A rows in-dispatch — bit-identical
-// either way). op names the caller for error context.
-func (km *KeyManager) Acquire(op string, id uint64) (*SwitchingKey, func(), error) {
+// either way). ctx (nil allowed) bounds the A-half materialization: a
+// canceled context surfaces as ErrCanceled with the key left in its
+// consistent compressed state. op names the caller for error context.
+func (km *KeyManager) Acquire(ctx context.Context, op string, id uint64) (*SwitchingKey, func(), error) {
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return nil, nil, fherr.Wrap(fherr.ErrCanceled, "ckks: %s: key %d (%v)", op, id, err)
+		}
+	}
 	km.mu.Lock()
 	var e *keyEntry
 	for {
@@ -241,7 +252,7 @@ func (km *KeyManager) Acquire(op string, id uint64) (*SwitchingKey, func(), erro
 			// other acquirer until the rows are in place.
 			e.generating = true
 			km.mu.Unlock()
-			err := materializeA(km.params.Ctx, e.swk)
+			err := materializeA(ctx, km.params.Ctx, e.swk)
 			km.mu.Lock()
 			e.generating = false
 			km.cond.Broadcast()
@@ -278,7 +289,7 @@ func (km *KeyManager) Acquire(op string, id uint64) (*SwitchingKey, func(), erro
 // release runs — the plan-wide form of Acquire, used by BSGS transforms
 // and pipeline stages to declare their whole key demand up front so the
 // working set streams in once and stays resident across the plan.
-func (km *KeyManager) Pin(op string, els []uint64) (func(), error) {
+func (km *KeyManager) Pin(ctx context.Context, op string, els []uint64) (func(), error) {
 	releases := make([]func(), 0, len(els))
 	releaseAll := func() {
 		for _, r := range releases {
@@ -286,7 +297,7 @@ func (km *KeyManager) Pin(op string, els []uint64) (func(), error) {
 		}
 	}
 	for _, id := range els {
-		_, rel, err := km.Acquire(op, id)
+		_, rel, err := km.Acquire(ctx, op, id)
 		if err != nil {
 			releaseAll()
 			return nil, err
@@ -294,4 +305,38 @@ func (km *KeyManager) Pin(op string, els []uint64) (func(), error) {
 		releases = append(releases, rel)
 	}
 	return releaseAll, nil
+}
+
+// VerifyIntegrity recomputes the manager's accounting from first
+// principles under the lock and reports the first inconsistency:
+// resident bytes must equal the sum over resident entries, no entry may
+// hold negative pins, and LRU membership must match residency exactly.
+// It exists so concurrency tests (and debug endpoints) can assert the
+// books balance after arbitrary pin/release/evict interleavings.
+func (km *KeyManager) VerifyIntegrity() error {
+	km.mu.Lock()
+	defer km.mu.Unlock()
+	var sum int64
+	inLRU := map[*keyEntry]bool{}
+	for el := km.lru.Front(); el != nil; el = el.Next() {
+		inLRU[el.Value.(*keyEntry)] = true
+	}
+	for id, e := range km.entries {
+		if e.pins < 0 {
+			return fherr.Wrap(fherr.ErrInvariant, "ckks: key %d has %d pins", id, e.pins)
+		}
+		if e.swk != nil {
+			sum += e.swk.ResidentBytes()
+			if e.elem == nil || !inLRU[e] {
+				return fherr.Wrap(fherr.ErrInvariant, "ckks: resident key %d missing from LRU", id)
+			}
+		} else if e.elem != nil {
+			return fherr.Wrap(fherr.ErrInvariant, "ckks: cold key %d still in LRU", id)
+		}
+	}
+	if sum != km.resident {
+		return fherr.Wrap(fherr.ErrInvariant,
+			"ckks: resident accounting drift: tracked %d bytes, actual %d", km.resident, sum)
+	}
+	return nil
 }

@@ -1,12 +1,17 @@
 package ckks
 
 import (
+	"context"
+	"errors"
+	"fmt"
 	"math/rand/v2"
 	"sync"
+	"sync/atomic"
 	"testing"
 
 	"bitpacker/internal/core"
 	"bitpacker/internal/engine"
+	"bitpacker/internal/fherr"
 	"bitpacker/internal/ring"
 )
 
@@ -356,7 +361,7 @@ func TestKeyManagerStatesAndPins(t *testing.T) {
 	// key is demoted to compressed form, and further pressure evicts.
 	var rels []func()
 	for _, el := range els {
-		_, rel, err := km.Acquire("test", el)
+		_, rel, err := km.Acquire(nil, "test", el)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -375,7 +380,7 @@ func TestKeyManagerStatesAndPins(t *testing.T) {
 	}
 	// Re-acquiring triggers enforcement on each call; after the churn
 	// the footprint must sit within budget once all pins are dropped.
-	_, rel, err := km.Acquire("test", els[0])
+	_, rel, err := km.Acquire(nil, "test", els[0])
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -391,7 +396,7 @@ func TestKeyManagerStatesAndPins(t *testing.T) {
 	// A cold re-acquisition is a miss that regenerates bit-identical
 	// key material.
 	want := kg.GenGaloisKey(sk, els[1])
-	swk, rel2, err := km.Acquire("test", els[1])
+	swk, rel2, err := km.Acquire(nil, "test", els[1])
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -403,7 +408,7 @@ func TestKeyManagerStatesAndPins(t *testing.T) {
 	// Unlimited budget: nothing is ever demoted or evicted.
 	km2 := NewKeyManager(s.params, kg, sk, 0)
 	for _, el := range els {
-		_, rel, err := km2.Acquire("test", el)
+		_, rel, err := km2.Acquire(nil, "test", el)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -478,6 +483,187 @@ func TestKeyManagerHammer(t *testing.T) {
 type errRotateMismatch int
 
 func (e errRotateMismatch) Error() string { return "concurrent rotate result differs from reference" }
+
+// TestKeyManagerPinReleaseHammer mixes single acquires, plan-wide pins,
+// double releases, and canceled acquires of the same keys from many
+// goroutines under a budget that keeps every key bouncing between full,
+// compressed and cold — the serving-layer access pattern, where pins are
+// held across request lifetimes. After the churn (and at sample points
+// during it) the manager's books must balance exactly: resident bytes
+// recomputed from the entries must equal the tracked counter, no entry
+// may hold negative pins, and the LRU must mirror residency. Run under
+// -race (make race covers this package).
+func TestKeyManagerPinReleaseHammer(t *testing.T) {
+	s := newTestSetup(t, core.BitPacker, 2, 40, 61, 8, 4, nil)
+	kg := NewKeyGenerator(s.params, 11, 22)
+	sk := kg.GenSecretKey()
+	oneKey := kg.GenRelinKey(sk).ResidentBytes()
+	// Room for two dense keys across five ids: constant demote/evict/
+	// promote churn, with pinned overshoot whenever a plan pins them all.
+	km := NewKeyManager(s.params, kg, sk, oneKey*2)
+	n := s.params.N()
+	ids := []uint64{
+		RelinKeyID,
+		ring.GaloisElementForRotation(1, n),
+		ring.GaloisElementForRotation(2, n),
+		ring.GaloisElementForRotation(3, n),
+		ring.GaloisElementForRotation(4, n),
+	}
+
+	const goroutines = 10
+	const iters = 40
+	errs := make(chan error, goroutines)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewPCG(uint64(g)+1, 777))
+			for i := 0; i < iters; i++ {
+				switch rng.IntN(4) {
+				case 0, 1: // pin one key, hold briefly, release (sometimes twice)
+					_, rel, err := km.Acquire(nil, "hammer", ids[rng.IntN(len(ids))])
+					if err != nil {
+						errs <- err
+						return
+					}
+					rel()
+					if rng.IntN(4) == 0 {
+						rel() // releases must stay idempotent under contention
+					}
+				case 2: // plan-wide pin of an overlapping subset
+					subset := ids[:1+rng.IntN(len(ids))]
+					rel, err := km.Pin(nil, "hammer", subset)
+					if err != nil {
+						errs <- err
+						return
+					}
+					rel()
+				case 3: // pre-canceled acquire: typed refusal, no accounting effect
+					cctx, cancel := context.WithCancel(context.Background())
+					cancel()
+					if _, _, err := km.Acquire(cctx, "hammer", ids[rng.IntN(len(ids))]); !errors.Is(err, fherr.ErrCanceled) {
+						errs <- fmt.Errorf("canceled acquire: got %v, want ErrCanceled", err)
+						return
+					}
+				}
+				if i%8 == 0 {
+					if err := km.VerifyIntegrity(); err != nil {
+						errs <- err
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if err := km.VerifyIntegrity(); err != nil {
+		t.Fatal(err)
+	}
+	st := km.Stats()
+	if st.ResidentBytes > km.budget {
+		t.Fatalf("resident %d above budget %d with all pins released", st.ResidentBytes, km.budget)
+	}
+	if st.KeyGens == 0 || st.Evictions == 0 {
+		t.Fatalf("hammer never churned the cache: %+v", st)
+	}
+	// KeyCacheStats.Resident must be exact: the snapshot equals the sum
+	// over entries (VerifyIntegrity proved tracked == actual; the public
+	// stats must report that same tracked value).
+	km.mu.Lock()
+	tracked := km.resident
+	km.mu.Unlock()
+	if st2 := km.Stats(); st2.ResidentBytes != tracked {
+		t.Fatalf("Stats reports %d resident bytes, tracked %d", st2.ResidentBytes, tracked)
+	}
+}
+
+// checkBudgetCtx cancels itself after a fixed number of Err() checks, so
+// a cancellation can be planted deterministically inside the A-half
+// materialization dispatch.
+type checkBudgetCtx struct {
+	context.Context
+	budget atomic.Int64
+}
+
+func newCheckBudgetCtx(checks int64) *checkBudgetCtx {
+	c := &checkBudgetCtx{Context: context.Background()}
+	c.budget.Store(checks)
+	return c
+}
+
+func (c *checkBudgetCtx) Err() error {
+	if c.budget.Add(-1) < 0 {
+		return context.Canceled
+	}
+	return nil
+}
+
+// TestKeyManagerCancelMidPromote plants a cancellation inside the
+// compressed→full promotion (the A-regeneration dispatch). The failure
+// must surface as ErrCanceled — not be laundered into ErrEngineFault,
+// which retry rungs would pointlessly re-run — and must leave the key in
+// its consistent compressed state with the books balanced, so the next
+// acquire succeeds bit-identically. Regression test for materializeA
+// discarding the dispatch error's class.
+func TestKeyManagerCancelMidPromote(t *testing.T) {
+	s := newTestSetup(t, core.BitPacker, 2, 40, 61, 8, 4, nil)
+	kg := NewKeyGenerator(s.params, 11, 22)
+	sk := kg.GenSecretKey()
+	oneKey := kg.GenRelinKey(sk).ResidentBytes()
+	// Budget admits one dense key plus one compressed: acquiring a second
+	// key demotes the first, and re-acquiring the first promotes it.
+	km := NewKeyManager(s.params, kg, sk, oneKey*3/2)
+	n := s.params.N()
+	el1 := ring.GaloisElementForRotation(1, n)
+	el2 := ring.GaloisElementForRotation(2, n)
+
+	_, rel1, err := km.Acquire(nil, "test", el1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel1()
+	_, rel2, err := km.Acquire(nil, "test", el2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel2() // el1 is now compressed, el2 full
+
+	// One Err() check survives the Acquire prologue; the next — inside
+	// the materialization dispatch — cancels.
+	cctx := newCheckBudgetCtx(1)
+	_, _, err = km.Acquire(cctx, "test", el1)
+	if err == nil {
+		t.Fatal("acquire survived a context canceled mid-promotion")
+	}
+	if !errors.Is(err, fherr.ErrCanceled) {
+		t.Fatalf("mid-promotion cancel: got %v, want ErrCanceled", err)
+	}
+	if errors.Is(err, fherr.ErrEngineFault) {
+		t.Fatalf("cancellation laundered into an engine fault: %v", err)
+	}
+	if err := km.VerifyIntegrity(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The interrupted key stays serviceable and bit-identical.
+	want := kg.GenGaloisKey(sk, el1)
+	swk, rel, err := km.Acquire(nil, "test", el1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !swkEqual(s, swk, want) {
+		t.Fatal("key differs after interrupted promotion")
+	}
+	rel()
+	if err := km.VerifyIntegrity(); err != nil {
+		t.Fatal(err)
+	}
+}
 
 // Silence unused-import lint trickery for helper aliases below.
 var _ = engine.Workers

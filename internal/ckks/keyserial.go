@@ -142,6 +142,17 @@ func readSwitchingKey(params *Parameters, rd *reader) (*SwitchingKey, error) {
 			return nil, fmt.Errorf("ckks: key-basis modulus %d mismatch", i)
 		}
 	}
+	// Every digit's size is fixed by the validated header (seed + B rows,
+	// plus A rows when dense); demand the remaining payload covers it
+	// before allocating dnum polynomial pairs for a hostile or truncated
+	// blob.
+	rows := 1
+	if dense {
+		rows = 2
+	}
+	if rem := len(rd.buf) - rd.off; rd.err == nil && rem < dnum*(16+rows*8*r*n) {
+		return nil, fmt.Errorf("ckks: switching-key payload is %d bytes, need %d", rem, dnum*(16+rows*8*r*n))
+	}
 	swk := &SwitchingKey{
 		B:      make([]*ring.Poly, dnum),
 		A:      make([]*ring.Poly, dnum),
@@ -169,9 +180,12 @@ func readSwitchingKey(params *Parameters, rd *reader) (*SwitchingKey, error) {
 }
 
 func readPolyRows(params *Parameters, basis []uint64, rd *reader) (*ring.Poly, error) {
+	n := params.N()
+	if rem := len(rd.buf) - rd.off; rd.err == nil && rem < 8*len(basis)*n {
+		return nil, fmt.Errorf("ckks: key rows truncated (%d bytes remain, need %d)", rem, 8*len(basis)*n)
+	}
 	p := ring.NewPoly(params.Ctx, basis)
 	p.IsNTT = true
-	n := params.N()
 	for i, q := range basis {
 		for k := 0; k < n; k++ {
 			c := rd.u64()

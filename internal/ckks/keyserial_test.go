@@ -2,6 +2,7 @@ package ckks
 
 import (
 	"bytes"
+	"encoding/binary"
 	"testing"
 
 	"bitpacker/internal/core"
@@ -197,5 +198,42 @@ func TestKeySerialErrors(t *testing.T) {
 	}
 	if _, err := UnmarshalEvaluationKeySet(s.params, []byte("YYYYYY")); err == nil {
 		t.Fatal("bad key-set magic accepted")
+	}
+}
+
+// TestKeySerialHostileLengths: declared sizes inside key blobs are
+// attacker-controlled once keys arrive over the network; sizes beyond the
+// actual payload must fail cleanly without oversized allocations.
+// Regression test for the sub-blob length fields being trusted.
+func TestKeySerialHostileLengths(t *testing.T) {
+	s := newTestSetup(t, core.BitPacker, 2, 40, 61, 8, 4, nil)
+	swk := s.kg.GenRelinKey(s.sk)
+
+	// A consistent switching-key header whose digit payload is short must
+	// be rejected before allocating the digit polynomials.
+	blob, err := swk.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := UnmarshalSwitchingKey(s.params, blob[:len(blob)-16]); err == nil {
+		t.Fatal("short digit payload accepted")
+	}
+
+	// Key-set with a relin sub-blob declaring ~4 GiB on a tiny payload.
+	ks := &EvaluationKeySet{Relin: swk, Galois: map[uint64]*SwitchingKey{}}
+	ksBlob, err := ks.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	hostile := append([]byte(nil), ksBlob...)
+	const relinLenOff = 4 + 1 + 1 + 4 // magic|version|flags|count
+	binary.LittleEndian.PutUint32(hostile[relinLenOff:], 0xFFFFFFF0)
+	if _, err := UnmarshalEvaluationKeySet(s.params, hostile); err == nil {
+		t.Fatal("hostile relin length accepted")
+	}
+	// Declared just past the remaining payload.
+	binary.LittleEndian.PutUint32(hostile[relinLenOff:], uint32(len(ksBlob)))
+	if _, err := UnmarshalEvaluationKeySet(s.params, hostile); err == nil {
+		t.Fatal("overrunning relin length accepted")
 	}
 }

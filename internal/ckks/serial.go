@@ -120,6 +120,12 @@ func UnmarshalCiphertext(params *Parameters, data []byte) (*Ciphertext, error) {
 			return nil, fmt.Errorf("ckks: modulus %d mismatch at level %d", i, level)
 		}
 	}
+	// The coefficient payload size is fully determined by the validated
+	// header; check it before allocating the polynomials so a truncated or
+	// padded blob fails here instead of mid-decode.
+	if rem := len(rd.buf) - rd.off; rem != 2*8*r*n {
+		return nil, fmt.Errorf("ckks: coefficient payload is %d bytes, need %d", rem, 2*8*r*n)
+	}
 	polys := make([]*ring.Poly, 2)
 	for pi := range polys {
 		p := ring.NewPoly(params.Ctx, moduli)
@@ -153,15 +159,22 @@ type reader struct {
 }
 
 func (r *reader) take(n int) []byte {
-	if r.err != nil || n < 0 || r.off+n > len(r.buf) {
-		if r.err == nil {
-			r.err = fmt.Errorf("ckks: truncated ciphertext")
-		}
-		return make([]byte, n)
+	if r.err == nil && n >= 0 && n <= len(r.buf)-r.off {
+		out := r.buf[r.off : r.off+n]
+		r.off += n
+		return out
 	}
-	out := r.buf[r.off : r.off+n]
-	r.off += n
-	return out
+	if r.err == nil {
+		r.err = fmt.Errorf("ckks: truncated blob (declared %d bytes, %d remain)", n, len(r.buf)-r.off)
+	}
+	// Failure path: n came from the (possibly hostile) blob itself, so it
+	// must never size an allocation the payload cannot back. The primitive
+	// reads (u8/u32/u64) index into the result, so hand back a small zero
+	// buffer instead of n bytes.
+	if n < 0 || n > 8 {
+		n = 8
+	}
+	return make([]byte, n)
 }
 
 func (r *reader) u8() byte    { return r.take(1)[0] }

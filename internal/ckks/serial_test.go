@@ -1,6 +1,7 @@
 package ckks
 
 import (
+	"encoding/binary"
 	"math/rand/v2"
 	"testing"
 
@@ -93,5 +94,61 @@ func TestCiphertextUnmarshalRejectsCorruption(t *testing.T) {
 	other := newTestSetup(t, core.BitPacker, 2, 40, 61, 9, 8, nil)
 	if _, err := UnmarshalCiphertext(other.params, blob); err == nil {
 		t.Fatal("foreign parameters accepted")
+	}
+}
+
+// TestUnmarshalHostileLengths: length fields are attacker-controlled once
+// blobs arrive over the network, so a declared size beyond the actual
+// payload must fail cleanly without driving an allocation of the declared
+// size. Regression test for the reader trusting its length operands.
+func TestUnmarshalHostileLengths(t *testing.T) {
+	s := newTestSetup(t, core.BitPacker, 2, 40, 61, 10, 8, nil)
+	rng := rand.New(rand.NewPCG(47, 48))
+	ct := s.encryptValues(randomValues(s.params.Slots(), rng))
+	blob, err := ct.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The scale-numerator length field sits after magic|version|level|
+	// isNTT|noiseBits. Declare ~4 GiB on a tiny remaining payload.
+	const numLenOff = 4 + 1 + 4 + 1 + 8
+	hostile := append([]byte{}, blob...)
+	binary.LittleEndian.PutUint32(hostile[numLenOff:], 0xFFFFFFF0)
+	if _, err := UnmarshalCiphertext(s.params, hostile); err == nil {
+		t.Fatal("hostile scale length accepted")
+	}
+
+	// Same field, declared just past the remaining payload.
+	binary.LittleEndian.PutUint32(hostile[numLenOff:], uint32(len(blob)))
+	if _, err := UnmarshalCiphertext(s.params, hostile); err == nil {
+		t.Fatal("overrunning scale length accepted")
+	}
+
+	// A consistent header whose coefficient payload is short must be
+	// rejected before the polynomial allocations.
+	if _, err := UnmarshalCiphertext(s.params, blob[:len(blob)-8]); err == nil {
+		t.Fatal("short coefficient payload accepted")
+	}
+}
+
+// TestReaderClampsHostileTake: the bounds-checked cursor must never
+// allocate what the payload cannot back — the failure-path buffer stays
+// bounded no matter what size the blob declared.
+func TestReaderClampsHostileTake(t *testing.T) {
+	rd := reader{buf: make([]byte, 16)}
+	if got := rd.take(1 << 30); len(got) > 8 {
+		t.Fatalf("hostile take allocated %d bytes", len(got))
+	}
+	if rd.err == nil {
+		t.Fatal("oversized take did not record an error")
+	}
+	// Primitive reads on the failed cursor stay in bounds.
+	_ = rd.u8()
+	_ = rd.u32()
+	_ = rd.u64()
+	rd2 := reader{buf: make([]byte, 4)}
+	if got := rd2.take(-1); len(got) > 8 || rd2.err == nil {
+		t.Fatalf("negative take: len %d, err %v", len(got), rd2.err)
 	}
 }

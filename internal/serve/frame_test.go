@@ -1,0 +1,77 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/binary"
+	"io"
+	"strings"
+	"testing"
+)
+
+func TestFrameRoundtrip(t *testing.T) {
+	var buf bytes.Buffer
+	payloads := [][]byte{{}, []byte("x"), bytes.Repeat([]byte{0xab}, 4096)}
+	for i, p := range payloads {
+		typ := byte(i%2 + 1)
+		if err := WriteFrame(&buf, typ, p); err != nil {
+			t.Fatal(err)
+		}
+		gotTyp, got, err := ReadFrame(&buf, 1<<20)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gotTyp != typ || !bytes.Equal(got, p) {
+			t.Fatalf("frame %d: roundtrip mismatch (type %d->%d, %d->%d bytes)",
+				i, typ, gotTyp, len(p), len(got))
+		}
+	}
+}
+
+// TestFrameRejectsOversizeDeclaration: a frame declaring more than
+// maxLen is rejected from the 5-byte prefix alone — before any payload
+// allocation or read.
+func TestFrameRejectsOversizeDeclaration(t *testing.T) {
+	var head [frameHeadLen]byte
+	head[0] = FrameBlob
+	binary.LittleEndian.PutUint32(head[1:], 1<<31)
+	// The reader would block forever if ReadFrame tried to consume the
+	// declared payload; rejecting from the prefix means it never reads on.
+	r := io.MultiReader(bytes.NewReader(head[:]), neverReader{})
+	if _, _, err := ReadFrame(r, 1<<20); err == nil || !strings.Contains(err.Error(), "limit") {
+		t.Fatalf("oversize declaration: got %v", err)
+	}
+}
+
+// neverReader blocks the test (via t.Fatal upstream) if ReadFrame reads
+// past the prefix of an oversize frame.
+type neverReader struct{}
+
+func (neverReader) Read([]byte) (int, error) {
+	panic("serve: read past a rejected frame prefix")
+}
+
+// TestFrameTruncatedPayload: a frame that declares more bytes than the
+// stream delivers errors instead of returning a short payload, and the
+// allocation tracked the bytes received, not the lie.
+func TestFrameTruncatedPayload(t *testing.T) {
+	var buf bytes.Buffer
+	var head [frameHeadLen]byte
+	head[0] = FrameHeader
+	binary.LittleEndian.PutUint32(head[1:], 1000)
+	buf.Write(head[:])
+	buf.WriteString("only ten b")
+	_, _, err := ReadFrame(&buf, 1<<20)
+	if err == nil || !strings.Contains(err.Error(), "truncated") {
+		t.Fatalf("truncated frame: got %v", err)
+	}
+}
+
+func TestExpectFrameType(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, FrameBlob, []byte("ct")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := expectFrame(&buf, FrameHeader, 1<<10); err == nil {
+		t.Fatal("wrong frame type accepted")
+	}
+}

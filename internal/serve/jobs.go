@@ -1,0 +1,305 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"bitpacker"
+)
+
+// Job states reported by GET /v1/job/{id}.
+const (
+	JobRunning = "running"
+	JobDone    = "done"
+	JobFailed  = "failed"
+)
+
+// JobStep is one pipeline stage of a long job: the same ops the eval
+// endpoint serves, applied in sequence with a checkpoint after each.
+type JobStep struct {
+	Op  string  `json:"op"`
+	Arg float64 `json:"arg,omitempty"`
+}
+
+// JobSpec is the header frame of POST /v1/job.
+type JobSpec struct {
+	Tenant  string    `json:"tenant"`
+	Profile string    `json:"profile"`
+	Steps   []JobStep `json:"steps"`
+}
+
+// jobRecord is the durable job.json — everything needed to resume the
+// job after a server restart (the input blob and checkpoints live next
+// to it in the job's directory).
+type jobRecord struct {
+	ID      string    `json:"id"`
+	Tenant  string    `json:"tenant"`
+	Profile string    `json:"profile"`
+	Steps   []JobStep `json:"steps"`
+	State   string    `json:"state"`
+	Error   string    `json:"error,omitempty"`
+	// ResumedFrom and StagesRun echo the last run's PipelineReport.
+	ResumedFrom int `json:"resumed_from"`
+	StagesRun   int `json:"stages_run"`
+}
+
+// JobManager runs long jobs through Context.RunPipeline with durable
+// per-stage checkpoints: a job interrupted by a crash or restart is
+// rescanned at startup and resumed from its latest intact checkpoint
+// rather than recomputed.
+type JobManager struct {
+	dir string
+	reg *Registry
+
+	mu     sync.Mutex
+	jobs   map[string]*jobRecord
+	seq    int
+	wg     sync.WaitGroup
+	closed bool
+}
+
+// NewJobManager opens (or creates) the job state directory and resumes
+// any job left in the running state by a previous process.
+func NewJobManager(dir string, reg *Registry) (*JobManager, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	jm := &JobManager{dir: dir, reg: reg, jobs: map[string]*jobRecord{}}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		rec, err := jm.load(e.Name())
+		if err != nil {
+			continue // unreadable record: leave the directory for inspection
+		}
+		jm.jobs[rec.ID] = rec
+		if rec.State == JobRunning {
+			jm.wg.Add(1)
+			go jm.run(rec)
+		}
+	}
+	return jm, nil
+}
+
+func (jm *JobManager) jobDir(id string) string { return filepath.Join(jm.dir, id) }
+
+// load reads a job's durable record.
+func (jm *JobManager) load(id string) (*jobRecord, error) {
+	data, err := os.ReadFile(filepath.Join(jm.jobDir(id), "job.json"))
+	if err != nil {
+		return nil, err
+	}
+	rec := &jobRecord{}
+	if err := json.Unmarshal(data, rec); err != nil {
+		return nil, err
+	}
+	if rec.ID != id {
+		return nil, fmt.Errorf("serve: job record %q claims id %q", id, rec.ID)
+	}
+	return rec, nil
+}
+
+// persist writes the job record atomically (write-then-rename), so a
+// crash mid-update leaves the previous intact record, never a torn one.
+func (jm *JobManager) persist(rec *jobRecord) error {
+	data, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		return err
+	}
+	path := filepath.Join(jm.jobDir(rec.ID), "job.json")
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// Submit durably records a new job and starts it. The input ciphertext
+// blob is written before job.json flips to running, so a crash between
+// the two leaves nothing half-started.
+func (jm *JobManager) Submit(spec JobSpec, inputBlob []byte) (string, error) {
+	p, err := jm.reg.profile(spec.Profile)
+	if err != nil {
+		return "", err
+	}
+	if _, err := p.lookup(spec.Tenant); err != nil {
+		return "", err
+	}
+	if len(spec.Steps) == 0 {
+		return "", fmt.Errorf("serve: job with no steps")
+	}
+	for _, st := range spec.Steps {
+		if !validOp(st.Op) {
+			return "", fmt.Errorf("serve: unknown op %q", st.Op)
+		}
+	}
+	// Decode eagerly: a malformed blob fails the submission, not the job.
+	if _, err := p.ctx.UnmarshalCiphertext(inputBlob); err != nil {
+		return "", err
+	}
+	jm.mu.Lock()
+	if jm.closed {
+		jm.mu.Unlock()
+		return "", ErrShutdown
+	}
+	jm.seq++
+	id := fmt.Sprintf("job-%06d", jm.seq)
+	for jm.jobs[id] != nil { // skip ids recovered from a previous process
+		jm.seq++
+		id = fmt.Sprintf("job-%06d", jm.seq)
+	}
+	rec := &jobRecord{ID: id, Tenant: spec.Tenant, Profile: spec.Profile, Steps: spec.Steps, State: JobRunning}
+	jm.jobs[id] = rec
+	jm.wg.Add(1)
+	jm.mu.Unlock()
+
+	if err := os.MkdirAll(jm.jobDir(id), 0o755); err == nil {
+		err = os.WriteFile(filepath.Join(jm.jobDir(id), "input.bin"), inputBlob, 0o644)
+		if err == nil {
+			err = jm.persist(rec)
+		}
+	}
+	jm.mu.Lock()
+	if err != nil {
+		delete(jm.jobs, id)
+		jm.mu.Unlock()
+		jm.wg.Done()
+		return "", err
+	}
+	jm.mu.Unlock()
+	go jm.run(rec)
+	return id, nil
+}
+
+// run executes (or resumes) one job: stages from the durable spec,
+// checkpoints in the job directory, the result blob written on success.
+func (jm *JobManager) run(rec *jobRecord) {
+	defer jm.wg.Done()
+	err := jm.execute(rec)
+	jm.mu.Lock()
+	if err != nil {
+		rec.State = JobFailed
+		rec.Error = err.Error()
+	} else {
+		rec.State = JobDone
+		rec.Error = ""
+	}
+	jm.persist(rec)
+	jm.mu.Unlock()
+}
+
+func (jm *JobManager) execute(rec *jobRecord) error {
+	p, err := jm.reg.profile(rec.Profile)
+	if err != nil {
+		return err
+	}
+	inputBlob, err := os.ReadFile(filepath.Join(jm.jobDir(rec.ID), "input.bin"))
+	if err != nil {
+		return err
+	}
+	initial, err := p.ctx.UnmarshalCiphertext(inputBlob)
+	if err != nil {
+		return err
+	}
+	stages := make([]bitpacker.PipelineStage, len(rec.Steps))
+	for i, st := range rec.Steps {
+		step := st
+		stages[i] = bitpacker.PipelineStage{
+			Name: fmt.Sprintf("%02d-%s", i, step.Op),
+			Run: func(ctx context.Context, state []*bitpacker.Ciphertext) ([]*bitpacker.Ciphertext, error) {
+				fhe := p.ctx.WithContext(ctx)
+				var out *bitpacker.Ciphertext
+				var err error
+				switch step.Op {
+				case OpSquare:
+					out, err = fhe.MulRescale(state[0], state[0])
+				case OpQuartic:
+					out, err = fhe.MulRescale(state[0], state[0])
+					if err == nil {
+						out, err = fhe.MulRescale(out, out)
+					}
+				case OpNegate:
+					out, err = fhe.Neg(state[0])
+				case OpOffset:
+					out, err = fhe.AddConst(state[0], uniformVec(fhe.Slots(), step.Arg))
+				case OpScale:
+					out, err = fhe.MulConst(state[0], uniformVec(fhe.Slots(), step.Arg))
+					if err == nil {
+						out, err = fhe.Rescale(out)
+					}
+				default:
+					err = fmt.Errorf("serve: unknown op %q", step.Op)
+				}
+				if err != nil {
+					return nil, err
+				}
+				return []*bitpacker.Ciphertext{out}, nil
+			},
+		}
+	}
+	final, report, err := p.ctx.RunPipeline(context.Background(), stages, []*bitpacker.Ciphertext{initial},
+		bitpacker.PipelineOptions{CheckpointDir: filepath.Join(jm.jobDir(rec.ID), "checkpoints")})
+	jm.mu.Lock()
+	rec.ResumedFrom = report.ResumedFrom
+	rec.StagesRun = report.StagesRun
+	jm.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	outBlob, err := p.ctx.MarshalCiphertext(final[0])
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(filepath.Join(jm.jobDir(rec.ID), "output.bin"), outBlob, 0o644)
+}
+
+// uniformVec is a constant vector with v in every slot.
+func uniformVec(slots int, v float64) []complex128 {
+	vec := make([]complex128, slots)
+	for i := range vec {
+		vec[i] = complex(v, 0)
+	}
+	return vec
+}
+
+// Status returns a copy of the job's current record.
+func (jm *JobManager) Status(id string) (jobRecord, error) {
+	jm.mu.Lock()
+	defer jm.mu.Unlock()
+	rec, ok := jm.jobs[id]
+	if !ok {
+		return jobRecord{}, fmt.Errorf("serve: unknown job %q", id)
+	}
+	return *rec, nil
+}
+
+// Result returns a finished job's output ciphertext blob.
+func (jm *JobManager) Result(id string) ([]byte, error) {
+	rec, err := jm.Status(id)
+	if err != nil {
+		return nil, err
+	}
+	if rec.State != JobDone {
+		return nil, fmt.Errorf("serve: job %s is %s", id, rec.State)
+	}
+	return os.ReadFile(filepath.Join(jm.jobDir(id), "output.bin"))
+}
+
+// Close stops intake and waits for in-flight jobs to finish (their
+// checkpoints make even a hard kill resumable, but a clean close leaves
+// them durably done or failed, never ambiguously running).
+func (jm *JobManager) Close() {
+	jm.mu.Lock()
+	jm.closed = true
+	jm.mu.Unlock()
+	jm.wg.Wait()
+}

@@ -1,0 +1,276 @@
+package serve
+
+import (
+	"bytes"
+	"math"
+	"testing"
+	"time"
+
+	"bitpacker"
+)
+
+// packProfile builds a one-profile registry sized for the property
+// tests: 256 slots, 32-slot windows (8 tenants per packed ciphertext).
+func packProfile(t *testing.T, scheme bitpacker.Scheme) (*Registry, *profile) {
+	t.Helper()
+	reg, err := NewRegistry([]ProfileConfig{{
+		Name: "p",
+		Params: bitpacker.Config{
+			Scheme:        scheme,
+			LogN:          9,
+			Levels:        3,
+			ScaleBits:     40,
+			QMinBits:      48,
+			WordBits:      61,
+			Seed:          11,
+			KeyCacheBytes: 8 << 20,
+		},
+		Window:        32,
+		MaxBatch:      8,
+		FlushInterval: 50 * time.Millisecond,
+		QueueDepth:    64,
+		Packing:       true,
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := reg.profile("p")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return reg, p
+}
+
+// tenantInput builds tenant ti's plaintext: its values in its window,
+// zero everywhere else (the placement contract registration hands out).
+// A nil values slice is the all-zeros tenant used by the bleed check.
+func tenantInput(p *profile, ti int, values []float64) []float64 {
+	in := make([]float64, p.ctx.Slots())
+	base := ti * p.cfg.Window
+	for i, v := range values {
+		in[base+i] = v
+	}
+	return in
+}
+
+// tenantValues is the deterministic per-tenant payload.
+func tenantValues(ti, n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = 0.01 * float64(ti+1) * float64(i%7+1)
+	}
+	return out
+}
+
+// buildBatch registers tenants 0..n-1, encrypts each one's input, and
+// returns the requests ready for the scheduler's internal entry points.
+func buildBatch(t *testing.T, p *profile, op string, args []float64, inputs [][]float64) []*evalRequest {
+	t.Helper()
+	batch := make([]*evalRequest, len(inputs))
+	for ti, in := range inputs {
+		ten := p.register(tenantName(ti))
+		ct, err := p.ctx.EncryptReal(tenantInput(p, ten.window, in))
+		if err != nil {
+			t.Fatal(err)
+		}
+		batch[ti] = &evalRequest{
+			tenant: ten,
+			op:     op,
+			arg:    args[ti],
+			ct:     ct,
+			level:  ct.Level(),
+			scale:  ct.ScaleLog2(),
+			done:   make(chan evalOutcome, 1),
+		}
+	}
+	return batch
+}
+
+func tenantName(i int) string {
+	return string(rune('a' + i))
+}
+
+// expected applies op in the clear.
+func expected(op string, arg float64, v []float64) []float64 {
+	out := make([]float64, len(v))
+	for i, x := range v {
+		switch op {
+		case OpSquare:
+			out[i] = x * x
+		case OpQuartic:
+			out[i] = x * x * x * x
+		case OpScale:
+			out[i] = arg * x
+		case OpOffset:
+			out[i] = x + arg
+		case OpNegate:
+			out[i] = -x
+		}
+	}
+	return out
+}
+
+// TestPackedMatchesSoloAndPlain is the packing property test: for every
+// op and both backends, a full 8-tenant packed batch must (a) agree
+// with the solo one-request-per-ciphertext path per tenant, (b) agree
+// with the plaintext computation, and (c) leak nothing across slot
+// windows — co-tenant slots decrypt to zero, and a tenant that
+// submitted zeros gets zeros back even when batch-mates carried data.
+func TestPackedMatchesSoloAndPlain(t *testing.T) {
+	for _, scheme := range []bitpacker.Scheme{bitpacker.BitPacker, bitpacker.RNSCKKS} {
+		for _, op := range []string{OpSquare, OpQuartic, OpScale, OpOffset, OpNegate} {
+			t.Run(schemeName(scheme)+"/"+op, func(t *testing.T) {
+				reg, p := packProfile(t, scheme)
+				defer reg.Close()
+				w := p.cfg.Window
+
+				args := make([]float64, 8)
+				inputs := make([][]float64, 8)
+				for ti := range inputs {
+					args[ti] = 0.5 + 0.25*float64(ti)
+					inputs[ti] = tenantValues(ti, w)
+				}
+				inputs[5] = make([]float64, w) // the all-zeros tenant
+
+				// Packed path.
+				batch := buildBatch(t, p, op, args, inputs)
+				if err := p.sched.evalPacked(batch); err != nil {
+					t.Fatalf("evalPacked: %v", err)
+				}
+				packed := make([][]float64, 8)
+				for ti, r := range batch {
+					out := <-r.done
+					if out.err != nil {
+						t.Fatalf("tenant %d: %v", ti, out.err)
+					}
+					if !out.packed {
+						t.Fatalf("tenant %d outcome not marked packed", ti)
+					}
+					vals, err := p.ctx.DecryptReal(out.ct)
+					if err != nil {
+						t.Fatal(err)
+					}
+					packed[ti] = vals
+				}
+
+				// Solo path over fresh encryptions of the same inputs.
+				solo := make([][]float64, 8)
+				for ti, r := range buildBatch(t, p, op, args, inputs) {
+					p.sched.evalSolo(r)
+					out := <-r.done
+					if out.err != nil {
+						t.Fatalf("solo tenant %d: %v", ti, out.err)
+					}
+					vals, err := p.ctx.DecryptReal(out.ct)
+					if err != nil {
+						t.Fatal(err)
+					}
+					solo[ti] = vals
+				}
+
+				for ti := 0; ti < 8; ti++ {
+					want := expected(op, args[ti], inputs[ti])
+					for i := 0; i < w; i++ {
+						if d := math.Abs(packed[ti][i] - want[i]); d > 1e-2 {
+							t.Fatalf("tenant %d slot %d: packed %v, plain %v (|d|=%g)",
+								ti, i, packed[ti][i], want[i], d)
+						}
+						if d := math.Abs(packed[ti][i] - solo[ti][i]); d > 1e-3 {
+							t.Fatalf("tenant %d slot %d: packed %v, solo %v (|d|=%g)",
+								ti, i, packed[ti][i], solo[ti][i], d)
+						}
+					}
+					// No cross-tenant bleed: everything outside [0, w) is
+					// masked to zero before the response leaves the scheduler.
+					for i := w; i < len(packed[ti]); i++ {
+						if math.Abs(packed[ti][i]) > 1e-4 {
+							t.Fatalf("tenant %d: co-tenant slot %d leaked %v",
+								ti, i, packed[ti][i])
+						}
+					}
+				}
+				// The zero-input tenant saw none of its batch-mates' data.
+				if op != OpOffset { // offset legitimately writes arg into the window
+					for i := 0; i < w; i++ {
+						if math.Abs(packed[5][i]) > 1e-4 {
+							t.Fatalf("zero tenant slot %d bled %v", i, packed[5][i])
+						}
+					}
+				}
+			})
+		}
+	}
+}
+
+func schemeName(s bitpacker.Scheme) string {
+	if s == bitpacker.BitPacker {
+		return "bitpacker"
+	}
+	return "rnsckks"
+}
+
+// TestPackedDeterministicAcrossWorkers: the packed evaluation of a
+// fixed batch is byte-identical under 1 and 4 engine workers, for both
+// backends — worker-count reproducibility survives the serving layer.
+func TestPackedDeterministicAcrossWorkers(t *testing.T) {
+	defer bitpacker.SetWorkers(0)
+	for _, scheme := range []bitpacker.Scheme{bitpacker.BitPacker, bitpacker.RNSCKKS} {
+		blobs := map[int][][]byte{}
+		for _, workers := range []int{1, 4} {
+			bitpacker.SetWorkers(workers)
+			reg, p := packProfile(t, scheme)
+			args := make([]float64, 4)
+			inputs := make([][]float64, 4)
+			for ti := range inputs {
+				args[ti] = 1
+				inputs[ti] = tenantValues(ti, p.cfg.Window)
+			}
+			batch := buildBatch(t, p, OpSquare, args, inputs)
+			if err := p.sched.evalPacked(batch); err != nil {
+				t.Fatal(err)
+			}
+			for _, r := range batch {
+				out := <-r.done
+				if out.err != nil {
+					t.Fatal(out.err)
+				}
+				blob, err := p.ctx.MarshalCiphertext(out.ct)
+				if err != nil {
+					t.Fatal(err)
+				}
+				blobs[workers] = append(blobs[workers], blob)
+			}
+			reg.Close()
+		}
+		for i := range blobs[1] {
+			if !bytes.Equal(blobs[1][i], blobs[4][i]) {
+				t.Fatalf("%s: tenant %d packed result differs between 1 and 4 workers",
+					schemeName(scheme), i)
+			}
+		}
+	}
+}
+
+// TestCompatibleRejectsWindowCollision: two requests on the same slot
+// window must never ride one batch (their adds would overlap), and
+// mismatched op/level/scale must not coalesce either.
+func TestCompatibleRejectsWindowCollision(t *testing.T) {
+	a := &evalRequest{tenant: &tenant{window: 0}, op: OpSquare, level: 3, scale: 40}
+	b := &evalRequest{tenant: &tenant{window: 1}, op: OpSquare, level: 3, scale: 40}
+	if !compatible([]*evalRequest{a}, b) {
+		t.Fatal("distinct windows, same shape: should be compatible")
+	}
+	sameWindow := &evalRequest{tenant: &tenant{window: 0}, op: OpSquare, level: 3, scale: 40}
+	if compatible([]*evalRequest{a}, sameWindow) {
+		t.Fatal("window collision accepted")
+	}
+	for _, r := range []*evalRequest{
+		{tenant: &tenant{window: 2}, op: OpNegate, level: 3, scale: 40},
+		{tenant: &tenant{window: 2}, op: OpSquare, level: 2, scale: 40},
+		{tenant: &tenant{window: 2}, op: OpSquare, level: 3, scale: 41},
+	} {
+		if compatible([]*evalRequest{a}, r) {
+			t.Fatalf("incompatible request coalesced: %+v", r)
+		}
+	}
+}
