@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench bench-smoke bench-smoke-baseline check clean panicgate fuzz-smoke chaos-soak serve-smoke serve-load
+.PHONY: all build vet test race bench bench-smoke bench-smoke-baseline check clean panicgate fuzz-smoke chaos-soak serve-smoke serve-load shard-soak shard-bench
 
 all: check
 
@@ -62,6 +62,18 @@ serve-smoke:
 # req/s and latency percentiles into BENCH_5.json.
 serve-load:
 	$(GO) run ./cmd/bpbench -serve-load BENCH_5.json
+
+# Shard soak: the supervised worker-process suite under the race
+# detector, repeated with shuffled order. TestShardSoak kills random
+# workers mid-job with SIGKILL; every repetition must finish with zero
+# lost or duplicated shards and outputs bit-identical to the serial run.
+shard-soak:
+	$(GO) test -race -count=3 -shuffle=on -run 'TestShard' -timeout 20m ./internal/shard/
+
+# Sharded-executor speedup bench: predicted (accelerator cost model) vs
+# measured (worker-fleet wall time) into BENCH_6.json.
+shard-bench:
+	$(GO) run ./cmd/bpbench -shard BENCH_6.json
 
 # Chaos soak: run the fault-injection and self-healing suites (RRNS
 # repair, op-level retry, checkpoint/resume) repeatedly with shuffled

@@ -9,6 +9,7 @@
 //	bpbench -json bench.json  # microbenchmark the host kernels, emit JSON
 //	bpbench -smoke BENCH_SMOKE.json           # fused/staged regression gate (CI)
 //	bpbench -smoke BENCH_SMOKE.json -smoke-update  # refresh the smoke baseline
+//	bpbench -shard BENCH_6.json    # sharded-executor speedup, predicted vs measured
 package main
 
 import (
@@ -19,9 +20,16 @@ import (
 	"time"
 
 	"bitpacker/internal/experiments"
+	"bitpacker/internal/shard/worker"
 )
 
 func main() {
+	// The shard bench and smoke gate use this binary as its own worker
+	// fleet: when the supervisor re-execs us with the shard environment
+	// set, hand the process to the worker loop before touching flags.
+	if worker.IsWorker() {
+		os.Exit(worker.Main())
+	}
 	quick := flag.Bool("quick", false, "trim sample counts and sweep grids")
 	exp := flag.String("exp", "", "comma-separated experiment ids (default: all)")
 	list := flag.Bool("list", false, "list experiment ids and exit")
@@ -31,7 +39,17 @@ func main() {
 	serveLoad := flag.String("serve-load", "", "run the multi-tenant serving-layer load generator and write packed-vs-solo records to this file")
 	serveTenants := flag.Int("serve-tenants", 8, "with -serve-load: concurrent tenants")
 	serveRequests := flag.Int("serve-requests", 200, "with -serve-load: total requests per mode")
+	shardPath := flag.String("shard", "", "run the sharded-executor speedup bench (predicted vs measured) and write records to this file")
+	shardWorkers := flag.Int("shard-workers", 3, "with -shard: worker-process fleet size")
 	flag.Parse()
+
+	if *shardPath != "" {
+		if err := runShardBench(*shardPath, *shardWorkers, *quick); err != nil {
+			fmt.Fprintf(os.Stderr, "shard-bench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *serveLoad != "" {
 		if err := runServeLoad(*serveLoad, *serveTenants, *serveRequests); err != nil {

@@ -1,0 +1,180 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"math/rand/v2"
+	"os"
+	"runtime"
+	"time"
+
+	"bitpacker"
+)
+
+// shardBenchRecord is one row of BENCH_6.json: the accelerator cost
+// model's planned speedup for a shard partition next to the speedup the
+// supervised worker fleet actually delivered on this host. The serial
+// baseline runs the identical program in-process with the same
+// per-engine parallelism a single fleet member gets, so the measured
+// ratio isolates what sharding adds (more processes) and what it costs
+// (spawn, per-worker keygen, checkpoint I/O).
+type shardBenchRecord struct {
+	Scheme               string  `json:"scheme"`
+	LogN                 int     `json:"log_n"`
+	Levels               int     `json:"levels"`
+	Ciphertexts          int     `json:"ciphertexts"`
+	Steps                int     `json:"steps"`
+	Workers              int     `json:"workers"`
+	Shards               int     `json:"shards"`
+	ShardSize            int     `json:"shard_size"`
+	EngineWorkers        int     `json:"engine_workers"`
+	HostCPUs             int     `json:"host_cpus"`
+	PredictedMicrosPerCt float64 `json:"predicted_micros_per_ct"`
+	PredictedSpeedup     float64 `json:"predicted_speedup"`
+	SerialMs             float64 `json:"serial_ms"`
+	ShardedMs            float64 `json:"sharded_ms"`
+	MeasuredSpeedup      float64 `json:"measured_speedup"`
+	Respawns             int64   `json:"respawns"`
+	Redispatches         int64   `json:"redispatches"`
+	DegradedShards       int64   `json:"degraded_shards"`
+}
+
+// runShardBench measures the fault-tolerant sharded executor against an
+// in-process serial run of the same program and writes BENCH_6.json.
+// The worker binary is this bpbench process re-exec'd (main routes
+// worker invocations before flag parsing), so the bench needs no
+// separately installed bpworker.
+func runShardBench(path string, workers int, quick bool) error {
+	exe, err := os.Executable()
+	if err != nil {
+		return err
+	}
+	logN, levels, cts := 11, 4, 48
+	if quick {
+		logN, cts = 10, 16
+	}
+	program := []bitpacker.ShardStep{
+		{Op: bitpacker.ShardOpSquare},
+		{Op: bitpacker.ShardOpScale, Arg: 1.25},
+		{Op: bitpacker.ShardOpOffset, Arg: 0.125},
+		{Op: bitpacker.ShardOpSquare},
+		{Op: bitpacker.ShardOpNegate},
+		{Op: bitpacker.ShardOpOffset, Arg: 1},
+	}
+
+	engineWorkers := runtime.NumCPU() / workers
+	if engineWorkers < 1 {
+		engineWorkers = 1
+	}
+
+	var records []shardBenchRecord
+	for _, scheme := range []bitpacker.Scheme{bitpacker.RNSCKKS, bitpacker.BitPacker} {
+		cfg := bitpacker.Config{
+			Scheme:    scheme,
+			LogN:      logN,
+			Levels:    levels,
+			ScaleBits: 40,
+			WordBits:  61,
+			Seed:      29,
+			Workers:   engineWorkers,
+		}
+		ctx, err := bitpacker.New(cfg)
+		if err != nil {
+			return fmt.Errorf("shard bench setup (%v): %w", scheme, err)
+		}
+		rng := rand.New(rand.NewPCG(7, 9))
+		inputs := make([]*bitpacker.Ciphertext, cts)
+		for i := range inputs {
+			vals := make([]complex128, ctx.Slots())
+			for j := range vals {
+				vals[j] = complex(2*rng.Float64()-1, 2*rng.Float64()-1)
+			}
+			ct, err := ctx.Encrypt(vals)
+			if err != nil {
+				return err
+			}
+			inputs[i] = ct
+		}
+
+		// Serial baseline: the whole batch through the same program in
+		// this process, with the parallelism one fleet member gets.
+		serialStart := time.Now()
+		serial := append([]*bitpacker.Ciphertext(nil), inputs...)
+		for _, step := range program {
+			serial, err = ctx.ApplyShardStep(step, serial)
+			if err != nil {
+				return fmt.Errorf("shard bench serial (%v): %w", scheme, err)
+			}
+		}
+		serialMs := float64(time.Since(serialStart).Microseconds()) / 1e3
+
+		shardStart := time.Now()
+		outs, report, err := ctx.RunSharded(context.Background(), program, inputs, bitpacker.ShardOptions{
+			Workers:       workers,
+			WorkerCommand: []string{exe},
+			EngineWorkers: engineWorkers,
+		})
+		if err != nil {
+			return fmt.Errorf("shard bench sharded (%v): %w", scheme, err)
+		}
+		shardedMs := float64(time.Since(shardStart).Microseconds()) / 1e3
+
+		// Differential gate: the fleet's outputs must be bit-identical to
+		// the serial run before its timing means anything.
+		for i := range serial {
+			a, err := ctx.MarshalCiphertext(serial[i])
+			if err != nil {
+				return err
+			}
+			b, err := ctx.MarshalCiphertext(outs[i])
+			if err != nil {
+				return err
+			}
+			if !bytes.Equal(a, b) {
+				return fmt.Errorf("shard bench (%v): sharded output %d differs from serial run", scheme, i)
+			}
+		}
+
+		rec := shardBenchRecord{
+			Scheme:               scheme.String(),
+			LogN:                 logN,
+			Levels:               levels,
+			Ciphertexts:          cts,
+			Steps:                len(program),
+			Workers:              report.Workers,
+			Shards:               report.Shards,
+			ShardSize:            report.ShardSizes[0],
+			EngineWorkers:        engineWorkers,
+			HostCPUs:             runtime.NumCPU(),
+			PredictedMicrosPerCt: report.PredictedMicrosPerCt,
+			PredictedSpeedup:     report.PredictedSpeedup,
+			SerialMs:             serialMs,
+			ShardedMs:            shardedMs,
+			MeasuredSpeedup:      serialMs / shardedMs,
+			Respawns:             report.Stats.Respawns,
+			Redispatches:         report.Stats.Redispatches,
+			DegradedShards:       report.Stats.DegradedEntries,
+		}
+		records = append(records, rec)
+		fmt.Printf("  shard %-10s %d cts x %d steps, %d workers (%d shards): serial %.1f ms, sharded %.1f ms, speedup %.2fx (model-planned %.2fx, %d host cpus)\n",
+			rec.Scheme, rec.Ciphertexts, rec.Steps, rec.Workers, rec.Shards,
+			rec.SerialMs, rec.ShardedMs, rec.MeasuredSpeedup, rec.PredictedSpeedup, rec.HostCPUs)
+		if rec.HostCPUs < rec.Workers {
+			fmt.Printf("  shard %-10s note: %d-cpu host cannot run %d workers in parallel; the measured ratio here is the fault-tolerance overhead, not the planned speedup\n",
+				rec.Scheme, rec.HostCPUs, rec.Workers)
+		}
+	}
+
+	data, err := json.MarshalIndent(records, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote shard bench records to %s\n", path)
+	return nil
+}

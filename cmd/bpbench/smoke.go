@@ -1,10 +1,14 @@
 package main
 
 import (
+	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
+	"math"
 	"math/rand/v2"
 	"os"
+	"time"
 
 	"bitpacker"
 )
@@ -22,12 +26,25 @@ type smokeBaseline struct {
 	// seed-compressed key set over the dense one, per scheme. Compression
 	// regressing — A halves sneaking back into residency — moves it up.
 	ResidentKeyBytesCompressedOverDense map[string]float64 `json:"resident_key_bytes_compressed_over_dense"`
+	// ShardedOverSerialWall is the wall-time ratio of the supervised
+	// worker-fleet execution over an in-process serial run of the same
+	// tiny program. On a CI box the fleet's fixed costs (spawn, seeded
+	// keygen, checkpoint I/O) dominate, so this is an overhead gate, not
+	// a speedup claim: bloat in the exchange protocol or checkpoint
+	// framing moves it up.
+	ShardedOverSerialWall map[string]float64 `json:"sharded_over_serial_wall"`
 }
 
 // smokeTolerance: fail when the measured ratio exceeds the baseline by
 // more than 10% (the issue's regression bar), with a little extra slack
 // absorbed by the median-of-interleaved-rounds measurement.
 const smokeTolerance = 1.10
+
+// shardSmokeTolerance is the looser bar for the sharded-executor
+// overhead ratio: process spawn and per-worker keygen timings are far
+// noisier than in-process kernel loops, so only a large (≥50%) overhead
+// regression trips the gate.
+const shardSmokeTolerance = 1.5
 
 // runBenchSmoke is the CI regression gate: at tiny parameters it checks
 // that the fused and staged MulRescale paths decrypt to exactly the same
@@ -153,10 +170,16 @@ func runBenchSmoke(path string, update bool) error {
 		fmt.Printf("  smoke keys       %-10s compressed/dense resident bytes %.3f\n", scheme.String(), keyRatio)
 	}
 
+	shardRatios, err := smokeShardRatios()
+	if err != nil {
+		return err
+	}
+
 	if update {
 		data, err := json.MarshalIndent(smokeBaseline{
 			MulRescaleFusedOverStaged:           measured,
 			ResidentKeyBytesCompressedOverDense: keyRatios,
+			ShardedOverSerialWall:               shardRatios,
 		}, "", "  ")
 		if err != nil {
 			return err
@@ -201,5 +224,115 @@ func runBenchSmoke(path string, update bool) error {
 		fmt.Printf("  smoke keys %-10s ratio %.3f within %.0f%% of baseline %.3f\n",
 			scheme, got, 100*(smokeTolerance-1), want)
 	}
+	for scheme, got := range shardRatios {
+		want, ok := base.ShardedOverSerialWall[scheme]
+		if !ok {
+			return fmt.Errorf("smoke: baseline %s has no shard entry for %s (regenerate with -smoke-update)", path, scheme)
+		}
+		if got > want*shardSmokeTolerance {
+			return fmt.Errorf("smoke: sharded/serial wall ratio regressed on %s: %.3f vs baseline %.3f (+%.0f%% > %.0f%% bar)",
+				scheme, got, want, 100*(got/want-1), 100*(shardSmokeTolerance-1))
+		}
+		fmt.Printf("  smoke shard %-10s ratio %.3f within %.0f%% of baseline %.3f\n",
+			scheme, got, 100*(shardSmokeTolerance-1), want)
+	}
 	return nil
+}
+
+// smokeShardRatios measures the sharded executor's wall-time overhead
+// over an in-process serial run of the same program, per scheme. The
+// sharded outputs are checked bit-identical against the serial ones
+// first — a wrong answer fails the gate outright, a slow one only moves
+// the ratio. Best-of-three timings on both sides damp spawn jitter.
+func smokeShardRatios() (map[string]float64, error) {
+	exe, err := os.Executable()
+	if err != nil {
+		return nil, err
+	}
+	program := []bitpacker.ShardStep{
+		{Op: bitpacker.ShardOpSquare},
+		{Op: bitpacker.ShardOpOffset, Arg: 0.5},
+		{Op: bitpacker.ShardOpScale, Arg: 1.25},
+	}
+	const cts = 16
+	ratios := map[string]float64{}
+	for _, scheme := range []bitpacker.Scheme{bitpacker.RNSCKKS, bitpacker.BitPacker} {
+		// The worker fleet rebuilds this context from its seed, so the
+		// config must be fully deterministic (unlike the kernel-loop
+		// contexts above, which never leave the process).
+		ctx, err := bitpacker.New(bitpacker.Config{
+			Scheme:    scheme,
+			LogN:      10,
+			Levels:    3,
+			ScaleBits: 40,
+			WordBits:  61,
+			Seed:      17,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("shard smoke setup (%v): %w", scheme, err)
+		}
+		rng := rand.New(rand.NewPCG(3, 5))
+		inputs := make([]*bitpacker.Ciphertext, cts)
+		for i := range inputs {
+			vals := make([]complex128, ctx.Slots())
+			for j := range vals {
+				vals[j] = complex(2*rng.Float64()-1, 2*rng.Float64()-1)
+			}
+			ct, err := ctx.Encrypt(vals)
+			if err != nil {
+				return nil, err
+			}
+			inputs[i] = ct
+		}
+
+		var serial []*bitpacker.Ciphertext
+		serialWall := math.Inf(1)
+		for round := 0; round < 3; round++ {
+			start := time.Now()
+			state := append([]*bitpacker.Ciphertext(nil), inputs...)
+			for _, step := range program {
+				state, err = ctx.ApplyShardStep(step, state)
+				if err != nil {
+					return nil, fmt.Errorf("shard smoke serial (%v): %w", scheme, err)
+				}
+			}
+			serialWall = math.Min(serialWall, float64(time.Since(start).Nanoseconds()))
+			serial = state
+		}
+
+		var sharded []*bitpacker.Ciphertext
+		shardedWall := math.Inf(1)
+		for round := 0; round < 3; round++ {
+			start := time.Now()
+			outs, _, err := ctx.RunSharded(context.Background(), program, inputs, bitpacker.ShardOptions{
+				Workers:       2,
+				WorkerCommand: []string{exe},
+			})
+			if err != nil {
+				return nil, fmt.Errorf("shard smoke sharded (%v): %w", scheme, err)
+			}
+			shardedWall = math.Min(shardedWall, float64(time.Since(start).Nanoseconds()))
+			sharded = outs
+		}
+
+		for i := range serial {
+			a, err := ctx.MarshalCiphertext(serial[i])
+			if err != nil {
+				return nil, err
+			}
+			b, err := ctx.MarshalCiphertext(sharded[i])
+			if err != nil {
+				return nil, err
+			}
+			if !bytes.Equal(a, b) {
+				return nil, fmt.Errorf("shard smoke (%v): sharded output %d differs from serial run", scheme, i)
+			}
+		}
+
+		ratio := shardedWall / serialWall
+		ratios[scheme.String()] = ratio
+		fmt.Printf("  smoke shard      %-10s serial %.1f ms, sharded %.1f ms, ratio %.3f\n",
+			scheme.String(), serialWall/1e6, shardedWall/1e6, ratio)
+	}
+	return ratios, nil
 }

@@ -45,6 +45,7 @@ func main() {
 	noPack := flag.Bool("nopack", false, "disable slot packing (solo evaluation)")
 	jobDir := flag.String("jobdir", "", "durable job state directory (empty = jobs disabled)")
 	retries := flag.Int("retries", 3, "op-level retry attempts for detected faults")
+	shardWorkers := flag.Int("shard-workers", 0, "run long jobs on this many supervised bpworker processes (0 = in-process)")
 	flag.Parse()
 
 	sc := bitpacker.BitPacker
@@ -73,6 +74,7 @@ func main() {
 			Packing:       !*noPack,
 		}},
 		JobDir: *jobDir,
+		Shard:  serve.JobShardOptions{Workers: *shardWorkers},
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)

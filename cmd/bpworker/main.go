@@ -1,0 +1,21 @@
+// Command bpworker is the shard worker process forked by the sharded
+// execution supervisor (Context.RunSharded). It is not meant to be run
+// by hand: the supervisor passes the job exchange directory and protocol
+// parameters through the environment and speaks line-delimited JSON over
+// stdin/stdout. See DESIGN.md "Sharded execution & supervision".
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"bitpacker/internal/shard/worker"
+)
+
+func main() {
+	if !worker.IsWorker() {
+		fmt.Fprintln(os.Stderr, "bpworker: must be spawned by the shard supervisor (BITPACKER_SHARD_DIR is not set)")
+		os.Exit(2)
+	}
+	os.Exit(worker.Main())
+}

@@ -106,6 +106,13 @@ func (s *DirStore) path(stage int) string {
 	return filepath.Join(s.dir, fmt.Sprintf("stage-%06d.ckpt", stage))
 }
 
+// DirStorePath returns the checkpoint file a DirStore rooted at dir uses
+// for a stage — exposed so fault injectors and inspection tools can
+// address a durable artifact without reimplementing the naming scheme.
+func DirStorePath(dir string, stage int) string {
+	return (&DirStore{dir: dir}).path(stage)
+}
+
 // Put writes the framed checkpoint to a temp file and renames it over
 // the stage's path.
 func (s *DirStore) Put(stage int, name string, payload []byte) error {

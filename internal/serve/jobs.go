@@ -45,15 +45,39 @@ type jobRecord struct {
 	// ResumedFrom and StagesRun echo the last run's PipelineReport.
 	ResumedFrom int `json:"resumed_from"`
 	StagesRun   int `json:"stages_run"`
+	// Sharded-execution summary (present when the manager runs jobs
+	// through supervised worker processes).
+	Shards         int   `json:"shards,omitempty"`
+	Respawns       int64 `json:"respawns,omitempty"`
+	Redispatches   int64 `json:"redispatches,omitempty"`
+	DegradedShards int64 `json:"degraded_shards,omitempty"`
 }
 
-// JobManager runs long jobs through Context.RunPipeline with durable
-// per-stage checkpoints: a job interrupted by a crash or restart is
-// rescanned at startup and resumed from its latest intact checkpoint
-// rather than recomputed.
+// JobShardOptions routes long jobs through fault-tolerant sharded
+// execution (Context.RunSharded): the job runs in supervised bpworker
+// processes with heartbeat failover and checkpointed re-dispatch, so a
+// crashed or hung worker no longer means a dead job. Workers <= 0 keeps
+// the single-process RunPipeline path.
+type JobShardOptions struct {
+	// Workers is the worker-process count per job.
+	Workers int
+	// WorkerCommand overrides worker-binary resolution (default: the
+	// BITPACKER_BPWORKER environment variable, then bpworker on PATH,
+	// else degraded in-process execution).
+	WorkerCommand []string
+	// WorkerEnv is appended to every worker's environment.
+	WorkerEnv []string
+}
+
+// JobManager runs long jobs with durable per-stage checkpoints: a job
+// interrupted by a crash or restart is rescanned at startup and resumed
+// from its latest intact checkpoint rather than recomputed. With
+// sharding enabled the stages execute in supervised worker processes
+// (Context.RunSharded); otherwise in-process via Context.RunPipeline.
 type JobManager struct {
-	dir string
-	reg *Registry
+	dir   string
+	reg   *Registry
+	shard JobShardOptions
 
 	mu     sync.Mutex
 	jobs   map[string]*jobRecord
@@ -64,11 +88,11 @@ type JobManager struct {
 
 // NewJobManager opens (or creates) the job state directory and resumes
 // any job left in the running state by a previous process.
-func NewJobManager(dir string, reg *Registry) (*JobManager, error) {
+func NewJobManager(dir string, reg *Registry, shard JobShardOptions) (*JobManager, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, err
 	}
-	jm := &JobManager{dir: dir, reg: reg, jobs: map[string]*jobRecord{}}
+	jm := &JobManager{dir: dir, reg: reg, shard: shard, jobs: map[string]*jobRecord{}}
 	entries, err := os.ReadDir(dir)
 	if err != nil {
 		return nil, err
@@ -210,6 +234,9 @@ func (jm *JobManager) execute(rec *jobRecord) error {
 	if err != nil {
 		return err
 	}
+	if jm.shard.Workers > 0 {
+		return jm.executeSharded(rec, p, initial)
+	}
 	stages := make([]bitpacker.PipelineStage, len(rec.Steps))
 	for i, st := range rec.Steps {
 		step := st
@@ -251,6 +278,39 @@ func (jm *JobManager) execute(rec *jobRecord) error {
 	jm.mu.Lock()
 	rec.ResumedFrom = report.ResumedFrom
 	rec.StagesRun = report.StagesRun
+	jm.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	outBlob, err := p.ctx.MarshalCiphertext(final[0])
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(filepath.Join(jm.jobDir(rec.ID), "output.bin"), outBlob, 0o644)
+}
+
+// executeSharded runs the job's steps through supervised worker
+// processes. The exchange directory lives inside the job directory, so a
+// server restart resumes from the finished shards' durable outputs, and
+// the serve op vocabulary maps 1:1 onto the shard program ops.
+func (jm *JobManager) executeSharded(rec *jobRecord, p *profile, initial *bitpacker.Ciphertext) error {
+	program := make([]bitpacker.ShardStep, len(rec.Steps))
+	for i, st := range rec.Steps {
+		program[i] = bitpacker.ShardStep{Op: st.Op, Arg: st.Arg}
+	}
+	final, report, err := p.ctx.RunSharded(context.Background(), program,
+		[]*bitpacker.Ciphertext{initial}, bitpacker.ShardOptions{
+			Dir:           filepath.Join(jm.jobDir(rec.ID), "shards"),
+			Workers:       jm.shard.Workers,
+			WorkerCommand: jm.shard.WorkerCommand,
+			WorkerEnv:     jm.shard.WorkerEnv,
+		})
+	jm.mu.Lock()
+	rec.Shards = report.Shards
+	rec.Respawns = report.Stats.Respawns
+	rec.Redispatches = report.Stats.Redispatches
+	rec.DegradedShards = report.Stats.LocalShards
+	rec.StagesRun = len(rec.Steps)
 	jm.mu.Unlock()
 	if err != nil {
 		return err

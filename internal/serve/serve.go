@@ -22,6 +22,10 @@ type Options struct {
 	// MaxBlobBytes bounds a single uploaded ciphertext blob. Defaults
 	// to DefaultMaxBlobBytes.
 	MaxBlobBytes uint32
+	// Shard routes long jobs through fault-tolerant sharded execution
+	// across supervised worker processes (see JobShardOptions). Zero
+	// value keeps the in-process pipeline path.
+	Shard JobShardOptions
 }
 
 // Server is the multi-tenant FHE serving layer: tenant registration,
@@ -50,7 +54,7 @@ func NewServer(opts Options) (*Server, error) {
 		s.maxBlob = DefaultMaxBlobBytes
 	}
 	if opts.JobDir != "" {
-		jm, err := NewJobManager(opts.JobDir, reg)
+		jm, err := NewJobManager(opts.JobDir, reg, opts.Shard)
 		if err != nil {
 			reg.Close()
 			return nil, err

@@ -1,0 +1,146 @@
+// Package shard supervises a fleet of disposable worker processes that
+// execute a job's shards, and keeps the job alive under process-level
+// faults: crashed workers are respawned with backoff behind a per-worker
+// circuit breaker, hung workers are detected by heartbeat deadline and
+// SIGKILLed, and a dead worker's leased shards are re-dispatched to
+// survivors, who resume from the shard's last durable checkpoint. When
+// no worker can be kept alive the supervisor degrades to in-process
+// execution rather than failing the job.
+//
+// The package is deliberately generic: it moves opaque shard IDs, not
+// ciphertexts. The caller supplies callbacks that validate a completed
+// shard's output, heal a shard's input, and execute a shard in-process
+// (degraded mode); the bitpacker root package wires those to the
+// checkpoint DirStore + v2 serialization substrate in Context.RunSharded,
+// and internal/shard/worker implements the worker side of the protocol.
+// Keeping ciphertext types out of this package is what lets the root
+// package import it without a cycle.
+package shard
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// Environment keys the supervisor sets on spawned workers. A process
+// started with EnvDir in its environment is a shard worker and must speak
+// the stdin/stdout protocol below instead of running its normal main.
+const (
+	// EnvDir is the job exchange directory (holds job.json, in/, out/,
+	// ckpt/, chaos/).
+	EnvDir = "BITPACKER_SHARD_DIR"
+	// EnvWorkerID is the supervisor's slot index for this worker.
+	EnvWorkerID = "BITPACKER_SHARD_WORKER_ID"
+	// EnvBeatMs is the heartbeat period in milliseconds.
+	EnvBeatMs = "BITPACKER_SHARD_BEAT_MS"
+	// EnvWorkerBin, when set, names the worker executable Context.RunSharded
+	// spawns (checked before bpworker on PATH).
+	EnvWorkerBin = "BITPACKER_BPWORKER"
+)
+
+// Message types of the line-delimited JSON protocol. The supervisor
+// writes to the worker's stdin, the worker answers on stdout; stderr is
+// captured for crash diagnostics. Heartbeats ride the same stdout stream
+// so a single pipe closure is the complete death signal.
+const (
+	// Supervisor -> worker.
+	MsgAssign = "assign" // run shard Msg.Shard
+	MsgDrain  = "drain"  // finish nothing new, exit 0
+
+	// Worker -> supervisor.
+	MsgReady = "ready" // context built, accepting assignments
+	MsgBeat  = "beat"  // liveness; Shard/Step report progress
+	MsgDone  = "done"  // shard Msg.Shard output durably written
+	MsgFail  = "fail"  // shard Msg.Shard failed with Class/Err
+)
+
+// Failure classes carried by MsgFail. The supervisor maps them back to
+// the typed-error taxonomy: a canceled worker is never charged to the
+// circuit breaker as a crash.
+const (
+	ClassCanceled = "canceled"
+	ClassFault    = "fault"
+)
+
+// Msg is one protocol line.
+type Msg struct {
+	Type  string `json:"t"`
+	Shard int    `json:"shard,omitempty"`
+	Step  int    `json:"step,omitempty"`
+	Class string `json:"class,omitempty"`
+	Err   string `json:"err,omitempty"`
+}
+
+// CrashExitCode is the exit status a worker uses for an induced fatal
+// fault (chaos injection); any abnormal exit is treated the same way.
+const CrashExitCode = 13
+
+// JobFile is the durable job description at Dir/job.json. Config and
+// Program are opaque to this package (the root package marshals its
+// Config and ShardStep program into them; the worker unmarshals both and
+// rebuilds a bit-identical Context from the same seed).
+type JobFile struct {
+	Version int             `json:"version"`
+	// Fingerprint hashes config+program+inputs; a mismatch against an
+	// existing exchange directory means stale state from a different job
+	// and everything under it is cleared before reuse.
+	Fingerprint uint64          `json:"fingerprint"`
+	Config      json.RawMessage `json:"config"`
+	Program     json.RawMessage `json:"program"`
+	// Shards lists the per-shard input sizes (shard i holds Shards[i]
+	// ciphertexts); its length is the shard count.
+	Shards []int `json:"shards"`
+	// EngineWorkers caps each worker process's execution-engine
+	// parallelism so W processes don't oversubscribe the host.
+	EngineWorkers int `json:"engine_workers,omitempty"`
+}
+
+// JobFileVersion is the current JobFile schema version.
+const JobFileVersion = 1
+
+// Exchange-directory layout helpers. Inputs and outputs are
+// pipeline.DirStore checkpoint files keyed by shard ID; ckpt/ holds one
+// per-shard checkpoint directory the worker's pipeline resumes from.
+func InDir(root string) string              { return filepath.Join(root, "in") }
+func OutDir(root string) string             { return filepath.Join(root, "out") }
+func CkptDir(root string, shard int) string { return filepath.Join(root, "ckpt", fmt.Sprintf("shard-%04d", shard)) }
+func ChaosDir(root string) string           { return filepath.Join(root, "chaos") }
+
+func jobFilePath(root string) string { return filepath.Join(root, "job.json") }
+
+// WriteJobFile atomically persists the job description (temp file +
+// rename, like every other durable artifact in the exchange directory).
+func WriteJobFile(root string, jf JobFile) error {
+	data, err := json.MarshalIndent(jf, "", "  ")
+	if err != nil {
+		return fmt.Errorf("shard: marshal job file: %w", err)
+	}
+	tmp := jobFilePath(root) + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return fmt.Errorf("shard: write job file: %w", err)
+	}
+	if err := os.Rename(tmp, jobFilePath(root)); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("shard: publish job file: %w", err)
+	}
+	return nil
+}
+
+// ReadJobFile loads Dir/job.json. A missing file is reported as
+// os.ErrNotExist for the caller to distinguish from corruption.
+func ReadJobFile(root string) (JobFile, error) {
+	data, err := os.ReadFile(jobFilePath(root))
+	if err != nil {
+		return JobFile{}, err
+	}
+	var jf JobFile
+	if err := json.Unmarshal(data, &jf); err != nil {
+		return JobFile{}, fmt.Errorf("shard: job file: %w", err)
+	}
+	if jf.Version != JobFileVersion {
+		return JobFile{}, fmt.Errorf("shard: job file version %d (want %d)", jf.Version, JobFileVersion)
+	}
+	return jf, nil
+}

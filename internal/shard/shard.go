@@ -1,0 +1,724 @@
+package shard
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"sync"
+	"time"
+
+	"bitpacker/internal/engine"
+	"bitpacker/internal/fherr"
+)
+
+// Options tunes a supervised run.
+type Options struct {
+	// Dir is the job exchange directory (required); it is exported to
+	// workers via EnvDir.
+	Dir string
+	// Workers is the worker-process count (default 2). The supervisor
+	// never runs more slots than there are shards.
+	Workers int
+	// WorkerCommand is the argv of a worker process (required — the
+	// caller resolves bpworker/self-exec before calling Run).
+	WorkerCommand []string
+	// WorkerEnv is appended to the inherited environment of every worker.
+	WorkerEnv []string
+	// HeartbeatInterval is the worker beat period (default 250ms);
+	// HeartbeatTimeout is the deadline after which a silent worker is
+	// declared hung and SIGKILLed (default 8x the interval).
+	HeartbeatInterval time.Duration
+	HeartbeatTimeout  time.Duration
+	// ShardDeadline, when positive, bounds the wall time of one shard
+	// lease: a worker that heartbeats but makes no progress past it is
+	// treated exactly like a hang. Zero disables the bound.
+	ShardDeadline time.Duration
+	// Respawn is the per-worker-slot recovery policy, with
+	// engine.Retrier semantics: a crashed or hung worker is respawned
+	// with jittered exponential backoff up to MaxAttempts times per
+	// round, and BreakerThreshold consecutive exhausted rounds open that
+	// slot's circuit breaker and retire it. Zero values select the
+	// Retrier defaults.
+	Respawn engine.RetryPolicy
+	// ShardAttempts bounds how many times a shard that a live worker
+	// *reports* as failed (as opposed to dying while holding it) is
+	// re-dispatched before the job fails with ErrFaultUnrecovered
+	// (default 3). Broken leases never count against this budget.
+	ShardAttempts int
+	// DisableDegraded fails the job when every worker slot has been
+	// retired instead of falling back to in-process execution.
+	DisableDegraded bool
+	// Logf, when non-nil, receives one structured line per recovery
+	// action (spawn, respawn, hang kill, re-dispatch, degraded entry).
+	Logf func(format string, args ...any)
+	// OnSpawn, when non-nil, observes every worker process start —
+	// monitoring hooks and the chaos soak's random killer use it.
+	OnSpawn func(worker, pid int)
+}
+
+func (o Options) withDefaults() Options {
+	if o.Workers <= 0 {
+		o.Workers = 2
+	}
+	if o.HeartbeatInterval <= 0 {
+		o.HeartbeatInterval = 250 * time.Millisecond
+	}
+	if o.HeartbeatTimeout <= 0 {
+		o.HeartbeatTimeout = 8 * o.HeartbeatInterval
+	}
+	if o.ShardAttempts <= 0 {
+		o.ShardAttempts = 3
+	}
+	if o.Logf == nil {
+		o.Logf = func(string, ...any) {}
+	}
+	return o
+}
+
+// Stats counts the supervisor's recovery actions over one Run.
+type Stats struct {
+	// Spawns is every worker process start; Respawns is the subset that
+	// replaced a crashed or hung predecessor in the same slot.
+	Spawns   int64
+	Respawns int64
+	// Crashes counts abnormal worker exits; Hangs counts heartbeat- or
+	// shard-deadline kills (each hang also exits abnormally but is not
+	// double-counted as a crash).
+	Crashes int64
+	Hangs   int64
+	// HeartbeatMisses counts deadline checks that found a beat overdue
+	// by more than two intervals — late beats that may precede a hang.
+	HeartbeatMisses int64
+	// Redispatches counts shards returned to the queue because their
+	// worker died; LeasesStolen is the subset completed by a different
+	// worker than the one that lost them.
+	Redispatches int64
+	LeasesStolen int64
+	// ShardRetries counts re-dispatches after a live worker reported a
+	// shard failure (distinct from broken leases).
+	ShardRetries int64
+	// WorkersRetired counts slots whose circuit breaker opened (or whose
+	// spawn failed terminally); DegradedEntries counts falls back to
+	// in-process execution, and LocalShards the shards completed there.
+	WorkersRetired  int64
+	DegradedEntries int64
+	LocalShards     int64
+	// DuplicateDones counts completion reports for already-completed
+	// shards (a worker that finished just before its lease was broken) —
+	// detected and ignored, never double-applied.
+	DuplicateDones int64
+}
+
+// Callbacks connect the generic supervisor to the caller's shard
+// payloads.
+type Callbacks struct {
+	// ShardDone validates and collects a completed shard's durable
+	// output. An error (missing, corrupt, or undecodable output) turns
+	// the completion report into a shard failure.
+	ShardDone func(shard int) error
+	// HealInput, when non-nil, republishes a shard's input before a
+	// re-dispatch, so a corrupted input file cannot pin a shard down.
+	HealInput func(shard int) error
+	// ExecLocal runs one shard in-process — degraded mode's executor. It
+	// must be resumable from the shard's durable checkpoints, exactly
+	// like a worker.
+	ExecLocal func(ctx context.Context, shard int) error
+}
+
+// supervisor is the shared state of one Run.
+type supervisor struct {
+	opts Options
+	cb   Callbacks
+
+	mu          sync.Mutex
+	cond        *sync.Cond
+	pending     []int
+	leaseOwner  map[int]int  // shard -> slot holding its lease
+	brokenOwner map[int]int  // shard -> slot that last lost its lease
+	attempts    map[int]int  // worker-reported failures per shard
+	spawned     map[int]bool // slots that have spawned at least once
+	done        map[int]bool
+	doneCount   int
+	total       int
+	jobErr      error
+	canceled    bool
+	stats       Stats
+}
+
+// Run executes shards [0, total) across worker processes. done marks
+// shards already completed by a previous attempt (may be nil). Run
+// returns when every shard is complete, the job fails with a typed
+// error, or ctx is canceled.
+func Run(ctx context.Context, opts Options, total int, done []bool, cb Callbacks) (Stats, error) {
+	opts = opts.withDefaults()
+	if total <= 0 {
+		return Stats{}, fherr.Wrap(fherr.ErrInvalidParams, "shard: no shards")
+	}
+	if cb.ShardDone == nil || cb.ExecLocal == nil {
+		return Stats{}, fherr.Wrap(fherr.ErrInvalidParams, "shard: ShardDone and ExecLocal callbacks required")
+	}
+	s := &supervisor{
+		opts:        opts,
+		cb:          cb,
+		leaseOwner:  map[int]int{},
+		brokenOwner: map[int]int{},
+		attempts:    map[int]int{},
+		spawned:     map[int]bool{},
+		done:        map[int]bool{},
+		total:       total,
+	}
+	s.cond = sync.NewCond(&s.mu)
+	for i := 0; i < total; i++ {
+		if i < len(done) && done[i] {
+			s.done[i] = true
+			s.doneCount++
+		} else {
+			s.pending = append(s.pending, i)
+		}
+	}
+	if s.doneCount == total {
+		return s.stats, nil
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if len(opts.WorkerCommand) == 0 {
+		// No way to spawn workers at all: straight to degraded mode.
+		return s.finish(ctx, fmt.Errorf("shard: no worker command"))
+	}
+
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	go func() {
+		// Wake claim waiters when the job is canceled.
+		<-runCtx.Done()
+		s.mu.Lock()
+		s.canceled = true
+		s.cond.Broadcast()
+		s.mu.Unlock()
+	}()
+
+	slots := opts.Workers
+	if slots > total-s.doneCount {
+		slots = total - s.doneCount
+	}
+	var wg sync.WaitGroup
+	var lastWorkerErr error
+	var lastMu sync.Mutex
+	for i := 0; i < slots; i++ {
+		wg.Add(1)
+		go func(slot int) {
+			defer wg.Done()
+			if err := s.slotLoop(runCtx, slot); err != nil {
+				lastMu.Lock()
+				lastWorkerErr = err
+				lastMu.Unlock()
+			}
+		}(i)
+	}
+	wg.Wait()
+	return s.finish(ctx, lastWorkerErr)
+}
+
+// finish assesses the post-worker state and, when shards remain with no
+// worker to run them, enters degraded in-process execution.
+func (s *supervisor) finish(ctx context.Context, lastWorkerErr error) (Stats, error) {
+	s.mu.Lock()
+	jobErr, doneCount := s.jobErr, s.doneCount
+	s.mu.Unlock()
+	if jobErr != nil {
+		return s.snapshot(), jobErr
+	}
+	if err := ctx.Err(); err != nil {
+		return s.snapshot(), fherr.Wrap(fherr.ErrCanceled, "shard: job canceled (%v)", err)
+	}
+	if doneCount == s.total {
+		return s.snapshot(), nil
+	}
+	// Shards remain and every slot has exited: no worker could be kept
+	// alive. Degrade to in-process execution unless forbidden.
+	if s.opts.DisableDegraded {
+		if lastWorkerErr == nil {
+			lastWorkerErr = errors.New("no worker available")
+		}
+		return s.snapshot(), fmt.Errorf("shard: %d/%d shards unfinished with all workers retired: %w (last: %v)",
+			s.total-doneCount, s.total, fherr.ErrFaultUnrecovered, lastWorkerErr)
+	}
+	s.mu.Lock()
+	s.stats.DegradedEntries++
+	remaining := append([]int(nil), s.pending...)
+	for shard, slot := range s.leaseOwner {
+		// Leases of workers that died on the way out.
+		_ = slot
+		remaining = append(remaining, shard)
+	}
+	s.mu.Unlock()
+	s.opts.Logf("shard: action=degraded remaining=%d reason=%q", len(remaining), errString(lastWorkerErr))
+	for _, shard := range remaining {
+		if err := ctx.Err(); err != nil {
+			return s.snapshot(), fherr.Wrap(fherr.ErrCanceled, "shard: degraded run canceled (%v)", err)
+		}
+		if err := s.cb.ExecLocal(ctx, shard); err != nil {
+			return s.snapshot(), fmt.Errorf("shard: degraded shard %d: %w", shard, err)
+		}
+		s.mu.Lock()
+		s.done[shard] = true
+		s.doneCount++
+		s.stats.LocalShards++
+		s.mu.Unlock()
+		s.opts.Logf("shard: action=local-complete shard=%d", shard)
+	}
+	return s.snapshot(), nil
+}
+
+func errString(err error) string {
+	if err == nil {
+		return ""
+	}
+	return err.Error()
+}
+
+func (s *supervisor) snapshot() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+// claim blocks until a shard is available, leasing it to slot. ok=false
+// means there will never be more work for this slot (job done, failed,
+// or canceled) and the worker should be drained.
+func (s *supervisor) claim(slot int) (shard int, ok bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for {
+		if s.jobErr != nil || s.canceled || s.doneCount == s.total {
+			return 0, false
+		}
+		if len(s.pending) > 0 {
+			shard = s.pending[0]
+			s.pending = s.pending[1:]
+			s.leaseOwner[shard] = slot
+			return shard, true
+		}
+		s.cond.Wait()
+	}
+}
+
+// complete processes a worker's done report: validate the durable
+// output, then mark the shard finished. A failed validation is treated
+// as a reported shard failure (the output is corrupt or missing).
+func (s *supervisor) complete(slot, shard int) {
+	s.mu.Lock()
+	if s.done[shard] {
+		s.stats.DuplicateDones++
+		delete(s.leaseOwner, shard)
+		s.mu.Unlock()
+		s.opts.Logf("shard: action=duplicate-done worker=%d shard=%d", slot, shard)
+		return
+	}
+	s.mu.Unlock()
+
+	if err := s.cb.ShardDone(shard); err != nil {
+		s.opts.Logf("shard: action=output-rejected worker=%d shard=%d reason=%q", slot, shard, err.Error())
+		s.shardFailed(slot, shard, err)
+		return
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.done[shard] {
+		s.stats.DuplicateDones++
+	} else {
+		s.done[shard] = true
+		s.doneCount++
+		if prev, broken := s.brokenOwner[shard]; broken && prev != slot {
+			s.stats.LeasesStolen++
+		}
+	}
+	delete(s.leaseOwner, shard)
+	if s.doneCount == s.total {
+		s.cond.Broadcast()
+	}
+}
+
+// shardFailed handles a shard failure reported by a live worker (or a
+// rejected output): heal the input and re-dispatch, or fail the job once
+// the shard's attempt budget is spent.
+func (s *supervisor) shardFailed(slot, shard int, cause error) {
+	s.mu.Lock()
+	delete(s.leaseOwner, shard)
+	s.attempts[shard]++
+	attempts := s.attempts[shard]
+	exhausted := attempts >= s.opts.ShardAttempts
+	if exhausted && s.jobErr == nil {
+		s.jobErr = fmt.Errorf("shard: shard %d failed %d times: %w (last: %w)",
+			shard, attempts, fherr.ErrFaultUnrecovered, cause)
+	}
+	s.mu.Unlock()
+	if exhausted {
+		s.opts.Logf("shard: action=shard-exhausted worker=%d shard=%d attempts=%d reason=%q",
+			slot, shard, attempts, cause.Error())
+		s.wake()
+		return
+	}
+	if s.cb.HealInput != nil {
+		if err := s.cb.HealInput(shard); err != nil {
+			s.opts.Logf("shard: action=heal-input-failed shard=%d reason=%q", shard, err.Error())
+		}
+	}
+	s.mu.Lock()
+	s.pending = append(s.pending, shard)
+	s.stats.ShardRetries++
+	s.mu.Unlock()
+	s.opts.Logf("shard: action=shard-retry worker=%d shard=%d attempt=%d reason=%q",
+		slot, shard, attempts, cause.Error())
+	s.wake()
+}
+
+// releaseLease returns a dead worker's shard to the queue (re-dispatch
+// from its last durable checkpoint). Broken leases are free: they count
+// against the worker's breaker, not the shard's attempt budget.
+func (s *supervisor) releaseLease(slot int, shard int) {
+	if shard < 0 {
+		return
+	}
+	s.mu.Lock()
+	if owner, held := s.leaseOwner[shard]; !held || owner != slot {
+		s.mu.Unlock()
+		return
+	}
+	delete(s.leaseOwner, shard)
+	if !s.done[shard] {
+		s.pending = append(s.pending, shard)
+		s.brokenOwner[shard] = slot
+		s.stats.Redispatches++
+	}
+	s.mu.Unlock()
+	s.opts.Logf("shard: action=redispatch worker=%d shard=%d", slot, shard)
+	s.wake()
+}
+
+func (s *supervisor) wake() {
+	s.mu.Lock()
+	s.cond.Broadcast()
+	s.mu.Unlock()
+}
+
+func (s *supervisor) addStat(f func(*Stats)) {
+	s.mu.Lock()
+	f(&s.stats)
+	s.mu.Unlock()
+}
+
+// slotLoop keeps one worker slot alive: each Retrier round spawns and
+// runs a worker to clean completion, retrying crashes and hangs with
+// jittered backoff; consecutive exhausted rounds open the slot's breaker
+// and retire it. Cancellation always wins and is never charged as a
+// crash. Returns nil on clean drain, else the retirement cause.
+func (s *supervisor) slotLoop(ctx context.Context, slot int) error {
+	retrier := engine.NewRetrier(s.opts.Respawn)
+	for {
+		err := retrier.Do(ctx, fmt.Sprintf("shard-worker-%d", slot), func(actx context.Context) error {
+			return s.workerLife(actx, slot)
+		})
+		switch {
+		case err == nil:
+			return nil // clean drain
+		case errors.Is(err, fherr.ErrCanceled):
+			return nil // job canceled; not a worker fault
+		case errors.Is(err, fherr.ErrFaultUnrecovered):
+			// One round's respawn budget spent; the breaker counted it.
+			// Keep trying until the breaker opens.
+			s.opts.Logf("shard: action=respawn-round-exhausted worker=%d reason=%q", slot, err.Error())
+			continue
+		default:
+			// Breaker open, or a terminal spawn error (missing binary):
+			// retire the slot.
+			s.addStat(func(st *Stats) { st.WorkersRetired++ })
+			s.opts.Logf("shard: action=retire worker=%d reason=%q", slot, err.Error())
+			s.wake() // unblock peers if this was the last slot
+			return err
+		}
+	}
+}
+
+// procHandle wraps one spawned worker process with memoized Wait.
+type procHandle struct {
+	cmd      *exec.Cmd
+	stdin    io.WriteCloser
+	enc      *json.Encoder
+	msgs     chan Msg
+	readDone chan error // decoder finished (EOF = process death or closed pipe)
+	stderr   *boundedBuf
+	waitOnce sync.Once
+	waitErr  error
+}
+
+func (p *procHandle) wait() error {
+	p.waitOnce.Do(func() {
+		<-p.readDone // os/exec: never Wait while the stdout pipe is being read
+		p.waitErr = p.cmd.Wait()
+	})
+	return p.waitErr
+}
+
+func (p *procHandle) kill() {
+	if p.cmd.Process != nil {
+		p.cmd.Process.Kill()
+	}
+}
+
+func (p *procHandle) send(m Msg) error { return p.enc.Encode(m) }
+
+// boundedBuf retains the tail of worker stderr for crash diagnostics.
+type boundedBuf struct {
+	mu  sync.Mutex
+	buf []byte
+}
+
+func (b *boundedBuf) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	b.buf = append(b.buf, p...)
+	if len(b.buf) > 4096 {
+		b.buf = b.buf[len(b.buf)-4096:]
+	}
+	b.mu.Unlock()
+	return len(p), nil
+}
+
+func (b *boundedBuf) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return string(b.buf)
+}
+
+// spawn starts one worker process for the slot.
+func (s *supervisor) spawn(slot int) (*procHandle, error) {
+	argv := s.opts.WorkerCommand
+	cmd := exec.Command(argv[0], argv[1:]...)
+	cmd.Env = append(os.Environ(), s.opts.WorkerEnv...)
+	cmd.Env = append(cmd.Env,
+		fmt.Sprintf("%s=%s", EnvDir, s.opts.Dir),
+		fmt.Sprintf("%s=%d", EnvWorkerID, slot),
+		fmt.Sprintf("%s=%d", EnvBeatMs, s.opts.HeartbeatInterval.Milliseconds()),
+	)
+	stdin, err := cmd.StdinPipe()
+	if err != nil {
+		return nil, fmt.Errorf("shard: worker %d stdin: %w", slot, err)
+	}
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		return nil, fmt.Errorf("shard: worker %d stdout: %w", slot, err)
+	}
+	stderr := &boundedBuf{}
+	cmd.Stderr = stderr
+	if err := cmd.Start(); err != nil {
+		// A terminal environment problem (missing binary, not executable):
+		// deliberately NOT an engine fault, so the Retrier returns it
+		// unretried and the slot retires straight into degraded mode.
+		return nil, fmt.Errorf("shard: spawn worker %d (%q): %w", slot, argv[0], err)
+	}
+	p := &procHandle{
+		cmd:      cmd,
+		stdin:    stdin,
+		enc:      json.NewEncoder(stdin),
+		msgs:     make(chan Msg, 256),
+		readDone: make(chan error, 1),
+		stderr:   stderr,
+	}
+	go func() {
+		dec := json.NewDecoder(stdout)
+		for {
+			var m Msg
+			if err := dec.Decode(&m); err != nil {
+				p.readDone <- err
+				close(p.msgs)
+				return
+			}
+			p.msgs <- m
+		}
+	}()
+	return p, nil
+}
+
+// workerLife runs one worker process from spawn to exit. Return classes:
+// nil (clean drain), ErrCanceled (job canceled), ErrEngineFault-wrapped
+// (crash or hang — retryable, respawned by the slot's Retrier), other
+// (terminal spawn problem — retires the slot).
+func (s *supervisor) workerLife(ctx context.Context, slot int) error {
+	p, err := s.spawn(slot)
+	if err != nil {
+		return err
+	}
+	pid := p.cmd.Process.Pid
+	s.mu.Lock()
+	s.stats.Spawns++
+	respawn := s.spawned[slot]
+	s.spawned[slot] = true
+	if respawn {
+		s.stats.Respawns++
+	}
+	s.mu.Unlock()
+	action := "spawn"
+	if respawn {
+		action = "respawn"
+	}
+	s.opts.Logf("shard: action=%s worker=%d pid=%d", action, slot, pid)
+	if s.opts.OnSpawn != nil {
+		s.opts.OnSpawn(slot, pid)
+	}
+
+	cur := -1 // shard currently leased to this worker
+	// die centralizes death handling: kill, reap, release the lease, and
+	// classify (cancellation beats fault — the laundering fix mirrored
+	// from materializeA: a worker killed because the job was canceled
+	// must surface ErrCanceled, never count as a crash against the
+	// breaker).
+	die := func(kind string, cause error) error {
+		p.kill()
+		p.stdin.Close()
+		p.wait()
+		s.releaseLease(slot, cur)
+		if err := ctx.Err(); err != nil {
+			return fherr.Wrap(fherr.ErrCanceled, "shard: worker %d stopped by cancellation (%v)", slot, err)
+		}
+		switch kind {
+		case "hang":
+			s.addStat(func(st *Stats) { st.Hangs++ })
+		default:
+			s.addStat(func(st *Stats) { st.Crashes++ })
+		}
+		s.opts.Logf("shard: action=%s worker=%d pid=%d shard=%d reason=%q stderr=%q",
+			kind, slot, pid, cur, errString(cause), p.stderr.String())
+		return fherr.Wrap(fherr.ErrEngineFault, "shard: worker %d (pid %d) %s: %v", slot, pid, kind, cause)
+	}
+
+	lastBeat := time.Now()
+	curStart := time.Now()
+	ticker := time.NewTicker(s.opts.HeartbeatInterval)
+	defer ticker.Stop()
+
+	// awaitMsg multiplexes protocol messages with death, hang-deadline
+	// and cancellation signals. ok=false means fatal: the second return
+	// is the classified error.
+	awaitMsg := func() (Msg, bool, error) {
+		for {
+			select {
+			case m, open := <-p.msgs:
+				if !open {
+					werr := p.wait()
+					return Msg{}, false, die("crash", fmt.Errorf("process exited: %v", werr))
+				}
+				lastBeat = time.Now()
+				return m, true, nil
+			case <-ticker.C:
+				silent := time.Since(lastBeat)
+				if silent > s.opts.HeartbeatTimeout {
+					return Msg{}, false, die("hang", fmt.Errorf("no heartbeat for %v (deadline %v)", silent.Round(time.Millisecond), s.opts.HeartbeatTimeout))
+				}
+				if silent > 2*s.opts.HeartbeatInterval {
+					s.addStat(func(st *Stats) { st.HeartbeatMisses++ })
+					s.opts.Logf("shard: action=heartbeat-miss worker=%d pid=%d silent=%v", slot, pid, silent.Round(time.Millisecond))
+				}
+				if cur >= 0 && s.opts.ShardDeadline > 0 && time.Since(curStart) > s.opts.ShardDeadline {
+					return Msg{}, false, die("hang", fmt.Errorf("shard %d exceeded deadline %v", cur, s.opts.ShardDeadline))
+				}
+			case <-ctx.Done():
+				return Msg{}, false, die("canceled", ctx.Err())
+			}
+		}
+	}
+
+	// Startup: the worker builds its Context (keygen included) and says
+	// ready. The heartbeat goroutine is already beating during setup, so
+	// the ordinary deadline applies.
+	for {
+		m, ok, err := awaitMsg()
+		if !ok {
+			return err
+		}
+		if m.Type == MsgReady {
+			break
+		}
+		if m.Type != MsgBeat {
+			return die("crash", fmt.Errorf("protocol: %q before ready", m.Type))
+		}
+	}
+
+	for {
+		shard, more := s.claim(slot)
+		if !more {
+			// Drain: let the worker exit on its own, then reap it.
+			p.send(Msg{Type: MsgDrain})
+			p.stdin.Close()
+			drainDeadline := time.After(s.opts.HeartbeatTimeout)
+			for {
+				select {
+				case _, open := <-p.msgs:
+					if !open {
+						p.wait()
+						s.opts.Logf("shard: action=drain worker=%d pid=%d", slot, pid)
+						if err := ctx.Err(); err != nil {
+							return fherr.Wrap(fherr.ErrCanceled, "shard: worker %d drained after cancellation (%v)", slot, err)
+						}
+						return nil
+					}
+				case <-drainDeadline:
+					p.kill()
+					p.wait()
+					s.opts.Logf("shard: action=drain-kill worker=%d pid=%d", slot, pid)
+					return nil
+				}
+			}
+		}
+		cur = shard
+		curStart = time.Now()
+		if err := p.send(Msg{Type: MsgAssign, Shard: shard}); err != nil {
+			return die("crash", fmt.Errorf("assign write: %v", err))
+		}
+		for cur >= 0 {
+			m, ok, err := awaitMsg()
+			if !ok {
+				return err
+			}
+			switch m.Type {
+			case MsgBeat:
+				// Progress beats also push the shard deadline forward.
+				if m.Shard == cur && m.Step > 0 {
+					curStart = time.Now()
+				}
+			case MsgDone:
+				if m.Shard != cur {
+					return die("crash", fmt.Errorf("protocol: done for shard %d while leased %d", m.Shard, cur))
+				}
+				s.complete(slot, cur)
+				cur = -1
+			case MsgFail:
+				if m.Shard != cur {
+					return die("crash", fmt.Errorf("protocol: fail for shard %d while leased %d", m.Shard, cur))
+				}
+				if m.Class == ClassCanceled {
+					// The worker's own operation context was canceled. If
+					// the job is being canceled this is expected shutdown
+					// noise; either way it is not a crash and not a shard
+					// fault.
+					if err := ctx.Err(); err != nil {
+						return die("canceled", err)
+					}
+					s.opts.Logf("shard: action=worker-canceled worker=%d shard=%d reason=%q", slot, cur, m.Err)
+					s.releaseLease(slot, cur)
+					cur = -1
+					continue
+				}
+				s.shardFailed(slot, cur, fmt.Errorf("worker %d: %s", slot, m.Err))
+				cur = -1
+			default:
+				return die("crash", fmt.Errorf("protocol: unexpected %q", m.Type))
+			}
+		}
+	}
+}

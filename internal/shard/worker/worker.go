@@ -1,0 +1,211 @@
+// Package worker is the worker-process side of the shard protocol: a
+// process started with BITPACKER_SHARD_DIR in its environment rebuilds a
+// bit-identical FHE context from the job file's Config (deterministic
+// seeded keygen makes every process derive the same keys), then serves
+// shard assignments from stdin — executing each through the checkpointed
+// ExecShard path and publishing durable outputs — while a background
+// goroutine heartbeats on stdout. Closing stdin (or a drain message)
+// ends the worker cleanly; the supervisor recovers everything else with
+// SIGKILL.
+package worker
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"strconv"
+	"sync"
+	"time"
+
+	"bitpacker"
+	"bitpacker/internal/chaos"
+	"bitpacker/internal/shard"
+)
+
+// IsWorker reports whether this process was spawned as a shard worker.
+// Host binaries (bpworker, and any binary that opts into self-exec
+// workers) check it first thing in main.
+func IsWorker() bool { return os.Getenv(shard.EnvDir) != "" }
+
+// sender serializes protocol writes to stdout: the beat goroutine and
+// the assignment loop share the pipe.
+type sender struct {
+	mu  sync.Mutex
+	enc *json.Encoder
+}
+
+func (s *sender) send(m shard.Msg) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	// A write error means the supervisor is gone; the stdin read loop
+	// will see EOF and exit, so the error needs no handling here.
+	_ = s.enc.Encode(m)
+}
+
+// beater emits liveness beats every interval, carrying the current
+// shard/step so the supervisor can track progress. It can be paused (the
+// beat-delay chaos fault) or stopped permanently (the hang fault).
+type beater struct {
+	out      *sender
+	interval time.Duration
+
+	mu          sync.Mutex
+	shard, step int
+	pausedUntil time.Time
+
+	stop chan struct{}
+	once sync.Once
+}
+
+func newBeater(out *sender, interval time.Duration) *beater {
+	b := &beater{out: out, interval: interval, stop: make(chan struct{})}
+	go b.loop()
+	return b
+}
+
+func (b *beater) loop() {
+	t := time.NewTicker(b.interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-b.stop:
+			return
+		case <-t.C:
+			b.mu.Lock()
+			paused := time.Now().Before(b.pausedUntil)
+			sh, st := b.shard, b.step
+			b.mu.Unlock()
+			if paused {
+				continue
+			}
+			b.out.send(shard.Msg{Type: shard.MsgBeat, Shard: sh, Step: st})
+		}
+	}
+}
+
+func (b *beater) progress(sh, st int) {
+	b.mu.Lock()
+	b.shard, b.step = sh, st
+	b.mu.Unlock()
+}
+
+func (b *beater) pause(d time.Duration) {
+	b.mu.Lock()
+	b.pausedUntil = time.Now().Add(d)
+	b.mu.Unlock()
+}
+
+func (b *beater) halt() { b.once.Do(func() { close(b.stop) }) }
+
+// Main runs the worker protocol to completion. The return value is the
+// process exit code: 0 for a clean drain (stdin closed or drain
+// message), nonzero for startup failures. Call only when IsWorker().
+func Main() int {
+	dir := os.Getenv(shard.EnvDir)
+	if dir == "" {
+		fmt.Fprintln(os.Stderr, "bpworker: "+shard.EnvDir+" not set")
+		return 2
+	}
+	beatMs, _ := strconv.Atoi(os.Getenv(shard.EnvBeatMs))
+	if beatMs <= 0 {
+		beatMs = 250
+	}
+	out := &sender{enc: json.NewEncoder(os.Stdout)}
+	b := newBeater(out, time.Duration(beatMs)*time.Millisecond)
+	defer b.halt()
+
+	jf, err := shard.ReadJobFile(dir)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bpworker: %v\n", err)
+		return 1
+	}
+	var cfg bitpacker.Config
+	if err := json.Unmarshal(jf.Config, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "bpworker: job config: %v\n", err)
+		return 1
+	}
+	if jf.EngineWorkers > 0 {
+		// The supervisor budgets engine parallelism across the fleet.
+		cfg.Workers = jf.EngineWorkers
+	}
+	var program []bitpacker.ShardStep
+	if err := json.Unmarshal(jf.Program, &program); err != nil {
+		fmt.Fprintf(os.Stderr, "bpworker: job program: %v\n", err)
+		return 1
+	}
+	// Deterministic seeded keygen: this context is bit-identical to the
+	// submitting process's (and every sibling worker's). The beater is
+	// already running, so slow keygen cannot look like a hang.
+	fhe, err := bitpacker.New(cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bpworker: context: %v\n", err)
+		return 1
+	}
+
+	out.send(shard.Msg{Type: shard.MsgReady})
+	dec := json.NewDecoder(os.Stdin)
+	for {
+		var m shard.Msg
+		if err := dec.Decode(&m); err != nil {
+			return 0 // stdin closed: supervisor is draining us or gone
+		}
+		switch m.Type {
+		case shard.MsgDrain:
+			return 0
+		case shard.MsgAssign:
+			runShard(fhe, dir, m.Shard, program, out, b)
+		}
+	}
+}
+
+// runShard executes one assigned shard and reports done or fail. Chaos
+// faults specified in the environment are enacted at the hook's step
+// boundaries.
+func runShard(fhe *bitpacker.Context, dir string, id int, program []bitpacker.ShardStep, out *sender, b *beater) {
+	corruptOut := false
+	hook := func(step int) {
+		b.progress(id, step)
+		out.send(shard.Msg{Type: shard.MsgBeat, Shard: id, Step: step})
+		f := chaos.FireProc(shard.ChaosDir(dir), id, step)
+		if f == nil {
+			return
+		}
+		switch f.Kind {
+		case chaos.ProcCrash:
+			os.Exit(shard.CrashExitCode)
+		case chaos.ProcHang:
+			// Wedge: compute and heartbeats both stop. Sleep rather than
+			// block on channels so the runtime's deadlock detector cannot
+			// turn the hang into an exit; only the supervisor's SIGKILL
+			// ends it.
+			b.halt()
+			for {
+				time.Sleep(time.Hour)
+			}
+		case chaos.ProcBeatDelay:
+			b.pause(time.Duration(f.DelayMs) * time.Millisecond)
+		case chaos.ProcCorruptOut:
+			corruptOut = true
+		}
+	}
+	err := fhe.ExecShard(context.Background(), dir, id, program, hook)
+	if err != nil {
+		class := shard.ClassFault
+		if errors.Is(err, bitpacker.ErrCanceled) {
+			class = shard.ClassCanceled
+		}
+		out.send(shard.Msg{Type: shard.MsgFail, Shard: id, Class: class, Err: err.Error()})
+		return
+	}
+	if corruptOut {
+		// Torn-write model: garble the just-published output, report done
+		// anyway, and die — the supervisor's output validation must reject
+		// the file and re-dispatch the shard.
+		_ = chaos.CorruptFile(bitpacker.ShardOutputPath(dir, id))
+		out.send(shard.Msg{Type: shard.MsgDone, Shard: id})
+		os.Exit(shard.CrashExitCode)
+	}
+	out.send(shard.Msg{Type: shard.MsgDone, Shard: id})
+}

@@ -1,0 +1,582 @@
+package bitpacker
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"sync"
+	"time"
+
+	"bitpacker/internal/accel"
+	"bitpacker/internal/fherr"
+	"bitpacker/internal/pipeline"
+	"bitpacker/internal/shard"
+)
+
+// Shard program operations. A sharded job's program must be declarative
+// (it crosses a process boundary as JSON), so it is a sequence of named
+// steps rather than closures — the same op vocabulary the serving layer
+// exposes, applied to every ciphertext of a shard.
+const (
+	ShardOpSquare  = "square"  // MulRescale(x, x)
+	ShardOpQuartic = "quartic" // square twice
+	ShardOpNegate  = "negate"  // Neg(x)
+	ShardOpOffset  = "offset"  // AddConst(x, Arg)
+	ShardOpScale   = "scale"   // MulConst(x, Arg) then Rescale
+	ShardOpRotate  = "rotate"  // Rotate(x, int(Arg))
+)
+
+// ShardStep is one step of a sharded job's program.
+type ShardStep struct {
+	Op  string  `json:"op"`
+	Arg float64 `json:"arg,omitempty"`
+}
+
+// ValidShardOp reports whether op names a shard program operation.
+func ValidShardOp(op string) bool {
+	switch op {
+	case ShardOpSquare, ShardOpQuartic, ShardOpNegate, ShardOpOffset, ShardOpScale, ShardOpRotate:
+		return true
+	}
+	return false
+}
+
+// ApplyShardStep applies one program step to every ciphertext of a
+// shard's state, preserving order and count.
+func (c *Context) ApplyShardStep(step ShardStep, state []*Ciphertext) ([]*Ciphertext, error) {
+	out := make([]*Ciphertext, len(state))
+	for i, ct := range state {
+		var r *Ciphertext
+		var err error
+		switch step.Op {
+		case ShardOpSquare:
+			r, err = c.MulRescale(ct, ct)
+		case ShardOpQuartic:
+			r, err = c.MulRescale(ct, ct)
+			if err == nil {
+				r, err = c.MulRescale(r, r)
+			}
+		case ShardOpNegate:
+			r, err = c.Neg(ct)
+		case ShardOpOffset:
+			r, err = c.AddConst(ct, uniformSlots(c.Slots(), step.Arg))
+		case ShardOpScale:
+			r, err = c.MulConst(ct, uniformSlots(c.Slots(), step.Arg))
+			if err == nil {
+				r, err = c.Rescale(r)
+			}
+		case ShardOpRotate:
+			r, err = c.Rotate(ct, int(step.Arg))
+		default:
+			err = fherr.Wrap(fherr.ErrInvalidParams, "bitpacker: unknown shard op %q", step.Op)
+		}
+		if err != nil {
+			return nil, err
+		}
+		out[i] = r
+	}
+	return out, nil
+}
+
+func uniformSlots(slots int, v float64) []complex128 {
+	vec := make([]complex128, slots)
+	for i := range vec {
+		vec[i] = complex(v, 0)
+	}
+	return vec
+}
+
+// ShardHook observes a shard's step boundaries inside ExecShard: it is
+// called with the step index before each program step runs (skipped for
+// steps restored from a checkpoint) and with len(program) after the last
+// step completes. The worker uses it for progress heartbeats and chaos
+// injection points.
+type ShardHook func(step int)
+
+// shardStages builds the checkpointable pipeline for a shard program.
+func (c *Context) shardStages(program []ShardStep, hook ShardHook) []PipelineStage {
+	stages := make([]PipelineStage, len(program))
+	for i, st := range program {
+		i, st := i, st
+		stages[i] = PipelineStage{
+			Name: fmt.Sprintf("%02d-%s", i, st.Op),
+			Run: func(ctx context.Context, state []*Ciphertext) ([]*Ciphertext, error) {
+				if hook != nil {
+					hook(i)
+				}
+				return c.WithContext(ctx).ApplyShardStep(st, state)
+			},
+		}
+	}
+	return stages
+}
+
+// EncodeCiphertexts serializes a ciphertext batch in the shard-exchange
+// wire format (the pipeline checkpoint state encoding).
+func (c *Context) EncodeCiphertexts(cts []*Ciphertext) ([]byte, error) {
+	inner, err := unwrapState(cts)
+	if err != nil {
+		return nil, err
+	}
+	return pipeline.EncodeState(inner)
+}
+
+// DecodeCiphertexts decodes an EncodeCiphertexts batch, validating every
+// ciphertext against the context's chain and reseeding the RRNS spare
+// channel (deserialization is a trusted point, like a fresh encryption).
+func (c *Context) DecodeCiphertexts(data []byte) ([]*Ciphertext, error) {
+	inner, err := pipeline.DecodeState(c.params, data)
+	if err != nil {
+		return nil, fherr.Wrap(fherr.ErrInvalidParams, "bitpacker: %v", err)
+	}
+	for i, ct := range inner {
+		if err := ct.Validate(c.params); err != nil {
+			return nil, fmt.Errorf("bitpacker: shard batch ciphertext %d: %w", i, err)
+		}
+		if c.params.SpareModulus() != 0 {
+			ct.SeedSpare(c.params)
+		}
+	}
+	return wrapState(inner), nil
+}
+
+// ShardOutputPath returns the durable output file of one shard inside a
+// job exchange directory (for inspection and fault injection).
+func ShardOutputPath(dir string, shardID int) string {
+	return pipeline.DirStorePath(shard.OutDir(dir), shardID)
+}
+
+// ExecShard executes one shard of a sharded job from its durable input
+// to its durable output: reads the shard's input batch from the exchange
+// directory, runs the program through the checkpointed pipeline (per-step
+// checkpoints under the shard's checkpoint directory — a re-dispatched
+// shard resumes from its last durable step instead of recomputing), and
+// atomically publishes the checksummed output. Both the worker process
+// and the supervisor's degraded in-process fallback run shards through
+// this one code path, which is what makes every execution mode
+// bit-identical.
+func (c *Context) ExecShard(ctx context.Context, dir string, shardID int, program []ShardStep, hook ShardHook) error {
+	inStore, err := pipeline.NewDirStore(shard.InDir(dir))
+	if err != nil {
+		return err
+	}
+	_, blob, err := inStore.Get(shardID)
+	if err != nil {
+		return fmt.Errorf("bitpacker: shard %d input: %w", shardID, err)
+	}
+	state, err := c.DecodeCiphertexts(blob)
+	if err != nil {
+		return fmt.Errorf("bitpacker: shard %d input: %w", shardID, err)
+	}
+	final, _, err := c.RunPipeline(ctx, c.shardStages(program, hook), state,
+		PipelineOptions{CheckpointDir: shard.CkptDir(dir, shardID), Keep: true})
+	if err != nil {
+		return err
+	}
+	if hook != nil {
+		hook(len(program))
+	}
+	out, err := c.EncodeCiphertexts(final)
+	if err != nil {
+		return err
+	}
+	outStore, err := pipeline.NewDirStore(shard.OutDir(dir))
+	if err != nil {
+		return err
+	}
+	return outStore.Put(shardID, fmt.Sprintf("shard-%d", shardID), out)
+}
+
+// SupervisorStats counts the shard supervisor's recovery actions
+// (respawns, re-dispatches, heartbeat misses, leases stolen, degraded
+// entries, ...), alongside KeyCacheStats in the observability surface.
+type SupervisorStats = shard.Stats
+
+// ShardOptions tunes RunSharded.
+type ShardOptions struct {
+	// Dir is the job exchange directory: inputs, outputs, per-shard
+	// checkpoints and the job description live under it, and a rerun over
+	// the same directory resumes (finished shards are not recomputed; a
+	// different job's leftovers are detected by fingerprint and cleared).
+	// Empty uses a private temporary directory (no cross-run resume).
+	Dir string
+	// Workers is the worker-process count (default 2).
+	Workers int
+	// ShardSize is the number of ciphertexts per shard. Zero picks a
+	// default that keeps at least ~4 shards per worker for re-dispatch
+	// granularity (minimum 1 ciphertext).
+	ShardSize int
+	// WorkerCommand overrides worker-binary resolution (argv). When
+	// empty, the BITPACKER_BPWORKER environment variable is tried, then
+	// bpworker on PATH; with none available the job runs degraded
+	// in-process (or fails if DisableDegraded).
+	WorkerCommand []string
+	// WorkerEnv is appended to every worker's environment.
+	WorkerEnv []string
+	// EngineWorkers caps each worker process's execution-engine
+	// parallelism (default: NumCPU / Workers, minimum 1) so the fleet
+	// does not oversubscribe the host.
+	EngineWorkers int
+	// HeartbeatInterval / HeartbeatTimeout / ShardDeadline configure hang
+	// detection (see shard.Options).
+	HeartbeatInterval time.Duration
+	HeartbeatTimeout  time.Duration
+	ShardDeadline     time.Duration
+	// Respawn is the per-worker crash/hang recovery policy with
+	// engine.Retrier semantics (backoff, attempt budget, circuit
+	// breaker). Zero values select the Retrier defaults.
+	Respawn RetryPolicy
+	// ShardAttempts bounds re-dispatches of a shard a live worker reports
+	// as failed before the job fails (default 3).
+	ShardAttempts int
+	// DisableDegraded fails the job instead of falling back to
+	// in-process execution when no worker can be kept alive.
+	DisableDegraded bool
+	// Keep leaves the exchange directory's artifacts in place after a
+	// successful run (default: cleared; a failed run always keeps them
+	// for resume).
+	Keep bool
+	// Logf receives one structured line per recovery action.
+	Logf func(format string, args ...any)
+	// OnSpawn observes every worker process start (slot, pid) — the
+	// chaos soak's random killer hooks it.
+	OnSpawn func(worker, pid int)
+}
+
+// ShardReport describes what a RunSharded call did and predicted.
+type ShardReport struct {
+	// Shards and ShardSizes describe the partition; Workers is the
+	// requested fleet size.
+	Shards     int
+	ShardSizes []int
+	Workers    int
+	// PredictedMicrosPerCt is the accelerator cost model's simulated time
+	// for the program on one ciphertext; PredictedSpeedup is the
+	// model-planned serial/sharded ratio for this partition and fleet.
+	PredictedMicrosPerCt float64
+	PredictedSpeedup     float64
+	// Resumed counts shards whose intact outputs from a previous run were
+	// accepted without recomputation.
+	Resumed int
+	// Stats are the supervisor's recovery counters.
+	Stats SupervisorStats
+}
+
+// resolveWorkerCommand picks the worker argv: explicit option, then the
+// BITPACKER_BPWORKER environment variable, then bpworker on PATH. Nil
+// means no worker binary is available.
+func resolveWorkerCommand(opts ShardOptions) []string {
+	if len(opts.WorkerCommand) > 0 {
+		return opts.WorkerCommand
+	}
+	if v := os.Getenv(shard.EnvWorkerBin); v != "" {
+		return []string{v}
+	}
+	if p, err := exec.LookPath("bpworker"); err == nil {
+		return []string{p}
+	}
+	return nil
+}
+
+// planShardProgram walks the program with the accelerator cost model
+// (CraterLake-class configuration at the context's word size), tracking
+// the residue count across rescales, and returns the simulated
+// per-ciphertext microseconds.
+func (c *Context) planShardProgram(program []ShardStep, r int) float64 {
+	cfg := accel.CraterLake(c.cfg.WordBits)
+	dnum := c.cfg.KeySwitchDigits
+	atLeast1 := func(v int) int {
+		if v < 1 {
+			return 1
+		}
+		return v
+	}
+	var micros float64
+	for _, st := range program {
+		r = atLeast1(r)
+		switch st.Op {
+		case ShardOpSquare:
+			micros += accel.HMulMicros(cfg, r, dnum) + accel.RescaleMicros(cfg, r, 0, 1)
+			r--
+		case ShardOpQuartic:
+			micros += accel.HMulMicros(cfg, r, dnum) + accel.RescaleMicros(cfg, r, 0, 1)
+			r = atLeast1(r - 1)
+			micros += accel.HMulMicros(cfg, r, dnum) + accel.RescaleMicros(cfg, r, 0, 1)
+			r--
+		case ShardOpNegate:
+			micros += accel.HAddMicros(cfg, r) / 2
+		case ShardOpOffset:
+			micros += accel.PAddMicros(cfg, r)
+		case ShardOpScale:
+			micros += accel.PMulMicros(cfg, r) + accel.RescaleMicros(cfg, r, 0, 1)
+			r--
+		case ShardOpRotate:
+			micros += accel.HRotMicros(cfg, r, dnum)
+		}
+	}
+	return micros
+}
+
+// planSpeedup is the model's serial/sharded ratio: serial time over the
+// makespan of a greedy longest-first assignment of shard loads to the
+// effective worker count.
+func planSpeedup(sizes []int, workers int) float64 {
+	if workers > len(sizes) {
+		workers = len(sizes)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	loads := make([]int, workers)
+	total := 0
+	// Contiguous equal-size chunks: plain round-robin is the greedy
+	// assignment.
+	for i, sz := range sizes {
+		loads[i%workers] += sz
+		total += sz
+	}
+	max := 0
+	for _, l := range loads {
+		if l > max {
+			max = l
+		}
+	}
+	if max == 0 {
+		return 1
+	}
+	return float64(total) / float64(max)
+}
+
+// clearExchange removes a stale job's artifacts from an exchange
+// directory.
+func clearExchange(dir string) error {
+	for _, sub := range []string{shard.InDir(dir), shard.OutDir(dir), filepath.Join(dir, "ckpt"), shard.ChaosDir(dir)} {
+		if err := os.RemoveAll(sub); err != nil {
+			return err
+		}
+	}
+	if err := os.Remove(filepath.Join(dir, "job.json")); err != nil && !os.IsNotExist(err) {
+		return err
+	}
+	return nil
+}
+
+// RunSharded executes a declarative program over a ciphertext batch
+// across supervised worker processes, surviving worker crashes and
+// hangs: the batch is partitioned into shards, each shard's input is
+// durably published through the checkpoint store, workers lease shards
+// and checkpoint every step, and a dead worker's shards are
+// re-dispatched to survivors from their last durable checkpoint. The
+// result is bit-identical to running the program in-process. See
+// DESIGN.md "Sharded execution & supervision" for the failure matrix.
+func (c *Context) RunSharded(ctx context.Context, program []ShardStep, inputs []*Ciphertext, opts ShardOptions) ([]*Ciphertext, ShardReport, error) {
+	report := ShardReport{}
+	if len(program) == 0 {
+		return nil, report, fherr.Wrap(fherr.ErrInvalidParams, "bitpacker: sharded job with no program")
+	}
+	for i, st := range program {
+		if !ValidShardOp(st.Op) {
+			return nil, report, fherr.Wrap(fherr.ErrInvalidParams, "bitpacker: shard program step %d: unknown op %q", i, st.Op)
+		}
+	}
+	if len(inputs) == 0 {
+		return nil, report, fherr.Wrap(fherr.ErrInvalidParams, "bitpacker: sharded job with no inputs")
+	}
+	if ctx == nil {
+		ctx = c.opCtx()
+	}
+
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = 2
+	}
+	dir := opts.Dir
+	temp := false
+	if dir == "" {
+		td, err := os.MkdirTemp("", "bpshard-")
+		if err != nil {
+			return nil, report, fmt.Errorf("bitpacker: shard exchange dir: %w", err)
+		}
+		dir, temp = td, true
+		defer os.RemoveAll(td)
+	} else if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, report, fmt.Errorf("bitpacker: shard exchange dir: %w", err)
+	}
+
+	// Partition into contiguous shards.
+	shardSize := opts.ShardSize
+	if shardSize <= 0 {
+		shardSize = len(inputs) / (4 * workers)
+		if shardSize < 1 {
+			shardSize = 1
+		}
+	}
+	var chunks [][]*Ciphertext
+	for at := 0; at < len(inputs); at += shardSize {
+		end := at + shardSize
+		if end > len(inputs) {
+			end = len(inputs)
+		}
+		chunks = append(chunks, inputs[at:end])
+	}
+	total := len(chunks)
+	report.Shards = total
+	report.Workers = workers
+	sizes := make([]int, total)
+	blobs := make([][]byte, total)
+	for i, chunk := range chunks {
+		sizes[i] = len(chunk)
+		blob, err := c.EncodeCiphertexts(chunk)
+		if err != nil {
+			return nil, report, err
+		}
+		blobs[i] = blob
+	}
+	report.ShardSizes = sizes
+	report.PredictedMicrosPerCt = c.planShardProgram(program, inputs[0].Residues())
+	report.PredictedSpeedup = planSpeedup(sizes, workers)
+
+	cfgJSON, err := json.Marshal(c.cfg)
+	if err != nil {
+		return nil, report, fmt.Errorf("bitpacker: marshal config: %w", err)
+	}
+	progJSON, err := json.Marshal(program)
+	if err != nil {
+		return nil, report, fmt.Errorf("bitpacker: marshal program: %w", err)
+	}
+	h := fnv.New64a()
+	h.Write(cfgJSON)
+	h.Write(progJSON)
+	for _, b := range blobs {
+		h.Write(b)
+	}
+	fingerprint := h.Sum64()
+
+	// A different job's leftovers in the exchange directory must not be
+	// mistaken for resumable state.
+	if prev, err := shard.ReadJobFile(dir); err == nil {
+		if prev.Fingerprint != fingerprint {
+			if err := clearExchange(dir); err != nil {
+				return nil, report, fmt.Errorf("bitpacker: clear stale exchange dir: %w", err)
+			}
+		}
+	} else if !os.IsNotExist(err) {
+		// Unreadable or wrong-version job file: same treatment.
+		if err := clearExchange(dir); err != nil {
+			return nil, report, fmt.Errorf("bitpacker: clear stale exchange dir: %w", err)
+		}
+	}
+
+	// Publish inputs (always rewritten: heals a corrupted input file from
+	// a previous attempt) and the job description.
+	inStore, err := pipeline.NewDirStore(shard.InDir(dir))
+	if err != nil {
+		return nil, report, err
+	}
+	outStore, err := pipeline.NewDirStore(shard.OutDir(dir))
+	if err != nil {
+		return nil, report, err
+	}
+	for i, blob := range blobs {
+		if err := inStore.Put(i, fmt.Sprintf("shard-%d", i), blob); err != nil {
+			return nil, report, err
+		}
+	}
+	engineWorkers := opts.EngineWorkers
+	if engineWorkers <= 0 {
+		engineWorkers = runtime.NumCPU() / workers
+		if engineWorkers < 1 {
+			engineWorkers = 1
+		}
+	}
+	if err := shard.WriteJobFile(dir, shard.JobFile{
+		Version:       shard.JobFileVersion,
+		Fingerprint:   fingerprint,
+		Config:        cfgJSON,
+		Program:       progJSON,
+		Shards:        sizes,
+		EngineWorkers: engineWorkers,
+	}); err != nil {
+		return nil, report, err
+	}
+
+	// Collect results as shards complete; accept intact outputs left by a
+	// previous run up front.
+	results := make([][]*Ciphertext, total)
+	var resMu sync.Mutex
+	collect := func(sh int) error {
+		_, blob, err := outStore.Get(sh)
+		if err != nil {
+			return err
+		}
+		cts, err := c.DecodeCiphertexts(blob)
+		if err != nil {
+			return err
+		}
+		if len(cts) != sizes[sh] {
+			return fherr.Wrap(fherr.ErrInvariant, "bitpacker: shard %d output has %d ciphertexts, want %d", sh, len(cts), sizes[sh])
+		}
+		resMu.Lock()
+		results[sh] = cts
+		resMu.Unlock()
+		return nil
+	}
+	preDone := make([]bool, total)
+	if stages, err := outStore.Stages(); err == nil {
+		for _, sh := range stages {
+			if sh < total && collect(sh) == nil {
+				preDone[sh] = true
+				report.Resumed++
+			}
+		}
+	}
+
+	stats, err := shard.Run(ctx, shard.Options{
+		Dir:               dir,
+		Workers:           workers,
+		WorkerCommand:     resolveWorkerCommand(opts),
+		WorkerEnv:         opts.WorkerEnv,
+		HeartbeatInterval: opts.HeartbeatInterval,
+		HeartbeatTimeout:  opts.HeartbeatTimeout,
+		ShardDeadline:     opts.ShardDeadline,
+		Respawn:           opts.Respawn,
+		ShardAttempts:     opts.ShardAttempts,
+		DisableDegraded:   opts.DisableDegraded,
+		Logf:              opts.Logf,
+		OnSpawn:           opts.OnSpawn,
+	}, total, preDone, shard.Callbacks{
+		ShardDone: collect,
+		HealInput: func(sh int) error {
+			return inStore.Put(sh, fmt.Sprintf("shard-%d", sh), blobs[sh])
+		},
+		ExecLocal: func(ctx context.Context, sh int) error {
+			if err := c.ExecShard(ctx, dir, sh, program, nil); err != nil {
+				return err
+			}
+			return collect(sh)
+		},
+	})
+	report.Stats = stats
+	if err != nil {
+		return nil, report, err
+	}
+
+	out := make([]*Ciphertext, 0, len(inputs))
+	for sh := 0; sh < total; sh++ {
+		if results[sh] == nil {
+			return nil, report, fherr.Wrap(fherr.ErrInvariant, "bitpacker: shard %d reported done without a collected result", sh)
+		}
+		out = append(out, results[sh]...)
+	}
+	if !temp && !opts.Keep {
+		if err := clearExchange(dir); err != nil {
+			return out, report, fmt.Errorf("bitpacker: clear exchange dir after success: %w", err)
+		}
+	}
+	return out, report, nil
+}
