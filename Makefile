@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench bench-smoke bench-smoke-baseline check clean panicgate fuzz-smoke chaos-soak serve-smoke serve-load shard-soak shard-bench
+.PHONY: all build vet test race bench bench-smoke bench-smoke-baseline check clean panicgate fuzz-smoke chaos-soak serve-smoke serve-load shard-soak net-chaos-soak shard-bench
 
 all: check
 
@@ -51,6 +51,7 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzParams -fuzztime 20s .
 	$(GO) test -run '^$$' -fuzz FuzzUnmarshalCiphertext -fuzztime 20s .
 	$(GO) test -run '^$$' -fuzz FuzzUnmarshalSwitchingKey -fuzztime 20s ./internal/ckks
+	$(GO) test -run '^$$' -fuzz FuzzDecodeWorkerMessage -fuzztime 20s ./internal/shard
 
 # Serving-layer smoke: 100 mixed-tenant requests through the full HTTP
 # stack under chaos bursts — zero 5xx, every answer verified, clean
@@ -70,10 +71,19 @@ serve-load:
 shard-soak:
 	$(GO) test -race -count=3 -shuffle=on -run 'TestShard' -timeout 20m ./internal/shard/
 
+# Network chaos soak: the TCP worker-fleet suite under the race
+# detector, repeated with shuffled order. Connection drops, partitions,
+# duplicate and stale-epoch deliveries, and full fleet loss must all
+# recover with outputs bit-identical to the serial run and every
+# stale-lease write fenced off.
+net-chaos-soak:
+	$(GO) test -race -count=3 -shuffle=on -run 'TestTCP|TestFleet' -timeout 20m ./internal/shard/
+
 # Sharded-executor speedup bench: predicted (accelerator cost model) vs
-# measured (worker-fleet wall time) into BENCH_6.json.
+# measured wall time for the fork fleet and the TCP fleet into
+# BENCH_7.json (fork fields keep their BENCH_6 names).
 shard-bench:
-	$(GO) run ./cmd/bpbench -shard BENCH_6.json
+	$(GO) run ./cmd/bpbench -shard BENCH_7.json
 
 # Chaos soak: run the fault-injection and self-healing suites (RRNS
 # repair, op-level retry, checkpoint/resume) repeatedly with shuffled

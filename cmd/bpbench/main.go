@@ -9,7 +9,8 @@
 //	bpbench -json bench.json  # microbenchmark the host kernels, emit JSON
 //	bpbench -smoke BENCH_SMOKE.json           # fused/staged regression gate (CI)
 //	bpbench -smoke BENCH_SMOKE.json -smoke-update  # refresh the smoke baseline
-//	bpbench -shard BENCH_6.json    # sharded-executor speedup, predicted vs measured
+//	bpbench -shard BENCH_7.json    # sharded-executor speedup: serial vs fork fleet vs TCP fleet
+//	bpbench -shard BENCH_7.json -shard-addrs host1:9000,host2:9000  # dispatch the TCP lane to a standing bpworker fleet
 package main
 
 import (
@@ -41,10 +42,11 @@ func main() {
 	serveRequests := flag.Int("serve-requests", 200, "with -serve-load: total requests per mode")
 	shardPath := flag.String("shard", "", "run the sharded-executor speedup bench (predicted vs measured) and write records to this file")
 	shardWorkers := flag.Int("shard-workers", 3, "with -shard: worker-process fleet size")
+	shardAddrs := flag.String("shard-addrs", "", "with -shard: comma-separated bpworker -listen addresses for the remote lane (empty = self-hosted loopback fleets)")
 	flag.Parse()
 
 	if *shardPath != "" {
-		if err := runShardBench(*shardPath, *shardWorkers, *quick); err != nil {
+		if err := runShardBench(*shardPath, *shardWorkers, *shardAddrs, *quick); err != nil {
 			fmt.Fprintf(os.Stderr, "shard-bench: %v\n", err)
 			os.Exit(1)
 		}

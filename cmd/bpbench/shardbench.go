@@ -8,9 +8,11 @@ import (
 	"math/rand/v2"
 	"os"
 	"runtime"
+	"strings"
 	"time"
 
 	"bitpacker"
+	"bitpacker/internal/shard/worker"
 )
 
 // shardBenchRecord is one row of BENCH_6.json: the accelerator cost
@@ -39,17 +41,51 @@ type shardBenchRecord struct {
 	Respawns             int64   `json:"respawns"`
 	Redispatches         int64   `json:"redispatches"`
 	DegradedShards       int64   `json:"degraded_shards"`
+
+	// Remote-fleet lane (BENCH_7): the same program dispatched over TCP
+	// to `bpworker -listen` endpoints instead of forked processes. The
+	// fork-lane fields above keep their BENCH_6 names so the two files
+	// stay directly comparable.
+	RemoteAddrs        int     `json:"remote_addrs,omitempty"`
+	RemoteMs           float64 `json:"remote_ms,omitempty"`
+	RemoteSpeedup      float64 `json:"remote_speedup,omitempty"`
+	RemoteConnDrops    int64   `json:"remote_conn_drops,omitempty"`
+	RemoteReconnects   int64   `json:"remote_reconnects,omitempty"`
+	RemotePartitions   int64   `json:"remote_partitions,omitempty"`
+	RemoteRedispatches int64   `json:"remote_redispatches,omitempty"`
+	RemoteDegraded     int64   `json:"remote_degraded_shards,omitempty"`
 }
 
 // runShardBench measures the fault-tolerant sharded executor against an
-// in-process serial run of the same program and writes BENCH_6.json.
-// The worker binary is this bpbench process re-exec'd (main routes
-// worker invocations before flag parsing), so the bench needs no
-// separately installed bpworker.
-func runShardBench(path string, workers int, quick bool) error {
+// in-process serial run of the same program: the fork lane re-execs this
+// bpbench process as its worker fleet (BENCH_6 fields), and the remote
+// lane dispatches the same program over TCP (BENCH_7 fields) — to the
+// endpoints named by addrsFlag, or to self-hosted loopback fleets when
+// the flag is empty, so the bench needs no separately started bpworker.
+func runShardBench(path string, workers int, addrsFlag string, quick bool) error {
 	exe, err := os.Executable()
 	if err != nil {
 		return err
+	}
+	var addrs []string
+	for _, a := range strings.Split(addrsFlag, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			addrs = append(addrs, a)
+		}
+	}
+	if len(addrs) == 0 {
+		// Self-hosted fleet: one loopback listener per worker slot. Same
+		// process, so the remote lane measures the TCP dispatch path's
+		// overhead rather than extra hardware.
+		for i := 0; i < workers; i++ {
+			fleet, err := worker.Listen("127.0.0.1:0", nil)
+			if err != nil {
+				return fmt.Errorf("shard bench fleet: %w", err)
+			}
+			go fleet.Serve()
+			defer fleet.Close()
+			addrs = append(addrs, fleet.Addr())
+		}
 	}
 	logN, levels, cts := 11, 4, 48
 	if quick {
@@ -121,8 +157,19 @@ func runShardBench(path string, workers int, quick bool) error {
 		}
 		shardedMs := float64(time.Since(shardStart).Microseconds()) / 1e3
 
-		// Differential gate: the fleet's outputs must be bit-identical to
-		// the serial run before its timing means anything.
+		// Remote lane: the identical program dispatched to the TCP fleet.
+		remoteStart := time.Now()
+		remoteOuts, remoteReport, err := ctx.RunSharded(context.Background(), program, inputs, bitpacker.ShardOptions{
+			Addrs:         addrs,
+			EngineWorkers: engineWorkers,
+		})
+		if err != nil {
+			return fmt.Errorf("shard bench remote (%v): %w", scheme, err)
+		}
+		remoteMs := float64(time.Since(remoteStart).Microseconds()) / 1e3
+
+		// Differential gate: both fleets' outputs must be bit-identical to
+		// the serial run before their timings mean anything.
 		for i := range serial {
 			a, err := ctx.MarshalCiphertext(serial[i])
 			if err != nil {
@@ -134,6 +181,13 @@ func runShardBench(path string, workers int, quick bool) error {
 			}
 			if !bytes.Equal(a, b) {
 				return fmt.Errorf("shard bench (%v): sharded output %d differs from serial run", scheme, i)
+			}
+			c, err := ctx.MarshalCiphertext(remoteOuts[i])
+			if err != nil {
+				return err
+			}
+			if !bytes.Equal(a, c) {
+				return fmt.Errorf("shard bench (%v): remote-fleet output %d differs from serial run", scheme, i)
 			}
 		}
 
@@ -156,11 +210,20 @@ func runShardBench(path string, workers int, quick bool) error {
 			Respawns:             report.Stats.Respawns,
 			Redispatches:         report.Stats.Redispatches,
 			DegradedShards:       report.Stats.DegradedEntries,
+			RemoteAddrs:          len(addrs),
+			RemoteMs:             remoteMs,
+			RemoteSpeedup:        serialMs / remoteMs,
+			RemoteConnDrops:      remoteReport.Stats.ConnDrops,
+			RemoteReconnects:     remoteReport.Stats.Reconnects,
+			RemotePartitions:     remoteReport.Stats.Partitions,
+			RemoteRedispatches:   remoteReport.Stats.Redispatches,
+			RemoteDegraded:       remoteReport.Stats.DegradedEntries,
 		}
 		records = append(records, rec)
-		fmt.Printf("  shard %-10s %d cts x %d steps, %d workers (%d shards): serial %.1f ms, sharded %.1f ms, speedup %.2fx (model-planned %.2fx, %d host cpus)\n",
+		fmt.Printf("  shard %-10s %d cts x %d steps, %d workers (%d shards): serial %.1f ms, fork %.1f ms (%.2fx), remote %.1f ms (%.2fx over %d addrs), model-planned %.2fx, %d host cpus\n",
 			rec.Scheme, rec.Ciphertexts, rec.Steps, rec.Workers, rec.Shards,
-			rec.SerialMs, rec.ShardedMs, rec.MeasuredSpeedup, rec.PredictedSpeedup, rec.HostCPUs)
+			rec.SerialMs, rec.ShardedMs, rec.MeasuredSpeedup, rec.RemoteMs, rec.RemoteSpeedup,
+			rec.RemoteAddrs, rec.PredictedSpeedup, rec.HostCPUs)
 		if rec.HostCPUs < rec.Workers {
 			fmt.Printf("  shard %-10s note: %d-cpu host cannot run %d workers in parallel; the measured ratio here is the fault-tolerance overhead, not the planned speedup\n",
 				rec.Scheme, rec.HostCPUs, rec.Workers)

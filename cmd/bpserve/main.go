@@ -23,6 +23,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -46,6 +47,7 @@ func main() {
 	jobDir := flag.String("jobdir", "", "durable job state directory (empty = jobs disabled)")
 	retries := flag.Int("retries", 3, "op-level retry attempts for detected faults")
 	shardWorkers := flag.Int("shard-workers", 0, "run long jobs on this many supervised bpworker processes (0 = in-process)")
+	shardAddrs := flag.String("shard-addrs", "", "comma-separated bpworker -listen addresses: run long jobs on a standing TCP fleet (requires a shared jobdir filesystem)")
 	flag.Parse()
 
 	sc := bitpacker.BitPacker
@@ -74,7 +76,7 @@ func main() {
 			Packing:       !*noPack,
 		}},
 		JobDir: *jobDir,
-		Shard:  serve.JobShardOptions{Workers: *shardWorkers},
+		Shard:  serve.JobShardOptions{Workers: *shardWorkers, Addrs: splitAddrs(*shardAddrs)},
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -97,8 +99,21 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	// HTTP intake is closed; drain the schedulers and in-flight jobs so
-	// every accepted request is answered before the process exits.
-	srv.Close()
+	// HTTP intake is closed; drain the schedulers and checkpoint
+	// in-flight long jobs (sharded ones drain their worker fleet through
+	// the supervisor) so they stay durably "running" and the next start
+	// resumes them from their latest intact checkpoint.
+	srv.Shutdown()
 	log.Printf("bpserve drained cleanly")
+}
+
+// splitAddrs parses the comma-separated -shard-addrs value.
+func splitAddrs(s string) []string {
+	var addrs []string
+	for _, a := range strings.Split(s, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			addrs = append(addrs, a)
+		}
+	}
+	return addrs
 }

@@ -1,21 +1,55 @@
-// Command bpworker is the shard worker process forked by the sharded
-// execution supervisor (Context.RunSharded). It is not meant to be run
-// by hand: the supervisor passes the job exchange directory and protocol
-// parameters through the environment and speaks line-delimited JSON over
-// stdin/stdout. See DESIGN.md "Sharded execution & supervision".
+// Command bpworker is the shard worker in both transports of the
+// sharded execution layer.
+//
+// Forked mode (no flags): the supervisor (Context.RunSharded) spawns it
+// with the job exchange directory and protocol parameters in the
+// environment and speaks line-delimited JSON over stdin/stdout. Not
+// meant to be run by hand.
+//
+// Fleet mode (-listen addr): serves a standing worker fleet over TCP.
+// Supervisors started with -shard-addrs (bpserve, bpbench) dial out,
+// authenticate with the job fingerprint, and stream the same protocol
+// over the socket; the fleet member keeps computing through
+// disconnections and partitions. Fleet members need a filesystem shared
+// with the supervisor (the job exchange directory carries inputs,
+// checkpoints, and outputs).
+//
+// See DESIGN.md "Sharded execution & supervision" and "Transports &
+// fencing".
 package main
 
 import (
+	"flag"
 	"fmt"
+	"log"
 	"os"
 
 	"bitpacker/internal/shard/worker"
 )
 
 func main() {
-	if !worker.IsWorker() {
-		fmt.Fprintln(os.Stderr, "bpworker: must be spawned by the shard supervisor (BITPACKER_SHARD_DIR is not set)")
+	if worker.IsWorker() {
+		os.Exit(worker.Main())
+	}
+	listen := flag.String("listen", "", "serve a worker fleet on this TCP address (e.g. :7070) instead of running as a forked worker")
+	quiet := flag.Bool("quiet", false, "suppress fleet activity logging")
+	flag.Parse()
+	if *listen == "" {
+		fmt.Fprintln(os.Stderr, "bpworker: must be spawned by the shard supervisor (BITPACKER_SHARD_DIR is not set) or given -listen")
 		os.Exit(2)
 	}
-	os.Exit(worker.Main())
+	logf := log.Printf
+	if *quiet {
+		logf = func(string, ...any) {}
+	}
+	fl, err := worker.Listen(*listen, logf)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bpworker: %v\n", err)
+		os.Exit(1)
+	}
+	logf("bpworker: fleet listening on %s", fl.Addr())
+	if err := fl.Serve(); err != nil {
+		fmt.Fprintf(os.Stderr, "bpworker: %v\n", err)
+		os.Exit(1)
+	}
 }

@@ -113,8 +113,22 @@ func DirStorePath(dir string, stage int) string {
 	return (&DirStore{dir: dir}).path(stage)
 }
 
-// Put writes the framed checkpoint to a temp file and renames it over
-// the stage's path.
+// syncDir fsyncs a directory so a just-renamed entry survives power
+// loss, not only process crash (POSIX: rename durability requires an
+// fsync of the containing directory). A hook variable so the torn-frame
+// test can observe and fail it.
+var syncDir = func(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}
+
+// Put writes the framed checkpoint to a temp file, fsyncs it, renames it
+// over the stage's path, and fsyncs the directory — the full
+// power-loss-safe publication sequence.
 func (s *DirStore) Put(stage int, name string, payload []byte) error {
 	if stage < 0 {
 		return fmt.Errorf("pipeline: negative stage %d", stage)
@@ -142,6 +156,9 @@ func (s *DirStore) Put(stage int, name string, payload []byte) error {
 	if err := os.Rename(tmp.Name(), final); err != nil {
 		os.Remove(tmp.Name())
 		return fmt.Errorf("pipeline: checkpoint rename: %w", err)
+	}
+	if err := syncDir(s.dir); err != nil {
+		return fmt.Errorf("pipeline: checkpoint dir sync: %w", err)
 	}
 	return nil
 }

@@ -8,6 +8,7 @@ package pipeline
 
 import (
 	"bytes"
+	"errors"
 	"os"
 	"sync"
 	"testing"
@@ -109,6 +110,43 @@ func TestDirStoreConcurrentWriters(t *testing.T) {
 	}
 	if _, _, err := store.Get(stage); err == nil {
 		t.Fatal("truncated checkpoint was accepted")
+	}
+}
+
+// TestDirStorePutSyncsParentDir pins the power-loss half of durable
+// publication: after the atomic rename, Put must fsync the containing
+// directory (or the rename itself may not survive power loss), and a
+// failing directory sync must surface as a Put error, not silence.
+func TestDirStorePutSyncsParentDir(t *testing.T) {
+	dir := t.TempDir()
+	store, err := NewDirStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	orig := syncDir
+	defer func() { syncDir = orig }()
+
+	var synced []string
+	syncDir = func(d string) error {
+		synced = append(synced, d)
+		return orig(d)
+	}
+	if err := store.Put(3, "writer", []byte("payload")); err != nil {
+		t.Fatal(err)
+	}
+	if len(synced) != 1 || synced[0] != dir {
+		t.Fatalf("Put synced %v, want exactly [%q]", synced, dir)
+	}
+
+	syncDir = func(string) error { return errors.New("injected dir sync failure") }
+	if err := store.Put(4, "writer", []byte("payload")); err == nil {
+		t.Fatal("failed directory sync was swallowed")
+	}
+
+	// The real hook works against a real directory.
+	if err := orig(dir); err != nil {
+		t.Fatalf("directory fsync: %v", err)
 	}
 }
 

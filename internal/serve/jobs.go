@@ -3,6 +3,7 @@ package serve
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -59,7 +60,8 @@ type jobRecord struct {
 // crashed or hung worker no longer means a dead job. Workers <= 0 keeps
 // the single-process RunPipeline path.
 type JobShardOptions struct {
-	// Workers is the worker-process count per job.
+	// Workers is the worker-process count per job. With Addrs set it
+	// defaults to the fleet size.
 	Workers int
 	// WorkerCommand overrides worker-binary resolution (default: the
 	// BITPACKER_BPWORKER environment variable, then bpworker on PATH,
@@ -67,6 +69,11 @@ type JobShardOptions struct {
 	WorkerCommand []string
 	// WorkerEnv is appended to every worker's environment.
 	WorkerEnv []string
+	// Addrs routes jobs to a standing `bpworker -listen` fleet over TCP
+	// instead of forking local workers. The fleet must share the job
+	// directory filesystem. Full fleet loss degrades to in-process
+	// execution, same as the fork path.
+	Addrs []string
 }
 
 // JobManager runs long jobs with durable per-stage checkpoints: a job
@@ -78,6 +85,13 @@ type JobManager struct {
 	dir   string
 	reg   *Registry
 	shard JobShardOptions
+
+	// runCtx is canceled by Shutdown to drain in-flight jobs: pipelines
+	// and shard supervisors observe the cancellation at their next
+	// checkpoint boundary, and run() keeps a drained job durably
+	// "running" so the next process resumes it.
+	runCtx     context.Context
+	cancelRuns context.CancelFunc
 
 	mu     sync.Mutex
 	jobs   map[string]*jobRecord
@@ -93,6 +107,7 @@ func NewJobManager(dir string, reg *Registry, shard JobShardOptions) (*JobManage
 		return nil, err
 	}
 	jm := &JobManager{dir: dir, reg: reg, shard: shard, jobs: map[string]*jobRecord{}}
+	jm.runCtx, jm.cancelRuns = context.WithCancel(context.Background())
 	entries, err := os.ReadDir(dir)
 	if err != nil {
 		return nil, err
@@ -210,10 +225,15 @@ func (jm *JobManager) run(rec *jobRecord) {
 	defer jm.wg.Done()
 	err := jm.execute(rec)
 	jm.mu.Lock()
-	if err != nil {
+	switch {
+	case err != nil && errors.Is(err, bitpacker.ErrCanceled) && jm.runCtx.Err() != nil:
+		// Shutdown drain, not a failure: the job's checkpoints are
+		// durable, so leave it recorded as running and the next process
+		// resumes it from the latest intact checkpoint.
+	case err != nil:
 		rec.State = JobFailed
 		rec.Error = err.Error()
-	} else {
+	default:
 		rec.State = JobDone
 		rec.Error = ""
 	}
@@ -234,7 +254,7 @@ func (jm *JobManager) execute(rec *jobRecord) error {
 	if err != nil {
 		return err
 	}
-	if jm.shard.Workers > 0 {
+	if jm.shard.Workers > 0 || len(jm.shard.Addrs) > 0 {
 		return jm.executeSharded(rec, p, initial)
 	}
 	stages := make([]bitpacker.PipelineStage, len(rec.Steps))
@@ -273,7 +293,7 @@ func (jm *JobManager) execute(rec *jobRecord) error {
 			},
 		}
 	}
-	final, report, err := p.ctx.RunPipeline(context.Background(), stages, []*bitpacker.Ciphertext{initial},
+	final, report, err := p.ctx.RunPipeline(jm.runCtx, stages, []*bitpacker.Ciphertext{initial},
 		bitpacker.PipelineOptions{CheckpointDir: filepath.Join(jm.jobDir(rec.ID), "checkpoints")})
 	jm.mu.Lock()
 	rec.ResumedFrom = report.ResumedFrom
@@ -298,12 +318,13 @@ func (jm *JobManager) executeSharded(rec *jobRecord, p *profile, initial *bitpac
 	for i, st := range rec.Steps {
 		program[i] = bitpacker.ShardStep{Op: st.Op, Arg: st.Arg}
 	}
-	final, report, err := p.ctx.RunSharded(context.Background(), program,
+	final, report, err := p.ctx.RunSharded(jm.runCtx, program,
 		[]*bitpacker.Ciphertext{initial}, bitpacker.ShardOptions{
 			Dir:           filepath.Join(jm.jobDir(rec.ID), "shards"),
 			Workers:       jm.shard.Workers,
 			WorkerCommand: jm.shard.WorkerCommand,
 			WorkerEnv:     jm.shard.WorkerEnv,
+			Addrs:         jm.shard.Addrs,
 		})
 	jm.mu.Lock()
 	rec.Shards = report.Shards
@@ -361,5 +382,19 @@ func (jm *JobManager) Close() {
 	jm.mu.Lock()
 	jm.closed = true
 	jm.mu.Unlock()
+	jm.wg.Wait()
+}
+
+// Shutdown stops intake and drains in-flight jobs instead of waiting
+// them out: each running job is cut at its next checkpoint boundary
+// (sharded jobs drain their worker fleet through the supervisor's
+// cancellation path) and stays durably recorded as running, so the next
+// process resumes it from the latest intact checkpoint. This is the
+// SIGTERM path; Close is the wait-for-completion path.
+func (jm *JobManager) Shutdown() {
+	jm.mu.Lock()
+	jm.closed = true
+	jm.mu.Unlock()
+	jm.cancelRuns()
 	jm.wg.Wait()
 }

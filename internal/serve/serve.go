@@ -78,11 +78,24 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.mux.ServeHTTP(w, r)
 }
 
-// Close drains the schedulers and waits for in-flight jobs.
+// Close drains the schedulers and waits for in-flight jobs to run to
+// completion.
 func (s *Server) Close() {
 	s.reg.Close()
 	if s.jobs != nil {
 		s.jobs.Close()
+	}
+}
+
+// Shutdown drains the schedulers and checkpoints in-flight long jobs
+// instead of waiting them out: running jobs (including sharded ones,
+// whose worker fleets drain through the supervisor) are cut at their
+// next checkpoint boundary and stay durably "running", so the next
+// process resumes them bit-identically. This is the SIGTERM path.
+func (s *Server) Shutdown() {
+	s.reg.Close()
+	if s.jobs != nil {
+		s.jobs.Shutdown()
 	}
 }
 

@@ -19,6 +19,7 @@ package shard
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -40,20 +41,24 @@ const (
 	EnvWorkerBin = "BITPACKER_BPWORKER"
 )
 
-// Message types of the line-delimited JSON protocol. The supervisor
-// writes to the worker's stdin, the worker answers on stdout; stderr is
-// captured for crash diagnostics. Heartbeats ride the same stdout stream
-// so a single pipe closure is the complete death signal.
+// Message types of the line-delimited JSON protocol. Over the proc
+// transport the supervisor writes to the worker's stdin and the worker
+// answers on stdout (stderr is captured for crash diagnostics); over the
+// TCP transport the same lines ride one socket, prefixed by a hello
+// handshake. Heartbeats ride the same stream so a single pipe or socket
+// closure is the complete disconnection signal.
 const (
 	// Supervisor -> worker.
-	MsgAssign = "assign" // run shard Msg.Shard
-	MsgDrain  = "drain"  // finish nothing new, exit 0
+	MsgHello  = "hello"  // TCP handshake: Dir/Fingerprint/Worker/BeatMs(/Shard+Epoch of the lease being re-adopted)
+	MsgAssign = "assign" // run shard Msg.Shard under lease Msg.Epoch
+	MsgDrain  = "drain"  // finish nothing new, end the session
 
 	// Worker -> supervisor.
-	MsgReady = "ready" // context built, accepting assignments
-	MsgBeat  = "beat"  // liveness; Shard/Step report progress
-	MsgDone  = "done"  // shard Msg.Shard output durably written
-	MsgFail  = "fail"  // shard Msg.Shard failed with Class/Err
+	MsgReady  = "ready"  // context built; Shard/Epoch report any in-flight lease (Epoch 0 = idle)
+	MsgBeat   = "beat"   // liveness; Shard/Step report progress
+	MsgDone   = "done"   // shard Msg.Shard output durably written under Msg.Epoch
+	MsgFail   = "fail"   // shard Msg.Shard failed under Msg.Epoch with Class/Err
+	MsgReject = "reject" // TCP handshake refused (fingerprint mismatch etc.); Err says why
 )
 
 // Failure classes carried by MsgFail. The supervisor maps them back to
@@ -71,7 +76,93 @@ type Msg struct {
 	Step  int    `json:"step,omitempty"`
 	Class string `json:"class,omitempty"`
 	Err   string `json:"err,omitempty"`
+	// Epoch is the lease fencing token: every assign carries the shard's
+	// current epoch, and done/fail reports echo it. Epochs start at 1, so
+	// Epoch 0 in a ready message means "no in-flight lease".
+	Epoch int `json:"epoch,omitempty"`
+	// Hello handshake fields (TCP transport only).
+	Dir         string `json:"dir,omitempty"`
+	Fingerprint uint64 `json:"fp,omitempty"`
+	Worker      int    `json:"worker,omitempty"`
+	BeatMs      int    `json:"beat_ms,omitempty"`
 }
+
+// MaxLineBytes bounds one protocol line. A peer that emits a longer line
+// is treated as dead: the limit keeps a hostile or corrupted stream from
+// ballooning supervisor memory.
+const MaxLineBytes = 1 << 20
+
+// maxShard and maxStep bound the index fields a decoded message may
+// carry. Jobs are partitioned into at most ~1M shards and programs are
+// short; anything past these is a corrupted or hostile line.
+const (
+	maxShard = 1 << 20
+	maxStep  = 1 << 20
+)
+
+// maxErrBytes caps the error text a fail line may carry into supervisor
+// logs and wrapped errors.
+const maxErrBytes = 4 << 10
+
+// DecodeWorkerMessage parses and validates one protocol line from a
+// worker. It is the supervisor's single entry point for bytes that
+// crossed a process or network boundary: hostile, truncated, or
+// oversized input must come back as an error, never a panic, and
+// anything accepted carries only known message types with fields inside
+// their documented bounds.
+func DecodeWorkerMessage(line []byte) (Msg, error) {
+	if len(line) > MaxLineBytes {
+		return Msg{}, fmt.Errorf("shard: protocol line %d bytes exceeds limit %d", len(line), MaxLineBytes)
+	}
+	var m Msg
+	if err := json.Unmarshal(line, &m); err != nil {
+		return Msg{}, fmt.Errorf("shard: protocol line: %w", err)
+	}
+	switch m.Type {
+	case MsgReady, MsgBeat, MsgDone, MsgFail, MsgReject, MsgHello, MsgAssign, MsgDrain:
+	default:
+		return Msg{}, fmt.Errorf("shard: unknown message type %q", m.Type)
+	}
+	if m.Shard < 0 || m.Shard > maxShard {
+		return Msg{}, fmt.Errorf("shard: message shard %d out of range", m.Shard)
+	}
+	if m.Step < 0 || m.Step > maxStep {
+		return Msg{}, fmt.Errorf("shard: message step %d out of range", m.Step)
+	}
+	if m.Epoch < 0 || m.Epoch > maxShard*maxAttemptsPerShard {
+		return Msg{}, fmt.Errorf("shard: message epoch %d out of range", m.Epoch)
+	}
+	if m.Worker < 0 || m.Worker > maxShard {
+		return Msg{}, fmt.Errorf("shard: message worker %d out of range", m.Worker)
+	}
+	switch m.Class {
+	case "", ClassCanceled, ClassFault:
+	default:
+		return Msg{}, fmt.Errorf("shard: unknown failure class %q", m.Class)
+	}
+	if len(m.Err) > maxErrBytes {
+		m.Err = m.Err[:maxErrBytes] + "..."
+	}
+	return m, nil
+}
+
+// maxAttemptsPerShard bounds how often one shard can plausibly be
+// re-leased over a job's lifetime (epoch sanity ceiling, not a policy).
+const maxAttemptsPerShard = 1 << 20
+
+// OutputName is the stamp a worker writes into a shard's durable output
+// frame: the supervisor accepts a completion only when the stamp matches
+// the epoch it dispatched, which fences output files overwritten by a
+// zombie worker holding a broken lease.
+func OutputName(shard, epoch int) string {
+	return fmt.Sprintf("shard-%d-e%d", shard, epoch)
+}
+
+// ErrStaleEpoch marks a completion whose durable output carries an
+// older lease epoch than the supervisor dispatched — a fenced zombie
+// write. The supervisor counts it separately from ordinary corruption
+// and re-dispatches the shard.
+var ErrStaleEpoch = errors.New("stale lease epoch")
 
 // CrashExitCode is the exit status a worker uses for an induced fatal
 // fault (chaos injection); any abnormal exit is treated the same way.

@@ -2,12 +2,8 @@ package shard
 
 import (
 	"context"
-	"encoding/json"
 	"errors"
 	"fmt"
-	"io"
-	"os"
-	"os/exec"
 	"sync"
 	"time"
 
@@ -18,19 +14,42 @@ import (
 // Options tunes a supervised run.
 type Options struct {
 	// Dir is the job exchange directory (required); it is exported to
-	// workers via EnvDir.
+	// workers via EnvDir (proc transport) or the hello handshake (TCP).
 	Dir string
-	// Workers is the worker-process count (default 2). The supervisor
-	// never runs more slots than there are shards.
+	// Workers is the worker-slot count. Default: one slot per fleet
+	// address when Addrs is set, else 2. The supervisor never runs more
+	// slots than there are shards.
 	Workers int
-	// WorkerCommand is the argv of a worker process (required — the
-	// caller resolves bpworker/self-exec before calling Run).
+	// WorkerCommand is the argv of a worker process for the proc
+	// transport (the caller resolves bpworker/self-exec before calling
+	// Run). Ignored when Addrs or Transport select another transport.
 	WorkerCommand []string
-	// WorkerEnv is appended to the inherited environment of every worker.
+	// WorkerEnv is appended to the inherited environment of every forked
+	// worker (proc transport only).
 	WorkerEnv []string
+	// Addrs lists standing fleet endpoints (`bpworker -listen`). When
+	// non-empty the supervisor dials out over TCP instead of forking:
+	// slot i connects to Addrs[i%len(Addrs)], authenticates with the job
+	// fingerprint, and runs the same protocol over the socket.
+	Addrs []string
+	// Fingerprint authenticates TCP sessions: the fleet member compares
+	// it against the job file in Dir and rejects a mismatch, so a
+	// supervisor cannot adopt a fleet that is serving a different job.
+	Fingerprint uint64
+	// Transport overrides transport selection entirely (tests and
+	// embedders). When nil, Addrs selects TCP and WorkerCommand proc.
+	Transport Transport
+	// DialTimeout bounds one TCP connection attempt (default 2x the
+	// heartbeat timeout).
+	DialTimeout time.Duration
 	// HeartbeatInterval is the worker beat period (default 250ms);
 	// HeartbeatTimeout is the deadline after which a silent worker is
-	// declared hung and SIGKILLed (default 8x the interval).
+	// declared hung — SIGKILLed on the proc transport, fenced and
+	// re-dispatched on TCP (default 8x the interval). A dropped TCP
+	// connection spends the same deadline: the supervisor reconnects
+	// with backoff and re-adopts the lease if the worker still holds it;
+	// a partition that outlives the deadline breaks the lease exactly
+	// like a crash.
 	HeartbeatInterval time.Duration
 	HeartbeatTimeout  time.Duration
 	// ShardDeadline, when positive, bounds the wall time of one shard
@@ -39,11 +58,16 @@ type Options struct {
 	ShardDeadline time.Duration
 	// Respawn is the per-worker-slot recovery policy, with
 	// engine.Retrier semantics: a crashed or hung worker is respawned
-	// with jittered exponential backoff up to MaxAttempts times per
-	// round, and BreakerThreshold consecutive exhausted rounds open that
-	// slot's circuit breaker and retire it. Zero values select the
-	// Retrier defaults.
+	// (or redialed) with jittered exponential backoff up to MaxAttempts
+	// times per round, and BreakerThreshold consecutive exhausted rounds
+	// open that slot's circuit breaker and retire it. Zero values select
+	// the Retrier defaults.
 	Respawn engine.RetryPolicy
+	// Reconnect is the in-lease redial policy for a dropped TCP
+	// connection: attempts are retried with Retrier backoff until the
+	// heartbeat deadline expires (the attempt budget is effectively the
+	// deadline). Zero values select sensible defaults.
+	Reconnect engine.RetryPolicy
 	// ShardAttempts bounds how many times a shard that a live worker
 	// *reports* as failed (as opposed to dying while holding it) is
 	// re-dispatched before the job fails with ErrFaultUnrecovered
@@ -53,16 +77,22 @@ type Options struct {
 	// retired instead of falling back to in-process execution.
 	DisableDegraded bool
 	// Logf, when non-nil, receives one structured line per recovery
-	// action (spawn, respawn, hang kill, re-dispatch, degraded entry).
+	// action (spawn, respawn, hang kill, conn drop, readopt, partition,
+	// stale-epoch reject, re-dispatch, degraded entry).
 	Logf func(format string, args ...any)
-	// OnSpawn, when non-nil, observes every worker process start —
-	// monitoring hooks and the chaos soak's random killer use it.
+	// OnSpawn, when non-nil, observes every worker session start —
+	// monitoring hooks and the chaos soak's random killer use it. pid is
+	// 0 for TCP sessions (there is no local process to signal).
 	OnSpawn func(worker, pid int)
 }
 
 func (o Options) withDefaults() Options {
 	if o.Workers <= 0 {
-		o.Workers = 2
+		if len(o.Addrs) > 0 {
+			o.Workers = len(o.Addrs)
+		} else {
+			o.Workers = 2
+		}
 	}
 	if o.HeartbeatInterval <= 0 {
 		o.HeartbeatInterval = 250 * time.Millisecond
@@ -73,29 +103,68 @@ func (o Options) withDefaults() Options {
 	if o.ShardAttempts <= 0 {
 		o.ShardAttempts = 3
 	}
+	if o.Reconnect.MaxAttempts <= 0 {
+		o.Reconnect.MaxAttempts = 1000 // bounded by the heartbeat deadline, not the count
+	}
+	if o.Reconnect.BaseDelay <= 0 {
+		o.Reconnect.BaseDelay = 5 * time.Millisecond
+	}
+	if o.Reconnect.MaxDelay <= 0 {
+		o.Reconnect.MaxDelay = o.HeartbeatInterval
+	}
 	if o.Logf == nil {
 		o.Logf = func(string, ...any) {}
 	}
 	return o
 }
 
+// Validate rejects contradictory tuning before any worker is spawned.
+// Zero and negative durations are not errors — they select defaults —
+// but an explicit heartbeat timeout below the beat interval would kill
+// every worker on its first deadline check and can only be a mistake.
+func (o Options) Validate() error {
+	interval := o.HeartbeatInterval
+	if interval <= 0 {
+		interval = 250 * time.Millisecond
+	}
+	if o.HeartbeatTimeout > 0 && o.HeartbeatTimeout < interval {
+		return fherr.Wrap(fherr.ErrInvalidParams,
+			"shard: heartbeat timeout %v below interval %v (every worker would be declared hung at its first check)",
+			o.HeartbeatTimeout, interval)
+	}
+	return nil
+}
+
 // Stats counts the supervisor's recovery actions over one Run.
 type Stats struct {
-	// Spawns is every worker process start; Respawns is the subset that
-	// replaced a crashed or hung predecessor in the same slot.
+	// Spawns is every worker session start; Respawns is the subset that
+	// replaced a crashed, hung, or partitioned predecessor in the same
+	// slot.
 	Spawns   int64
 	Respawns int64
-	// Crashes counts abnormal worker exits; Hangs counts heartbeat- or
-	// shard-deadline kills (each hang also exits abnormally but is not
-	// double-counted as a crash).
+	// Crashes counts abnormal worker exits (and TCP workers that came
+	// back with lost state); Hangs counts heartbeat- or shard-deadline
+	// kills (each hang also exits abnormally but is not double-counted
+	// as a crash).
 	Crashes int64
 	Hangs   int64
 	// HeartbeatMisses counts deadline checks that found a beat overdue
-	// by more than two intervals — late beats that may precede a hang.
+	// by more than two intervals — late beats that may precede a hang —
+	// plus dropped TCP connections (a disconnection is a missed beat
+	// until the reconnect succeeds or the lease expires).
 	HeartbeatMisses int64
+	// ConnDrops counts TCP sessions that closed mid-life; Reconnects the
+	// drops healed by a successful redial; Readopts the subset where an
+	// in-flight lease was re-adopted (same shard, same epoch) with the
+	// worker never having stopped computing. Partitions counts drops
+	// that outlived the heartbeat deadline and broke the lease.
+	ConnDrops  int64
+	Reconnects int64
+	Readopts   int64
+	Partitions int64
 	// Redispatches counts shards returned to the queue because their
-	// worker died; LeasesStolen is the subset completed by a different
-	// worker than the one that lost them.
+	// worker died or partitioned; LeasesStolen is the subset completed
+	// by a different worker than the one that lost them.
 	Redispatches int64
 	LeasesStolen int64
 	// ShardRetries counts re-dispatches after a live worker reported a
@@ -108,35 +177,48 @@ type Stats struct {
 	DegradedEntries int64
 	LocalShards     int64
 	// DuplicateDones counts completion reports for already-completed
-	// shards (a worker that finished just before its lease was broken) —
-	// detected and ignored, never double-applied.
+	// shards (a worker that finished just before its lease was broken,
+	// or a duplicated/reordered done on the wire) — detected and
+	// ignored, never double-applied.
 	DuplicateDones int64
+	// StaleEpochRejects counts fenced zombie writes: done reports or
+	// durable output stamps carrying an older lease epoch than the
+	// supervisor dispatched. Rejected and (for a stamped output under
+	// the current done) re-dispatched, never applied.
+	StaleEpochRejects int64
 }
 
 // Callbacks connect the generic supervisor to the caller's shard
 // payloads.
 type Callbacks struct {
 	// ShardDone validates and collects a completed shard's durable
-	// output. An error (missing, corrupt, or undecodable output) turns
-	// the completion report into a shard failure.
-	ShardDone func(shard int) error
+	// output. epoch is the lease epoch the supervisor dispatched; the
+	// callback must reject an output stamped with any other epoch by
+	// returning an error wrapping ErrStaleEpoch (epoch < 0 accepts any
+	// stamp — the resume scan). Any error (missing, corrupt, stale, or
+	// undecodable output) turns the completion report into a shard
+	// failure.
+	ShardDone func(shard, epoch int) error
 	// HealInput, when non-nil, republishes a shard's input before a
 	// re-dispatch, so a corrupted input file cannot pin a shard down.
 	HealInput func(shard int) error
-	// ExecLocal runs one shard in-process — degraded mode's executor. It
-	// must be resumable from the shard's durable checkpoints, exactly
-	// like a worker.
-	ExecLocal func(ctx context.Context, shard int) error
+	// ExecLocal runs one shard in-process — degraded mode's executor,
+	// publishing its output under the given lease epoch. It must be
+	// resumable from the shard's durable checkpoints, exactly like a
+	// worker.
+	ExecLocal func(ctx context.Context, shard, epoch int) error
 }
 
 // supervisor is the shared state of one Run.
 type supervisor struct {
 	opts Options
 	cb   Callbacks
+	tr   Transport
 
 	mu          sync.Mutex
 	cond        *sync.Cond
 	pending     []int
+	epoch       map[int]int  // shard -> current lease epoch (increments per dispatch)
 	leaseOwner  map[int]int  // shard -> slot holding its lease
 	brokenOwner map[int]int  // shard -> slot that last lost its lease
 	attempts    map[int]int  // worker-reported failures per shard
@@ -149,11 +231,14 @@ type supervisor struct {
 	stats       Stats
 }
 
-// Run executes shards [0, total) across worker processes. done marks
+// Run executes shards [0, total) across worker sessions. done marks
 // shards already completed by a previous attempt (may be nil). Run
 // returns when every shard is complete, the job fails with a typed
 // error, or ctx is canceled.
 func Run(ctx context.Context, opts Options, total int, done []bool, cb Callbacks) (Stats, error) {
+	if err := opts.Validate(); err != nil {
+		return Stats{}, err
+	}
 	opts = opts.withDefaults()
 	if total <= 0 {
 		return Stats{}, fherr.Wrap(fherr.ErrInvalidParams, "shard: no shards")
@@ -164,6 +249,7 @@ func Run(ctx context.Context, opts Options, total int, done []bool, cb Callbacks
 	s := &supervisor{
 		opts:        opts,
 		cb:          cb,
+		epoch:       map[int]int{},
 		leaseOwner:  map[int]int{},
 		brokenOwner: map[int]int{},
 		attempts:    map[int]int{},
@@ -186,9 +272,18 @@ func Run(ctx context.Context, opts Options, total int, done []bool, cb Callbacks
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	if len(opts.WorkerCommand) == 0 {
-		// No way to spawn workers at all: straight to degraded mode.
-		return s.finish(ctx, fmt.Errorf("shard: no worker command"))
+	s.tr = opts.Transport
+	if s.tr == nil {
+		switch {
+		case len(opts.Addrs) > 0:
+			s.tr = newTCPTransport(opts)
+		case len(opts.WorkerCommand) > 0:
+			s.tr = &procTransport{opts: opts}
+		}
+	}
+	if s.tr == nil {
+		// No way to reach workers at all: straight to degraded mode.
+		return s.finish(ctx, fmt.Errorf("shard: no worker command or fleet address"))
 	}
 
 	runCtx, cancel := context.WithCancel(ctx)
@@ -251,9 +346,8 @@ func (s *supervisor) finish(ctx context.Context, lastWorkerErr error) (Stats, er
 	s.mu.Lock()
 	s.stats.DegradedEntries++
 	remaining := append([]int(nil), s.pending...)
-	for shard, slot := range s.leaseOwner {
+	for shard := range s.leaseOwner {
 		// Leases of workers that died on the way out.
-		_ = slot
 		remaining = append(remaining, shard)
 	}
 	s.mu.Unlock()
@@ -262,7 +356,8 @@ func (s *supervisor) finish(ctx context.Context, lastWorkerErr error) (Stats, er
 		if err := ctx.Err(); err != nil {
 			return s.snapshot(), fherr.Wrap(fherr.ErrCanceled, "shard: degraded run canceled (%v)", err)
 		}
-		if err := s.cb.ExecLocal(ctx, shard); err != nil {
+		epoch := s.nextEpoch(shard)
+		if err := s.cb.ExecLocal(ctx, shard, epoch); err != nil {
 			return s.snapshot(), fmt.Errorf("shard: degraded shard %d: %w", shard, err)
 		}
 		s.mu.Lock()
@@ -270,7 +365,7 @@ func (s *supervisor) finish(ctx context.Context, lastWorkerErr error) (Stats, er
 		s.doneCount++
 		s.stats.LocalShards++
 		s.mu.Unlock()
-		s.opts.Logf("shard: action=local-complete shard=%d", shard)
+		s.opts.Logf("shard: action=local-complete shard=%d epoch=%d", shard, epoch)
 	}
 	return s.snapshot(), nil
 }
@@ -288,30 +383,43 @@ func (s *supervisor) snapshot() Stats {
 	return s.stats
 }
 
-// claim blocks until a shard is available, leasing it to slot. ok=false
-// means there will never be more work for this slot (job done, failed,
-// or canceled) and the worker should be drained.
-func (s *supervisor) claim(slot int) (shard int, ok bool) {
+// nextEpoch advances and returns a shard's lease epoch — every dispatch
+// (worker assign or degraded local execution) gets a fresh fencing
+// token.
+func (s *supervisor) nextEpoch(shard int) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.epoch[shard]++
+	return s.epoch[shard]
+}
+
+// claim blocks until a shard is available, leasing it to slot under a
+// fresh epoch. ok=false means there will never be more work for this
+// slot (job done, failed, or canceled) and the worker should be drained.
+func (s *supervisor) claim(slot int) (shard, epoch int, ok bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	for {
 		if s.jobErr != nil || s.canceled || s.doneCount == s.total {
-			return 0, false
+			return 0, 0, false
 		}
 		if len(s.pending) > 0 {
 			shard = s.pending[0]
 			s.pending = s.pending[1:]
 			s.leaseOwner[shard] = slot
-			return shard, true
+			s.epoch[shard]++
+			return shard, s.epoch[shard], true
 		}
 		s.cond.Wait()
 	}
 }
 
-// complete processes a worker's done report: validate the durable
-// output, then mark the shard finished. A failed validation is treated
-// as a reported shard failure (the output is corrupt or missing).
-func (s *supervisor) complete(slot, shard int) {
+// complete processes a worker's done report for the current lease:
+// validate the durable output against the dispatched epoch, then mark
+// the shard finished. A failed validation is treated as a reported shard
+// failure; a stale-epoch stamp additionally counts as a fenced zombie
+// write.
+func (s *supervisor) complete(slot, shard, epoch int) {
 	s.mu.Lock()
 	if s.done[shard] {
 		s.stats.DuplicateDones++
@@ -322,8 +430,13 @@ func (s *supervisor) complete(slot, shard int) {
 	}
 	s.mu.Unlock()
 
-	if err := s.cb.ShardDone(shard); err != nil {
-		s.opts.Logf("shard: action=output-rejected worker=%d shard=%d reason=%q", slot, shard, err.Error())
+	if err := s.cb.ShardDone(shard, epoch); err != nil {
+		if errors.Is(err, ErrStaleEpoch) {
+			s.addStat(func(st *Stats) { st.StaleEpochRejects++ })
+			s.opts.Logf("shard: action=stale-epoch-reject worker=%d shard=%d epoch=%d reason=%q", slot, shard, epoch, err.Error())
+		} else {
+			s.opts.Logf("shard: action=output-rejected worker=%d shard=%d reason=%q", slot, shard, err.Error())
+		}
 		s.shardFailed(slot, shard, err)
 		return
 	}
@@ -343,6 +456,30 @@ func (s *supervisor) complete(slot, shard int) {
 	if s.doneCount == s.total {
 		s.cond.Broadcast()
 	}
+}
+
+// staleMsg classifies a done/fail report that does not match the
+// worker's current lease: a duplicate (shard already done), a fenced
+// zombie (older epoch), or neither (a protocol violation the caller
+// turns into a crash). Duplicates and zombies are counted and dropped.
+func (s *supervisor) staleMsg(slot int, m Msg) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.done[m.Shard] {
+		s.stats.DuplicateDones++
+		s.opts.Logf("shard: action=duplicate-done worker=%d shard=%d epoch=%d", slot, m.Shard, m.Epoch)
+		return true
+	}
+	if m.Epoch < s.epoch[m.Shard] {
+		if m.Type == MsgDone {
+			s.stats.StaleEpochRejects++
+			s.opts.Logf("shard: action=stale-epoch-reject worker=%d shard=%d epoch=%d current=%d", slot, m.Shard, m.Epoch, s.epoch[m.Shard])
+		} else {
+			s.opts.Logf("shard: action=stale-fail-dropped worker=%d shard=%d epoch=%d current=%d", slot, m.Shard, m.Epoch, s.epoch[m.Shard])
+		}
+		return true
+	}
+	return false
 }
 
 // shardFailed handles a shard failure reported by a live worker (or a
@@ -414,11 +551,12 @@ func (s *supervisor) addStat(f func(*Stats)) {
 	s.mu.Unlock()
 }
 
-// slotLoop keeps one worker slot alive: each Retrier round spawns and
-// runs a worker to clean completion, retrying crashes and hangs with
-// jittered backoff; consecutive exhausted rounds open the slot's breaker
-// and retire it. Cancellation always wins and is never charged as a
-// crash. Returns nil on clean drain, else the retirement cause.
+// slotLoop keeps one worker slot alive: each Retrier round spawns (or
+// dials) and runs a worker to clean completion, retrying crashes, hangs
+// and partitions with jittered backoff; consecutive exhausted rounds
+// open the slot's breaker and retire it. Cancellation always wins and is
+// never charged as a crash. Returns nil on clean drain, else the
+// retirement cause.
 func (s *supervisor) slotLoop(ctx context.Context, slot int) error {
 	retrier := engine.NewRetrier(s.opts.Respawn)
 	for {
@@ -436,8 +574,8 @@ func (s *supervisor) slotLoop(ctx context.Context, slot int) error {
 			s.opts.Logf("shard: action=respawn-round-exhausted worker=%d reason=%q", slot, err.Error())
 			continue
 		default:
-			// Breaker open, or a terminal spawn error (missing binary):
-			// retire the slot.
+			// Breaker open, or a terminal spawn error (missing binary,
+			// rejected handshake): retire the slot.
 			s.addStat(func(st *Stats) { st.WorkersRetired++ })
 			s.opts.Logf("shard: action=retire worker=%d reason=%q", slot, err.Error())
 			s.wake() // unblock peers if this was the last slot
@@ -446,115 +584,150 @@ func (s *supervisor) slotLoop(ctx context.Context, slot int) error {
 	}
 }
 
-// procHandle wraps one spawned worker process with memoized Wait.
-type procHandle struct {
-	cmd      *exec.Cmd
-	stdin    io.WriteCloser
-	enc      *json.Encoder
-	msgs     chan Msg
-	readDone chan error // decoder finished (EOF = process death or closed pipe)
-	stderr   *boundedBuf
-	waitOnce sync.Once
-	waitErr  error
-}
+// reconnect redials a dropped TCP session and decides the lease's fate.
+// Returns the adopted session (plus any done/fail the worker flushed
+// ahead of the supervisor's read, which the caller must process), or the
+// classified terminal error (partition past the heartbeat deadline,
+// worker that lost its state, cancellation) after releasing the lease.
+func (s *supervisor) reconnect(ctx context.Context, slot, cur, curEpoch int, lastBeat time.Time) (Session, *Msg, error) {
+	deadline := lastBeat.Add(s.opts.HeartbeatTimeout)
+	s.addStat(func(st *Stats) { st.ConnDrops++; st.HeartbeatMisses++ })
+	s.opts.Logf("shard: action=conn-drop worker=%d shard=%d epoch=%d budget=%v",
+		slot, cur, curEpoch, time.Until(deadline).Round(time.Millisecond))
 
-func (p *procHandle) wait() error {
-	p.waitOnce.Do(func() {
-		<-p.readDone // os/exec: never Wait while the stdout pipe is being read
-		p.waitErr = p.cmd.Wait()
-	})
-	return p.waitErr
-}
-
-func (p *procHandle) kill() {
-	if p.cmd.Process != nil {
-		p.cmd.Process.Kill()
-	}
-}
-
-func (p *procHandle) send(m Msg) error { return p.enc.Encode(m) }
-
-// boundedBuf retains the tail of worker stderr for crash diagnostics.
-type boundedBuf struct {
-	mu  sync.Mutex
-	buf []byte
-}
-
-func (b *boundedBuf) Write(p []byte) (int, error) {
-	b.mu.Lock()
-	b.buf = append(b.buf, p...)
-	if len(b.buf) > 4096 {
-		b.buf = b.buf[len(b.buf)-4096:]
-	}
-	b.mu.Unlock()
-	return len(p), nil
-}
-
-func (b *boundedBuf) String() string {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	return string(b.buf)
-}
-
-// spawn starts one worker process for the slot.
-func (s *supervisor) spawn(slot int) (*procHandle, error) {
-	argv := s.opts.WorkerCommand
-	cmd := exec.Command(argv[0], argv[1:]...)
-	cmd.Env = append(os.Environ(), s.opts.WorkerEnv...)
-	cmd.Env = append(cmd.Env,
-		fmt.Sprintf("%s=%s", EnvDir, s.opts.Dir),
-		fmt.Sprintf("%s=%d", EnvWorkerID, slot),
-		fmt.Sprintf("%s=%d", EnvBeatMs, s.opts.HeartbeatInterval.Milliseconds()),
-	)
-	stdin, err := cmd.StdinPipe()
-	if err != nil {
-		return nil, fmt.Errorf("shard: worker %d stdin: %w", slot, err)
-	}
-	stdout, err := cmd.StdoutPipe()
-	if err != nil {
-		return nil, fmt.Errorf("shard: worker %d stdout: %w", slot, err)
-	}
-	stderr := &boundedBuf{}
-	cmd.Stderr = stderr
-	if err := cmd.Start(); err != nil {
-		// A terminal environment problem (missing binary, not executable):
-		// deliberately NOT an engine fault, so the Retrier returns it
-		// unretried and the slot retires straight into degraded mode.
-		return nil, fmt.Errorf("shard: spawn worker %d (%q): %w", slot, argv[0], err)
-	}
-	p := &procHandle{
-		cmd:      cmd,
-		stdin:    stdin,
-		enc:      json.NewEncoder(stdin),
-		msgs:     make(chan Msg, 256),
-		readDone: make(chan error, 1),
-		stderr:   stderr,
-	}
-	go func() {
-		dec := json.NewDecoder(stdout)
-		for {
-			var m Msg
-			if err := dec.Decode(&m); err != nil {
-				p.readDone <- err
-				close(p.msgs)
-				return
-			}
-			p.msgs <- m
+	fail := func(kind string, cause error) (Session, *Msg, error) {
+		s.releaseLease(slot, cur)
+		if err := ctx.Err(); err != nil {
+			return nil, nil, fherr.Wrap(fherr.ErrCanceled, "shard: worker %d stopped by cancellation (%v)", slot, err)
 		}
-	}()
-	return p, nil
+		switch kind {
+		case "partition":
+			s.addStat(func(st *Stats) { st.Partitions++ })
+		default:
+			s.addStat(func(st *Stats) { st.Crashes++ })
+		}
+		s.opts.Logf("shard: action=%s worker=%d shard=%d reason=%q", kind, slot, cur, errString(cause))
+		return nil, nil, fherr.Wrap(fherr.ErrEngineFault, "shard: worker %d %s: %v", slot, kind, cause)
+	}
+
+	rctx, cancel := context.WithDeadline(ctx, deadline)
+	defer cancel()
+	var sess Session
+	var ready Msg
+	retrier := engine.NewRetrier(s.opts.Reconnect)
+	err := retrier.Do(rctx, fmt.Sprintf("shard-reconnect-%d", slot), func(actx context.Context) error {
+		ns, err := s.tr.Dial(slot)
+		if err != nil {
+			return err // already classified by the transport
+		}
+		m, err := awaitReady(actx, ns)
+		if err != nil {
+			ns.Kill()
+			ns.Wait()
+			return err
+		}
+		sess, ready = ns, m
+		return nil
+	})
+	if err != nil {
+		if ctx.Err() == nil && rctx.Err() != nil {
+			// The redial budget (the heartbeat deadline) expired with the
+			// job still alive: a partition that outlived the lease.
+			return fail("partition", fmt.Errorf("no reconnection before the heartbeat deadline: %v", err))
+		}
+		return fail("reconnect-failed", err)
+	}
+
+	if cur < 0 || (ready.Shard == cur && ready.Epoch == curEpoch) {
+		// Idle drop healed, or the worker still holds our exact lease. The
+		// consumed ready is handed back as the pending message so a drop
+		// during startup still delivers it to the ready loop.
+		s.addStat(func(st *Stats) {
+			st.Reconnects++
+			if cur >= 0 {
+				st.Readopts++
+			}
+		})
+		s.opts.Logf("shard: action=readopt worker=%d peer=%s shard=%d epoch=%d", slot, sess.Desc(), cur, curEpoch)
+		return sess, &ready, nil
+	}
+	if ready.Epoch == 0 {
+		// The worker is idle: it may have finished our shard during the
+		// partition and queued the done, which it flushes right after the
+		// ready. Wait for that report before declaring the state lost.
+		timer := time.NewTimer(time.Until(deadline))
+		defer timer.Stop()
+		for {
+			select {
+			case m, open := <-sess.Recv():
+				if !open {
+					sess.Wait()
+					return fail("crash", errors.New("reconnected session closed before flushing completion"))
+				}
+				if m.Type == MsgBeat {
+					continue
+				}
+				if (m.Type == MsgDone || m.Type == MsgFail) && m.Shard == cur && m.Epoch == curEpoch {
+					s.addStat(func(st *Stats) { st.Reconnects++ })
+					s.opts.Logf("shard: action=reconnect-flush worker=%d peer=%s shard=%d epoch=%d type=%s",
+						slot, sess.Desc(), cur, curEpoch, m.Type)
+					return sess, &m, nil
+				}
+				sess.Kill()
+				sess.Wait()
+				return fail("crash", fmt.Errorf("reconnected worker flushed %q for shard %d epoch %d while leased %d epoch %d",
+					m.Type, m.Shard, m.Epoch, cur, curEpoch))
+			case <-timer.C:
+				sess.Kill()
+				sess.Wait()
+				return fail("crash", errors.New("reconnected worker lost the lease state"))
+			case <-ctx.Done():
+				sess.Kill()
+				sess.Wait()
+				return fail("canceled", ctx.Err())
+			}
+		}
+	}
+	sess.Kill()
+	sess.Wait()
+	return fail("crash", fmt.Errorf("reconnected worker reports shard %d epoch %d while leased %d epoch %d",
+		ready.Shard, ready.Epoch, cur, curEpoch))
 }
 
-// workerLife runs one worker process from spawn to exit. Return classes:
+// awaitReady reads session messages until the handshake resolves: ready
+// (possibly preceded by beats), reject, or an error.
+func awaitReady(ctx context.Context, sess Session) (Msg, error) {
+	for {
+		select {
+		case m, open := <-sess.Recv():
+			if !open {
+				return Msg{}, fherr.Wrap(fherr.ErrEngineFault, "shard: session closed before ready (%v)", sess.Wait())
+			}
+			switch m.Type {
+			case MsgReady:
+				return m, nil
+			case MsgBeat:
+				continue
+			case MsgReject:
+				return Msg{}, fmt.Errorf("shard: handshake rejected: %s", m.Err)
+			default:
+				return Msg{}, fherr.Wrap(fherr.ErrEngineFault, "shard: protocol: %q before ready", m.Type)
+			}
+		case <-ctx.Done():
+			return Msg{}, fherr.Wrap(fherr.ErrCanceled, "shard: handshake canceled (%v)", ctx.Err())
+		}
+	}
+}
+
+// workerLife runs one worker session from dial to exit. Return classes:
 // nil (clean drain), ErrCanceled (job canceled), ErrEngineFault-wrapped
-// (crash or hang — retryable, respawned by the slot's Retrier), other
-// (terminal spawn problem — retires the slot).
+// (crash, hang, or partition — retryable, redialed by the slot's
+// Retrier), other (terminal spawn/handshake problem — retires the slot).
 func (s *supervisor) workerLife(ctx context.Context, slot int) error {
-	p, err := s.spawn(slot)
+	sess, err := s.tr.Dial(slot)
 	if err != nil {
 		return err
 	}
-	pid := p.cmd.Process.Pid
 	s.mu.Lock()
 	s.stats.Spawns++
 	respawn := s.spawned[slot]
@@ -567,21 +740,21 @@ func (s *supervisor) workerLife(ctx context.Context, slot int) error {
 	if respawn {
 		action = "respawn"
 	}
-	s.opts.Logf("shard: action=%s worker=%d pid=%d", action, slot, pid)
+	s.opts.Logf("shard: action=%s worker=%d transport=%s peer=%s", action, slot, s.tr.Name(), sess.Desc())
 	if s.opts.OnSpawn != nil {
-		s.opts.OnSpawn(slot, pid)
+		s.opts.OnSpawn(slot, sessionPid(sess))
 	}
 
-	cur := -1 // shard currently leased to this worker
+	cur := -1      // shard currently leased to this worker
+	curEpoch := 0  // its fencing epoch
 	// die centralizes death handling: kill, reap, release the lease, and
-	// classify (cancellation beats fault — the laundering fix mirrored
-	// from materializeA: a worker killed because the job was canceled
-	// must surface ErrCanceled, never count as a crash against the
-	// breaker).
+	// classify. Cancellation beats fault: a worker killed because the job
+	// was canceled must surface ErrCanceled, never count as a crash
+	// against the breaker.
 	die := func(kind string, cause error) error {
-		p.kill()
-		p.stdin.Close()
-		p.wait()
+		sess.Kill()
+		sess.CloseSend()
+		sess.Wait()
 		s.releaseLease(slot, cur)
 		if err := ctx.Err(); err != nil {
 			return fherr.Wrap(fherr.ErrCanceled, "shard: worker %d stopped by cancellation (%v)", slot, err)
@@ -592,9 +765,9 @@ func (s *supervisor) workerLife(ctx context.Context, slot int) error {
 		default:
 			s.addStat(func(st *Stats) { st.Crashes++ })
 		}
-		s.opts.Logf("shard: action=%s worker=%d pid=%d shard=%d reason=%q stderr=%q",
-			kind, slot, pid, cur, errString(cause), p.stderr.String())
-		return fherr.Wrap(fherr.ErrEngineFault, "shard: worker %d (pid %d) %s: %v", slot, pid, kind, cause)
+		s.opts.Logf("shard: action=%s worker=%d peer=%s shard=%d reason=%q stderr=%q",
+			kind, slot, sess.Desc(), cur, errString(cause), sessionStderr(sess))
+		return fherr.Wrap(fherr.ErrEngineFault, "shard: worker %d (%s) %s: %v", slot, sess.Desc(), kind, cause)
 	}
 
 	lastBeat := time.Now()
@@ -602,16 +775,32 @@ func (s *supervisor) workerLife(ctx context.Context, slot int) error {
 	ticker := time.NewTicker(s.opts.HeartbeatInterval)
 	defer ticker.Stop()
 
-	// awaitMsg multiplexes protocol messages with death, hang-deadline
-	// and cancellation signals. ok=false means fatal: the second return
-	// is the classified error.
+	// awaitMsg multiplexes protocol messages with death, disconnection,
+	// hang-deadline and cancellation signals. ok=false means fatal: the
+	// second return is the classified error.
 	awaitMsg := func() (Msg, bool, error) {
 		for {
 			select {
-			case m, open := <-p.msgs:
+			case m, open := <-sess.Recv():
 				if !open {
-					werr := p.wait()
-					return Msg{}, false, die("crash", fmt.Errorf("process exited: %v", werr))
+					if !s.tr.Reconnectable() {
+						werr := sess.Wait()
+						return Msg{}, false, die("crash", fmt.Errorf("process exited: %v", werr))
+					}
+					// A dropped connection is a heartbeat miss, not a death:
+					// the fleet member keeps computing. Redial with backoff
+					// and re-adopt the lease while the deadline budget lasts.
+					sess.Wait()
+					ns, pending, err := s.reconnect(ctx, slot, cur, curEpoch, lastBeat)
+					if err != nil {
+						return Msg{}, false, err
+					}
+					sess = ns
+					lastBeat = time.Now()
+					if pending != nil {
+						return *pending, true, nil
+					}
+					continue
 				}
 				lastBeat = time.Now()
 				return m, true, nil
@@ -622,7 +811,7 @@ func (s *supervisor) workerLife(ctx context.Context, slot int) error {
 				}
 				if silent > 2*s.opts.HeartbeatInterval {
 					s.addStat(func(st *Stats) { st.HeartbeatMisses++ })
-					s.opts.Logf("shard: action=heartbeat-miss worker=%d pid=%d silent=%v", slot, pid, silent.Round(time.Millisecond))
+					s.opts.Logf("shard: action=heartbeat-miss worker=%d peer=%s silent=%v", slot, sess.Desc(), silent.Round(time.Millisecond))
 				}
 				if cur >= 0 && s.opts.ShardDeadline > 0 && time.Since(curStart) > s.opts.ShardDeadline {
 					return Msg{}, false, die("hang", fmt.Errorf("shard %d exceeded deadline %v", cur, s.opts.ShardDeadline))
@@ -635,14 +824,26 @@ func (s *supervisor) workerLife(ctx context.Context, slot int) error {
 
 	// Startup: the worker builds its Context (keygen included) and says
 	// ready. The heartbeat goroutine is already beating during setup, so
-	// the ordinary deadline applies.
+	// the ordinary deadline applies. A TCP worker may report a stale
+	// in-flight lease from a previous supervisor life; it abandons that
+	// work at the next assign, and its stale reports are fenced by epoch.
 	for {
 		m, ok, err := awaitMsg()
 		if !ok {
 			return err
 		}
 		if m.Type == MsgReady {
+			if m.Epoch > 0 {
+				s.opts.Logf("shard: action=ready-stale-lease worker=%d shard=%d epoch=%d", slot, m.Shard, m.Epoch)
+			}
 			break
+		}
+		if m.Type == MsgReject {
+			// Terminal misconfiguration (wrong fingerprint / wrong fleet):
+			// NOT an engine fault, so the slot retires without redials.
+			sess.Kill()
+			sess.Wait()
+			return fmt.Errorf("shard: worker %d handshake rejected by %s: %s", slot, sess.Desc(), m.Err)
 		}
 		if m.Type != MsgBeat {
 			return die("crash", fmt.Errorf("protocol: %q before ready", m.Type))
@@ -650,35 +851,42 @@ func (s *supervisor) workerLife(ctx context.Context, slot int) error {
 	}
 
 	for {
-		shard, more := s.claim(slot)
+		shard, epoch, more := s.claim(slot)
 		if !more {
-			// Drain: let the worker exit on its own, then reap it.
-			p.send(Msg{Type: MsgDrain})
-			p.stdin.Close()
+			// Drain: let the worker end the session on its own, then reap.
+			sess.Send(Msg{Type: MsgDrain})
+			sess.CloseSend()
 			drainDeadline := time.After(s.opts.HeartbeatTimeout)
 			for {
 				select {
-				case _, open := <-p.msgs:
+				case _, open := <-sess.Recv():
 					if !open {
-						p.wait()
-						s.opts.Logf("shard: action=drain worker=%d pid=%d", slot, pid)
+						sess.Wait()
+						s.opts.Logf("shard: action=drain worker=%d peer=%s", slot, sess.Desc())
 						if err := ctx.Err(); err != nil {
 							return fherr.Wrap(fherr.ErrCanceled, "shard: worker %d drained after cancellation (%v)", slot, err)
 						}
 						return nil
 					}
 				case <-drainDeadline:
-					p.kill()
-					p.wait()
-					s.opts.Logf("shard: action=drain-kill worker=%d pid=%d", slot, pid)
+					sess.Kill()
+					sess.Wait()
+					s.opts.Logf("shard: action=drain-kill worker=%d peer=%s", slot, sess.Desc())
 					return nil
 				}
 			}
 		}
-		cur = shard
+		cur, curEpoch = shard, epoch
 		curStart = time.Now()
-		if err := p.send(Msg{Type: MsgAssign, Shard: shard}); err != nil {
-			return die("crash", fmt.Errorf("assign write: %v", err))
+		if err := sess.Send(Msg{Type: MsgAssign, Shard: shard, Epoch: epoch}); err != nil {
+			if s.tr.Reconnectable() {
+				// Let the read side observe the drop and run the reconnect
+				// path; the re-adopted worker never saw this assign, so
+				// re-adoption will fail fast into a redispatch.
+				s.opts.Logf("shard: action=assign-write-failed worker=%d shard=%d reason=%q", slot, shard, err.Error())
+			} else {
+				return die("crash", fmt.Errorf("assign write: %v", err))
+			}
 		}
 		for cur >= 0 {
 			m, ok, err := awaitMsg()
@@ -692,14 +900,21 @@ func (s *supervisor) workerLife(ctx context.Context, slot int) error {
 					curStart = time.Now()
 				}
 			case MsgDone:
-				if m.Shard != cur {
-					return die("crash", fmt.Errorf("protocol: done for shard %d while leased %d", m.Shard, cur))
+				if m.Shard == cur && m.Epoch == curEpoch {
+					s.complete(slot, cur, curEpoch)
+					cur, curEpoch = -1, 0
+					continue
 				}
-				s.complete(slot, cur)
-				cur = -1
+				if s.staleMsg(slot, m) {
+					continue
+				}
+				return die("crash", fmt.Errorf("protocol: done for shard %d epoch %d while leased %d epoch %d", m.Shard, m.Epoch, cur, curEpoch))
 			case MsgFail:
-				if m.Shard != cur {
-					return die("crash", fmt.Errorf("protocol: fail for shard %d while leased %d", m.Shard, cur))
+				if m.Shard != cur || m.Epoch != curEpoch {
+					if s.staleMsg(slot, m) {
+						continue
+					}
+					return die("crash", fmt.Errorf("protocol: fail for shard %d epoch %d while leased %d epoch %d", m.Shard, m.Epoch, cur, curEpoch))
 				}
 				if m.Class == ClassCanceled {
 					// The worker's own operation context was canceled. If
@@ -711,14 +926,25 @@ func (s *supervisor) workerLife(ctx context.Context, slot int) error {
 					}
 					s.opts.Logf("shard: action=worker-canceled worker=%d shard=%d reason=%q", slot, cur, m.Err)
 					s.releaseLease(slot, cur)
-					cur = -1
+					cur, curEpoch = -1, 0
 					continue
 				}
 				s.shardFailed(slot, cur, fmt.Errorf("worker %d: %s", slot, m.Err))
-				cur = -1
+				cur, curEpoch = -1, 0
+			case MsgReady:
+				// A re-handshake mid-life (fleet member reattached):
+				// harmless, already logged by the reconnect path.
 			default:
 				return die("crash", fmt.Errorf("protocol: unexpected %q", m.Type))
 			}
 		}
 	}
+}
+
+// sessionPid extracts the worker's local pid when there is one.
+func sessionPid(s Session) int {
+	if p, ok := s.(*procSession); ok && p.cmd.Process != nil {
+		return p.cmd.Process.Pid
+	}
+	return 0
 }

@@ -1,0 +1,103 @@
+package shard
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+)
+
+// tcpTransport dials a standing worker fleet: each slot maps onto one of
+// the configured addresses (round-robin when there are more slots than
+// addresses), authenticates with the job fingerprint, and speaks the
+// same line protocol the proc transport uses. Unlike a forked process, a
+// closed socket does not mean a dead worker — the fleet member keeps
+// computing through a disconnection, so the transport is reconnectable
+// and the supervisor re-adopts leases whose epoch still matches.
+type tcpTransport struct {
+	addrs       []string
+	dir         string
+	fingerprint uint64
+	beatMs      int
+	dialTimeout time.Duration
+}
+
+func newTCPTransport(opts Options) *tcpTransport {
+	dt := opts.DialTimeout
+	if dt <= 0 {
+		dt = 2 * opts.HeartbeatTimeout
+	}
+	return &tcpTransport{
+		addrs:       opts.Addrs,
+		dir:         opts.Dir,
+		fingerprint: opts.Fingerprint,
+		beatMs:      int(opts.HeartbeatInterval.Milliseconds()),
+		dialTimeout: dt,
+	}
+}
+
+func (t *tcpTransport) Name() string        { return "tcp" }
+func (t *tcpTransport) Reconnectable() bool { return true }
+
+// Dial connects the slot to its fleet address and sends the hello
+// handshake. Connection failures are retryable engine faults: a refused
+// or timed-out dial during a partition should be backed off and retried,
+// not treated as a missing binary.
+func (t *tcpTransport) Dial(slot int) (Session, error) {
+	addr := t.addrs[slot%len(t.addrs)]
+	conn, err := net.DialTimeout("tcp", addr, t.dialTimeout)
+	if err != nil {
+		return nil, retryableDialErr(slot, err)
+	}
+	s := &tcpSession{conn: conn, enc: json.NewEncoder(conn), addr: addr,
+		msgs: make(chan Msg, 256), readDone: make(chan error, 1)}
+	if err := s.Send(Msg{
+		Type:        MsgHello,
+		Dir:         t.dir,
+		Fingerprint: t.fingerprint,
+		Worker:      slot,
+		BeatMs:      t.beatMs,
+	}); err != nil {
+		conn.Close()
+		return nil, retryableDialErr(slot, fmt.Errorf("hello to %s: %w", addr, err))
+	}
+	go readLines(conn, s.msgs, s.readDone)
+	return s, nil
+}
+
+// tcpSession is one authenticated supervisor->fleet connection.
+type tcpSession struct {
+	conn     net.Conn
+	enc      *json.Encoder
+	addr     string
+	msgs     chan Msg
+	readDone chan error
+	waitOnce sync.Once
+	waitErr  error
+}
+
+func (s *tcpSession) Send(m Msg) error { return s.enc.Encode(m) }
+func (s *tcpSession) Recv() <-chan Msg { return s.msgs }
+
+func (s *tcpSession) CloseSend() {
+	if tc, ok := s.conn.(*net.TCPConn); ok {
+		tc.CloseWrite()
+		return
+	}
+	s.conn.Close()
+}
+
+// Kill drops the connection. There is no remote SIGKILL: a fenced worker
+// that keeps computing is harmless — its stale-epoch output is rejected.
+func (s *tcpSession) Kill() { s.conn.Close() }
+
+func (s *tcpSession) Wait() error {
+	s.waitOnce.Do(func() {
+		s.conn.Close() // unblock the reader if it has not finished
+		s.waitErr = <-s.readDone
+	})
+	return s.waitErr
+}
+
+func (s *tcpSession) Desc() string { return s.addr }

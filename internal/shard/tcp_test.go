@@ -1,0 +1,338 @@
+package shard_test
+
+// Network fault-tolerance tests for the TCP fleet transport: every
+// network fault class (conn drop mid-shard, partition past the lease,
+// duplicate done, stale-epoch zombie writes at both the message and the
+// blob layer, full fleet loss) must leave the job's output bit-identical
+// to the unsharded in-process run, with the recovery visible in the
+// supervisor's counters. Fleet members run in-process (worker.Listen on
+// a loopback port) so they carry the same -race instrumentation as the
+// supervisor.
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"testing"
+	"time"
+
+	"bitpacker"
+	"bitpacker/internal/chaos"
+	"bitpacker/internal/shard"
+	"bitpacker/internal/shard/worker"
+)
+
+// startFleet runs an in-process fleet member on a loopback port and
+// returns its address.
+func startFleet(t *testing.T) (*worker.Fleet, string) {
+	t.Helper()
+	fl, err := worker.Listen("127.0.0.1:0", t.Logf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	go fl.Serve()
+	t.Cleanup(func() { fl.Close() })
+	return fl, fl.Addr()
+}
+
+// fleetOpts are fast-failover supervisor options for TCP tests: n
+// in-process fleet members, one slot each.
+func fleetOpts(t *testing.T, n int) bitpacker.ShardOptions {
+	t.Helper()
+	addrs := make([]string, n)
+	for i := range addrs {
+		_, addrs[i] = startFleet(t)
+	}
+	return bitpacker.ShardOptions{
+		Dir:               t.TempDir(),
+		Addrs:             addrs,
+		EngineWorkers:     2,
+		HeartbeatInterval: 25 * time.Millisecond,
+		Respawn:           bitpacker.RetryPolicy{MaxAttempts: 3, BaseDelay: time.Millisecond, Seed: 5},
+		Logf:              t.Logf,
+	}
+}
+
+// TestTCPShardedBitIdentical is the fault-free fleet baseline: remote
+// execution over TCP equals the unsharded in-process run exactly, on
+// both backends, with zero recovery actions.
+func TestTCPShardedBitIdentical(t *testing.T) {
+	forBothSchemes(t, func(t *testing.T, scheme bitpacker.Scheme) {
+		ctx := testCtx(t, scheme)
+		inputs := encryptBatch(t, ctx, 6, 61)
+		want := unshardedRun(t, ctx, testProgram, inputs)
+		got, report, err := ctx.RunSharded(context.Background(), testProgram, inputs, fleetOpts(t, 2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertBitIdentical(t, ctx, "tcp fault-free", got, want)
+		st := report.Stats
+		if st.Crashes != 0 || st.Hangs != 0 || st.Partitions != 0 || st.DegradedEntries != 0 {
+			t.Fatalf("fault-free fleet run reported recovery actions: %+v", st)
+		}
+		if st.Spawns == 0 {
+			t.Fatalf("fleet run never dialed a worker: %+v", st)
+		}
+	})
+}
+
+// TestTCPConnDropReadopt drops the supervisor connection mid-shard while
+// the fleet member keeps computing. The supervisor must treat it as a
+// heartbeat miss — reconnect with backoff and re-adopt (or collect the
+// flushed completion), never re-dispatch, never count a crash.
+func TestTCPConnDropReadopt(t *testing.T) {
+	forBothSchemes(t, func(t *testing.T, scheme bitpacker.Scheme) {
+		ctx := testCtx(t, scheme)
+		inputs := encryptBatch(t, ctx, 6, 62)
+		want := unshardedRun(t, ctx, testProgram, inputs)
+		fault := chaos.NetFault{Kind: chaos.NetConnDrop, Shard: 2, Step: 1, Times: 1}
+		t.Setenv(chaos.NetFaultEnv, fault.Encode()) // fleet runs in-process: env reaches it directly
+		got, report, err := ctx.RunSharded(context.Background(), testProgram, inputs, fleetOpts(t, 2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertBitIdentical(t, ctx, "conn-drop", got, want)
+		st := report.Stats
+		if st.ConnDrops == 0 {
+			t.Fatalf("conn drop was injected but not observed: %+v", st)
+		}
+		if st.Reconnects == 0 {
+			t.Fatalf("dropped connection was never healed: %+v", st)
+		}
+		if st.Crashes != 0 || st.Partitions != 0 {
+			t.Fatalf("sub-deadline conn drop was escalated: %+v", st)
+		}
+		if st.Redispatches != 0 {
+			t.Fatalf("conn drop caused a re-dispatch despite the worker computing on: %+v", st)
+		}
+	})
+}
+
+// TestTCPBeatDelay suppresses fleet heartbeats for less than the
+// deadline: the lease must survive untouched.
+func TestTCPBeatDelay(t *testing.T) {
+	ctx := testCtx(t, bitpacker.BitPacker)
+	inputs := encryptBatch(t, ctx, 4, 63)
+	want := unshardedRun(t, ctx, testProgram, inputs)
+	fault := chaos.NetFault{Kind: chaos.NetBeatDelay, Shard: 1, Step: 1, Times: 1, DelayMs: 120}
+	t.Setenv(chaos.NetFaultEnv, fault.Encode())
+	opts := fleetOpts(t, 2)
+	opts.HeartbeatTimeout = 600 * time.Millisecond
+	got, report, err := ctx.RunSharded(context.Background(), testProgram, inputs, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertBitIdentical(t, ctx, "net beat-delay", got, want)
+	st := report.Stats
+	if st.Hangs != 0 || st.Partitions != 0 || st.Redispatches != 0 {
+		t.Fatalf("sub-deadline beat delay broke the lease: %+v", st)
+	}
+}
+
+// TestTCPPartitionPastLease partitions a fleet member (connection
+// dropped AND re-handshakes refused) for longer than the heartbeat
+// deadline: the lease must break, the shard must be re-dispatched from
+// its checkpoints, and the healed fleet must finish the job
+// bit-identically — with the zombie's late reports fenced by epoch.
+func TestTCPPartitionPastLease(t *testing.T) {
+	forBothSchemes(t, func(t *testing.T, scheme bitpacker.Scheme) {
+		ctx := testCtx(t, scheme)
+		inputs := encryptBatch(t, ctx, 6, 64)
+		want := unshardedRun(t, ctx, testProgram, inputs)
+		fault := chaos.NetFault{Kind: chaos.NetPartition, Shard: 1, Step: 1, Times: 1, DelayMs: 700}
+		t.Setenv(chaos.NetFaultEnv, fault.Encode())
+		opts := fleetOpts(t, 2)
+		opts.HeartbeatTimeout = 150 * time.Millisecond
+		// Keep redialing through the partition instead of retiring.
+		opts.Respawn = bitpacker.RetryPolicy{MaxAttempts: 1000, BaseDelay: 20 * time.Millisecond, BreakerThreshold: 1000, Seed: 5}
+		got, report, err := ctx.RunSharded(context.Background(), testProgram, inputs, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertBitIdentical(t, ctx, "partition", got, want)
+		st := report.Stats
+		if st.Partitions == 0 {
+			t.Fatalf("partition was injected but never declared: %+v", st)
+		}
+		if st.Redispatches == 0 {
+			t.Fatalf("partitioned lease was not re-dispatched: %+v", st)
+		}
+		if st.DegradedEntries != 0 {
+			t.Fatalf("partition of one member degraded the whole fleet: %+v", st)
+		}
+	})
+}
+
+// TestTCPDuplicateDone has the worker report a completion twice: the
+// supervisor must apply it once and count the duplicate.
+func TestTCPDuplicateDone(t *testing.T) {
+	ctx := testCtx(t, bitpacker.BitPacker)
+	inputs := encryptBatch(t, ctx, 6, 65)
+	want := unshardedRun(t, ctx, testProgram, inputs)
+	fault := chaos.NetFault{Kind: chaos.NetDupDone, Shard: 1, Step: 0, Times: 1}
+	t.Setenv(chaos.NetFaultEnv, fault.Encode())
+	got, report, err := ctx.RunSharded(context.Background(), testProgram, inputs, fleetOpts(t, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertBitIdentical(t, ctx, "dup-done", got, want)
+	if len(got) != len(inputs) {
+		t.Fatalf("duplicate done duplicated output: %d for %d inputs", len(got), len(inputs))
+	}
+	if report.Stats.DuplicateDones == 0 {
+		t.Fatalf("duplicate done was not detected: %+v", report.Stats)
+	}
+}
+
+// TestTCPStaleEpochDone replays a done stamped with the previous lease
+// epoch ahead of the real one — the fencing test at the message layer.
+// The supervisor must reject the stale report (counted) and accept only
+// the correctly-stamped one.
+func TestTCPStaleEpochDone(t *testing.T) {
+	ctx := testCtx(t, bitpacker.BitPacker)
+	inputs := encryptBatch(t, ctx, 6, 66)
+	want := unshardedRun(t, ctx, testProgram, inputs)
+	fault := chaos.NetFault{Kind: chaos.NetStaleDone, Shard: 2, Step: 0, Times: 1}
+	t.Setenv(chaos.NetFaultEnv, fault.Encode())
+	got, report, err := ctx.RunSharded(context.Background(), testProgram, inputs, fleetOpts(t, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertBitIdentical(t, ctx, "stale-done", got, want)
+	if report.Stats.StaleEpochRejects == 0 {
+		t.Fatalf("stale-epoch done was not rejected: %+v", report.Stats)
+	}
+}
+
+// TestTCPStaleEpochBlob overwrites the shard's durable output with a
+// stamp from the previous epoch while reporting done under the current
+// one — the fencing test at the blob layer (a zombie's file write).
+// Output validation must reject the stale stamp, count it, and
+// re-dispatch the shard until a correctly-stamped output lands.
+func TestTCPStaleEpochBlob(t *testing.T) {
+	forBothSchemes(t, func(t *testing.T, scheme bitpacker.Scheme) {
+		ctx := testCtx(t, scheme)
+		inputs := encryptBatch(t, ctx, 6, 67)
+		want := unshardedRun(t, ctx, testProgram, inputs)
+		fault := chaos.NetFault{Kind: chaos.NetStaleBlob, Shard: 1, Step: 0, Times: 1}
+		t.Setenv(chaos.NetFaultEnv, fault.Encode())
+		got, report, err := ctx.RunSharded(context.Background(), testProgram, inputs, fleetOpts(t, 2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertBitIdentical(t, ctx, "stale-blob", got, want)
+		st := report.Stats
+		if st.StaleEpochRejects == 0 {
+			t.Fatalf("stale-epoch blob was not rejected: %+v", st)
+		}
+		if st.ShardRetries == 0 {
+			t.Fatalf("stale-epoch blob did not force a re-dispatch: %+v", st)
+		}
+	})
+}
+
+// TestTCPFullFleetLoss points the supervisor at dead addresses: every
+// slot must exhaust its redials, retire, and the job must degrade to
+// bit-identical in-process execution.
+func TestTCPFullFleetLoss(t *testing.T) {
+	forBothSchemes(t, func(t *testing.T, scheme bitpacker.Scheme) {
+		ctx := testCtx(t, scheme)
+		inputs := encryptBatch(t, ctx, 4, 68)
+		want := unshardedRun(t, ctx, testProgram, inputs)
+		// A freshly closed listener's port: nothing is listening there.
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		dead := ln.Addr().String()
+		ln.Close()
+		opts := bitpacker.ShardOptions{
+			Dir:               t.TempDir(),
+			Addrs:             []string{dead, dead},
+			EngineWorkers:     2,
+			HeartbeatInterval: 25 * time.Millisecond,
+			Respawn:           bitpacker.RetryPolicy{MaxAttempts: 2, BaseDelay: time.Millisecond, BreakerThreshold: 1, Seed: 5},
+			Logf:              t.Logf,
+		}
+		got, report, err := ctx.RunSharded(context.Background(), testProgram, inputs, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertBitIdentical(t, ctx, "fleet-loss", got, want)
+		st := report.Stats
+		if st.DegradedEntries != 1 {
+			t.Fatalf("expected one degraded-mode entry, got %+v", st)
+		}
+		if int(st.LocalShards) != report.Shards {
+			t.Fatalf("degraded mode ran %d of %d shards locally", st.LocalShards, report.Shards)
+		}
+		if st.WorkersRetired == 0 {
+			t.Fatalf("unreachable fleet slots were not retired: %+v", st)
+		}
+	})
+}
+
+// TestTCPFleetResume drains a fleet job after killing it mid-flight via
+// cancellation, then reruns over the same exchange directory: finished
+// shards resume without recomputation and the result stays
+// bit-identical.
+func TestTCPFleetResume(t *testing.T) {
+	ctx := testCtx(t, bitpacker.BitPacker)
+	inputs := encryptBatch(t, ctx, 6, 69)
+	want := unshardedRun(t, ctx, testProgram, inputs)
+	opts := fleetOpts(t, 2)
+	opts.Keep = true
+	got, _, err := ctx.RunSharded(context.Background(), testProgram, inputs, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertBitIdentical(t, ctx, "fleet first run", got, want)
+	got2, report2, err := ctx.RunSharded(context.Background(), testProgram, inputs, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertBitIdentical(t, ctx, "fleet resumed run", got2, want)
+	if report2.Resumed != report2.Shards {
+		t.Fatalf("second run resumed %d of %d shards", report2.Resumed, report2.Shards)
+	}
+	if report2.Stats.Spawns != 0 {
+		t.Fatalf("fully-resumed run dialed %d workers", report2.Stats.Spawns)
+	}
+}
+
+// TestFleetRejectsBadFingerprint dials a fleet directly with a hello
+// whose fingerprint does not match the job file on disk: the fleet must
+// answer with a reject, not serve the job.
+func TestFleetRejectsBadFingerprint(t *testing.T) {
+	dir := t.TempDir()
+	cfgJSON, err := json.Marshal(testConfig(bitpacker.BitPacker))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := shard.WriteJobFile(dir, shard.JobFile{
+		Version:     shard.JobFileVersion,
+		Fingerprint: 111,
+		Config:      cfgJSON,
+		Program:     []byte(`[{"op":"square"}]`),
+		Shards:      []int{1},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	_, addr := startFleet(t)
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	fmt.Fprintf(conn, `{"t":"hello","dir":%q,"fp":222,"worker":0,"beat_ms":50}`+"\n", dir)
+	conn.SetReadDeadline(time.Now().Add(30 * time.Second))
+	m, err := shard.ReadMessage(bufio.NewReader(conn))
+	if err != nil {
+		t.Fatalf("no reject answer: %v", err)
+	}
+	if m.Type != shard.MsgReject {
+		t.Fatalf("fingerprint mismatch answered with %q, want reject", m.Type)
+	}
+}

@@ -1,0 +1,243 @@
+package shard
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"sync"
+
+	"bitpacker/internal/fherr"
+)
+
+// Transport is the seam between the supervisor's lease/fencing logic and
+// the mechanism that runs workers. One Dial produces one worker session
+// — a spawned process over the proc transport, an authenticated socket
+// to a standing fleet member over the TCP transport. The supervisor's
+// protocol (assign/beat/done/fail, heartbeat deadlines, lease epochs) is
+// identical over both; what differs is what a closed message stream
+// means: process death for proc (the worker is gone, its lease is
+// broken), a mere disconnection for TCP (the worker may well still be
+// computing — the supervisor reconnects and re-adopts the lease while
+// the heartbeat budget lasts).
+type Transport interface {
+	// Dial establishes one worker session for a slot. Errors that are
+	// worth retrying with backoff (a refused connection during a
+	// partition) are wrapped in fherr.ErrEngineFault; anything else is
+	// terminal for the slot (missing binary, misconfiguration).
+	Dial(slot int) (Session, error)
+	// Reconnectable reports whether a closed session stream may mean a
+	// live worker behind a dropped connection (TCP) rather than a dead
+	// one (proc).
+	Reconnectable() bool
+	// Name labels the transport in logs and reports ("proc", "tcp").
+	Name() string
+}
+
+// Session is one live worker connection. Recv's channel closes when the
+// stream ends (process exit or socket drop); Kill forces the worker (or
+// its connection) down; Wait reaps whatever there is to reap.
+type Session interface {
+	Send(m Msg) error
+	Recv() <-chan Msg
+	// CloseSend half-closes the supervisor->worker direction so a drained
+	// worker can finish its exit path.
+	CloseSend()
+	Kill()
+	Wait() error
+	// Desc identifies the peer for logs ("pid 123", "10.0.0.2:7070").
+	Desc() string
+}
+
+// readLines pumps length-capped protocol lines from r into msgs through
+// the hardened decoder, reporting the terminal error (EOF included) on
+// done and closing msgs. A line that fails DecodeWorkerMessage ends the
+// stream: a peer that emits garbage is indistinguishable from a corrupt
+// one, and the supervisor's death handling takes over.
+func readLines(r io.Reader, msgs chan<- Msg, done chan<- error) {
+	br := bufio.NewReaderSize(r, 64<<10)
+	for {
+		line, err := readCappedLine(br)
+		if err != nil {
+			done <- err
+			close(msgs)
+			return
+		}
+		if len(line) == 0 {
+			continue
+		}
+		m, err := DecodeWorkerMessage(line)
+		if err != nil {
+			done <- err
+			close(msgs)
+			return
+		}
+		msgs <- m
+	}
+}
+
+// ReadMessage reads one hardened protocol message from a line stream —
+// the same length cap and field validation the supervisor applies to
+// worker output. Fleet members use it on supervisor connections: a
+// network-exposed listener must never trust its peer's framing.
+func ReadMessage(br *bufio.Reader) (Msg, error) {
+	for {
+		line, err := readCappedLine(br)
+		if err != nil {
+			return Msg{}, err
+		}
+		if len(line) == 0 {
+			continue
+		}
+		return DecodeWorkerMessage(line)
+	}
+}
+
+// readCappedLine reads one newline-terminated line, failing once it
+// exceeds MaxLineBytes instead of buffering without bound.
+func readCappedLine(br *bufio.Reader) ([]byte, error) {
+	var line []byte
+	for {
+		chunk, err := br.ReadSlice('\n')
+		line = append(line, chunk...)
+		if len(line) > MaxLineBytes {
+			return nil, fmt.Errorf("shard: protocol line exceeds %d bytes", MaxLineBytes)
+		}
+		switch err {
+		case nil:
+			return line[:len(line)-1], nil
+		case bufio.ErrBufferFull:
+			continue
+		default:
+			if len(line) > 0 && err == io.EOF {
+				return nil, io.ErrUnexpectedEOF
+			}
+			return nil, err
+		}
+	}
+}
+
+// procTransport forks worker processes (WorkerCommand) and speaks the
+// protocol over stdin/stdout — the original, single-host transport.
+type procTransport struct {
+	opts Options
+}
+
+func (t *procTransport) Name() string        { return "proc" }
+func (t *procTransport) Reconnectable() bool { return false }
+
+// Dial spawns one worker process for the slot.
+func (t *procTransport) Dial(slot int) (Session, error) {
+	argv := t.opts.WorkerCommand
+	cmd := exec.Command(argv[0], argv[1:]...)
+	cmd.Env = append(os.Environ(), t.opts.WorkerEnv...)
+	cmd.Env = append(cmd.Env,
+		fmt.Sprintf("%s=%s", EnvDir, t.opts.Dir),
+		fmt.Sprintf("%s=%d", EnvWorkerID, slot),
+		fmt.Sprintf("%s=%d", EnvBeatMs, t.opts.HeartbeatInterval.Milliseconds()),
+	)
+	stdin, err := cmd.StdinPipe()
+	if err != nil {
+		return nil, fmt.Errorf("shard: worker %d stdin: %w", slot, err)
+	}
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		return nil, fmt.Errorf("shard: worker %d stdout: %w", slot, err)
+	}
+	stderr := &boundedBuf{}
+	cmd.Stderr = stderr
+	if err := cmd.Start(); err != nil {
+		// A terminal environment problem (missing binary, not executable):
+		// deliberately NOT an engine fault, so the Retrier returns it
+		// unretried and the slot retires straight into degraded mode.
+		return nil, fmt.Errorf("shard: spawn worker %d (%q): %w", slot, argv[0], err)
+	}
+	p := &procSession{
+		cmd:      cmd,
+		stdin:    stdin,
+		enc:      json.NewEncoder(stdin),
+		msgs:     make(chan Msg, 256),
+		readDone: make(chan error, 1),
+		stderr:   stderr,
+	}
+	go readLines(stdout, p.msgs, p.readDone)
+	return p, nil
+}
+
+// procSession wraps one spawned worker process with memoized Wait.
+type procSession struct {
+	cmd      *exec.Cmd
+	stdin    io.WriteCloser
+	enc      *json.Encoder
+	msgs     chan Msg
+	readDone chan error // decoder finished (EOF = process death or closed pipe)
+	stderr   *boundedBuf
+	waitOnce sync.Once
+	waitErr  error
+}
+
+func (p *procSession) Send(m Msg) error { return p.enc.Encode(m) }
+func (p *procSession) Recv() <-chan Msg { return p.msgs }
+func (p *procSession) CloseSend()       { p.stdin.Close() }
+
+func (p *procSession) Kill() {
+	if p.cmd.Process != nil {
+		p.cmd.Process.Kill()
+	}
+}
+
+func (p *procSession) Wait() error {
+	p.waitOnce.Do(func() {
+		<-p.readDone // os/exec: never Wait while the stdout pipe is being read
+		p.waitErr = p.cmd.Wait()
+	})
+	return p.waitErr
+}
+
+func (p *procSession) Desc() string {
+	if p.cmd.Process != nil {
+		return fmt.Sprintf("pid %d", p.cmd.Process.Pid)
+	}
+	return "pid ?"
+}
+
+// stderrTail exposes the captured crash diagnostics (proc sessions only).
+func (p *procSession) stderrTail() string { return p.stderr.String() }
+
+// boundedBuf retains the tail of worker stderr for crash diagnostics.
+type boundedBuf struct {
+	mu  sync.Mutex
+	buf []byte
+}
+
+func (b *boundedBuf) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	b.buf = append(b.buf, p...)
+	if len(b.buf) > 4096 {
+		b.buf = b.buf[len(b.buf)-4096:]
+	}
+	b.mu.Unlock()
+	return len(p), nil
+}
+
+func (b *boundedBuf) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return string(b.buf)
+}
+
+// sessionStderr returns crash diagnostics for sessions that capture them.
+func sessionStderr(s Session) string {
+	if p, ok := s.(*procSession); ok {
+		return p.stderrTail()
+	}
+	return ""
+}
+
+// retryableDialErr wraps a transport dial failure that should be retried
+// with backoff (the engine-fault class the slot Retrier respawns).
+func retryableDialErr(slot int, err error) error {
+	return fherr.Wrap(fherr.ErrEngineFault, "shard: dial worker %d: %v", slot, err)
+}

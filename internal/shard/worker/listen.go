@@ -1,0 +1,218 @@
+package worker
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"bitpacker/internal/shard"
+)
+
+// Fleet serves shard workers to dialing supervisors over TCP (`bpworker
+// -listen addr`). Each accepted connection starts with a hello
+// handshake naming the job exchange directory, the job fingerprint, and
+// the worker slot; the fleet verifies the fingerprint against the job
+// file on disk (rejecting a supervisor that tries to adopt it for a
+// different job), then serves the ordinary assign/beat/done/fail
+// protocol on the socket.
+//
+// Unlike a forked worker, a fleet member outlives its connection: a
+// dropped socket does not cancel in-flight compute. Completions reached
+// while disconnected are queued on the slot and flushed — after a ready
+// message reporting the slot's in-flight lease (epoch 0 = idle) — when
+// the supervisor reconnects. Stale assignments (a lease the supervisor
+// re-dispatched while partitioned) are simply superseded: a new assign
+// cancels the old compute, and any late report from it carries the old
+// epoch, which the supervisor's fence drops.
+type Fleet struct {
+	ln   net.Listener
+	logf func(format string, args ...any)
+
+	mu          sync.Mutex
+	jobs        map[string]*jobEntry  // "dir|fp" -> lazily built runtime
+	slots       map[string]*fleetSlot // "dir|fp|worker" -> slot state
+	refuseUntil time.Time             // chaos partition: refuse handshakes until then
+	closed      bool
+
+	wg sync.WaitGroup
+}
+
+type jobEntry struct {
+	once sync.Once
+	rt   *runtime
+	err  error
+}
+
+// Listen binds a fleet listener on addr ("host:port"; ":0" picks a
+// port). Call Serve to accept supervisors; Addr reports the bound
+// address. logf may be nil.
+func Listen(addr string, logf func(format string, args ...any)) (*Fleet, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("worker: listen %s: %w", addr, err)
+	}
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	return &Fleet{
+		ln:    ln,
+		logf:  logf,
+		jobs:  map[string]*jobEntry{},
+		slots: map[string]*fleetSlot{},
+	}, nil
+}
+
+// Addr is the bound listen address.
+func (f *Fleet) Addr() string { return f.ln.Addr().String() }
+
+// Serve accepts supervisor connections until Close. It returns nil after
+// Close, else the accept error.
+func (f *Fleet) Serve() error {
+	for {
+		conn, err := f.ln.Accept()
+		if err != nil {
+			f.mu.Lock()
+			closed := f.closed
+			f.mu.Unlock()
+			if closed {
+				return nil
+			}
+			return err
+		}
+		f.wg.Add(1)
+		go func() {
+			defer f.wg.Done()
+			f.handle(conn)
+		}()
+	}
+}
+
+// Close stops accepting, drops every live connection, cancels in-flight
+// compute, and waits for connection handlers to finish.
+func (f *Fleet) Close() error {
+	f.mu.Lock()
+	f.closed = true
+	slots := make([]*fleetSlot, 0, len(f.slots))
+	for _, sl := range f.slots {
+		slots = append(slots, sl)
+	}
+	f.mu.Unlock()
+	err := f.ln.Close()
+	for _, sl := range slots {
+		sl.shutdown()
+	}
+	f.wg.Wait()
+	return err
+}
+
+// refuse makes the fleet drop incoming handshakes for d (the chaos
+// partition injector).
+func (f *Fleet) refuse(d time.Duration) {
+	f.mu.Lock()
+	until := time.Now().Add(d)
+	if until.After(f.refuseUntil) {
+		f.refuseUntil = until
+	}
+	f.mu.Unlock()
+}
+
+func (f *Fleet) refusing() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return time.Now().Before(f.refuseUntil)
+}
+
+// job returns the cached runtime for (dir, fingerprint), loading the job
+// file and rebuilding the FHE context on first use.
+func (f *Fleet) job(dir string, fp uint64) (*runtime, error) {
+	key := fmt.Sprintf("%s|%d", dir, fp)
+	f.mu.Lock()
+	e := f.jobs[key]
+	if e == nil {
+		e = &jobEntry{}
+		f.jobs[key] = e
+	}
+	f.mu.Unlock()
+	e.once.Do(func() {
+		rt, err := loadRuntime(dir)
+		if err != nil {
+			e.err = err
+			return
+		}
+		if rt.fingerprint != fp {
+			e.err = fmt.Errorf("worker: job fingerprint %d on disk, supervisor claims %d", rt.fingerprint, fp)
+			return
+		}
+		e.rt = rt
+	})
+	return e.rt, e.err
+}
+
+// slot returns the slot state for (dir, fingerprint, worker), creating
+// it (and its beater) on first use.
+func (f *Fleet) slot(dir string, fp uint64, worker, beatMs int) *fleetSlot {
+	key := fmt.Sprintf("%s|%d|%d", dir, fp, worker)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	sl := f.slots[key]
+	if sl == nil {
+		sl = &fleetSlot{fleet: f, worker: worker}
+		if beatMs <= 0 {
+			beatMs = 250
+		}
+		sl.b = newBeater(sl, time.Duration(beatMs)*time.Millisecond)
+		f.slots[key] = sl
+	}
+	return sl
+}
+
+// handle runs one supervisor connection: hardened hello handshake,
+// fingerprint check, slot attach, then the assign/drain read loop. The
+// connection ending never cancels compute — only a drain or a
+// superseding assign does.
+func (f *Fleet) handle(conn net.Conn) {
+	if f.refusing() {
+		conn.Close()
+		return
+	}
+	br := bufio.NewReaderSize(conn, 64<<10)
+	conn.SetReadDeadline(time.Now().Add(30 * time.Second))
+	hello, err := shard.ReadMessage(br)
+	if err != nil || hello.Type != shard.MsgHello {
+		f.logf("worker: fleet: bad handshake from %s: %v", conn.RemoteAddr(), err)
+		conn.Close()
+		return
+	}
+	conn.SetReadDeadline(time.Time{})
+	rt, err := f.job(hello.Dir, hello.Fingerprint)
+	if err != nil {
+		f.logf("worker: fleet: reject %s: %v", conn.RemoteAddr(), err)
+		reject(conn, err.Error())
+		return
+	}
+	sl := f.slot(hello.Dir, hello.Fingerprint, hello.Worker, hello.BeatMs)
+	sl.attach(conn, rt)
+	f.logf("worker: fleet: supervisor %s attached (dir=%s worker=%d)", conn.RemoteAddr(), hello.Dir, hello.Worker)
+	for {
+		m, err := shard.ReadMessage(br)
+		if err != nil {
+			sl.detach(conn)
+			return
+		}
+		switch m.Type {
+		case shard.MsgAssign:
+			sl.assign(m.Shard, m.Epoch)
+		case shard.MsgDrain:
+			sl.drain()
+			return
+		}
+	}
+}
+
+// reject answers a failed handshake and closes the connection.
+func reject(conn net.Conn, why string) {
+	fmt.Fprintf(conn, `{"t":%q,"err":%q}`+"\n", shard.MsgReject, why)
+	conn.Close()
+}

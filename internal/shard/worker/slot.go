@@ -1,0 +1,167 @@
+package worker
+
+import (
+	"context"
+	"encoding/json"
+	"net"
+	"sync"
+	"time"
+
+	"bitpacker/internal/shard"
+)
+
+// fleetSlot is one worker slot of a fleet member: at most one supervisor
+// connection, at most one in-flight shard, and a queue of completion
+// reports produced while disconnected. It implements sink (protocol
+// output, connection-or-queue) and netEnactor (connection chaos).
+type fleetSlot struct {
+	fleet  *Fleet
+	worker int
+	b      *beater
+
+	mu      sync.Mutex
+	rt      *runtime
+	conn    net.Conn
+	enc     *json.Encoder
+	queued  []shard.Msg // done / non-canceled fail awaiting a connection
+	inShard int
+	inEpoch int // 0 = idle
+	cancel  context.CancelFunc
+}
+
+// send writes a protocol message to the live connection, or queues
+// completion reports (and drops beats) while disconnected. A write
+// failure demotes the connection to disconnected on the spot so the
+// report is queued, not lost.
+func (s *fleetSlot) send(m shard.Msg) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.enc != nil {
+		if err := s.enc.Encode(m); err == nil {
+			return
+		}
+		s.conn.Close()
+		s.conn, s.enc = nil, nil
+	}
+	if m.Type == shard.MsgDone || (m.Type == shard.MsgFail && m.Class != shard.ClassCanceled) {
+		// Canceled fails are supersession noise: no supervisor acts on
+		// them, so they are not worth replaying into a future session.
+		s.queued = append(s.queued, m)
+	}
+}
+
+// attach adopts a new supervisor connection: supersede any previous one,
+// report the in-flight lease (epoch 0 = idle) in a ready message, then
+// flush queued completions. Holding the lock across the writes keeps the
+// beater from interleaving a beat before the ready.
+func (s *fleetSlot) attach(conn net.Conn, rt *runtime) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.rt = rt
+	if s.conn != nil {
+		s.conn.Close()
+	}
+	s.conn = conn
+	s.enc = json.NewEncoder(conn)
+	ready := shard.Msg{Type: shard.MsgReady}
+	if s.inEpoch > 0 {
+		ready.Shard, ready.Epoch = s.inShard, s.inEpoch
+	}
+	if err := s.enc.Encode(ready); err != nil {
+		s.conn.Close()
+		s.conn, s.enc = nil, nil
+		return
+	}
+	for _, q := range s.queued {
+		if err := s.enc.Encode(q); err != nil {
+			s.conn.Close()
+			s.conn, s.enc = nil, nil
+			return // unsent reports stay queued
+		}
+	}
+	s.queued = nil
+}
+
+// detach clears the connection if conn is still the current one (a
+// newer attach may already have superseded it).
+func (s *fleetSlot) detach(conn net.Conn) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.conn == conn {
+		s.conn.Close()
+		s.conn, s.enc = nil, nil
+	}
+}
+
+// assign starts computing a shard under its lease epoch, superseding (by
+// cancellation) whatever stale lease was still in flight. A duplicate
+// assign for the exact lease already running is ignored.
+func (s *fleetSlot) assign(id, epoch int) {
+	s.mu.Lock()
+	if s.inEpoch == epoch && s.inShard == id {
+		s.mu.Unlock()
+		return
+	}
+	if s.cancel != nil {
+		s.cancel()
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	s.cancel = cancel
+	s.inShard, s.inEpoch = id, epoch
+	rt := s.rt
+	s.mu.Unlock()
+	go func() {
+		defer cancel()
+		rt.runShard(ctx, id, epoch, s, s.b, s)
+		s.mu.Lock()
+		if s.inShard == id && s.inEpoch == epoch {
+			s.inShard, s.inEpoch = 0, 0
+			s.cancel = nil
+		}
+		s.mu.Unlock()
+	}()
+}
+
+// drain ends the session: cancel in-flight compute, drop queued reports
+// (the supervisor that drained us has everything it needs), and close
+// the connection.
+func (s *fleetSlot) drain() {
+	s.mu.Lock()
+	if s.cancel != nil {
+		s.cancel()
+		s.cancel = nil
+	}
+	s.inShard, s.inEpoch = 0, 0
+	s.queued = nil
+	conn := s.conn
+	s.conn, s.enc = nil, nil
+	s.mu.Unlock()
+	if conn != nil {
+		conn.Close()
+	}
+}
+
+// shutdown tears the slot down with the fleet: compute canceled, beater
+// halted, connection closed.
+func (s *fleetSlot) shutdown() {
+	s.drain()
+	s.b.halt()
+}
+
+// dropConn enacts the conn-drop chaos fault: close the supervisor
+// connection while compute continues.
+func (s *fleetSlot) dropConn() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.conn != nil {
+		s.conn.Close()
+		s.conn, s.enc = nil, nil
+	}
+}
+
+// partition enacts the partition chaos fault: drop the connection and
+// refuse re-handshakes fleet-wide for d.
+func (s *fleetSlot) partition(d time.Duration) {
+	s.fleet.refuse(d)
+	s.dropConn()
+}

@@ -1,12 +1,15 @@
-// Package worker is the worker-process side of the shard protocol: a
-// process started with BITPACKER_SHARD_DIR in its environment rebuilds a
-// bit-identical FHE context from the job file's Config (deterministic
-// seeded keygen makes every process derive the same keys), then serves
-// shard assignments from stdin — executing each through the checkpointed
-// ExecShard path and publishing durable outputs — while a background
-// goroutine heartbeats on stdout. Closing stdin (or a drain message)
-// ends the worker cleanly; the supervisor recovers everything else with
-// SIGKILL.
+// Package worker is the worker side of the shard protocol, in both of
+// its transports. A process started with BITPACKER_SHARD_DIR in its
+// environment is a forked worker: it rebuilds a bit-identical FHE
+// context from the job file's Config (deterministic seeded keygen makes
+// every process derive the same keys), then serves shard assignments
+// from stdin — executing each through the checkpointed ExecShard path
+// and publishing durable outputs stamped with the dispatch's lease epoch
+// — while a background goroutine heartbeats on stdout. A fleet member
+// (Listen / `bpworker -listen`) serves the same protocol over TCP to
+// dialing supervisors, authenticated by job fingerprint, and keeps
+// computing through disconnections: completions are queued while the
+// socket is down and flushed when the supervisor reconnects.
 package worker
 
 import (
@@ -21,6 +24,7 @@ import (
 
 	"bitpacker"
 	"bitpacker/internal/chaos"
+	"bitpacker/internal/pipeline"
 	"bitpacker/internal/shard"
 )
 
@@ -28,6 +32,13 @@ import (
 // Host binaries (bpworker, and any binary that opts into self-exec
 // workers) check it first thing in main.
 func IsWorker() bool { return os.Getenv(shard.EnvDir) != "" }
+
+// sink consumes protocol messages headed for the supervisor. The stdio
+// sender and the fleet slot (which queues completions across
+// disconnections) both implement it.
+type sink interface {
+	send(m shard.Msg)
+}
 
 // sender serializes protocol writes to stdout: the beat goroutine and
 // the assignment loop share the pipe.
@@ -46,9 +57,9 @@ func (s *sender) send(m shard.Msg) {
 
 // beater emits liveness beats every interval, carrying the current
 // shard/step so the supervisor can track progress. It can be paused (the
-// beat-delay chaos fault) or stopped permanently (the hang fault).
+// beat-delay chaos faults) or stopped permanently (the hang fault).
 type beater struct {
-	out      *sender
+	out      sink
 	interval time.Duration
 
 	mu          sync.Mutex
@@ -59,7 +70,7 @@ type beater struct {
 	once sync.Once
 }
 
-func newBeater(out *sender, interval time.Duration) *beater {
+func newBeater(out sink, interval time.Duration) *beater {
 	b := &beater{out: out, interval: interval, stop: make(chan struct{})}
 	go b.loop()
 	return b
@@ -99,8 +110,153 @@ func (b *beater) pause(d time.Duration) {
 
 func (b *beater) halt() { b.once.Do(func() { close(b.stop) }) }
 
-// Main runs the worker protocol to completion. The return value is the
-// process exit code: 0 for a clean drain (stdin closed or drain
+// runtime is one job's loaded execution state: the rebuilt FHE context
+// and the declarative program, shared by every shard the worker runs for
+// that job. Forked workers hold exactly one; a fleet member caches one
+// per job it serves.
+type runtime struct {
+	fhe         *bitpacker.Context
+	dir         string
+	program     []bitpacker.ShardStep
+	fingerprint uint64
+}
+
+// loadRuntime reads the job file under dir and rebuilds the job's
+// bit-identical FHE context (deterministic seeded keygen).
+func loadRuntime(dir string) (*runtime, error) {
+	jf, err := shard.ReadJobFile(dir)
+	if err != nil {
+		return nil, err
+	}
+	var cfg bitpacker.Config
+	if err := json.Unmarshal(jf.Config, &cfg); err != nil {
+		return nil, fmt.Errorf("worker: job config: %w", err)
+	}
+	if jf.EngineWorkers > 0 {
+		// The supervisor budgets engine parallelism across the fleet.
+		cfg.Workers = jf.EngineWorkers
+	}
+	var program []bitpacker.ShardStep
+	if err := json.Unmarshal(jf.Program, &program); err != nil {
+		return nil, fmt.Errorf("worker: job program: %w", err)
+	}
+	fhe, err := bitpacker.New(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("worker: context: %w", err)
+	}
+	return &runtime{fhe: fhe, dir: dir, program: program, fingerprint: jf.Fingerprint}, nil
+}
+
+// netEnactor enacts connection-level chaos faults. Only the fleet can
+// drop its own connection or refuse handshakes; the stdio worker passes
+// nil and those fault kinds are ignored.
+type netEnactor interface {
+	dropConn()
+	partition(d time.Duration)
+}
+
+// runShard executes one assigned shard under its lease epoch and reports
+// done or fail through out. Chaos faults specified in the environment
+// (process-level and network-level) are enacted at the hook's step
+// boundaries.
+func (rt *runtime) runShard(ctx context.Context, id, epoch int, out sink, b *beater, net netEnactor) {
+	corruptOut := false
+	dupDone := false
+	staleDone := false
+	staleBlob := false
+	hook := func(step int) {
+		b.progress(id, step)
+		out.send(shard.Msg{Type: shard.MsgBeat, Shard: id, Step: step})
+		if f := chaos.FireProc(shard.ChaosDir(rt.dir), id, step); f != nil {
+			switch f.Kind {
+			case chaos.ProcCrash:
+				os.Exit(shard.CrashExitCode)
+			case chaos.ProcHang:
+				// Wedge: compute and heartbeats both stop. Sleep rather than
+				// block on channels so the runtime's deadlock detector cannot
+				// turn the hang into an exit; only the supervisor's SIGKILL
+				// ends it.
+				b.halt()
+				for {
+					time.Sleep(time.Hour)
+				}
+			case chaos.ProcBeatDelay:
+				b.pause(time.Duration(f.DelayMs) * time.Millisecond)
+			case chaos.ProcCorruptOut:
+				corruptOut = true
+			}
+		}
+		if f := chaos.FireNet(shard.ChaosDir(rt.dir), id, step); f != nil {
+			switch f.Kind {
+			case chaos.NetConnDrop:
+				if net != nil {
+					net.dropConn()
+				}
+			case chaos.NetPartition:
+				if net != nil {
+					net.partition(time.Duration(f.DelayMs) * time.Millisecond)
+				}
+			case chaos.NetDupDone:
+				dupDone = true
+			case chaos.NetStaleDone:
+				staleDone = true
+			case chaos.NetStaleBlob:
+				staleBlob = true
+			case chaos.NetBeatDelay:
+				b.pause(time.Duration(f.DelayMs) * time.Millisecond)
+			}
+		}
+	}
+	err := rt.fhe.ExecShard(ctx, rt.dir, id, epoch, rt.program, hook)
+	if err != nil {
+		class := shard.ClassFault
+		if errors.Is(err, bitpacker.ErrCanceled) {
+			class = shard.ClassCanceled
+		}
+		out.send(shard.Msg{Type: shard.MsgFail, Shard: id, Epoch: epoch, Class: class, Err: err.Error()})
+		return
+	}
+	if corruptOut {
+		// Torn-write model: garble the just-published output, report done
+		// anyway, and die — the supervisor's output validation must reject
+		// the file and re-dispatch the shard.
+		_ = chaos.CorruptFile(bitpacker.ShardOutputPath(rt.dir, id))
+		out.send(shard.Msg{Type: shard.MsgDone, Shard: id, Epoch: epoch})
+		os.Exit(shard.CrashExitCode)
+	}
+	if staleBlob {
+		// Zombie-overwrite model: re-stamp the durable output with the
+		// previous epoch, then report done with the current one — output
+		// validation must reject the stale stamp and re-dispatch.
+		restampOutput(rt.dir, id, epoch-1)
+	}
+	if staleDone {
+		// Zombie-report model: a done carrying the previous epoch precedes
+		// the real one — the epoch fence must drop it.
+		out.send(shard.Msg{Type: shard.MsgDone, Shard: id, Epoch: epoch - 1})
+	}
+	out.send(shard.Msg{Type: shard.MsgDone, Shard: id, Epoch: epoch})
+	if dupDone {
+		out.send(shard.Msg{Type: shard.MsgDone, Shard: id, Epoch: epoch})
+	}
+}
+
+// restampOutput rewrites a shard's durable output frame under a
+// different epoch stamp (chaos only: models a zombie's overwrite).
+func restampOutput(dir string, id, epoch int) {
+	st, err := pipeline.NewDirStore(shard.OutDir(dir))
+	if err != nil {
+		return
+	}
+	_, blob, err := st.Get(id)
+	if err != nil {
+		return
+	}
+	_ = st.Put(id, shard.OutputName(id, epoch), blob)
+}
+
+// Main runs the stdio worker protocol to completion. The return value is
+// the process exit code: 0 for a clean drain (stdin closed or drain
 // message), nonzero for startup failures. Call only when IsWorker().
 func Main() int {
 	dir := os.Getenv(shard.EnvDir)
@@ -116,31 +272,12 @@ func Main() int {
 	b := newBeater(out, time.Duration(beatMs)*time.Millisecond)
 	defer b.halt()
 
-	jf, err := shard.ReadJobFile(dir)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "bpworker: %v\n", err)
-		return 1
-	}
-	var cfg bitpacker.Config
-	if err := json.Unmarshal(jf.Config, &cfg); err != nil {
-		fmt.Fprintf(os.Stderr, "bpworker: job config: %v\n", err)
-		return 1
-	}
-	if jf.EngineWorkers > 0 {
-		// The supervisor budgets engine parallelism across the fleet.
-		cfg.Workers = jf.EngineWorkers
-	}
-	var program []bitpacker.ShardStep
-	if err := json.Unmarshal(jf.Program, &program); err != nil {
-		fmt.Fprintf(os.Stderr, "bpworker: job program: %v\n", err)
-		return 1
-	}
 	// Deterministic seeded keygen: this context is bit-identical to the
 	// submitting process's (and every sibling worker's). The beater is
 	// already running, so slow keygen cannot look like a hang.
-	fhe, err := bitpacker.New(cfg)
+	rt, err := loadRuntime(dir)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "bpworker: context: %v\n", err)
+		fmt.Fprintf(os.Stderr, "bpworker: %v\n", err)
 		return 1
 	}
 
@@ -155,57 +292,7 @@ func Main() int {
 		case shard.MsgDrain:
 			return 0
 		case shard.MsgAssign:
-			runShard(fhe, dir, m.Shard, program, out, b)
+			rt.runShard(context.Background(), m.Shard, m.Epoch, out, b, nil)
 		}
 	}
-}
-
-// runShard executes one assigned shard and reports done or fail. Chaos
-// faults specified in the environment are enacted at the hook's step
-// boundaries.
-func runShard(fhe *bitpacker.Context, dir string, id int, program []bitpacker.ShardStep, out *sender, b *beater) {
-	corruptOut := false
-	hook := func(step int) {
-		b.progress(id, step)
-		out.send(shard.Msg{Type: shard.MsgBeat, Shard: id, Step: step})
-		f := chaos.FireProc(shard.ChaosDir(dir), id, step)
-		if f == nil {
-			return
-		}
-		switch f.Kind {
-		case chaos.ProcCrash:
-			os.Exit(shard.CrashExitCode)
-		case chaos.ProcHang:
-			// Wedge: compute and heartbeats both stop. Sleep rather than
-			// block on channels so the runtime's deadlock detector cannot
-			// turn the hang into an exit; only the supervisor's SIGKILL
-			// ends it.
-			b.halt()
-			for {
-				time.Sleep(time.Hour)
-			}
-		case chaos.ProcBeatDelay:
-			b.pause(time.Duration(f.DelayMs) * time.Millisecond)
-		case chaos.ProcCorruptOut:
-			corruptOut = true
-		}
-	}
-	err := fhe.ExecShard(context.Background(), dir, id, program, hook)
-	if err != nil {
-		class := shard.ClassFault
-		if errors.Is(err, bitpacker.ErrCanceled) {
-			class = shard.ClassCanceled
-		}
-		out.send(shard.Msg{Type: shard.MsgFail, Shard: id, Class: class, Err: err.Error()})
-		return
-	}
-	if corruptOut {
-		// Torn-write model: garble the just-published output, report done
-		// anyway, and die — the supervisor's output validation must reject
-		// the file and re-dispatch the shard.
-		_ = chaos.CorruptFile(bitpacker.ShardOutputPath(dir, id))
-		out.send(shard.Msg{Type: shard.MsgDone, Shard: id})
-		os.Exit(shard.CrashExitCode)
-	}
-	out.send(shard.Msg{Type: shard.MsgDone, Shard: id})
 }

@@ -156,11 +156,13 @@ func ShardOutputPath(dir string, shardID int) string {
 // directory, runs the program through the checkpointed pipeline (per-step
 // checkpoints under the shard's checkpoint directory — a re-dispatched
 // shard resumes from its last durable step instead of recomputing), and
-// atomically publishes the checksummed output. Both the worker process
-// and the supervisor's degraded in-process fallback run shards through
-// this one code path, which is what makes every execution mode
-// bit-identical.
-func (c *Context) ExecShard(ctx context.Context, dir string, shardID int, program []ShardStep, hook ShardHook) error {
+// atomically publishes the checksummed output stamped with the lease
+// epoch the dispatch carried (shard.OutputName), which is how the
+// supervisor fences output files overwritten by zombie workers holding
+// broken leases. Worker processes, fleet members, and the supervisor's
+// degraded in-process fallback all run shards through this one code
+// path, which is what makes every execution mode bit-identical.
+func (c *Context) ExecShard(ctx context.Context, dir string, shardID, epoch int, program []ShardStep, hook ShardHook) error {
 	inStore, err := pipeline.NewDirStore(shard.InDir(dir))
 	if err != nil {
 		return err
@@ -189,7 +191,7 @@ func (c *Context) ExecShard(ctx context.Context, dir string, shardID int, progra
 	if err != nil {
 		return err
 	}
-	return outStore.Put(shardID, fmt.Sprintf("shard-%d", shardID), out)
+	return outStore.Put(shardID, shard.OutputName(shardID, epoch), out)
 }
 
 // SupervisorStats counts the shard supervisor's recovery actions
@@ -218,6 +220,13 @@ type ShardOptions struct {
 	WorkerCommand []string
 	// WorkerEnv is appended to every worker's environment.
 	WorkerEnv []string
+	// Addrs lists standing fleet endpoints (`bpworker -listen`). When
+	// non-empty the job runs over the TCP transport — the supervisor
+	// dials out, authenticates each connection with the job fingerprint,
+	// and no local worker processes are forked. Workers defaults to
+	// len(Addrs). If every fleet member is lost the job degrades to
+	// in-process execution (or fails, if DisableDegraded).
+	Addrs []string
 	// EngineWorkers caps each worker process's execution-engine
 	// parallelism (default: NumCPU / Workers, minimum 1) so the fleet
 	// does not oversubscribe the host.
@@ -393,7 +402,11 @@ func (c *Context) RunSharded(ctx context.Context, program []ShardStep, inputs []
 
 	workers := opts.Workers
 	if workers <= 0 {
-		workers = 2
+		if len(opts.Addrs) > 0 {
+			workers = len(opts.Addrs)
+		} else {
+			workers = 2
+		}
 	}
 	dir := opts.Dir
 	temp := false
@@ -506,13 +519,22 @@ func (c *Context) RunSharded(ctx context.Context, program []ShardStep, inputs []
 	}
 
 	// Collect results as shards complete; accept intact outputs left by a
-	// previous run up front.
+	// previous run up front. The epoch check is the fencing half of
+	// output validation: a durable output whose stamp is not the epoch
+	// the supervisor dispatched was written by a zombie holding a broken
+	// lease and must be rejected even if its checksum and contents are
+	// intact. epoch < 0 (the resume scan) accepts any stamp — a finished
+	// shard from a previous run is valid whatever lease produced it.
 	results := make([][]*Ciphertext, total)
 	var resMu sync.Mutex
-	collect := func(sh int) error {
-		_, blob, err := outStore.Get(sh)
+	collect := func(sh, epoch int) error {
+		name, blob, err := outStore.Get(sh)
 		if err != nil {
 			return err
+		}
+		if epoch >= 0 && name != shard.OutputName(sh, epoch) {
+			return fmt.Errorf("bitpacker: shard %d output stamped %q, want %q: %w",
+				sh, name, shard.OutputName(sh, epoch), shard.ErrStaleEpoch)
 		}
 		cts, err := c.DecodeCiphertexts(blob)
 		if err != nil {
@@ -529,7 +551,7 @@ func (c *Context) RunSharded(ctx context.Context, program []ShardStep, inputs []
 	preDone := make([]bool, total)
 	if stages, err := outStore.Stages(); err == nil {
 		for _, sh := range stages {
-			if sh < total && collect(sh) == nil {
+			if sh < total && collect(sh, -1) == nil {
 				preDone[sh] = true
 				report.Resumed++
 			}
@@ -541,6 +563,8 @@ func (c *Context) RunSharded(ctx context.Context, program []ShardStep, inputs []
 		Workers:           workers,
 		WorkerCommand:     resolveWorkerCommand(opts),
 		WorkerEnv:         opts.WorkerEnv,
+		Addrs:             opts.Addrs,
+		Fingerprint:       fingerprint,
 		HeartbeatInterval: opts.HeartbeatInterval,
 		HeartbeatTimeout:  opts.HeartbeatTimeout,
 		ShardDeadline:     opts.ShardDeadline,
@@ -554,11 +578,11 @@ func (c *Context) RunSharded(ctx context.Context, program []ShardStep, inputs []
 		HealInput: func(sh int) error {
 			return inStore.Put(sh, fmt.Sprintf("shard-%d", sh), blobs[sh])
 		},
-		ExecLocal: func(ctx context.Context, sh int) error {
-			if err := c.ExecShard(ctx, dir, sh, program, nil); err != nil {
+		ExecLocal: func(ctx context.Context, sh, epoch int) error {
+			if err := c.ExecShard(ctx, dir, sh, epoch, program, nil); err != nil {
 				return err
 			}
-			return collect(sh)
+			return collect(sh, epoch)
 		},
 	})
 	report.Stats = stats
